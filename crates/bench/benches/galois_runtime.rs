@@ -1,0 +1,58 @@
+//! Microbenchmarks of the cusp-galois shared-memory runtime: parallel-for
+//! schedules and the two-pass prefix sum (§IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cusp_galois::{do_all, do_all_stealing, exclusive_prefix_sum, ThreadPool};
+
+fn bench_do_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("do_all");
+    let n = 1_000_000usize;
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("guided", threads), &threads, |b, _| {
+            b.iter(|| {
+                let acc = cusp_galois::Accumulator::new(&pool);
+                do_all(&pool, n, 256, |i| acc.add_to(i % threads, (i % 7) as u64));
+                black_box(acc.reduce())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stealing", threads), &threads, |b, _| {
+            b.iter(|| {
+                let acc = cusp_galois::Accumulator::new(&pool);
+                do_all_stealing(&pool, n, 256, |i| acc.add_to(i % threads, (i % 7) as u64));
+                black_box(acc.reduce())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_sum");
+    let input: Vec<u64> = (0..1_000_000u64).map(|i| i % 13).collect();
+    // Sequential baseline.
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut running = 0u64;
+            let mut out = vec![0u64; input.len()];
+            for (i, &x) in input.iter().enumerate() {
+                out[i] = running;
+                running += x;
+            }
+            black_box(running)
+        });
+    });
+    for threads in [2usize, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
+            let mut out = vec![0u64; input.len()];
+            b.iter(|| black_box(exclusive_prefix_sum(&pool, &input, &mut out)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_do_all, bench_prefix_sum);
+criterion_main!(benches);

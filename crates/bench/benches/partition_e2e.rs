@@ -1,0 +1,39 @@
+//! End-to-end partitioning microbenchmark: the full five-phase pipeline on
+//! a fixed in-memory graph (one sample per policy), for regression
+//! tracking of the core pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_graph::gen::{powerlaw, PowerLawConfig};
+use cusp_net::Cluster;
+
+fn bench_partition(c: &mut Criterion) {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(20_000, 20.0, 7)));
+    let mut group = c.benchmark_group("partition_e2e");
+    group.sample_size(10);
+    for kind in [PolicyKind::Eec, PolicyKind::Cvc, PolicyKind::Hvc, PolicyKind::Svc] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let g = Arc::clone(&graph);
+                let out = Cluster::run(4, move |comm| {
+                    partition_with_policy(
+                        comm,
+                        GraphSource::Memory(g.clone()),
+                        kind,
+                        &CuspConfig::default(),
+                    )
+                    .dist_graph
+                    .num_local_edges()
+                });
+                black_box(out.results)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Serialization throughput of the wire codec and the buffered sender's
+//! record path (§IV-C3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cusp_net::{WireReader, WireWriter};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let n = 100_000u64;
+    group.throughput(Throughput::Bytes(n * 8));
+
+    group.bench_function("write_u64_slice", |b| {
+        let data: Vec<u64> = (0..n).collect();
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity((n as usize) * 8 + 8);
+            w.put_u64_slice(&data);
+            black_box(w.finish())
+        });
+    });
+
+    group.bench_function("read_u64_vec", |b| {
+        let mut w = WireWriter::new();
+        w.put_u64_slice(&(0..n).collect::<Vec<u64>>());
+        let payload = w.finish();
+        b.iter(|| {
+            let mut r = WireReader::new(payload.clone());
+            black_box(r.get_u64_vec().unwrap())
+        });
+    });
+
+    group.bench_function("edge_records", |b| {
+        // The construction-phase record shape: (src, count, dsts…).
+        let dsts: Vec<u32> = (0..64).collect();
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(1 << 16);
+            for src in 0..1000u32 {
+                w.put_u32(src);
+                w.put_u32(dsts.len() as u32);
+                for &d in &dsts {
+                    w.put_u32(d);
+                }
+            }
+            black_box(w.finish())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

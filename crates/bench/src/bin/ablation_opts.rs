@@ -1,0 +1,79 @@
+//! Ablations of the optimizations DESIGN.md calls out (§IV-D of the
+//! paper):
+//!
+//! * the §IV-D5 pure-master elision ("replicate computation instead of
+//!   communication") — toggled with `CuspConfig::force_stored_masters`;
+//! * §IV-D3 message buffering — buffered vs unbuffered construction.
+//!
+//! Both knobs leave results identical (validated by the test suite); the
+//! ablation shows what they cost when disabled.
+
+use cusp::{CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{megabytes, warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        &format!("Ablations at {MAX_HOSTS} hosts (CVC)"),
+        &[
+            "graph",
+            "variant",
+            "wall(s)",
+            "net(s)",
+            "combined(s)",
+            "master-phase MB",
+            "messages",
+        ],
+    );
+    for input in drilldown_inputs(scale) {
+        let variants: [(&str, CuspConfig); 4] = [
+            ("baseline", CuspConfig::default()),
+            (
+                "no pure-master elision",
+                CuspConfig {
+                    force_stored_masters: true,
+                    ..CuspConfig::default()
+                },
+            ),
+            (
+                "no buffering",
+                CuspConfig {
+                    buffer_threshold: 0,
+                    ..CuspConfig::default()
+                },
+            ),
+            (
+                "neither",
+                CuspConfig {
+                    force_stored_masters: true,
+                    buffer_threshold: 0,
+                    ..CuspConfig::default()
+                },
+            ),
+        ];
+        for (name, cfg) in variants {
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(PolicyKind::Cvc),
+                &cfg,
+            );
+            let master_bytes = run.stats.phase("master").map_or(0, |p| p.total_bytes());
+            table.row(vec![
+                input.name.to_string(),
+                name.to_string(),
+                format!("{:.3}", run.reported.as_secs_f64()),
+                format!("{:.3}", run.modeled_net),
+                format!("{:.3}", run.combined_secs()),
+                megabytes(master_bytes),
+                run.stats.grand_total_messages().to_string(),
+            ]);
+            eprintln!("done: {} {}", input.name, name);
+        }
+    }
+    table.emit("ablation_opts");
+}

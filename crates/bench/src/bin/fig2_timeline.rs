@@ -1,0 +1,51 @@
+//! Figure 2's empirical analogue: the paper's control/data-flow diagram
+//! shows hosts moving through the five phases with communication between
+//! them. This exhibit prints each host's actual per-phase durations for
+//! one CVC run, making the skew between hosts (which the asynchronous
+//! master rounds and buffered construction tolerate) visible.
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{secs, warn_if_debug, Table};
+use cusp_bench::MAX_HOSTS;
+use cusp_net::Cluster;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let input = drilldown_inputs(scale)
+        .into_iter()
+        .find(|i| i.name == "cwx")
+        .expect("cwx input");
+    let path = input.path.clone();
+    let out = Cluster::run(MAX_HOSTS, move |comm| {
+        let r = partition_with_policy(
+            comm,
+            GraphSource::File(path.clone()),
+            PolicyKind::Cvc,
+            &CuspConfig::default(),
+        );
+        (r.times, r.dist_graph.num_local_edges())
+    });
+    let mut table = Table::new(
+        &format!("Figure 2 analogue — per-host phase durations, CVC on cwx @ {MAX_HOSTS} hosts"),
+        &[
+            "host", "read", "master", "edgeAssign", "alloc", "construct", "total", "edges",
+        ],
+    );
+    for (host, (t, edges)) in out.results.iter().enumerate() {
+        table.row(vec![
+            host.to_string(),
+            secs(t.read),
+            secs(t.master),
+            secs(t.edge_assign),
+            secs(t.alloc),
+            secs(t.construct),
+            secs(t.total()),
+            edges.to_string(),
+        ]);
+    }
+    table.emit("fig2_timeline");
+    let comm_mb = out.stats.grand_total_bytes() as f64 / 1e6;
+    println!("total inter-host traffic during partitioning: {comm_mb:.2} MB");
+}

@@ -1,0 +1,46 @@
+//! Figure 3: partitioning time for XtraPulp and the six CuSP policies
+//! across inputs and host counts.
+//!
+//! The paper's claim being reproduced: every CuSP policy partitions faster
+//! than XtraPulp, with the ContiguousEB policies (EEC/HVC/CVC) far ahead
+//! and EEC — which needs no communication — as the floor.
+
+use cusp::{CuspConfig, GraphSource};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::HOST_COUNTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let inputs = standard_inputs(scale);
+    let cfg = CuspConfig::default();
+    let mut table = Table::new(
+        "Figure 3 — partitioning time (seconds: wall + α–β modeled network)",
+        &["graph", "hosts", "partitioner", "wall(s)", "net(s)", "combined(s)"],
+    );
+    for input in &inputs {
+        for &hosts in &HOST_COUNTS {
+            for p in Partitioner::figure3_set() {
+                let run = run_partition(GraphSource::File(input.path.clone()), hosts, p, &cfg);
+                table.row(vec![
+                    input.name.to_string(),
+                    hosts.to_string(),
+                    p.name().to_string(),
+                    format!("{:.3}", run.reported.as_secs_f64()),
+                    format!("{:.3}", run.modeled_net),
+                    format!("{:.3}", run.combined_secs()),
+                ]);
+                eprintln!(
+                    "done: {} {}@{} = {:.3}s",
+                    input.name,
+                    p.name(),
+                    hosts,
+                    run.combined_secs()
+                );
+            }
+        }
+    }
+    table.emit("fig3_partition_time");
+}

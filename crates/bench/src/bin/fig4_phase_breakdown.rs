@@ -1,0 +1,47 @@
+//! Figure 4: time spent in each partitioning phase per policy, for the
+//! two drill-down inputs (the paper uses clueweb12 and uk14 at 128
+//! hosts; here cwx and ukx at the max simulated host count).
+//!
+//! Shape claims: EEC is dominated by graph reading; HVC/CVC spend their
+//! time in edge assignment + construction (HVC more than CVC); the
+//! FennelEB policies (FEC/GVC/SVC) are dominated by master assignment.
+
+use cusp::{CuspConfig, GraphSource};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{secs, warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        &format!("Figure 4 — phase breakdown at {MAX_HOSTS} hosts (seconds, max across hosts)"),
+        &[
+            "graph", "policy", "read", "master", "edgeAssign", "alloc", "construct", "total",
+        ],
+    );
+    for input in drilldown_inputs(scale) {
+        for kind in cusp::policies::ALL_POLICIES {
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(kind),
+                &CuspConfig::default(),
+            );
+            table.row(vec![
+                input.name.to_string(),
+                kind.name().to_string(),
+                // Real read wall time plus modeled disk time (benchmark
+                // files are page-cached; Lustre reads would not be).
+                format!("{:.3}", run.times.read.as_secs_f64() + run.modeled_disk),
+                secs(run.times.master),
+                secs(run.times.edge_assign),
+                secs(run.times.alloc),
+                secs(run.times.construct),
+                format!("{:.3}", run.times.total().as_secs_f64() + run.modeled_disk),
+            ]);
+        }
+    }
+    table.emit("fig4_phase_breakdown");
+}

@@ -1,0 +1,61 @@
+//! Figures 5 and 6: application execution time (bfs, cc, pr, sssp) over
+//! partitions from XtraPulp and the six CuSP policies, at the two larger
+//! host counts (the paper's 64 and 128 → our 8 and 16).
+//!
+//! Shape claims: the edge-cuts (XtraPulp, EEC, FEC) are comparable; CVC
+//! and SVC win in several cases thanks to restricted communication; the
+//! general vertex-cuts (HVC, GVC) generally lose because D-Galois has no
+//! structural invariant to exploit for them.
+
+use std::sync::Arc;
+
+use cusp::CuspConfig;
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_app, AppKind, Partitioner};
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let inputs = standard_inputs(scale);
+    let cfg = CuspConfig::default();
+    let mut table = Table::new(
+        "Figures 5 & 6 — application execution time over each policy's partitions",
+        &[
+            "hosts", "graph", "app", "partitioner", "wall(s)", "net(s)", "combined(s)", "rounds",
+            "comm(MB)",
+        ],
+    );
+    for &hosts in &[8usize, 16] {
+        for input in &inputs {
+            // cc runs on the symmetrized graph (paper §V-A).
+            let sym = Arc::new(input.graph.symmetrize());
+            for app in AppKind::ALL {
+                let graph = if app == AppKind::Cc { &sym } else { &input.graph };
+                for p in Partitioner::figure3_set() {
+                    let run = run_app(graph, hosts, p, app, &cfg);
+                    table.row(vec![
+                        hosts.to_string(),
+                        input.name.to_string(),
+                        app.name().to_string(),
+                        p.name().to_string(),
+                        format!("{:.3}", run.elapsed.as_secs_f64()),
+                        format!("{:.3}", run.modeled_net),
+                        format!("{:.3}", run.combined_secs()),
+                        run.rounds.to_string(),
+                        format!("{:.2}", run.comm_bytes as f64 / 1e6),
+                    ]);
+                    eprintln!(
+                        "done: {}@{} {} {} = {:.3}s",
+                        input.name,
+                        hosts,
+                        app.name(),
+                        p.name(),
+                        run.combined_secs()
+                    );
+                }
+            }
+        }
+    }
+    table.emit("fig5_fig6_app_exec");
+}

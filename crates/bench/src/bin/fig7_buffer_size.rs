@@ -1,0 +1,59 @@
+//! Figure 7: CVC partitioning time vs message buffer threshold.
+//!
+//! Shape claims: sending every record immediately (threshold 0) is far
+//! slower than buffering; past a modest threshold, larger buffers neither
+//! help nor hurt. The effect shows up both in wall time (message-handling
+//! overhead) and — strongly — in the α-dominated modeled network time.
+
+use cusp::{CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    // 0 = unbuffered, then 4 KiB … 2 MiB (the paper sweeps 0 … 32 MB at
+    // cluster scale).
+    let thresholds: [usize; 7] = [0, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20];
+    let mut table = Table::new(
+        &format!("Figure 7 — CVC partitioning time vs buffer threshold at {MAX_HOSTS} hosts"),
+        &[
+            "graph",
+            "threshold(B)",
+            "wall(s)",
+            "net(s)",
+            "combined(s)",
+            "messages",
+        ],
+    );
+    for input in drilldown_inputs(scale) {
+        for &threshold in &thresholds {
+            let cfg = CuspConfig {
+                buffer_threshold: threshold,
+                ..CuspConfig::default()
+            };
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(PolicyKind::Cvc),
+                &cfg,
+            );
+            let msgs = run
+                .stats
+                .phase("construct")
+                .map_or(0, |p| p.total_messages());
+            table.row(vec![
+                input.name.to_string(),
+                threshold.to_string(),
+                format!("{:.3}", run.reported.as_secs_f64()),
+                format!("{:.3}", run.modeled_net),
+                format!("{:.3}", run.combined_secs()),
+                msgs.to_string(),
+            ]);
+            eprintln!("done: {} threshold {} ", input.name, threshold);
+        }
+    }
+    table.emit("fig7_buffer_size");
+}

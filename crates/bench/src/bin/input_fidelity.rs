@@ -1,0 +1,45 @@
+//! Input-fidelity report: evidence that the synthetic stand-ins exhibit
+//! the structural properties of the paper's Table III graphs — scale-free
+//! degree tails (power-law exponents in the web-graph range) and the
+//! crawls' bounded-out / heavy-in asymmetry.
+
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::Table;
+use cusp_graph::degree::{in_degree_histogram, out_degree_histogram, powerlaw_alpha};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        "Input fidelity — degree-tail exponents (Clauset MLE, d_min = 30)",
+        &[
+            "graph",
+            "out α",
+            "in α",
+            "max out",
+            "max in",
+            "in/out max ratio",
+        ],
+    );
+    for input in standard_inputs(scale) {
+        let out_h = out_degree_histogram(&input.graph);
+        let in_h = in_degree_histogram(&input.graph);
+        let out_alpha = powerlaw_alpha(&out_h, 30);
+        let in_alpha = powerlaw_alpha(&in_h, 30);
+        let max_out = out_h.len().saturating_sub(1);
+        let max_in = in_h.len().saturating_sub(1);
+        let fmt = |a: Option<f64>| a.map_or("n/a".to_string(), |v| format!("{v:.2}"));
+        table.row(vec![
+            input.name.to_string(),
+            fmt(out_alpha),
+            fmt(in_alpha),
+            max_out.to_string(),
+            max_in.to_string(),
+            format!("{:.1}", max_in as f64 / max_out.max(1) as f64),
+        ]);
+    }
+    table.emit("input_fidelity");
+    println!(
+        "Real web crawls show in-degree exponents ≈ 1.9–2.3 with max-in ≫ max-out;\n\
+         Kronecker graphs are near-symmetric with heavy tails on both sides."
+    );
+}

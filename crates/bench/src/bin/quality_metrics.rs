@@ -1,0 +1,55 @@
+//! Structural quality metrics per policy (paper §V-C's caveat: "partitions
+//! may be evaluated using structural metrics such as replication factor
+//! ... however, these are not necessarily correlated to execution time").
+//!
+//! This exhibit prints them anyway — they explain *why* the runtime
+//! exhibits look the way they do (e.g. CVC's bounded replication at high
+//! host counts) and are the quantities most partitioning papers report.
+
+use cusp::{metrics, CuspConfig, GraphSource};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::{HOST_COUNTS, MAX_HOSTS};
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let inputs = standard_inputs(scale);
+    let cfg = CuspConfig::default();
+
+    let mut table = Table::new(
+        "Structural quality per policy",
+        &[
+            "graph",
+            "hosts",
+            "partitioner",
+            "replication",
+            "node balance",
+            "edge balance",
+            "mirrors",
+        ],
+    );
+    for input in &inputs {
+        for &hosts in &HOST_COUNTS {
+            if hosts != MAX_HOSTS && input.name != "cwx" {
+                continue; // full host sweep on the drill-down input only
+            }
+            for p in Partitioner::figure3_set() {
+                let run = run_partition(GraphSource::File(input.path.clone()), hosts, p, &cfg);
+                let q = metrics::quality(&run.parts);
+                table.row(vec![
+                    input.name.to_string(),
+                    hosts.to_string(),
+                    p.name().to_string(),
+                    format!("{:.3}", q.replication_factor),
+                    format!("{:.3}", q.node_balance),
+                    format!("{:.3}", q.edge_balance),
+                    q.total_mirrors.to_string(),
+                ]);
+            }
+            eprintln!("done: {} @ {hosts}", input.name);
+        }
+    }
+    table.emit("quality_metrics");
+}

@@ -1,0 +1,45 @@
+//! Host-count scaling of partitioning time (supplementary exhibit): how
+//! each policy's partitioning time evolves from 1 to 16 simulated hosts on
+//! a fixed input — the underlying trend behind Fig. 3's three host counts.
+//!
+//! Expected shape: EEC scales almost linearly (no communication, smaller
+//! slices per host); communication-bound policies flatten as per-host
+//! α-overheads grow with k²; XtraPulp flattens earliest (its per-round
+//! all-pairs exchanges grow quadratically).
+
+use cusp::{CuspConfig, GraphSource};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let input = drilldown_inputs(scale)
+        .into_iter()
+        .find(|i| i.name == "cwx")
+        .expect("cwx input");
+    let mut table = Table::new(
+        "Partitioning-time scaling over host counts (cwx)",
+        &["hosts", "partitioner", "wall(s)", "net(s)", "combined(s)"],
+    );
+    for hosts in [1usize, 2, 4, 8, 16] {
+        for p in Partitioner::figure3_set() {
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                hosts,
+                p,
+                &CuspConfig::default(),
+            );
+            table.row(vec![
+                hosts.to_string(),
+                p.name().to_string(),
+                format!("{:.3}", run.reported.as_secs_f64()),
+                format!("{:.3}", run.modeled_net),
+                format!("{:.3}", run.combined_secs()),
+            ]);
+        }
+        eprintln!("done: {hosts} hosts");
+    }
+    table.emit("scaling_hosts");
+}

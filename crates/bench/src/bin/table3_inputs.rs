@@ -1,0 +1,39 @@
+//! Table III: the evaluation inputs and their properties.
+//!
+//! Regenerates the paper's input table for the scaled-down stand-ins
+//! (see `crates/bench/src/inputs.rs` for the mapping to the original
+//! graphs).
+
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::Table;
+use cusp_graph::GraphProps;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("scale: {scale:?}\n");
+    let mut table = Table::new(
+        "Table III — input (directed) graphs and their properties",
+        &[
+            "graph",
+            "|V|",
+            "|E|",
+            "|E|/|V|",
+            "maxOutDeg",
+            "maxInDeg",
+            "disk (MB)",
+        ],
+    );
+    for input in standard_inputs(scale) {
+        let p = GraphProps::compute(&input.graph);
+        table.row(vec![
+            input.name.to_string(),
+            p.nodes.to_string(),
+            p.edges.to_string(),
+            format!("{:.1}", p.avg_degree),
+            p.max_out_degree.to_string(),
+            p.max_in_degree.to_string(),
+            format!("{:.1}", p.disk_bytes as f64 / 1e6),
+        ]);
+    }
+    table.emit("table3_inputs");
+}

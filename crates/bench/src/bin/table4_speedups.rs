@@ -1,0 +1,81 @@
+//! Table IV: average (geometric mean) speedup of each CuSP policy over
+//! XtraPulp, in partitioning time and in application execution time.
+//!
+//! Shape claims: every policy partitions faster than XtraPulp (the
+//! ContiguousEB policies by a large factor) and matches or beats it on
+//! application execution on average.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cusp::{CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{geomean, warn_if_debug, Table};
+use cusp_bench::runner::{run_app, run_partition, AppKind, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let inputs = standard_inputs(scale);
+    let cfg = CuspConfig::default();
+
+    // --- Partitioning-time ratios per policy. ---------------------------
+    let mut part_ratios: HashMap<PolicyKind, Vec<f64>> = HashMap::new();
+    for input in &inputs {
+        let xp = run_partition(
+            GraphSource::File(input.path.clone()),
+            MAX_HOSTS,
+            Partitioner::XtraPulp,
+            &cfg,
+        )
+        .combined_secs();
+        for kind in cusp::policies::ALL_POLICIES {
+            let t = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(kind),
+                &cfg,
+            )
+            .combined_secs();
+            part_ratios.entry(kind).or_default().push(xp / t);
+            eprintln!("partition {} {}: xp {:.3}s / cusp {:.3}s", input.name, kind, xp, t);
+        }
+    }
+
+    // --- Application-time ratios per policy (bfs + pr, the cheap/heavy
+    // representatives, to keep the run tractable; pass --full for all 4).
+    let full = std::env::args().any(|a| a == "--full");
+    let apps: Vec<AppKind> = if full {
+        AppKind::ALL.to_vec()
+    } else {
+        vec![AppKind::Bfs, AppKind::Pagerank]
+    };
+    let mut app_ratios: HashMap<PolicyKind, Vec<f64>> = HashMap::new();
+    for input in &inputs {
+        let sym = Arc::new(input.graph.symmetrize());
+        for &app in &apps {
+            let graph = if app == AppKind::Cc { &sym } else { &input.graph };
+            let xp = run_app(graph, MAX_HOSTS, Partitioner::XtraPulp, app, &cfg).combined_secs();
+            for kind in cusp::policies::ALL_POLICIES {
+                let t = run_app(graph, MAX_HOSTS, Partitioner::Cusp(kind), app, &cfg)
+                    .combined_secs();
+                app_ratios.entry(kind).or_default().push(xp / t);
+                eprintln!("app {} {} {}: ratio {:.2}", input.name, app.name(), kind, xp / t);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Table IV — geomean speedup of CuSP policies over XtraPulp",
+        &["policy", "partitioning", "app execution"],
+    );
+    for kind in cusp::policies::ALL_POLICIES {
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}x", geomean(&part_ratios[&kind])),
+            format!("{:.2}x", geomean(&app_ratios[&kind])),
+        ]);
+    }
+    table.emit("table4_speedups");
+}

@@ -1,0 +1,51 @@
+//! Table V: data volume sent in the edge assignment and graph
+//! construction phases, CVC vs HVC, at the max host count.
+//!
+//! Shape claims: HVC sends noticeably more than CVC (in the paper up to an
+//! order of magnitude on some inputs), and HVC talks to (nearly) all
+//! hosts, while CVC confines its partners to the grid row/column.
+
+use cusp::{CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{megabytes, warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        &format!("Table V — data volume in edge assignment / construction at {MAX_HOSTS} hosts (MB)"),
+        &[
+            "graph",
+            "policy",
+            "assign (MB)",
+            "construct (MB)",
+            "max fanout",
+        ],
+    );
+    for input in standard_inputs(scale) {
+        for kind in [PolicyKind::Cvc, PolicyKind::Hvc] {
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(kind),
+                &CuspConfig::default(),
+            );
+            let assign = run.stats.phase("edge_assign").map_or(0, |p| p.total_bytes());
+            let construct = run.stats.phase("construct").map_or(0, |p| p.total_bytes());
+            let fanout = run
+                .stats
+                .phase("construct")
+                .map_or(0, |p| (0..MAX_HOSTS).map(|h| p.fanout(h)).max().unwrap_or(0));
+            table.row(vec![
+                input.name.to_string(),
+                kind.name().to_string(),
+                megabytes(assign),
+                megabytes(construct),
+                fanout.to_string(),
+            ]);
+        }
+    }
+    table.emit("table5_comm_volume");
+}

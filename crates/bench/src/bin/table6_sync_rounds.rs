@@ -1,0 +1,46 @@
+//! Table VI: SVC partitioning time under different numbers of
+//! master-phase synchronization rounds.
+//!
+//! Shape claim: partitioning time is largely flat in the round count until
+//! it gets very high (1000), because rounds are asynchronous — a host that
+//! finds nothing to receive just continues (§IV-D5).
+
+use cusp::{CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let round_counts: [u32; 4] = [1, 10, 100, 1000];
+    let mut table = Table::new(
+        &format!("Table VI — SVC partitioning time vs sync rounds at {MAX_HOSTS} hosts (seconds)"),
+        &["graph", "rounds", "wall(s)", "master(s)", "net(s)", "combined(s)"],
+    );
+    for input in drilldown_inputs(scale) {
+        for &rounds in &round_counts {
+            let cfg = CuspConfig {
+                sync_rounds: rounds,
+                ..CuspConfig::default()
+            };
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(PolicyKind::Svc),
+                &cfg,
+            );
+            table.row(vec![
+                input.name.to_string(),
+                rounds.to_string(),
+                format!("{:.3}", run.reported.as_secs_f64()),
+                format!("{:.3}", run.times.master.as_secs_f64()),
+                format!("{:.3}", run.modeled_net),
+                format!("{:.3}", run.combined_secs()),
+            ]);
+            eprintln!("done: {} rounds {}", input.name, rounds);
+        }
+    }
+    table.emit("table6_sync_rounds");
+}

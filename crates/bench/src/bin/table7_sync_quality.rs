@@ -1,0 +1,50 @@
+//! Table VII: application execution time over SVC partitions built with
+//! different synchronization round counts.
+//!
+//! Shape claim: more rounds give hosts a fresher global view during
+//! master assignment, which *can* improve application runtime (uk14 in
+//! the paper) but does not have to (clueweb12) — the effect is input- and
+//! app-dependent.
+
+use std::sync::Arc;
+
+use cusp::{CuspConfig, PolicyKind};
+use cusp_bench::inputs::{drilldown_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_app, AppKind, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let round_counts: [u32; 4] = [1, 10, 100, 1000];
+    let mut table = Table::new(
+        &format!(
+            "Table VII — app execution time (s) over SVC partitions vs sync rounds, {MAX_HOSTS} hosts"
+        ),
+        &["graph", "app", "rounds", "wall(s)", "net(s)", "combined(s)"],
+    );
+    for input in drilldown_inputs(scale) {
+        let sym = Arc::new(input.graph.symmetrize());
+        for app in AppKind::ALL {
+            let graph = if app == AppKind::Cc { &sym } else { &input.graph };
+            for &rounds in &round_counts {
+                let cfg = CuspConfig {
+                    sync_rounds: rounds,
+                    ..CuspConfig::default()
+                };
+                let run = run_app(graph, MAX_HOSTS, Partitioner::Cusp(PolicyKind::Svc), app, &cfg);
+                table.row(vec![
+                    input.name.to_string(),
+                    app.name().to_string(),
+                    rounds.to_string(),
+                    format!("{:.3}", run.elapsed.as_secs_f64()),
+                    format!("{:.3}", run.modeled_net),
+                    format!("{:.3}", run.combined_secs()),
+                ]);
+                eprintln!("done: {} {} rounds {}", input.name, app.name(), rounds);
+            }
+        }
+    }
+    table.emit("table7_sync_quality");
+}

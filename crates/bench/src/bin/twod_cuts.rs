@@ -1,0 +1,55 @@
+//! The three 2D block cuts of §II-A3 side by side: CVC (cyclic columns),
+//! BVC (blocked columns), JVC (staggered per-row columns). All three bound
+//! communication partners to the grid row; they differ in how evenly the
+//! column dimension spreads hub in-degrees.
+
+use std::sync::Arc;
+
+use cusp::{metrics, CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_bench::report::{warn_if_debug, Table};
+use cusp_bench::runner::{run_app, run_partition, AppKind, Partitioner};
+use cusp_bench::MAX_HOSTS;
+
+fn main() {
+    warn_if_debug();
+    let scale = Scale::from_env();
+    let inputs = standard_inputs(scale);
+    let cfg = CuspConfig::default();
+    let mut table = Table::new(
+        &format!("2D cuts compared at {MAX_HOSTS} hosts"),
+        &[
+            "graph",
+            "cut",
+            "partition(s)",
+            "replication",
+            "edge balance",
+            "pr comm (MB)",
+            "pr combined(s)",
+        ],
+    );
+    for input in &inputs {
+        for kind in [PolicyKind::Cvc, PolicyKind::Bvc, PolicyKind::Jvc] {
+            let run = run_partition(
+                GraphSource::File(input.path.clone()),
+                MAX_HOSTS,
+                Partitioner::Cusp(kind),
+                &cfg,
+            );
+            let q = metrics::quality(&run.parts);
+            let graph = Arc::clone(&input.graph);
+            let pr = run_app(&graph, MAX_HOSTS, Partitioner::Cusp(kind), AppKind::Pagerank, &cfg);
+            table.row(vec![
+                input.name.to_string(),
+                kind.name().to_string(),
+                format!("{:.3}", run.combined_secs()),
+                format!("{:.3}", q.replication_factor),
+                format!("{:.3}", q.edge_balance),
+                format!("{:.2}", pr.comm_bytes as f64 / 1e6),
+                format!("{:.3}", pr.combined_secs()),
+            ]);
+            eprintln!("done: {} {}", input.name, kind.name());
+        }
+    }
+    table.emit("twod_cuts");
+}

@@ -1,0 +1,141 @@
+//! Partitioner configuration, input sources, and phase timing.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cusp_graph::Csr;
+
+/// Output representation of the constructed partition (paper §III-A:
+/// "CuSP constructs a partition on each host's memory, in either CSR or
+/// CSC format, as desired by the user").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    #[default]
+    /// Csr, variant.
+    Csr,
+    /// Build CSR, then transpose in memory (Algorithm 4, line 13).
+    Csc,
+}
+
+/// Where the input graph comes from.
+#[derive(Clone)]
+pub enum GraphSource {
+    /// A `.bgr` file on disk; each host range-reads its slice (the paper's
+    /// normal mode — graph reading time is part of partitioning time).
+    /// Version-2 files carry per-edge `u32` data through the pipeline.
+    File(PathBuf),
+    /// An in-memory graph shared by all simulated hosts; each host copies
+    /// out only its slice, standing in for a hot page cache.
+    Memory(Arc<Csr>),
+    /// An in-memory graph with per-edge `u32` data (aligned to the CSR
+    /// edge order) — the memory analogue of a version-2 file.
+    MemoryWeighted(Arc<Csr>, Arc<Vec<u32>>),
+}
+
+/// Tunable knobs of the partitioner. Defaults follow the paper's
+/// evaluation setup (§V-A), scaled to a simulated laptop cluster.
+#[derive(Clone, Debug)]
+pub struct CuspConfig {
+    /// Worker threads per host ("CuSP is typically run with as many
+    /// threads as cores"; here hosts share one machine, so keep it small).
+    pub threads_per_host: usize,
+    /// Send-buffer flush threshold in bytes (paper default 8 MB on a real
+    /// cluster; 256 KiB here — Fig. 7 sweeps this).
+    pub buffer_threshold: usize,
+    /// Number of synchronization rounds in the master assignment phase
+    /// (paper default 100; Tables VI/VII sweep this).
+    pub sync_rounds: u32,
+    /// Importance of node count when dividing the graph among readers
+    /// (§IV-B1: users can weight node and/or edge balancing).
+    pub node_read_weight: u64,
+    /// Importance of edge count when dividing the graph among readers.
+    pub edge_read_weight: u64,
+    /// Output format of the constructed partitions.
+    pub output: OutputFormat,
+    /// Ablation switch: disable the §IV-D5 "replicate computation" elision
+    /// and run the full stored-master protocol even for pure rules.
+    pub force_stored_masters: bool,
+}
+
+impl Default for CuspConfig {
+    fn default() -> Self {
+        CuspConfig {
+            threads_per_host: 2,
+            buffer_threshold: 256 << 10,
+            sync_rounds: 10,
+            node_read_weight: 0,
+            edge_read_weight: 1,
+            output: OutputFormat::Csr,
+            force_stored_masters: false,
+        }
+    }
+}
+
+/// Wall-clock time spent in each partitioning phase (paper Fig. 4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Graph reading (phase 1).
+    pub read: Duration,
+    /// Master assignment (phase 2).
+    pub master: Duration,
+    /// Edge assignment (phase 3).
+    pub edge_assign: Duration,
+    /// Graph allocation (phase 4).
+    pub alloc: Duration,
+    /// Graph construction (phase 5).
+    pub construct: Duration,
+}
+
+impl PhaseTimes {
+    /// Total partitioning time (the quantity in Fig. 3).
+    pub fn total(&self) -> Duration {
+        self.read + self.master + self.edge_assign + self.alloc + self.construct
+    }
+
+    /// Element-wise max — the cluster-level phase breakdown is the max over
+    /// hosts, since phases are separated by barriers.
+    pub fn max(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            read: self.read.max(other.read),
+            master: self.master.max(other.master),
+            edge_assign: self.edge_assign.max(other.edge_assign),
+            alloc: self.alloc.max(other.alloc),
+            construct: self.construct.max(other.construct),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CuspConfig::default();
+        assert!(c.threads_per_host >= 1);
+        assert!(c.sync_rounds >= 1);
+        assert_eq!(c.edge_read_weight, 1);
+        assert_eq!(c.output, OutputFormat::Csr);
+    }
+
+    #[test]
+    fn phase_times_total_and_max() {
+        let a = PhaseTimes {
+            read: Duration::from_millis(5),
+            master: Duration::from_millis(1),
+            edge_assign: Duration::from_millis(2),
+            alloc: Duration::from_millis(3),
+            construct: Duration::from_millis(4),
+        };
+        assert_eq!(a.total(), Duration::from_millis(15));
+        let b = PhaseTimes {
+            read: Duration::from_millis(1),
+            master: Duration::from_millis(9),
+            ..a
+        };
+        let m = a.max(&b);
+        assert_eq!(m.read, Duration::from_millis(5));
+        assert_eq!(m.master, Duration::from_millis(9));
+    }
+}

@@ -1,0 +1,74 @@
+//! # cusp: a Customizable Streaming edge Partitioner
+//!
+//! Reproduction of *CuSP: A Customizable Streaming Edge Partitioner for
+//! Distributed Graph Analytics* (Hoang, Dathathri, Gill, Pingali — IPDPS
+//! 2019).
+//!
+//! A graph partition is completely defined by (i) the assignment of edges
+//! to partitions and (ii) the choice of master vertices (paper §II). CuSP
+//! therefore asks the user for exactly two functions —
+//! [`MasterRule::get_master`] and [`EdgeRule::get_edge_owner`] — and turns
+//! them into a five-phase, parallel, distributed partitioning pipeline
+//! (§IV-B):
+//!
+//! 1. **Graph reading** — each host range-reads a contiguous, edge-balanced
+//!    slice of the on-disk CSR.
+//! 2. **Master assignment** — each host assigns masters for its slice,
+//!    with periodic asynchronous synchronization of the masters map and any
+//!    user partitioning state (§IV-D4/5).
+//! 3. **Edge assignment** — each host computes, per peer, how many edges of
+//!    each of its vertices it will send and which mirror proxies the peer
+//!    must create (Algorithm 3), exchanging only positional vectors and
+//!    compacted lists (§IV-D2).
+//! 4. **Graph allocation** — every host now knows its exact vertex and
+//!    edge counts; it builds global↔local id maps and allocates its CSR.
+//! 5. **Graph construction** — edges stream to their owners in buffered
+//!    messages (§IV-D3) and are inserted in parallel into the preallocated
+//!    CSR (Algorithm 4), with an optional in-memory transpose to CSC.
+//!
+//! The six policies evaluated in the paper (Table II) are provided in
+//! [`policies::catalog`]: EEC, HVC, CVC, FEC, GVC, and SVC — plus the
+//! building blocks to compose new ones in a few lines.
+//!
+//! ```
+//! use cusp::{partition_with_policy, CuspConfig, PolicyKind};
+//! use cusp_graph::gen::uniform::erdos_renyi;
+//! use cusp_net::Cluster;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(erdos_renyi(200, 1200, 42));
+//! let out = Cluster::run(4, |comm| {
+//!     let cfg = CuspConfig::default();
+//!     partition_with_policy(comm, cusp::GraphSource::Memory(graph.clone()), PolicyKind::Cvc, &cfg)
+//! });
+//! let parts: Vec<_> = out.results.into_iter().map(|r| r.dist_graph).collect();
+//! cusp::metrics::validate_partitioning(&graph, &parts).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dist_graph;
+pub mod metrics;
+pub mod orientation;
+pub mod phases;
+pub mod policies;
+pub mod policy;
+pub mod props;
+pub mod state;
+pub mod storage;
+pub mod tags;
+
+pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
+pub use dist_graph::{DistGraph, PartitionClass};
+pub use phases::driver::{partition, PartitionOutput};
+pub use policies::catalog::{partition_with_policy, PolicyKind};
+pub use orientation::{partition_with_policy_oriented, Orientation};
+pub use policy::{EdgeRule, MasterRule, MasterView, Setup};
+pub use props::LocalProps;
+pub use state::{LoadState, PartitionState};
+pub use storage::{read_partition, write_partition};
+
+/// A partition id; CuSP runs with as many hosts as partitions, so this is
+/// interchangeable with `cusp_net::HostId` (which is a `usize`).
+pub type PartId = u32;

@@ -1,0 +1,267 @@
+//! Partition quality metrics and full-partitioning validation.
+//!
+//! The paper evaluates quality primarily through application runtime, but
+//! cites the structural metrics — replication factor and node/edge balance
+//! (§V-C) — which are computed here. The validator is the test-suite
+//! workhorse: it checks that a set of [`DistGraph`]s is a *correct*
+//! partitioning of the original graph.
+
+use std::collections::HashMap;
+
+use cusp_graph::{Csr, Node};
+
+use crate::dist_graph::DistGraph;
+
+/// Structural quality summary of a partitioning.
+#[derive(Clone, Debug)]
+pub struct QualityReport {
+    /// Average number of proxies per original vertex (paper §II).
+    pub replication_factor: f64,
+    /// max over hosts of masters / (total masters / k).
+    pub node_balance: f64,
+    /// max over hosts of local edges / (total edges / k).
+    pub edge_balance: f64,
+    /// Total mirrors across all partitions.
+    pub total_mirrors: u64,
+}
+
+/// Computes quality metrics over all partitions of one graph.
+pub fn quality(parts: &[DistGraph]) -> QualityReport {
+    assert!(!parts.is_empty());
+    let k = parts.len() as f64;
+    let global_nodes = parts[0].global_nodes as f64;
+    let total_proxies: u64 = parts.iter().map(|p| p.num_local() as u64).sum();
+    let total_masters: u64 = parts.iter().map(|p| p.num_masters as u64).sum();
+    let total_edges: u64 = parts.iter().map(|p| p.num_local_edges()).sum();
+    let max_masters = parts.iter().map(|p| p.num_masters as u64).max().unwrap();
+    let max_edges = parts.iter().map(|p| p.num_local_edges()).max().unwrap();
+    QualityReport {
+        replication_factor: total_proxies as f64 / global_nodes.max(1.0),
+        node_balance: if total_masters == 0 {
+            1.0
+        } else {
+            max_masters as f64 / (total_masters as f64 / k)
+        },
+        edge_balance: if total_edges == 0 {
+            1.0
+        } else {
+            max_edges as f64 / (total_edges as f64 / k)
+        },
+        total_mirrors: total_proxies - total_masters,
+    }
+}
+
+/// Validates that `parts` is a correct partitioning of `original`:
+///
+/// 1. every global vertex has exactly one master proxy, on the partition
+///    all other proxies point to;
+/// 2. the union of partition edge multisets equals the original's;
+/// 3. every edge's endpoints exist as proxies in its partition;
+/// 4. local id maps are internally consistent.
+///
+/// Returns a description of the first violation found.
+pub fn validate_partitioning(original: &Csr, parts: &[DistGraph]) -> Result<(), String> {
+    let n = original.num_nodes();
+
+    // (1) master uniqueness and coverage.
+    let mut master_home: Vec<i64> = vec![-1; n];
+    for part in parts {
+        for &g in part.master_globals() {
+            if master_home[g as usize] != -1 {
+                return Err(format!(
+                    "node {g} has masters on partitions {} and {}",
+                    master_home[g as usize], part.part_id
+                ));
+            }
+            master_home[g as usize] = part.part_id as i64;
+        }
+    }
+    for (v, &home) in master_home.iter().enumerate() {
+        if home == -1 {
+            return Err(format!("node {v} has no master proxy anywhere"));
+        }
+    }
+
+    // (4) consistency of master_of and local maps.
+    for part in parts {
+        if part.local2global.len() != part.master_of.len() {
+            return Err(format!(
+                "partition {}: local2global and master_of lengths differ",
+                part.part_id
+            ));
+        }
+        for l in 0..part.num_local() as u32 {
+            let g = part.global_of(l);
+            let expect = master_home[g as usize] as u32;
+            if part.master_of[l as usize] != expect {
+                return Err(format!(
+                    "partition {}: proxy of node {g} claims master on {}, actual {}",
+                    part.part_id, part.master_of[l as usize], expect
+                ));
+            }
+            if part.is_master(l) && part.master_of[l as usize] != part.part_id {
+                return Err(format!(
+                    "partition {}: master proxy of {g} points elsewhere",
+                    part.part_id
+                ));
+            }
+            if part.local_of(g) != Some(l) {
+                return Err(format!(
+                    "partition {}: local_of(global_of({l})) != {l}",
+                    part.part_id
+                ));
+            }
+        }
+    }
+
+    // (2) edge multiset equality + (3) endpoint presence.
+    let mut expected: HashMap<(Node, Node), i64> = HashMap::new();
+    for (u, v) in original.iter_edges() {
+        *expected.entry((u, v)).or_insert(0) += 1;
+    }
+    for part in parts {
+        for (lu, lv) in part.graph.iter_edges() {
+            let gu = part.global_of(lu);
+            let gv = part.global_of(lv);
+            match expected.get_mut(&(gu, gv)) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => {
+                    return Err(format!(
+                        "partition {}: edge ({gu}, {gv}) duplicated or not in original",
+                        part.part_id
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(((u, v), c)) = expected.iter().find(|(_, &c)| c != 0) {
+        return Err(format!("edge ({u}, {v}) missing from all partitions ({c} copies)"));
+    }
+
+    Ok(())
+}
+
+/// Like [`validate_partitioning`] but also checks that per-edge data
+/// followed each edge: the multiset of `(src, dst, data)` triples across
+/// all partitions equals the original's.
+pub fn validate_partitioning_weighted(
+    original: &Csr,
+    original_data: &[u32],
+    parts: &[DistGraph],
+) -> Result<(), String> {
+    validate_partitioning(original, parts)?;
+    if original_data.len() as u64 != original.num_edges() {
+        return Err("original edge data length mismatch".into());
+    }
+    let mut expected: HashMap<(Node, Node, u32), i64> = HashMap::new();
+    for (e, (u, v)) in original.iter_edges().enumerate() {
+        *expected.entry((u, v, original_data[e])).or_insert(0) += 1;
+    }
+    for part in parts {
+        let Some(data) = &part.edge_data else {
+            return Err(format!("partition {} lost its edge data", part.part_id));
+        };
+        if data.len() as u64 != part.graph.num_edges() {
+            return Err(format!("partition {}: edge data length mismatch", part.part_id));
+        }
+        for (e, (lu, lv)) in part.graph.iter_edges().enumerate() {
+            let key = (part.global_of(lu), part.global_of(lv), data[e]);
+            match expected.get_mut(&key) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => {
+                    return Err(format!(
+                        "partition {}: weighted edge {key:?} duplicated or altered",
+                        part.part_id
+                    ))
+                }
+            }
+        }
+    }
+    if let Some((key, _)) = expected.iter().find(|(_, &c)| c != 0) {
+        return Err(format!("weighted edge {key:?} missing from all partitions"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_graph::PartitionClass;
+
+    /// Hand-built correct 2-way partitioning of a 4-node path 0→1→2→3
+    /// with an extra edge 1→3, using source-cut with contiguous masters.
+    fn good_parts() -> (Csr, Vec<DistGraph>) {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        // masters: {0,1} on part 0, {2,3} on part 1. Edges by src master:
+        // part 0: (0,1), (1,2), (1,3); part 1: (2,3).
+        let p0 = DistGraph {
+            part_id: 0,
+            num_parts: 2,
+            global_nodes: 4,
+            global_edges: 4,
+            num_masters: 2,
+            local2global: vec![0, 1, 2, 3], // masters 0,1; mirrors 2,3
+            master_of: vec![0, 0, 1, 1],
+            graph: Csr::from_edges(4, &[(0, 1), (1, 2), (1, 3)]),
+            edge_data: None,
+            class: PartitionClass::OutEdgeCut,
+        };
+        let p1 = DistGraph {
+            part_id: 1,
+            num_parts: 2,
+            global_nodes: 4,
+            global_edges: 4,
+            num_masters: 2,
+            local2global: vec![2, 3],
+            master_of: vec![1, 1],
+            graph: Csr::from_edges(2, &[(0, 1)]),
+            edge_data: None,
+            class: PartitionClass::OutEdgeCut,
+        };
+        (g, vec![p0, p1])
+    }
+
+    #[test]
+    fn validator_accepts_correct_partitioning() {
+        let (g, parts) = good_parts();
+        validate_partitioning(&g, &parts).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_missing_edge() {
+        let (g, mut parts) = good_parts();
+        parts[1].graph = Csr::from_edges(2, &[]);
+        let err = validate_partitioning(&g, &parts).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_master() {
+        let (g, mut parts) = good_parts();
+        // Make node 2 a master on partition 0 as well.
+        parts[0].num_masters = 3;
+        parts[0].master_of = vec![0, 0, 0, 1];
+        let err = validate_partitioning(&g, &parts).unwrap_err();
+        assert!(err.contains("masters on partitions"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_master_of() {
+        let (g, mut parts) = good_parts();
+        parts[0].master_of[2] = 0; // node 2's master is actually on 1
+        let err = validate_partitioning(&g, &parts).unwrap_err();
+        assert!(err.contains("claims master"), "{err}");
+    }
+
+    #[test]
+    fn quality_metrics() {
+        let (_g, parts) = good_parts();
+        let q = quality(&parts);
+        // 6 proxies over 4 nodes.
+        assert!((q.replication_factor - 1.5).abs() < 1e-12);
+        assert_eq!(q.total_mirrors, 2);
+        // Edge balance: max 3 local edges vs mean 2.
+        assert!((q.edge_balance - 1.5).abs() < 1e-12);
+        assert!((q.node_balance - 1.0).abs() < 1e-12);
+    }
+}

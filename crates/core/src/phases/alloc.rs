@@ -1,0 +1,222 @@
+//! Phase 4 — graph allocation (paper §IV-B4).
+//!
+//! "When the edge assignment phase is complete, a host has a complete
+//! picture of how many vertices and edges it will have in its partition."
+//! This phase assigns deterministic local ids (masters first, then
+//! mirrors, each ascending by global id), builds the global↔local maps,
+//! and allocates the partition CSR so that construction can insert edges
+//! in parallel as they arrive.
+
+use std::sync::atomic::AtomicU64;
+
+use cusp_galois::{exclusive_prefix_sum, ThreadPool};
+use cusp_graph::{EdgeIdx, Node};
+
+use crate::phases::edge_assign::EdgeAssignOutcome;
+use crate::PartId;
+
+/// The allocated (but not yet filled) partition.
+pub struct AllocOutcome {
+    /// Local id → global id (masters segment then mirrors segment).
+    pub local2global: Vec<Node>,
+    /// Number of master proxies.
+    pub num_masters: usize,
+    /// Local id → partition of the vertex's master.
+    pub master_of: Vec<PartId>,
+    /// CSR offsets (`num_local + 1`).
+    pub offsets: Vec<EdgeIdx>,
+    /// Destination buffer to fill during construction (local ids).
+    pub dests: Vec<Node>,
+    /// Per-edge data buffer, same slots as `dests` (weighted inputs only).
+    pub edge_data: Option<Vec<u32>>,
+    /// Per-node insertion cursors for lock-free parallel filling.
+    pub cursors: Vec<AtomicU64>,
+}
+
+impl AllocOutcome {
+    /// Local id of global vertex `v` (must exist in this partition).
+    pub fn local_of(&self, v: Node) -> u32 {
+        let masters = &self.local2global[..self.num_masters];
+        if let Ok(i) = masters.binary_search(&v) {
+            return i as u32;
+        }
+        let mirrors = &self.local2global[self.num_masters..];
+        match mirrors.binary_search(&v) {
+            Ok(i) => (self.num_masters + i) as u32,
+            Err(_) => panic!("global vertex {v} has no proxy in this partition"),
+        }
+    }
+}
+
+/// Runs the allocation phase for host `me` when masters were stored (the
+/// edge-assignment exchange carried the master list for this host).
+pub fn allocate(
+    me: usize,
+    pool: &ThreadPool,
+    outcome: &EdgeAssignOutcome,
+    weighted: bool,
+) -> AllocOutcome {
+    let master_globals = outcome
+        .my_master_nodes
+        .clone()
+        .expect("allocate() requires stored masters; use allocate_with_pure_range for pure rules");
+    build(me, pool, master_globals, outcome, weighted)
+}
+
+/// Allocation entry point when the master rule is pure: the masters on this
+/// host are exactly `range`.
+pub fn allocate_with_pure_range(
+    me: usize,
+    pool: &ThreadPool,
+    range: std::ops::Range<Node>,
+    outcome: &EdgeAssignOutcome,
+    weighted: bool,
+) -> AllocOutcome {
+    let master_globals: Vec<Node> = range.collect();
+    build(me, pool, master_globals, outcome, weighted)
+}
+
+fn build(
+    me: usize,
+    pool: &ThreadPool,
+    master_globals: Vec<Node>,
+    outcome: &EdgeAssignOutcome,
+    weighted: bool,
+) -> AllocOutcome {
+    debug_assert!(master_globals.windows(2).all(|w| w[0] < w[1]));
+    let num_masters = master_globals.len();
+    let in_masters = |v: Node| master_globals.binary_search(&v).is_ok();
+
+    // --- Mirror proxies: incoming sources with remote masters plus the
+    // destination mirrors reported by edge assignment. ---------------------
+    let mut mirror_pairs: Vec<(Node, PartId)> = Vec::with_capacity(
+        outcome.mirrors.len() + outcome.incoming_srcs.len() / 2,
+    );
+    for &(d, dm) in &outcome.mirrors {
+        debug_assert_ne!(dm as usize, me);
+        debug_assert!(!in_masters(d), "mirror {d} is also a master here");
+        mirror_pairs.push((d, dm));
+    }
+    for &(s, _, sm) in &outcome.incoming_srcs {
+        if sm as usize != me {
+            mirror_pairs.push((s, sm));
+        } else {
+            debug_assert!(in_masters(s), "locally mastered source {s} missing from master set");
+        }
+    }
+    mirror_pairs.sort_unstable();
+    mirror_pairs.dedup();
+    debug_assert!(
+        mirror_pairs.windows(2).all(|w| w[0].0 != w[1].0),
+        "a mirror was reported with two different master locations"
+    );
+
+    // --- Local id maps. ----------------------------------------------------
+    let num_local = num_masters + mirror_pairs.len();
+    let mut local2global = Vec::with_capacity(num_local);
+    let mut master_of = Vec::with_capacity(num_local);
+    local2global.extend_from_slice(&master_globals);
+    master_of.extend(std::iter::repeat_n(me as PartId, num_masters));
+    for &(v, m) in &mirror_pairs {
+        local2global.push(v);
+        master_of.push(m);
+    }
+
+    // --- Degrees and CSR skeleton. -----------------------------------------
+    let alloc = AllocOutcome {
+        local2global,
+        num_masters,
+        master_of,
+        offsets: Vec::new(),
+        dests: Vec::new(),
+        edge_data: None,
+        cursors: Vec::new(),
+    };
+    let mut degrees = vec![0u64; num_local];
+    for &(s, c, _) in &outcome.incoming_srcs {
+        degrees[alloc.local_of(s) as usize] += c as u64;
+    }
+    // Offsets via parallel prefix sum (§IV-C2).
+    let mut offsets = vec![0u64; num_local + 1];
+    let total = exclusive_prefix_sum(pool, &degrees, &mut offsets[..num_local]);
+    offsets[num_local] = total;
+    let cursors: Vec<AtomicU64> = offsets[..num_local]
+        .iter()
+        .map(|&o| AtomicU64::new(o))
+        .collect();
+
+    AllocOutcome {
+        offsets,
+        dests: vec![0 as Node; total as usize],
+        edge_data: weighted.then(|| vec![0u32; total as usize]),
+        cursors,
+        ..alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> EdgeAssignOutcome {
+        EdgeAssignOutcome {
+            // srcs: node 2 (master here=part 0), node 7 (master on 1)
+            incoming_srcs: vec![(2, 3, 0), (7, 2, 1)],
+            // dest mirrors: 9 (master on 2)
+            mirrors: vec![(9, 2)],
+            my_master_nodes: Some(vec![2, 4]),
+            to_receive: 2,
+        }
+    }
+
+    #[test]
+    fn allocation_layout() {
+        let pool = ThreadPool::new(2);
+        let a = allocate(0, &pool, &outcome(), false);
+        // masters {2, 4}, mirrors {7, 9}
+        assert_eq!(a.local2global, vec![2, 4, 7, 9]);
+        assert_eq!(a.num_masters, 2);
+        assert_eq!(a.master_of, vec![0, 0, 1, 2]);
+        // degrees: node 2 → 3, node 7 → 2, others 0.
+        assert_eq!(a.offsets, vec![0, 3, 3, 5, 5]);
+        assert_eq!(a.dests.len(), 5);
+        assert_eq!(a.local_of(2), 0);
+        assert_eq!(a.local_of(9), 3);
+    }
+
+    #[test]
+    fn pure_range_allocation() {
+        let pool = ThreadPool::new(2);
+        let o = EdgeAssignOutcome {
+            incoming_srcs: vec![(5, 1, 0)],
+            mirrors: vec![(20, 1)],
+            my_master_nodes: None,
+            to_receive: 0,
+        };
+        let a = allocate_with_pure_range(0, &pool, 5..8, &o, true);
+        assert_eq!(a.local2global, vec![5, 6, 7, 20]);
+        assert_eq!(a.num_masters, 3);
+        assert_eq!(a.master_of, vec![0, 0, 0, 1]);
+        assert_eq!(a.offsets, vec![0, 1, 1, 1, 1]);
+        assert_eq!(a.edge_data.as_ref().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no proxy in this partition")]
+    fn local_of_rejects_absent_vertex() {
+        let pool = ThreadPool::new(1);
+        let a = allocate_with_pure_range(
+            0,
+            &pool,
+            0..2,
+            &EdgeAssignOutcome {
+                incoming_srcs: vec![],
+                mirrors: vec![],
+                my_master_nodes: None,
+                to_receive: 0,
+            },
+            false,
+        );
+        let _ = a.local_of(99);
+    }
+}

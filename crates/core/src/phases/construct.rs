@@ -1,0 +1,287 @@
+//! Phase 5 — graph construction (paper Algorithm 4, §IV-B5, §IV-C3/D3).
+//!
+//! Each host re-walks its read edges, re-evaluating `getEdgeOwner` (the
+//! edge-rule state was reset after edge assignment, so the replay yields
+//! the same decisions). Locally owned edges are inserted directly; remote
+//! edges are serialized — per worker thread, into per-destination buffers
+//! — as `(src, count, dsts…)` records and flushed once a buffer crosses
+//! the configured threshold (§IV-D3). Because allocation reserved exact
+//! per-node slots, arriving records are inserted with a lock-free
+//! fetch-add cursor; no two records ever contend for the same slots.
+
+use std::sync::atomic::Ordering;
+
+use cusp_galois::{do_all_items, do_all_with_tid, PerThread, ThreadPool, DEFAULT_GRAIN};
+use cusp_graph::{Csr, GraphSlice, Node};
+use cusp_net::{Comm, SendBuffers, WireReader};
+
+use crate::config::{CuspConfig, OutputFormat};
+use crate::phases::alloc::AllocOutcome;
+use crate::phases::master::ResolvedMasters;
+use crate::policy::{EdgeRule, Setup};
+use crate::props::LocalProps;
+use crate::state::PartitionState;
+use crate::tags::TAG_EDGES;
+
+/// A raw-pointer window over the destination buffer so pool workers can
+/// fill disjoint slot ranges concurrently.
+struct DestPtr(*mut Node);
+unsafe impl Send for DestPtr {}
+unsafe impl Sync for DestPtr {}
+impl DestPtr {
+    #[inline]
+    fn get(&self) -> *mut Node {
+        self.0
+    }
+}
+
+/// Same, for the optional per-edge data buffer (null when unweighted).
+struct DataPtr(*mut u32);
+unsafe impl Send for DataPtr {}
+unsafe impl Sync for DataPtr {}
+impl DataPtr {
+    #[inline]
+    fn get(&self) -> *mut u32 {
+        self.0
+    }
+}
+
+/// Runs the construction phase and returns the local CSR (or CSC).
+#[allow(clippy::too_many_arguments)]
+pub fn construct<ER: EdgeRule>(
+    comm: &Comm,
+    pool: &ThreadPool,
+    setup: &Setup,
+    slice: &GraphSlice,
+    masters: &ResolvedMasters,
+    rule: &ER,
+    estate: &ER::State,
+    alloc: &mut AllocOutcome,
+    to_receive: u64,
+    cfg: &CuspConfig,
+) -> (Csr, Option<Vec<u32>>) {
+    let me = comm.host();
+    let k = comm.num_hosts();
+    let lo = slice.node_lo;
+    let local_n = slice.num_nodes();
+    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
+    let weighted = slice.weights.is_some();
+    debug_assert_eq!(weighted, alloc.edge_data.is_some());
+
+    let dest_ptr = DestPtr(alloc.dests.as_mut_ptr());
+    let data_ptr = DataPtr(
+        alloc
+            .edge_data
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |d| d.as_mut_ptr()),
+    );
+    let alloc_ref: &AllocOutcome = alloc;
+
+    // Per-thread send buffers and per-destination bucket scratch.
+    struct ThreadState {
+        buffers: SendBuffers,
+        buckets: Vec<Vec<Node>>,
+        wbuckets: Vec<Vec<u32>>,
+    }
+    let threads: PerThread<ThreadState> = PerThread::new(pool, |_| ThreadState {
+        buffers: SendBuffers::new(k, cfg.buffer_threshold, TAG_EDGES),
+        buckets: vec![Vec::new(); k],
+        wbuckets: vec![Vec::new(); k],
+    });
+
+    let process = |tid: usize, i: usize| {
+        let s = lo + i as Node;
+        let edges = slice.edges(s);
+        if edges.is_empty() {
+            return;
+        }
+        let sm = masters.of(s);
+        let edge_data = slice.edge_data(s);
+        threads.with(tid, |ts| {
+            for b in ts.buckets.iter_mut() {
+                b.clear();
+            }
+            for b in ts.wbuckets.iter_mut() {
+                b.clear();
+            }
+            for (i, &d) in edges.iter().enumerate() {
+                let dm = masters.of(d);
+                let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
+                ts.buckets[h as usize].push(d);
+                if let Some(data) = edge_data {
+                    ts.wbuckets[h as usize].push(data[i]);
+                }
+            }
+            for (h, bucket) in ts.buckets.iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let wbucket = weighted.then(|| ts.wbuckets[h].as_slice());
+                if h == me {
+                    insert_record(alloc_ref, &dest_ptr, &data_ptr, s, bucket, wbucket);
+                } else {
+                    ts.buffers.record(comm, h, |w| {
+                        w.put_u32(s);
+                        w.put_u32(bucket.len() as u32);
+                        for &d in bucket {
+                            w.put_u32(d);
+                        }
+                        if let Some(ws) = wbucket {
+                            for &x in ws {
+                                w.put_u32(x);
+                            }
+                        }
+                    });
+                }
+            }
+        });
+    };
+
+    if ER::State::STATELESS {
+        do_all_with_tid(pool, local_n, DEFAULT_GRAIN, process);
+    } else {
+        // Deterministic replay for stateful edge rules (same node order as
+        // edge assignment).
+        for i in 0..local_n {
+            process(0, i);
+        }
+    }
+
+    // Flush residual buffers from every thread.
+    let mut thread_states = threads.into_inner();
+    for ts in &mut thread_states {
+        ts.buffers.flush_all(comm);
+    }
+
+    // Drain incoming edge records; batches of messages are deserialized
+    // and inserted in parallel (§IV-C3).
+    let mut received = 0u64;
+    let mut batch: Vec<bytes::Bytes> = Vec::new();
+    while received < to_receive {
+        let (_src, payload) = comm.recv_any(TAG_EDGES);
+        received += count_edges_in(&payload, weighted);
+        batch.push(payload);
+        // Opportunistically grab whatever else already arrived.
+        while received < to_receive {
+            match comm.try_recv_any(TAG_EDGES) {
+                Some((_s, p)) => {
+                    received += count_edges_in(&p, weighted);
+                    batch.push(p);
+                }
+                None => break,
+            }
+        }
+        do_all_items(pool, &batch, 1, |payload| {
+            insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted);
+        });
+        batch.clear();
+    }
+    assert_eq!(received, to_receive, "received more edges than expected");
+
+    // Every reserved slot must be filled.
+    for (l, cursor) in alloc.cursors.iter().enumerate() {
+        assert_eq!(
+            cursor.load(Ordering::Relaxed),
+            alloc.offsets[l + 1],
+            "node with local id {l} is missing edges after construction"
+        );
+    }
+
+    let csr = Csr::from_parts(alloc.offsets.clone(), std::mem::take(&mut alloc.dests));
+    let data = alloc.edge_data.take();
+    match (cfg.output, data) {
+        (OutputFormat::Csr, data) => (csr, data),
+        // "each host performs an in-memory transpose of their CSR graph to
+        // construct (without communication) their CSC graph" (Alg. 4).
+        (OutputFormat::Csc, None) => (csr.transpose(), None),
+        (OutputFormat::Csc, Some(data)) => {
+            let (t, td) = csr.transpose_with_data(&data);
+            (t, Some(td))
+        }
+    }
+}
+
+/// Inserts one record's destinations (and optional per-edge data) into the
+/// preallocated CSR, converting global destination ids to local ids.
+#[inline]
+fn insert_record(
+    alloc: &AllocOutcome,
+    dest_ptr: &DestPtr,
+    data_ptr: &DataPtr,
+    src: Node,
+    dsts: &[Node],
+    weights: Option<&[u32]>,
+) {
+    let ls = alloc.local_of(src) as usize;
+    let slot = alloc.cursors[ls].fetch_add(dsts.len() as u64, Ordering::Relaxed);
+    assert!(
+        slot + dsts.len() as u64 <= alloc.offsets[ls + 1],
+        "edge overflow for source {src}: assignment and construction disagree"
+    );
+    for (off, &d) in dsts.iter().enumerate() {
+        let ld = alloc.local_of(d);
+        // SAFETY: slots [slot, slot + len) were exclusively reserved by the
+        // fetch_add above; no other thread writes them.
+        unsafe {
+            *dest_ptr.get().add(slot as usize + off) = ld;
+        }
+    }
+    if let Some(ws) = weights {
+        debug_assert_eq!(ws.len(), dsts.len());
+        for (off, &x) in ws.iter().enumerate() {
+            // SAFETY: same exclusively reserved slots as above.
+            unsafe {
+                *data_ptr.get().add(slot as usize + off) = x;
+            }
+        }
+    }
+}
+
+/// Total edges carried by a message (sum of record counts) — cheap scan.
+fn count_edges_in(payload: &bytes::Bytes, weighted: bool) -> u64 {
+    let mut r = WireReader::new(payload.clone());
+    let per_edge = if weighted { 2 } else { 1 };
+    let mut total = 0u64;
+    while !r.is_exhausted() {
+        let _src = r.get_u32().expect("malformed edge record");
+        let cnt = r.get_u32().expect("malformed edge record") as u64;
+        total += cnt;
+        for _ in 0..cnt * per_edge {
+            let _ = r.get_u32().expect("malformed edge record");
+        }
+    }
+    total
+}
+
+/// Deserializes a full message of records and inserts them.
+fn insert_message(
+    alloc: &AllocOutcome,
+    dest_ptr: &DestPtr,
+    data_ptr: &DataPtr,
+    payload: bytes::Bytes,
+    weighted: bool,
+) {
+    let mut r = WireReader::new(payload);
+    let mut dsts: Vec<Node> = Vec::new();
+    let mut ws: Vec<u32> = Vec::new();
+    while !r.is_exhausted() {
+        let src = r.get_u32().expect("malformed edge record");
+        let cnt = r.get_u32().expect("malformed edge record") as usize;
+        dsts.clear();
+        dsts.reserve(cnt);
+        for _ in 0..cnt {
+            dsts.push(r.get_u32().expect("malformed edge record"));
+        }
+        let weights = if weighted {
+            ws.clear();
+            ws.reserve(cnt);
+            for _ in 0..cnt {
+                ws.push(r.get_u32().expect("malformed edge record"));
+            }
+            Some(ws.as_slice())
+        } else {
+            None
+        };
+        insert_record(alloc, dest_ptr, data_ptr, src, &dsts, weights);
+    }
+}

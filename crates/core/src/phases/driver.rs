@@ -1,0 +1,135 @@
+//! Orchestrates the five partitioning phases on one host (paper Fig. 2).
+
+use std::time::Instant;
+
+use cusp_galois::ThreadPool;
+use cusp_net::Comm;
+
+use crate::config::{CuspConfig, GraphSource, PhaseTimes};
+use crate::dist_graph::{DistGraph, PartitionClass};
+use crate::phases::alloc::{allocate, allocate_with_pure_range};
+use crate::phases::construct::construct;
+use crate::phases::edge_assign::assign_edges;
+use crate::phases::master::{assign_masters, pure_masters};
+use crate::phases::read::read_phase;
+use crate::policy::{EdgeRule, MasterRule, Setup};
+use crate::state::PartitionState;
+use crate::PartId;
+
+/// Result of partitioning on one host.
+pub struct PartitionOutput {
+    /// Dist graph.
+    pub dist_graph: DistGraph,
+    /// Per-phase wall-clock times on this host.
+    pub times: PhaseTimes,
+}
+
+/// Partitions the input graph with a user-supplied policy.
+///
+/// `build` constructs the two rules from the [`Setup`]; it runs with
+/// identical inputs on every host and must be deterministic, so all hosts
+/// agree on the policy parameters.
+///
+/// Phases are separated by barriers so the per-phase wall-clock times
+/// (paper Fig. 4) attribute cleanly; the barriers are negligible next to
+/// the phases themselves.
+pub fn partition<MR, ER>(
+    comm: &Comm,
+    source: GraphSource,
+    cfg: &CuspConfig,
+    class: PartitionClass,
+    build: impl FnOnce(&Setup) -> (MR, ER),
+) -> PartitionOutput
+where
+    MR: MasterRule + Clone + 'static,
+    ER: EdgeRule,
+{
+    let me = comm.host();
+    let pool = ThreadPool::new(cfg.threads_per_host.max(1));
+    let mut times = PhaseTimes::default();
+
+    // Phase 1: graph reading.
+    comm.set_phase("read");
+    let t = Instant::now();
+    let read = read_phase(comm, &source, cfg).expect("failed to read input graph");
+    comm.barrier();
+    times.read = t.elapsed();
+    let setup = read.setup;
+    let slice = read.slice;
+
+    let (master_rule, edge_rule) = build(&setup);
+
+    // Phase 2: master assignment.
+    comm.set_phase("master");
+    let t = Instant::now();
+    let mstate = <MR as MasterRule>::State::new(setup.parts);
+    let use_pure = master_rule.is_pure() && !cfg.force_stored_masters;
+    let masters = if use_pure {
+        pure_masters(&master_rule)
+    } else {
+        assign_masters(comm, &pool, &setup, &slice, &master_rule, &mstate, cfg)
+    };
+    comm.barrier();
+    times.master = t.elapsed();
+
+    // Phase 3: edge assignment.
+    comm.set_phase("edge_assign");
+    let t = Instant::now();
+    let estate = <ER as EdgeRule>::State::new(setup.parts);
+    let ea = assign_edges(comm, &pool, &setup, &slice, &masters, &edge_rule, &estate);
+    comm.barrier();
+    times.edge_assign = t.elapsed();
+
+    // Phase 4: graph allocation (no communication). The edge-rule state is
+    // reset here so construction replays the same decisions (§IV-B4).
+    comm.set_phase("alloc");
+    let t = Instant::now();
+    let weighted = slice.weights.is_some();
+    let mut alloc = if masters.is_pure() {
+        allocate_with_pure_range(
+            me,
+            &pool,
+            master_rule.pure_owned_range(me as PartId),
+            &ea,
+            weighted,
+        )
+    } else {
+        allocate(me, &pool, &ea, weighted)
+    };
+    estate.reset();
+    times.alloc = t.elapsed();
+
+    // Phase 5: graph construction.
+    comm.set_phase("construct");
+    let t = Instant::now();
+    let (graph, edge_data) = construct(
+        comm,
+        &pool,
+        &setup,
+        &slice,
+        &masters,
+        &edge_rule,
+        &estate,
+        &mut alloc,
+        ea.to_receive,
+        cfg,
+    );
+    comm.barrier();
+    times.construct = t.elapsed();
+
+    PartitionOutput {
+        dist_graph: DistGraph {
+            part_id: me as PartId,
+            num_parts: setup.parts,
+            global_nodes: setup.num_nodes,
+            global_edges: setup.num_edges,
+            num_masters: alloc.num_masters,
+            local2global: alloc.local2global,
+            master_of: alloc.master_of,
+            graph,
+            edge_data,
+            class,
+        },
+        times,
+    }
+}

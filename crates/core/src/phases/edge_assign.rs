@@ -1,0 +1,344 @@
+//! Phase 3 — edge assignment (paper Algorithm 3, §IV-B3, §IV-D2).
+//!
+//! Each host walks its locally read edges, calls `getEdgeOwner` for every
+//! edge, and tallies — per destination host — how many edges of each of
+//! its source vertices will be sent there and which destination proxies
+//! the receiver must create as mirrors. The tallies are exchanged as
+//! *positional vectors* (index `i` ↦ the `i`-th node of the sender's read
+//! range) so no node-id metadata is sent for sources (§IV-D2); hosts with
+//! nothing to send transmit a one-byte "empty" message instead.
+//!
+//! On top of Algorithm 3 the exchange also carries the master locations a
+//! receiver cannot compute itself when the master rule is not pure: the
+//! masters of incoming sources (compacted against the count vector), of
+//! mirror destinations, and the list of nodes the receiver is master of
+//! ("more master assignments are sent if the edge assigned to a host does
+//! not contain the master proxies of its endpoints", §IV-D5).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cusp_galois::{do_all_with_tid, PerThread, ThreadPool, DEFAULT_GRAIN};
+use cusp_graph::{GraphSlice, Node};
+use cusp_net::{Comm, WireReader, WireWriter};
+
+use crate::phases::master::ResolvedMasters;
+use crate::policy::{EdgeRule, Setup};
+use crate::props::LocalProps;
+use crate::state::PartitionState;
+use crate::tags::{META_EMPTY, META_FULL, TAG_EDGE_META};
+use crate::PartId;
+
+/// Everything a host learns in the edge assignment phase.
+pub struct EdgeAssignOutcome {
+    /// Sources whose edges land on this partition: `(global id, edges,
+    /// master partition)`. Includes locally kept sources.
+    pub incoming_srcs: Vec<(Node, u32, PartId)>,
+    /// Destination proxies this partition must create whose master lives
+    /// elsewhere: `(global id, master partition)`, deduplicated.
+    pub mirrors: Vec<(Node, PartId)>,
+    /// Nodes whose master proxy belongs on this partition. `None` when the
+    /// master rule is pure (the owner range is computed, not communicated).
+    pub my_master_nodes: Option<Vec<Node>>,
+    /// Edges this host will receive from peers during construction.
+    pub to_receive: u64,
+}
+
+/// Runs the edge assignment phase.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_edges<ER: EdgeRule>(
+    comm: &Comm,
+    pool: &ThreadPool,
+    setup: &Setup,
+    slice: &GraphSlice,
+    masters: &ResolvedMasters,
+    rule: &ER,
+    estate: &ER::State,
+) -> EdgeAssignOutcome {
+    let me = comm.host();
+    let k = comm.num_hosts();
+    let lo = slice.node_lo;
+    let local_n = slice.num_nodes();
+    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
+
+    // --- Local tally (Algorithm 3, lines 1–6). --------------------------
+    // counts[h * local_n + i]: edges of node (lo + i) owned by host h.
+    let counts: Vec<AtomicU32> = (0..k * local_n).map(|_| AtomicU32::new(0)).collect();
+    let mirror_lists: PerThread<Vec<(PartId, Node)>> = PerThread::new(pool, |_| Vec::new());
+
+    let process = |tid: usize, i: usize| {
+        let s = lo + i as Node;
+        let sm = masters.of(s);
+        mirror_lists.with(tid, |mirrors| {
+            for &d in slice.edges(s) {
+                let dm = masters.of(d);
+                let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
+                debug_assert!(h < setup.parts);
+                counts[h as usize * local_n + i].fetch_add(1, Ordering::Relaxed);
+                if h != dm {
+                    mirrors.push((h, d));
+                }
+            }
+        });
+    };
+    if ER::State::STATELESS {
+        // Dynamic chunking absorbs the wildly uneven per-node cost of
+        // power-law hubs (§IV-C1).
+        do_all_with_tid(pool, local_n, DEFAULT_GRAIN, process);
+    } else {
+        // Stateful edge rules replay during construction; sequential node
+        // order keeps the decision stream deterministic (see EdgeRule docs).
+        for i in 0..local_n {
+            process(0, i);
+        }
+    }
+
+    // Group mirrors by owner host, sorted and deduplicated.
+    let mut flat: Vec<(PartId, Node)> = mirror_lists.into_inner().into_iter().flatten().collect();
+    flat.sort_unstable();
+    flat.dedup();
+    let mut mirrors_for: Vec<Vec<(Node, PartId)>> = vec![Vec::new(); k];
+    for (h, d) in flat {
+        let dm = masters.of(d);
+        mirrors_for[h as usize].push((d, dm));
+    }
+
+    // Masters of my read range, bucketed by owning partition (stored only).
+    let pure = masters.is_pure();
+    let mut master_buckets: Vec<Vec<Node>> = vec![Vec::new(); k];
+    if !pure {
+        for i in 0..local_n {
+            let v = lo + i as Node;
+            master_buckets[masters.of(v) as usize].push(v);
+        }
+    }
+
+    // --- Exchange (Algorithm 3, lines 7–14). ----------------------------
+    for peer in 0..k {
+        if peer == me {
+            continue;
+        }
+        let count_slice = &counts[peer * local_n..(peer + 1) * local_n];
+        let any_counts = count_slice.iter().any(|c| c.load(Ordering::Relaxed) > 0);
+        let empty = !any_counts && mirrors_for[peer].is_empty() && master_buckets[peer].is_empty();
+        if empty {
+            let mut w = WireWriter::with_capacity(1);
+            w.put_u8(META_EMPTY);
+            comm.send_bytes(peer, TAG_EDGE_META, w.finish());
+            continue;
+        }
+        let mut w = WireWriter::with_capacity(local_n * 4 + 64);
+        w.put_u8(META_FULL);
+        w.put_u64(local_n as u64);
+        for c in count_slice {
+            w.put_u32(c.load(Ordering::Relaxed));
+        }
+        if !pure {
+            // Compacted masters of nonzero-count sources, in position order.
+            let compacted: Vec<u32> = (0..local_n)
+                .filter(|&i| count_slice[i].load(Ordering::Relaxed) > 0)
+                .map(|i| masters.of(lo + i as Node))
+                .collect();
+            w.put_u32_slice(&compacted);
+        }
+        w.put_u64(mirrors_for[peer].len() as u64);
+        for &(d, dm) in &mirrors_for[peer] {
+            w.put_u32(d);
+            if !pure {
+                w.put_u32(dm);
+            }
+        }
+        if !pure {
+            w.put_u32_slice(&master_buckets[peer]);
+        }
+        comm.send_bytes(peer, TAG_EDGE_META, w.finish());
+    }
+
+    // --- Local contributions (h == me). ---------------------------------
+    let mut incoming_srcs: Vec<(Node, u32, PartId)> = Vec::new();
+    let my_counts = &counts[me * local_n..(me + 1) * local_n];
+    for (i, c) in my_counts.iter().enumerate() {
+        let c = c.load(Ordering::Relaxed);
+        if c > 0 {
+            let s = lo + i as Node;
+            incoming_srcs.push((s, c, masters.of(s)));
+        }
+    }
+    let mut mirrors: Vec<(Node, PartId)> = std::mem::take(&mut mirrors_for[me]);
+    let mut my_master_nodes = (!pure).then(|| std::mem::take(&mut master_buckets[me]));
+
+    // --- Receive peer metadata. ------------------------------------------
+    let mut to_receive = 0u64;
+    for _ in 0..k - 1 {
+        let (src, payload) = comm.recv_any(TAG_EDGE_META);
+        let mut r = WireReader::new(payload);
+        let kind = r.get_u8().expect("empty metadata message");
+        if kind == META_EMPTY {
+            continue;
+        }
+        let sender_lo = setup.read_splits[src].lo as Node;
+        let n = r.get_u64().expect("malformed counts") as usize;
+        debug_assert_eq!(n as u64, setup.read_splits[src].len());
+        let mut raw_counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            raw_counts.push(r.get_u32().expect("malformed counts"));
+        }
+        let compacted: Option<Vec<u32>> = if pure {
+            None
+        } else {
+            Some(r.get_u32_vec().expect("malformed compacted masters"))
+        };
+        let mut j = 0usize;
+        for (i, &c) in raw_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let s = sender_lo + i as Node;
+            let sm = match &compacted {
+                Some(v) => v[j],
+                None => masters.of(s),
+            };
+            j += 1;
+            incoming_srcs.push((s, c, sm));
+            to_receive += c as u64;
+        }
+        if let Some(v) = &compacted {
+            debug_assert_eq!(j, v.len());
+        }
+        let nm = r.get_u64().expect("malformed mirror count") as usize;
+        for _ in 0..nm {
+            let d = r.get_u32().expect("malformed mirror");
+            let dm = if pure {
+                masters.of(d)
+            } else {
+                r.get_u32().expect("malformed mirror master")
+            };
+            mirrors.push((d, dm));
+        }
+        if !pure {
+            let list = r.get_u32_vec().expect("malformed master list");
+            my_master_nodes.as_mut().expect("stored mode").extend(list);
+        }
+    }
+
+    // Mirrors may repeat across senders; dedup once more.
+    mirrors.sort_unstable();
+    mirrors.dedup();
+    if let Some(v) = &mut my_master_nodes {
+        v.sort_unstable();
+        debug_assert!(v.windows(2).all(|w| w[0] != w[1]), "duplicate master claims");
+    }
+
+    EdgeAssignOutcome {
+        incoming_srcs,
+        mirrors,
+        my_master_nodes,
+        to_receive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CuspConfig, GraphSource};
+    use crate::phases::master::pure_masters;
+    use crate::phases::read::read_phase;
+    use crate::policies::edges::SourceEdge;
+    use crate::policies::masters::ContiguousEB;
+    use cusp_graph::gen::uniform::erdos_renyi;
+    use cusp_net::Cluster;
+    use std::sync::Arc;
+
+    fn run_eec(k: usize, n: usize, m: usize) -> (Arc<cusp_graph::Csr>, Vec<EdgeAssignOutcome>) {
+        let g = Arc::new(erdos_renyi(n, m, 31));
+        let g2 = Arc::clone(&g);
+        let out = Cluster::run(k, move |comm| {
+            let cfg = CuspConfig::default();
+            let pool = ThreadPool::new(2);
+            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            let rule = ContiguousEB::new(&r.setup);
+            let masters = pure_masters(&rule);
+            assign_edges(comm, &pool, &r.setup, &r.slice, &masters, &SourceEdge, &())
+        });
+        (g, out.results)
+    }
+
+    #[test]
+    fn eec_keeps_all_edges_local() {
+        // EEC (ContiguousEB + Source with default edge-balanced reading):
+        // owner == reading host for every edge, so nothing is received.
+        let (g, outcomes) = run_eec(4, 400, 4000);
+        let mut total_edges = 0u64;
+        for o in &outcomes {
+            assert_eq!(o.to_receive, 0, "EEC must not exchange edges");
+            total_edges += o.incoming_srcs.iter().map(|&(_, c, _)| c as u64).sum::<u64>();
+        }
+        assert_eq!(total_edges, g.num_edges());
+    }
+
+    #[test]
+    fn eec_mirror_masters_point_correctly() {
+        let (_g, outcomes) = run_eec(4, 400, 4000);
+        for (h, o) in outcomes.iter().enumerate() {
+            for &(_, dm) in &o.mirrors {
+                assert_ne!(dm as usize, h, "a mirror's master must be remote");
+                assert!((dm as usize) < 4);
+            }
+            // incoming srcs for EEC are all locally mastered.
+            for &(_, _, sm) in &o.incoming_srcs {
+                assert_eq!(sm as usize, h);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_conserve_edges_for_remote_policy() {
+        // Force all edges to host (src+1) % k via a custom rule.
+        #[derive(Clone)]
+        struct NextHost;
+        impl EdgeRule for NextHost {
+            type State = ();
+            fn get_edge_owner(
+                &self,
+                prop: &LocalProps,
+                _s: Node,
+                _d: Node,
+                src_master: PartId,
+                _dm: PartId,
+                _st: &(),
+            ) -> PartId {
+                (src_master + 1) % prop.num_partitions()
+            }
+        }
+        let g = Arc::new(erdos_renyi(300, 2700, 5));
+        let g2 = Arc::clone(&g);
+        let out = Cluster::run(3, move |comm| {
+            let cfg = CuspConfig::default();
+            let pool = ThreadPool::new(2);
+            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            let rule = ContiguousEB::new(&r.setup);
+            let masters = pure_masters(&rule);
+            assign_edges(comm, &pool, &r.setup, &r.slice, &masters, &NextHost, &())
+        });
+        let total_recv: u64 = out.results.iter().map(|o| o.to_receive).sum();
+        let total_incoming: u64 = out
+            .results
+            .iter()
+            .flat_map(|o| o.incoming_srcs.iter().map(|&(_, c, _)| c as u64))
+            .sum();
+        assert_eq!(total_incoming, g.num_edges());
+        // Every edge moved off its reading host (reading split == master
+        // split under default config).
+        assert_eq!(total_recv, g.num_edges());
+    }
+
+    #[test]
+    fn mirrors_are_deduplicated() {
+        let (_g, outcomes) = run_eec(4, 300, 6000);
+        for o in &outcomes {
+            let mut seen = std::collections::HashSet::new();
+            for &(d, _) in &o.mirrors {
+                assert!(seen.insert(d), "mirror {d} listed twice");
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Phase 2 — master assignment (paper §IV-B2, §IV-D4/5).
+//!
+//! Each host assigns the master partition for every vertex in its read
+//! range. Depending on the rule's capabilities, CuSP applies the paper's
+//! three synchronization regimes:
+//!
+//! * **pure** rules (no state, no neighbor queries): assignment is a pure
+//!   function — nothing is stored or communicated; later phases replicate
+//!   the computation on demand ([`ResolvedMasters::Pure`]);
+//! * **stateful, neighbor-blind** rules: the loop runs without rounds and
+//!   partitioning state is reconciled once, after the phase;
+//! * **neighbor-aware** rules (Fennel-family): the local range is processed
+//!   in `sync_rounds` chunks; after each chunk the host *asynchronously*
+//!   sends state deltas and newly assigned masters to the peers that
+//!   requested them, and drains whatever has arrived without blocking —
+//!   "at the end of a round, if a host finds it has received no data,
+//!   it will continue onto the next round" (§IV-D5).
+//!
+//! The masters map is demand-driven (§IV-D5): a host only ever receives
+//! assignments for nodes it asked for — the destinations of its locally
+//! read edges — keeping the map proportional to its slice, not the graph.
+
+// The explicit `for i in 0..n` indexing in the SPMD/scan loops below is
+// deliberate (it mirrors per-host/per-block protocol structure).
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cusp_galois::{do_all, PerThread, ThreadPool, DEFAULT_GRAIN};
+use cusp_graph::{GraphSlice, Node};
+use cusp_net::{Comm, WireReader, WireWriter};
+
+use crate::config::CuspConfig;
+use crate::policy::{MasterRule, MasterView, Setup, UNASSIGNED};
+use crate::props::LocalProps;
+use crate::state::PartitionState;
+use crate::tags::{MSG_FINAL, MSG_SYNC, TAG_MASTER_REQ, TAG_MASTER_SYNC};
+use crate::PartId;
+
+/// Master assignments as visible to the later phases on one host.
+pub enum ResolvedMasters {
+    /// Assignment is a replicated pure function.
+    Pure(Box<dyn Fn(Node) -> PartId + Send + Sync>),
+    /// Assignments are stored: dense for the local read range, sparse for
+    /// the requested remote nodes.
+    Stored {
+        /// First node of the locally read range.
+        lo: Node,
+        /// Master of each node in the local range.
+        local: Vec<PartId>,
+        /// Masters of the requested remote nodes.
+        remote: HashMap<Node, PartId>,
+    },
+}
+
+impl ResolvedMasters {
+    /// The master partition of `v`. Panics if the protocol did not deliver
+    /// it (which would be a driver bug, not a user error).
+    #[inline]
+    pub fn of(&self, v: Node) -> PartId {
+        match self {
+            ResolvedMasters::Pure(f) => f(v),
+            ResolvedMasters::Stored { lo, local, remote } => {
+                if v >= *lo && ((v - lo) as usize) < local.len() {
+                    let m = local[(v - lo) as usize];
+                    debug_assert_ne!(m, UNASSIGNED);
+                    m
+                } else {
+                    *remote
+                        .get(&v)
+                        .unwrap_or_else(|| panic!("master of {v} unknown on this host"))
+                }
+            }
+        }
+    }
+
+    /// Is pure.
+    pub fn is_pure(&self) -> bool {
+        matches!(self, ResolvedMasters::Pure(_))
+    }
+}
+
+/// Runs the master assignment phase for a non-pure rule.
+///
+/// `sends_counter` style accounting is inherited from `comm` (the driver
+/// sets the phase label before calling).
+pub fn assign_masters<MR: MasterRule>(
+    comm: &Comm,
+    pool: &ThreadPool,
+    setup: &Setup,
+    slice: &GraphSlice,
+    rule: &MR,
+    state: &MR::State,
+    cfg: &CuspConfig,
+) -> ResolvedMasters {
+    // Note: pure rules may run through here when the §IV-D5 elision is
+    // disabled (`CuspConfig::force_stored_masters` ablation).
+    let me = comm.host();
+    let k = comm.num_hosts();
+    let lo = slice.node_lo;
+    let local_n = slice.num_nodes();
+
+    // --- Step 1: request the masters of my edges' destinations. --------
+    let needed = remote_dests(pool, slice, setup, me);
+    let mut per_peer_requests: Vec<Vec<Node>> = vec![Vec::new(); k];
+    for &d in &needed {
+        per_peer_requests[setup.reader_of(d)].push(d);
+    }
+    for peer in 0..k {
+        if peer == me {
+            continue;
+        }
+        let mut w = WireWriter::with_capacity(8 + per_peer_requests[peer].len() * 4);
+        w.put_u32_slice(&per_peer_requests[peer]);
+        comm.send_bytes(peer, TAG_MASTER_REQ, w.finish());
+    }
+    // requested_by[peer]: nodes of MY range that `peer` wants, sorted.
+    let mut requested_by: Vec<Vec<Node>> = vec![Vec::new(); k];
+    for _ in 0..k - 1 {
+        let (src, payload) = comm.recv_any(TAG_MASTER_REQ);
+        let mut r = WireReader::new(payload);
+        requested_by[src] = r.get_u32_vec().expect("malformed master request");
+        debug_assert!(requested_by[src].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    // --- Step 2: assignment loop with periodic asynchronous sync. ------
+    let local: Vec<AtomicU32> = (0..local_n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
+    let mut remote: HashMap<Node, PartId> = HashMap::with_capacity(needed.len());
+    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
+
+    let rounds = if rule.uses_neighbor_masters() {
+        cfg.sync_rounds.max(1) as usize
+    } else {
+        1
+    };
+    let stateful = !MR::State::STATELESS;
+    let chunk = local_n.div_ceil(rounds).max(1);
+    // Cursor into requested_by[peer] for masters already sent.
+    let mut sent_cursor = vec![0usize; k];
+    let mut delta_buf: Vec<u64> = Vec::new();
+    // FINAL messages may arrive while we are still in our round loop (a
+    // fast peer); count them wherever they show up.
+    let mut finals = 0usize;
+
+    let mut start = 0usize;
+    for round in 0..rounds {
+        let end = (start + chunk).min(local_n);
+        if start < end {
+            let view = MasterView::Stored {
+                lo,
+                local: &local,
+                remote: &remote,
+            };
+            if rule.uses_neighbor_masters() && pool.threads() > 1 {
+                // Parallel within the chunk; neighbor lookups see fresh
+                // local assignments through the atomics (Galois-style
+                // thread-safe, non-deterministic streaming).
+                do_all(pool, end - start, DEFAULT_GRAIN, |i| {
+                    let v = lo + (start + i) as Node;
+                    let m = rule.get_master(&prop, v, state, &view);
+                    debug_assert!(m < setup.parts);
+                    local[start + i].store(m, Ordering::Relaxed);
+                });
+            } else {
+                for i in start..end {
+                    let v = lo + i as Node;
+                    let m = rule.get_master(&prop, v, state, &view);
+                    debug_assert!(m < setup.parts);
+                    local[i].store(m, Ordering::Relaxed);
+                }
+            }
+        }
+        start = end;
+        let last = round + 1 == rounds;
+        if last {
+            break;
+        }
+        // Send SYNC: state delta + newly assignable requested masters.
+        if stateful {
+            state.take_delta(&mut delta_buf);
+        } else {
+            delta_buf.clear();
+        }
+        let assigned_below = lo + start as Node;
+        for peer in 0..k {
+            if peer == me {
+                continue;
+            }
+            let reqs = &requested_by[peer];
+            let mut pairs: Vec<(Node, PartId)> = Vec::new();
+            let mut cur = sent_cursor[peer];
+            while cur < reqs.len() && reqs[cur] < assigned_below {
+                let idx = (reqs[cur] - lo) as usize;
+                pairs.push((reqs[cur], local[idx].load(Ordering::Relaxed)));
+                cur += 1;
+            }
+            sent_cursor[peer] = cur;
+            if pairs.is_empty() && delta_buf.iter().all(|&v| v == 0) {
+                continue; // nothing new for this peer this round
+            }
+            comm.send_bytes(peer, TAG_MASTER_SYNC, encode_sync(MSG_SYNC, &delta_buf, &pairs));
+        }
+        // Drain whatever peers have sent, without blocking.
+        while let Some((_src, payload)) = comm.try_recv_any(TAG_MASTER_SYNC) {
+            if apply_sync::<MR>(payload, state, &mut remote) {
+                finals += 1;
+            }
+        }
+    }
+
+    // --- Step 3: final flush and blocking reconciliation. --------------
+    if stateful {
+        state.take_delta(&mut delta_buf);
+    } else {
+        delta_buf.clear();
+    }
+    for peer in 0..k {
+        if peer == me {
+            continue;
+        }
+        let reqs = &requested_by[peer];
+        let pairs: Vec<(Node, PartId)> = reqs[sent_cursor[peer]..]
+            .iter()
+            .map(|&v| (v, local[(v - lo) as usize].load(Ordering::Relaxed)))
+            .collect();
+        comm.send_bytes(peer, TAG_MASTER_SYNC, encode_sync(MSG_FINAL, &delta_buf, &pairs));
+    }
+    while finals < k - 1 {
+        let (_src, payload) = comm.recv_any(TAG_MASTER_SYNC);
+        if apply_sync::<MR>(payload, state, &mut remote) {
+            finals += 1;
+        }
+    }
+
+    debug_assert_eq!(remote.len(), needed.len(), "unanswered master requests");
+    ResolvedMasters::Stored {
+        lo,
+        local: local.into_iter().map(|a| a.into_inner()).collect(),
+        remote,
+    }
+}
+
+/// Builds the pure resolver for a pure rule (no communication at all).
+pub fn pure_masters<MR: MasterRule + Clone + 'static>(rule: &MR) -> ResolvedMasters {
+    debug_assert!(rule.is_pure());
+    let rule = rule.clone();
+    ResolvedMasters::Pure(Box::new(move |v| rule.pure_master(v)))
+}
+
+/// Sorted, deduplicated destinations of the local slice that fall outside
+/// the local read range (the nodes whose masters this host must request).
+fn remote_dests(pool: &ThreadPool, slice: &GraphSlice, setup: &Setup, me: usize) -> Vec<Node> {
+    let locals: PerThread<Vec<Node>> = PerThread::new(pool, |_| Vec::new());
+    let n = slice.num_nodes();
+    cusp_galois::do_all_with_tid(pool, n, DEFAULT_GRAIN, |tid, i| {
+        let v = slice.node_lo + i as Node;
+        locals.with(tid, |out| {
+            for &d in slice.edges(v) {
+                if setup.reader_of(d) != me {
+                    out.push(d);
+                }
+            }
+        });
+    });
+    let mut all: Vec<Node> = locals.into_inner().into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+fn encode_sync(kind: u8, delta: &[u64], pairs: &[(Node, PartId)]) -> bytes::Bytes {
+    let mut w = WireWriter::with_capacity(1 + 8 + delta.len() * 8 + 8 + pairs.len() * 8);
+    w.put_u8(kind);
+    w.put_u64_slice(delta);
+    w.put_u64(pairs.len() as u64);
+    for &(v, p) in pairs {
+        w.put_u32(v);
+        w.put_u32(p);
+    }
+    w.finish()
+}
+
+/// Applies a SYNC/FINAL message; returns true if it was FINAL.
+fn apply_sync<MR: MasterRule>(
+    payload: bytes::Bytes,
+    state: &MR::State,
+    remote: &mut HashMap<Node, PartId>,
+) -> bool {
+    let mut r = WireReader::new(payload);
+    let kind = r.get_u8().expect("empty sync message");
+    let delta = r.get_u64_vec().expect("malformed sync delta");
+    if !MR::State::STATELESS && !delta.is_empty() {
+        state.apply_remote(&delta);
+    }
+    let n = r.get_u64().expect("malformed sync pairs") as usize;
+    for _ in 0..n {
+        let v = r.get_u32().expect("malformed pair");
+        let p = r.get_u32().expect("malformed pair");
+        remote.insert(v, p);
+    }
+    kind == MSG_FINAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphSource;
+    use crate::phases::read::read_phase;
+    use crate::policies::masters::{ContiguousEB, FennelEB};
+    use crate::state::LoadState;
+    use cusp_graph::gen::uniform::erdos_renyi;
+    use cusp_net::Cluster;
+    use std::sync::Arc;
+
+    /// A trivially non-pure rule for protocol tests: master = node % k.
+    #[derive(Clone)]
+    struct ModRule;
+    impl MasterRule for ModRule {
+        type State = ();
+        fn get_master(
+            &self,
+            prop: &LocalProps,
+            node: Node,
+            _s: &(),
+            _m: &MasterView,
+        ) -> PartId {
+            node % prop.num_partitions()
+        }
+    }
+
+    fn run_assignment<MR: MasterRule + Clone + 'static>(
+        k: usize,
+        rule_of: impl Fn(&Setup) -> MR + Sync,
+        rounds: u32,
+    ) -> Vec<(Node, Vec<PartId>, HashMap<Node, PartId>)> {
+        let g = Arc::new(erdos_renyi(300, 3000, 17));
+        let out = Cluster::run(k, |comm| {
+            let cfg = CuspConfig {
+                sync_rounds: rounds,
+                threads_per_host: 2,
+                ..CuspConfig::default()
+            };
+            let pool = ThreadPool::new(cfg.threads_per_host);
+            let r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
+            let rule = rule_of(&r.setup);
+            let state = MR::State::new(r.setup.parts);
+            match assign_masters(comm, &pool, &r.setup, &r.slice, &rule, &state, &cfg) {
+                ResolvedMasters::Stored { lo, local, remote } => (lo, local, remote),
+                _ => unreachable!(),
+            }
+        });
+        out.results
+    }
+
+    #[test]
+    fn stateless_rule_assignments_are_consistent_across_hosts() {
+        let results = run_assignment(4, |_s| ModRule, 1);
+        // Every remote entry must equal what the owner computed locally.
+        for (_, _, remote) in &results {
+            for (&v, &p) in remote {
+                assert_eq!(p, v % 4, "remote master of {v} wrong");
+            }
+        }
+        // Local arrays complete.
+        for (lo, local, _) in &results {
+            for (i, &m) in local.iter().enumerate() {
+                assert_eq!(m, (lo + i as u32) % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn fennel_assignments_complete_and_agree() {
+        for rounds in [1u32, 4, 32] {
+            let results = run_assignment(4, FennelEB::new, rounds);
+            // Build the global truth from local arrays.
+            let mut truth: HashMap<Node, PartId> = HashMap::new();
+            for (lo, local, _) in &results {
+                for (i, &m) in local.iter().enumerate() {
+                    assert_ne!(m, UNASSIGNED);
+                    assert!(m < 4);
+                    truth.insert(lo + i as u32, m);
+                }
+            }
+            assert_eq!(truth.len(), 300);
+            // Remote views agree with the truth.
+            for (_, _, remote) in &results {
+                for (&v, &p) in remote {
+                    assert_eq!(p, truth[&v], "rounds={rounds}: master of {v} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_deltas_converge_across_hosts() {
+        let g = Arc::new(erdos_renyi(400, 4000, 23));
+        let out = Cluster::run(4, |comm| {
+            let cfg = CuspConfig {
+                sync_rounds: 8,
+                ..CuspConfig::default()
+            };
+            let pool = ThreadPool::new(2);
+            let r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
+            let rule = FennelEB::new(&r.setup);
+            let state = LoadState::new(r.setup.parts);
+            let _ = assign_masters(comm, &pool, &r.setup, &r.slice, &rule, &state, &cfg);
+            comm.barrier();
+            (0..4u32).map(|p| (state.nodes(p), state.edges(p))).collect::<Vec<_>>()
+        });
+        // After the final flush, every host holds the same global state.
+        for host in 1..4 {
+            assert_eq!(out.results[host], out.results[0], "host {host} state diverged");
+        }
+        // Total nodes across partitions = nodes that went through the
+        // scored path (≤ 400; high-degree nodes bypass to ContiguousEB).
+        let total: u64 = out.results[0].iter().map(|&(n, _)| n).sum();
+        assert!(total > 0 && total <= 400);
+    }
+
+    #[test]
+    fn pure_resolver_never_communicates() {
+        let g = Arc::new(erdos_renyi(200, 1000, 3));
+        let out = Cluster::run(3, |comm| {
+            comm.set_phase("master");
+            let cfg = CuspConfig::default();
+            let r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
+            let rule = ContiguousEB::new(&r.setup);
+            let resolved = pure_masters(&rule);
+            // Every host can resolve every node.
+            (0..200u32).map(|v| resolved.of(v)).collect::<Vec<_>>()
+        });
+        for host in 1..3 {
+            assert_eq!(out.results[host], out.results[0]);
+        }
+        assert_eq!(out.stats.phase("master").unwrap().total_bytes(), 0);
+    }
+}

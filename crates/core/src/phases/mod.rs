@@ -1,0 +1,10 @@
+//! The five partitioning phases (paper §IV-B, Fig. 2):
+//! reading → master assignment → edge assignment → allocation →
+//! construction, orchestrated by [`driver`].
+
+pub mod alloc;
+pub mod construct;
+pub mod driver;
+pub mod edge_assign;
+pub mod master;
+pub mod read;

@@ -1,0 +1,175 @@
+//! Phase 1 — graph reading (paper §IV-B1).
+//!
+//! The edge array is divided "more or less equally among hosts so that
+//! each host reads and processes a contiguous set of edges ... rounded off
+//! so that the outgoing edges of a given node are not divided between
+//! hosts." Each host loads only its slice; later phases read from memory.
+//!
+//! This phase also derives the [`Setup`] every rule is built from: the
+//! global node/edge counts, the reading split, and the edge-balanced
+//! blocking used by `ContiguousEB`. All hosts compute identical values
+//! because they all see the same offsets array.
+
+use std::sync::Arc;
+
+use cusp_graph::{reading_split, GraphSlice, ReadSplit};
+use cusp_net::Comm;
+
+use crate::config::{CuspConfig, GraphSource};
+use crate::policy::Setup;
+
+/// Result of the reading phase on one host. For weighted (version-2)
+/// files the slice carries the per-edge data of the host's range.
+pub struct ReadOutcome {
+    /// The contiguous node range (and its edges) this host read.
+    pub slice: GraphSlice,
+    /// Global facts identical on every host.
+    pub setup: Setup,
+}
+
+/// Converts contiguous splits into a boundary array (`k + 1` entries).
+fn splits_to_boundaries(splits: &[ReadSplit]) -> Vec<u64> {
+    let mut b = Vec::with_capacity(splits.len() + 1);
+    b.push(splits.first().map_or(0, |s| s.lo));
+    for s in splits {
+        b.push(s.hi);
+    }
+    b
+}
+
+/// Executes the reading phase.
+pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::io::Result<ReadOutcome> {
+    let k = comm.num_hosts();
+    let me = comm.host();
+    match source {
+        GraphSource::File(path) => {
+            let mut reader = cusp_graph::RangeReader::open(path)?;
+            let num_nodes = reader.num_nodes();
+            let num_edges = reader.num_edges();
+            let ends = reader.read_end_offsets()?;
+            let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
+            let eb = reading_split(&ends, k, 0, 1);
+            let my = read_splits[me];
+            let slice = reader.read_range(my.lo, my.hi)?;
+            Ok(ReadOutcome {
+                slice,
+                setup: Setup {
+                    num_nodes,
+                    num_edges,
+                    parts: k as u32,
+                    eb_boundaries: Arc::new(splits_to_boundaries(&eb)),
+                    read_splits: Arc::new(read_splits),
+                },
+            })
+        }
+        GraphSource::Memory(graph) => {
+            let ends: Vec<u64> = graph.offsets()[1..].to_vec();
+            let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
+            let eb = reading_split(&ends, k, 0, 1);
+            let my = read_splits[me];
+            let slice = GraphSlice::from_csr(graph, my.lo as u32, my.hi as u32);
+            Ok(ReadOutcome {
+                slice,
+                setup: Setup {
+                    num_nodes: graph.num_nodes() as u64,
+                    num_edges: graph.num_edges(),
+                    parts: k as u32,
+                    eb_boundaries: Arc::new(splits_to_boundaries(&eb)),
+                    read_splits: Arc::new(read_splits),
+                },
+            })
+        }
+        GraphSource::MemoryWeighted(graph, weights) => {
+            let ends: Vec<u64> = graph.offsets()[1..].to_vec();
+            let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
+            let eb = reading_split(&ends, k, 0, 1);
+            let my = read_splits[me];
+            let slice =
+                GraphSlice::from_csr_weighted(graph, weights, my.lo as u32, my.hi as u32);
+            Ok(ReadOutcome {
+                slice,
+                setup: Setup {
+                    num_nodes: graph.num_nodes() as u64,
+                    num_edges: graph.num_edges(),
+                    parts: k as u32,
+                    eb_boundaries: Arc::new(splits_to_boundaries(&eb)),
+                    read_splits: Arc::new(read_splits),
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusp_graph::gen::uniform::erdos_renyi;
+    use cusp_net::Cluster;
+
+    #[test]
+    fn memory_source_slices_cover_graph() {
+        let g = Arc::new(erdos_renyi(500, 4000, 1));
+        let g2 = Arc::clone(&g);
+        let out = Cluster::run(4, move |comm| {
+            let cfg = CuspConfig::default();
+            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            (r.slice.node_lo, r.slice.node_hi, r.slice.num_edges(), r.setup.num_edges)
+        });
+        let total: u64 = out.results.iter().map(|r| r.2).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(out.results[0].0, 0);
+        assert_eq!(out.results[3].1 as usize, g.num_nodes());
+        for w in out.results.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert!(out.results.iter().all(|r| r.3 == g.num_edges()));
+    }
+
+    #[test]
+    fn file_source_matches_memory_source() {
+        let g = Arc::new(erdos_renyi(300, 2500, 9));
+        let mut path = std::env::temp_dir();
+        path.push(format!("cusp-read-phase-{}.bgr", std::process::id()));
+        cusp_graph::write_bgr(&path, &g).unwrap();
+        let g2 = Arc::clone(&g);
+        let p2 = path.clone();
+        let out = Cluster::run(3, move |comm| {
+            let cfg = CuspConfig::default();
+            let mem = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            let file = read_phase(comm, &GraphSource::File(p2.clone()), &cfg).unwrap();
+            assert_eq!(mem.slice.offsets, file.slice.offsets);
+            assert_eq!(mem.slice.dests, file.slice.dests);
+            assert_eq!(*mem.setup.eb_boundaries, *file.setup.eb_boundaries);
+            assert_eq!(*mem.setup.read_splits, *file.setup.read_splits);
+        });
+        drop(out);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eb_boundaries_are_edge_balanced() {
+        let g = Arc::new(erdos_renyi(1000, 20_000, 2));
+        let g2 = Arc::clone(&g);
+        let out = Cluster::run(4, move |comm| {
+            let cfg = CuspConfig {
+                node_read_weight: 1,
+                edge_read_weight: 0, // node-balanced reading...
+                ..CuspConfig::default()
+            };
+            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            // ...but eb_boundaries must stay edge-balanced regardless.
+            r.setup.eb_boundaries.as_ref().clone()
+        });
+        let b = &out.results[0];
+        assert_eq!(b.len(), 5);
+        for w in b.windows(2) {
+            let lo = if w[0] == 0 { 0 } else { g.offsets()[w[0] as usize] };
+            let hi = g.offsets()[w[1] as usize];
+            let edges = hi - lo;
+            assert!(
+                (edges as f64 - 5000.0).abs() < 1500.0,
+                "block has {edges} edges"
+            );
+        }
+    }
+}

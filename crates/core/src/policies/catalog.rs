@@ -1,0 +1,227 @@
+//! The Table II policy catalog: named compositions of one `getMaster` and
+//! one `getEdgeOwner` function.
+//!
+//! | Policy | getMaster    | getEdgeOwner |
+//! |--------|--------------|--------------|
+//! | EEC    | ContiguousEB | Source       |
+//! | HVC    | ContiguousEB | Hybrid       |
+//! | CVC    | ContiguousEB | Cartesian    |
+//! | FEC    | FennelEB     | Source       |
+//! | GVC    | FennelEB     | Hybrid       |
+//! | SVC    | FennelEB     | Cartesian    |
+//!
+//! Plus two of the compositions Table II omits (`CEC` = Contiguous +
+//! Source, `FNC` = Fennel + Source) and, as an extension, the HDRF greedy
+//! vertex-cut (Table I's streaming class) to demonstrate stateful edge
+//! rules.
+
+use cusp_net::Comm;
+
+use crate::config::{CuspConfig, GraphSource};
+use crate::dist_graph::PartitionClass;
+use crate::phases::driver::{partition, PartitionOutput};
+use crate::policies::edges::{CartesianEdge, CheckerboardEdge, HybridEdge, JaggedEdge, SourceEdge};
+use crate::policies::extensions::{HdrfEdge, Ldg};
+use crate::policies::masters::{Contiguous, ContiguousEB, Fennel, FennelEB};
+
+/// A named partitioning policy from the paper's evaluation (plus
+/// extensions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Edge-balanced Edge-Cut (Gemini).
+    Eec,
+    /// Hybrid Vertex-Cut (PowerLyra).
+    Hvc,
+    /// Cartesian Vertex-Cut (D-Galois / BoundedCommunication).
+    Cvc,
+    /// Fennel Edge-Cut.
+    Fec,
+    /// Ginger Vertex-Cut (PowerLyra).
+    Gvc,
+    /// Sugar Vertex-Cut (new in the paper).
+    Svc,
+    /// Contiguous (node-balanced) Edge-Cut — Table II's omitted variant.
+    Cec,
+    /// Fennel (node-only score) Edge-Cut — Table II's omitted variant.
+    Fnc,
+    /// HDRF greedy vertex-cut (extension; stateful edge rule).
+    Hdrf,
+    /// LDG edge-cut (extension; Stanton–Kliot streaming heuristic).
+    Ldg,
+    /// CheckerBoard Vertex-Cut (paper §II-A3: blocked rows AND columns).
+    Bvc,
+    /// Jagged Vertex-Cut, staggered approximation (paper §II-A3).
+    Jvc,
+}
+
+/// The six policies the paper evaluates (Fig. 3–6).
+pub const ALL_POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Eec,
+    PolicyKind::Hvc,
+    PolicyKind::Cvc,
+    PolicyKind::Fec,
+    PolicyKind::Gvc,
+    PolicyKind::Svc,
+];
+
+impl PolicyKind {
+    /// The paper's abbreviation for the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Eec => "EEC",
+            PolicyKind::Hvc => "HVC",
+            PolicyKind::Cvc => "CVC",
+            PolicyKind::Fec => "FEC",
+            PolicyKind::Gvc => "GVC",
+            PolicyKind::Svc => "SVC",
+            PolicyKind::Cec => "CEC",
+            PolicyKind::Fnc => "FNC",
+            PolicyKind::Hdrf => "HDRF",
+            PolicyKind::Ldg => "LDG",
+            PolicyKind::Bvc => "BVC",
+            PolicyKind::Jvc => "JVC",
+        }
+    }
+
+    /// Structural invariant class (paper Table I).
+    pub fn class(self) -> PartitionClass {
+        match self {
+            PolicyKind::Eec
+            | PolicyKind::Fec
+            | PolicyKind::Cec
+            | PolicyKind::Fnc
+            | PolicyKind::Ldg => PartitionClass::OutEdgeCut,
+            PolicyKind::Cvc | PolicyKind::Svc | PolicyKind::Bvc | PolicyKind::Jvc => {
+                PartitionClass::TwoDimensional
+            }
+            PolicyKind::Hvc | PolicyKind::Gvc | PolicyKind::Hdrf => {
+                PartitionClass::GeneralVertexCut
+            }
+        }
+    }
+
+    /// Whether master assignment is non-trivial (FennelEB-based).
+    pub fn has_streaming_masters(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Fec
+                | PolicyKind::Gvc
+                | PolicyKind::Svc
+                | PolicyKind::Fnc
+                | PolicyKind::Ldg
+        )
+    }
+
+    /// Parses the paper abbreviation (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "EEC" => Some(PolicyKind::Eec),
+            "HVC" => Some(PolicyKind::Hvc),
+            "CVC" => Some(PolicyKind::Cvc),
+            "FEC" => Some(PolicyKind::Fec),
+            "GVC" => Some(PolicyKind::Gvc),
+            "SVC" => Some(PolicyKind::Svc),
+            "CEC" => Some(PolicyKind::Cec),
+            "FNC" => Some(PolicyKind::Fnc),
+            "HDRF" => Some(PolicyKind::Hdrf),
+            "LDG" => Some(PolicyKind::Ldg),
+            "BVC" => Some(PolicyKind::Bvc),
+            "JVC" => Some(PolicyKind::Jvc),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Partitions with one of the named policies — the one-call entry point
+/// used by examples and benchmarks.
+pub fn partition_with_policy(
+    comm: &Comm,
+    source: GraphSource,
+    kind: PolicyKind,
+    cfg: &CuspConfig,
+) -> PartitionOutput {
+    let class = kind.class();
+    match kind {
+        PolicyKind::Eec => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), SourceEdge)
+        }),
+        PolicyKind::Hvc => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), HybridEdge::paper_default())
+        }),
+        PolicyKind::Cvc => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), CartesianEdge::new(s))
+        }),
+        PolicyKind::Fec => partition(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), SourceEdge)
+        }),
+        PolicyKind::Gvc => partition(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), HybridEdge::paper_default())
+        }),
+        PolicyKind::Svc => partition(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), CartesianEdge::new(s))
+        }),
+        PolicyKind::Cec => partition(comm, source, cfg, class, |s| {
+            (Contiguous::new(s), SourceEdge)
+        }),
+        PolicyKind::Fnc => partition(comm, source, cfg, class, |s| {
+            (Fennel::new(s), SourceEdge)
+        }),
+        PolicyKind::Hdrf => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), HdrfEdge::new(s))
+        }),
+        PolicyKind::Ldg => partition(comm, source, cfg, class, |s| (Ldg::new(s), SourceEdge)),
+        PolicyKind::Bvc => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), CheckerboardEdge::new(s))
+        }),
+        PolicyKind::Jvc => partition(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), JaggedEdge::new(s))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [
+            PolicyKind::Eec,
+            PolicyKind::Hvc,
+            PolicyKind::Cvc,
+            PolicyKind::Fec,
+            PolicyKind::Gvc,
+            PolicyKind::Svc,
+            PolicyKind::Cec,
+            PolicyKind::Fnc,
+            PolicyKind::Hdrf,
+            PolicyKind::Ldg,
+            PolicyKind::Bvc,
+            PolicyKind::Jvc,
+        ] {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
+        assert_eq!(PolicyKind::parse("cvc"), Some(PolicyKind::Cvc));
+    }
+
+    #[test]
+    fn classes_match_table_one() {
+        assert_eq!(PolicyKind::Eec.class(), PartitionClass::OutEdgeCut);
+        assert_eq!(PolicyKind::Hvc.class(), PartitionClass::GeneralVertexCut);
+        assert_eq!(PolicyKind::Cvc.class(), PartitionClass::TwoDimensional);
+        assert_eq!(PolicyKind::Svc.class(), PartitionClass::TwoDimensional);
+    }
+
+    #[test]
+    fn streaming_masters_flag() {
+        assert!(!PolicyKind::Eec.has_streaming_masters());
+        assert!(PolicyKind::Svc.has_streaming_masters());
+    }
+}

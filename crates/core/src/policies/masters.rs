@@ -1,0 +1,450 @@
+//! `getMaster` rules from Algorithm 1 of the paper: `Contiguous`,
+//! `ContiguousEB`, `Fennel`, and `FennelEB`.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use cusp_graph::Node;
+
+use crate::policy::{MasterRule, MasterView, Setup};
+use crate::props::LocalProps;
+use crate::state::LoadState;
+use crate::PartId;
+
+/// `Contiguous` (Algorithm 1): equal-sized contiguous node chunks.
+///
+/// ```text
+/// blockSize = ceil(numNodes / numPartitions)
+/// return floor(nodeId / blockSize)
+/// ```
+#[derive(Clone, Debug)]
+pub struct Contiguous {
+    block_size: u64,
+    num_nodes: u64,
+    parts: PartId,
+}
+
+impl Contiguous {
+    /// Creates a new instance.
+    pub fn new(setup: &Setup) -> Self {
+        let block_size = setup.num_nodes.div_ceil(setup.parts as u64).max(1);
+        Contiguous {
+            block_size,
+            num_nodes: setup.num_nodes,
+            parts: setup.parts,
+        }
+    }
+}
+
+impl MasterRule for Contiguous {
+    type State = ();
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn pure_master(&self, node: Node) -> PartId {
+        ((node as u64 / self.block_size) as PartId).min(self.parts - 1)
+    }
+
+    fn pure_owned_range(&self, part: PartId) -> Range<Node> {
+        let lo = (part as u64 * self.block_size).min(self.num_nodes);
+        let hi = if part + 1 == self.parts {
+            self.num_nodes
+        } else {
+            ((part as u64 + 1) * self.block_size).min(self.num_nodes)
+        };
+        lo as Node..hi as Node
+    }
+
+    fn get_master(
+        &self,
+        _prop: &LocalProps,
+        node: Node,
+        _state: &Self::State,
+        _masters: &MasterView,
+    ) -> PartId {
+        self.pure_master(node)
+    }
+}
+
+/// `ContiguousEB` (Algorithm 1): contiguous node chunks with roughly equal
+/// *out-edge* counts per chunk.
+///
+/// The boundaries are precomputed once from the global offsets array (they
+/// are part of [`Setup`], identical on every host), so evaluation for any
+/// node — local or remote — is a pure boundary search. This realizes the
+/// paper's "replicate computation instead of communication" elision for
+/// EEC/HVC/CVC (§IV-D5, §V-A).
+#[derive(Clone, Debug)]
+pub struct ContiguousEB {
+    boundaries: Arc<Vec<u64>>,
+}
+
+impl ContiguousEB {
+    /// Creates a new instance.
+    pub fn new(setup: &Setup) -> Self {
+        assert_eq!(
+            setup.eb_boundaries.len(),
+            setup.parts as usize + 1,
+            "eb_boundaries must have parts + 1 entries"
+        );
+        ContiguousEB {
+            boundaries: Arc::clone(&setup.eb_boundaries),
+        }
+    }
+}
+
+impl MasterRule for ContiguousEB {
+    type State = ();
+
+    fn is_pure(&self) -> bool {
+        true
+    }
+
+    fn pure_master(&self, node: Node) -> PartId {
+        let inner = &self.boundaries[1..self.boundaries.len() - 1];
+        inner.partition_point(|&b| b <= node as u64) as PartId
+    }
+
+    fn pure_owned_range(&self, part: PartId) -> Range<Node> {
+        self.boundaries[part as usize] as Node..self.boundaries[part as usize + 1] as Node
+    }
+
+    fn get_master(
+        &self,
+        _prop: &LocalProps,
+        node: Node,
+        _state: &Self::State,
+        _masters: &MasterView,
+    ) -> PartId {
+        self.pure_master(node)
+    }
+}
+
+/// `Fennel` (Algorithm 1): greedy streaming placement scoring each
+/// partition by co-located neighbors minus a size penalty
+/// (`score[p] = |neighbors already in p| − α·γ·numNodes[p]^(γ−1)`).
+///
+/// Uses the paper's evaluation constants by default: γ = 1.5 and
+/// α = m·h^(γ−1)/n^γ (§V-A).
+#[derive(Clone, Debug)]
+pub struct Fennel {
+    /// Fennel size-penalty coefficient α.
+    pub alpha: f64,
+    /// Fennel size-penalty exponent γ.
+    pub gamma: f64,
+}
+
+impl Fennel {
+    /// Creates a new instance.
+    pub fn new(setup: &Setup) -> Self {
+        Fennel {
+            alpha: paper_alpha(setup),
+            gamma: 1.5,
+        }
+    }
+}
+
+/// α = m·h^(γ−1)/n^γ with γ = 1.5 (paper §V-A).
+pub fn paper_alpha(setup: &Setup) -> f64 {
+    let n = setup.num_nodes.max(1) as f64;
+    let m = setup.num_edges.max(1) as f64;
+    let h = setup.parts as f64;
+    m * h.powf(0.5) / n.powf(1.5)
+}
+
+/// Scores partitions and returns the argmax (lowest id wins ties).
+fn best_partition(scores: &[f64]) -> PartId {
+    let mut best = 0usize;
+    for p in 1..scores.len() {
+        if scores[p] > scores[best] {
+            best = p;
+        }
+    }
+    best as PartId
+}
+
+impl MasterRule for Fennel {
+    type State = LoadState;
+
+    fn uses_neighbor_masters(&self) -> bool {
+        true
+    }
+
+    fn get_master(
+        &self,
+        prop: &LocalProps,
+        node: Node,
+        state: &Self::State,
+        masters: &MasterView,
+    ) -> PartId {
+        let parts = prop.num_partitions() as usize;
+        let mut score = vec![0.0f64; parts];
+        for (p, s) in score.iter_mut().enumerate() {
+            *s = -self.alpha * self.gamma * (state.nodes(p as PartId) as f64).powf(self.gamma - 1.0);
+        }
+        for &n in prop.out_neighbors(node) {
+            if let Some(m) = masters.get(n) {
+                score[m as usize] += 1.0;
+            }
+        }
+        let part = best_partition(&score);
+        state.add_assignment(part, 0);
+        part
+    }
+}
+
+/// `FennelEB` (Algorithm 1): the PowerLyra/Ginger variant of the Fennel
+/// heuristic. High-degree nodes short-circuit to `ContiguousEB`; otherwise
+/// the size penalty uses a blended node+edge load,
+/// `load = (numNodes[p] + μ·numEdges[p]) / 2` with `μ = n/m`.
+///
+/// Note: Algorithm 1's pseudocode increments `numEdges[part]` by one; we
+/// add the node's out-degree, since `numEdges[p]` tracks "the number of
+/// outgoing edges of those nodes" (§III-B) and a unit increment would make
+/// the edge term a node counter.
+#[derive(Clone, Debug)]
+pub struct FennelEB {
+    /// Fennel size-penalty coefficient α.
+    pub alpha: f64,
+    /// Fennel size-penalty exponent γ.
+    pub gamma: f64,
+    /// Degree threshold above which placement degrades to ContiguousEB.
+    pub degree_threshold: u64,
+    eb: ContiguousEB,
+    mu: f64,
+}
+
+impl FennelEB {
+    /// Creates a new instance.
+    pub fn new(setup: &Setup) -> Self {
+        FennelEB {
+            alpha: paper_alpha(setup),
+            gamma: 1.5,
+            degree_threshold: 100,
+            eb: ContiguousEB::new(setup),
+            mu: setup.num_nodes.max(1) as f64 / setup.num_edges.max(1) as f64,
+        }
+    }
+
+    /// With threshold.
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.degree_threshold = threshold;
+        self
+    }
+}
+
+impl MasterRule for FennelEB {
+    type State = LoadState;
+
+    fn uses_neighbor_masters(&self) -> bool {
+        true
+    }
+
+    fn get_master(
+        &self,
+        prop: &LocalProps,
+        node: Node,
+        state: &Self::State,
+        masters: &MasterView,
+    ) -> PartId {
+        let degree = prop.out_degree(node);
+        if degree > self.degree_threshold {
+            return self.eb.pure_master(node);
+        }
+        let parts = prop.num_partitions() as usize;
+        let mut score = vec![0.0f64; parts];
+        for (p, s) in score.iter_mut().enumerate() {
+            let load = (state.nodes(p as PartId) as f64
+                + self.mu * state.edges(p as PartId) as f64)
+                / 2.0;
+            *s = -self.alpha * self.gamma * load.powf(self.gamma - 1.0);
+        }
+        for &n in prop.out_neighbors(node) {
+            if let Some(m) = masters.get(n) {
+                score[m as usize] += 1.0;
+            }
+        }
+        let part = best_partition(&score);
+        state.add_assignment(part, degree);
+        part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PartitionState;
+    use cusp_graph::{Csr, GraphSlice, ReadSplit};
+
+    fn setup(n: u64, m: u64, k: PartId, eb: Vec<u64>) -> Setup {
+        Setup {
+            num_nodes: n,
+            num_edges: m,
+            parts: k,
+            eb_boundaries: Arc::new(eb),
+            read_splits: Arc::new(vec![ReadSplit { lo: 0, hi: n }]),
+        }
+    }
+
+    #[test]
+    fn contiguous_blocks() {
+        let s = setup(10, 0, 3, vec![0, 4, 8, 10]);
+        let c = Contiguous::new(&s);
+        // blockSize = ceil(10/3) = 4
+        assert_eq!(c.pure_master(0), 0);
+        assert_eq!(c.pure_master(3), 0);
+        assert_eq!(c.pure_master(4), 1);
+        assert_eq!(c.pure_master(7), 1);
+        assert_eq!(c.pure_master(8), 2);
+        assert_eq!(c.pure_master(9), 2);
+        assert_eq!(c.pure_owned_range(0), 0..4);
+        assert_eq!(c.pure_owned_range(2), 8..10);
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_everything() {
+        for (n, k) in [(10u64, 3u32), (7, 7), (5, 8), (100, 16)] {
+            let s = setup(n, 0, k, vec![0; k as usize + 1]);
+            let c = Contiguous::new(&s);
+            let mut covered = 0u64;
+            for p in 0..k {
+                let r = c.pure_owned_range(p);
+                for v in r.clone() {
+                    assert_eq!(c.pure_master(v), p, "n={n} k={k} v={v}");
+                }
+                covered += (r.end - r.start) as u64;
+            }
+            assert_eq!(covered, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn contiguous_eb_uses_boundaries() {
+        let s = setup(10, 100, 3, vec![0, 2, 9, 10]);
+        let c = ContiguousEB::new(&s);
+        assert_eq!(c.pure_master(0), 0);
+        assert_eq!(c.pure_master(1), 0);
+        assert_eq!(c.pure_master(2), 1);
+        assert_eq!(c.pure_master(8), 1);
+        assert_eq!(c.pure_master(9), 2);
+        assert_eq!(c.pure_owned_range(1), 2..9);
+    }
+
+    #[test]
+    fn contiguous_eb_handles_empty_blocks() {
+        let s = setup(4, 100, 3, vec![0, 4, 4, 4]);
+        let c = ContiguousEB::new(&s);
+        for v in 0..4 {
+            assert_eq!(c.pure_master(v), 0);
+        }
+        assert_eq!(c.pure_owned_range(1), 4..4);
+    }
+
+    fn props_for(g: &Csr, _k: PartId) -> (GraphSlice, u64, u64) {
+        let slice = GraphSlice::from_csr(g, 0, g.num_nodes() as Node);
+        (slice, g.num_nodes() as u64, g.num_edges())
+    }
+
+    #[test]
+    fn fennel_prefers_partition_with_neighbors() {
+        // Star: node 4 connects to 0..4; nodes 0..2 already on partition 1.
+        let g = Csr::from_edges(5, &[(4, 0), (4, 1), (4, 2), (4, 3)]);
+        let (slice, n, m) = props_for(&g, 2);
+        let prop = LocalProps::new(n, m, 2, &slice);
+        let state = LoadState::new(2);
+        // Pre-place masters: 0,1,2 → partition 1; 3 → partition 0.
+        let local: Vec<std::sync::atomic::AtomicU32> = [1u32, 1, 1, 0, crate::policy::UNASSIGNED]
+            .iter()
+            .map(|&v| std::sync::atomic::AtomicU32::new(v))
+            .collect();
+        let remote = std::collections::HashMap::new();
+        let view = MasterView::Stored {
+            lo: 0,
+            local: &local,
+            remote: &remote,
+        };
+        let f = Fennel {
+            alpha: 0.01,
+            gamma: 1.5,
+        };
+        assert_eq!(f.get_master(&prop, 4, &state, &view), 1);
+        assert_eq!(state.nodes(1), 1);
+    }
+
+    #[test]
+    fn fennel_balances_when_no_neighbors_known() {
+        // With no known neighbors, the size penalty should spread nodes.
+        let g = Csr::from_edges(8, &[]);
+        let (slice, n, m) = props_for(&g, 4);
+        let prop = LocalProps::new(n, m.max(1), 4, &slice);
+        let state = LoadState::new(4);
+        let remote = std::collections::HashMap::new();
+        let local: Vec<std::sync::atomic::AtomicU32> = (0..8)
+            .map(|_| std::sync::atomic::AtomicU32::new(crate::policy::UNASSIGNED))
+            .collect();
+        let f = Fennel {
+            alpha: 1.0,
+            gamma: 1.5,
+        };
+        for v in 0..8u32 {
+            let view = MasterView::Stored {
+                lo: 0,
+                local: &local,
+                remote: &remote,
+            };
+            let p = f.get_master(&prop, v, &state, &view);
+            local[v as usize].store(p, std::sync::atomic::Ordering::Relaxed);
+        }
+        for p in 0..4 {
+            assert_eq!(state.nodes(p), 2, "partition {p} should get 2 nodes");
+        }
+    }
+
+    #[test]
+    fn fennel_eb_delegates_high_degree_to_eb() {
+        let mut edges = Vec::new();
+        for d in 0..50u32 {
+            edges.push((0u32, d % 10));
+        }
+        edges.push((5, 1));
+        let g = Csr::from_edges(10, &edges);
+        let s = setup(10, g.num_edges(), 2, vec![0, 5, 10]);
+        let (slice, n, m) = props_for(&g, 2);
+        let prop = LocalProps::new(n, m, 2, &slice);
+        let rule = FennelEB::new(&s).with_threshold(10);
+        let state = LoadState::new(2);
+        let remote = std::collections::HashMap::new();
+        let local: Vec<std::sync::atomic::AtomicU32> = (0..10)
+            .map(|_| std::sync::atomic::AtomicU32::new(crate::policy::UNASSIGNED))
+            .collect();
+        let view = MasterView::Stored {
+            lo: 0,
+            local: &local,
+            remote: &remote,
+        };
+        // Node 0 has degree 51 > 10 → ContiguousEB says partition 0.
+        assert_eq!(rule.get_master(&prop, 0, &state, &view), 0);
+        // EB path must not touch state (per Algorithm 1).
+        assert_eq!(state.nodes(0), 0);
+        // Node 5 (degree 1) goes through the scored path and updates state.
+        let p = rule.get_master(&prop, 5, &state, &view);
+        assert_eq!(state.nodes(p), 1);
+        assert_eq!(state.edges(p), 1);
+    }
+
+    #[test]
+    fn paper_alpha_formula() {
+        let s = setup(1000, 10_000, 4, vec![0, 0, 0, 0, 0]);
+        let a = paper_alpha(&s);
+        let expect = 10_000.0 * 2.0 / 1000.0f64.powf(1.5);
+        assert!((a - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_partition() {
+        assert_eq!(best_partition(&[0.0, 0.0, 0.0]), 0);
+        assert_eq!(best_partition(&[0.0, 1.0, 1.0]), 1);
+    }
+}

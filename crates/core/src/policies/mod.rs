@@ -1,0 +1,11 @@
+//! Ready-made partitioning rules and the Table II policy catalog.
+
+pub mod catalog;
+pub mod edges;
+pub mod extensions;
+pub mod masters;
+
+pub use catalog::{PolicyKind, ALL_POLICIES};
+pub use edges::{CartesianEdge, CheckerboardEdge, HybridEdge, JaggedEdge, SourceEdge};
+pub use extensions::{HdrfEdge, Ldg};
+pub use masters::{Contiguous, ContiguousEB, Fennel, FennelEB};

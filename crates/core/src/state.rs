@@ -1,0 +1,252 @@
+//! User partitioning state and its synchronization contract.
+//!
+//! Partitioning rules may be history-sensitive (paper §III-A): "each
+//! partitioning rule can define its own custom type to track the state that
+//! can be queried and updated by it. CuSP transparently synchronizes this
+//! state across hosts." Synchronization is periodic and bulk-synchronous in
+//! spirit (§IV-D4): hosts make independent updates to their copy, and at
+//! round boundaries the *deltas* accumulated since the last round are
+//! exchanged and folded into every host's base copy.
+//!
+//! The contract here makes that delta structure explicit: a state exposes a
+//! fixed-length `u64` sync vector. [`PartitionState::take_delta`] drains
+//! the local pending updates (folding them into the local base at the same
+//! time), and [`PartitionState::apply_remote`] folds a peer's delta in.
+//! Because updates are commutative sums, reconciliation is correct no
+//! matter how often it runs — only partition *quality* depends on the
+//! frequency (§IV-D4), which is exactly the knob Table VI/VII sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::PartId;
+
+/// State tracked by a partitioning rule and synchronized by CuSP.
+///
+/// Rules that need no state use `()`, for which every operation is a no-op
+/// and `STATELESS` lets the driver skip synchronization entirely ("if no
+/// partitioning state is used by a policy, then synchronization of that
+/// state is a no-op", §IV-D4).
+pub trait PartitionState: Send + Sync + Sized {
+    /// Whether this state is trivially empty (enables sync elision).
+    const STATELESS: bool;
+
+    /// Creates the initial state for `parts` partitions.
+    fn new(parts: PartId) -> Self;
+
+    /// Length of the delta vector exchanged at sync points.
+    fn sync_len(&self) -> usize {
+        0
+    }
+
+    /// Drains local pending updates into `buf` (which is cleared first) and
+    /// folds them into the local base copy.
+    fn take_delta(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+    }
+
+    /// Folds a remote host's delta into the local base copy.
+    fn apply_remote(&self, _delta: &[u64]) {}
+
+    /// Resets to the initial state, so replaying the same decisions during
+    /// graph construction yields the same answers as edge assignment
+    /// (paper §IV-B4).
+    fn reset(&self) {}
+}
+
+impl PartitionState for () {
+    const STATELESS: bool = true;
+
+    fn new(_parts: PartId) -> Self {}
+}
+
+/// Per-partition load tracking: the `mstate.numNodes[p]` / `numEdges[p]`
+/// arrays used by the Fennel and FennelEB master rules (Algorithm 1).
+///
+/// Thread-safe: rules update it from parallel loops with relaxed atomics.
+/// `base` holds the globally reconciled portion; `delta` holds local
+/// updates not yet exchanged. The visible value is their sum.
+pub struct LoadState {
+    base_nodes: Vec<AtomicU64>,
+    delta_nodes: Vec<AtomicU64>,
+    base_edges: Vec<AtomicU64>,
+    delta_edges: Vec<AtomicU64>,
+}
+
+impl LoadState {
+    /// Current view of nodes assigned to partition `p`.
+    #[inline]
+    pub fn nodes(&self, p: PartId) -> u64 {
+        self.base_nodes[p as usize].load(Ordering::Relaxed)
+            + self.delta_nodes[p as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current view of edges assigned to partition `p`.
+    #[inline]
+    pub fn edges(&self, p: PartId) -> u64 {
+        self.base_edges[p as usize].load(Ordering::Relaxed)
+            + self.delta_edges[p as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records a node (and `edges` out-edges) assigned to partition `p`.
+    #[inline]
+    pub fn add_assignment(&self, p: PartId, edges: u64) {
+        self.delta_nodes[p as usize].fetch_add(1, Ordering::Relaxed);
+        if edges > 0 {
+            self.delta_edges[p as usize].fetch_add(edges, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of partitions tracked.
+    pub fn parts(&self) -> usize {
+        self.base_nodes.len()
+    }
+}
+
+impl PartitionState for LoadState {
+    const STATELESS: bool = false;
+
+    fn new(parts: PartId) -> Self {
+        let make = || (0..parts).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        LoadState {
+            base_nodes: make(),
+            delta_nodes: make(),
+            base_edges: make(),
+            delta_edges: make(),
+        }
+    }
+
+    fn sync_len(&self) -> usize {
+        self.base_nodes.len() * 2
+    }
+
+    fn take_delta(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        for (d, b) in self.delta_nodes.iter().zip(&self.base_nodes) {
+            let v = d.swap(0, Ordering::Relaxed);
+            b.fetch_add(v, Ordering::Relaxed);
+            buf.push(v);
+        }
+        for (d, b) in self.delta_edges.iter().zip(&self.base_edges) {
+            let v = d.swap(0, Ordering::Relaxed);
+            b.fetch_add(v, Ordering::Relaxed);
+            buf.push(v);
+        }
+    }
+
+    fn apply_remote(&self, delta: &[u64]) {
+        let k = self.base_nodes.len();
+        assert_eq!(delta.len(), 2 * k, "malformed LoadState delta");
+        for (b, &v) in self.base_nodes.iter().zip(&delta[..k]) {
+            b.fetch_add(v, Ordering::Relaxed);
+        }
+        for (b, &v) in self.base_edges.iter().zip(&delta[k..]) {
+            b.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    fn reset(&self) {
+        for a in self
+            .base_nodes
+            .iter()
+            .chain(&self.delta_nodes)
+            .chain(&self.base_edges)
+            .chain(&self.delta_edges)
+        {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_state_is_stateless() {
+        const { assert!(<() as PartitionState>::STATELESS) };
+        <() as PartitionState>::new(4);
+        let mut buf = vec![1, 2, 3];
+        ().take_delta(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn load_state_tracks_assignments() {
+        let s = LoadState::new(3);
+        s.add_assignment(1, 10);
+        s.add_assignment(1, 5);
+        s.add_assignment(2, 0);
+        assert_eq!(s.nodes(1), 2);
+        assert_eq!(s.edges(1), 15);
+        assert_eq!(s.nodes(2), 1);
+        assert_eq!(s.edges(2), 0);
+        assert_eq!(s.nodes(0), 0);
+    }
+
+    #[test]
+    fn take_delta_preserves_local_view() {
+        let s = LoadState::new(2);
+        s.add_assignment(0, 7);
+        let mut buf = Vec::new();
+        s.take_delta(&mut buf);
+        assert_eq!(buf, vec![1, 0, 7, 0]);
+        // Local view unchanged: the delta was folded into base.
+        assert_eq!(s.nodes(0), 1);
+        assert_eq!(s.edges(0), 7);
+        // Second take yields zeros.
+        s.take_delta(&mut buf);
+        assert_eq!(buf, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn apply_remote_merges_peers() {
+        let s = LoadState::new(2);
+        s.add_assignment(0, 1);
+        s.apply_remote(&[5, 2, 50, 20]);
+        assert_eq!(s.nodes(0), 6);
+        assert_eq!(s.nodes(1), 2);
+        assert_eq!(s.edges(0), 51);
+        assert_eq!(s.edges(1), 20);
+    }
+
+    #[test]
+    fn two_hosts_converge_to_same_totals() {
+        // Simulate the sync protocol between two host-local states.
+        let a = LoadState::new(2);
+        let b = LoadState::new(2);
+        a.add_assignment(0, 3);
+        b.add_assignment(1, 4);
+        let (mut da, mut db) = (Vec::new(), Vec::new());
+        a.take_delta(&mut da);
+        b.take_delta(&mut db);
+        a.apply_remote(&db);
+        b.apply_remote(&da);
+        for p in 0..2 {
+            assert_eq!(a.nodes(p), b.nodes(p));
+            assert_eq!(a.edges(p), b.edges(p));
+        }
+        assert_eq!(a.nodes(0), 1);
+        assert_eq!(a.edges(1), 4);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let s = LoadState::new(2);
+        s.add_assignment(0, 9);
+        let mut buf = Vec::new();
+        s.take_delta(&mut buf);
+        s.apply_remote(&[1, 1, 1, 1]);
+        s.reset();
+        assert_eq!(s.nodes(0), 0);
+        assert_eq!(s.edges(1), 0);
+        s.take_delta(&mut buf);
+        assert!(buf.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn apply_remote_validates_length() {
+        let s = LoadState::new(2);
+        s.apply_remote(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Partition persistence ("These partitions can be written to disk if
+//! desired", paper §III-A).
+//!
+//! Format (`.part`, little-endian):
+//!
+//! ```text
+//! magic          u64   0x5452_4150_5355_43 ("CUSPART")
+//! version        u64   1
+//! part_id        u32
+//! num_parts      u32
+//! global_nodes   u64
+//! global_edges   u64
+//! num_masters    u64
+//! num_local      u64
+//! class          u8    (0 = OutEdgeCut, 1 = TwoDimensional, 2 = GeneralVertexCut)
+//! weighted       u8    (1 = per-edge u32 data follows dests)
+//! local2global   u32 × num_local
+//! master_of      u32 × num_local
+//! offsets        u64 × (num_local + 1)
+//! dests          u32 × num_edges
+//! data           u32 × num_edges   (weighted only)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use cusp_graph::Csr;
+
+use crate::dist_graph::{DistGraph, PartitionClass};
+
+const MAGIC: u64 = 0x0054_5241_5053_5543;
+const VERSION: u64 = 1;
+
+fn class_tag(c: PartitionClass) -> u8 {
+    match c {
+        PartitionClass::OutEdgeCut => 0,
+        PartitionClass::TwoDimensional => 1,
+        PartitionClass::GeneralVertexCut => 2,
+    }
+}
+
+fn class_from(tag: u8) -> io::Result<PartitionClass> {
+    Ok(match tag {
+        0 => PartitionClass::OutEdgeCut,
+        1 => PartitionClass::TwoDimensional,
+        2 => PartitionClass::GeneralVertexCut,
+        t => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown partition class tag {t}"),
+            ))
+        }
+    })
+}
+
+/// Writes one partition to `path`.
+pub fn write_partition(path: &Path, dg: &DistGraph) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&dg.part_id.to_le_bytes())?;
+    w.write_all(&dg.num_parts.to_le_bytes())?;
+    w.write_all(&dg.global_nodes.to_le_bytes())?;
+    w.write_all(&dg.global_edges.to_le_bytes())?;
+    w.write_all(&(dg.num_masters as u64).to_le_bytes())?;
+    w.write_all(&(dg.num_local() as u64).to_le_bytes())?;
+    w.write_all(&[class_tag(dg.class)])?;
+    w.write_all(&[u8::from(dg.edge_data.is_some())])?;
+    for &g in &dg.local2global {
+        w.write_all(&g.to_le_bytes())?;
+    }
+    for &m in &dg.master_of {
+        w.write_all(&m.to_le_bytes())?;
+    }
+    for &o in dg.graph.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &d in dg.graph.dests() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    if let Some(data) = &dg.edge_data {
+        for &x in data {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads a partition written by [`write_partition`].
+pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if read_u64(&mut r)? != MAGIC {
+        return Err(bad("bad partition magic".into()));
+    }
+    let version = read_u64(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported partition version {version}")));
+    }
+    let part_id = read_u32(&mut r)?;
+    let num_parts = read_u32(&mut r)?;
+    let global_nodes = read_u64(&mut r)?;
+    let global_edges = read_u64(&mut r)?;
+    let num_masters = read_u64(&mut r)? as usize;
+    let num_local = read_u64(&mut r)? as usize;
+    let mut tag = [0u8; 2];
+    r.read_exact(&mut tag)?;
+    let class = class_from(tag[0])?;
+    let weighted = tag[1] != 0;
+    if num_masters > num_local {
+        return Err(bad("num_masters exceeds num_local".into()));
+    }
+    let mut local2global = Vec::with_capacity(num_local);
+    for _ in 0..num_local {
+        local2global.push(read_u32(&mut r)?);
+    }
+    let mut master_of = Vec::with_capacity(num_local);
+    for _ in 0..num_local {
+        master_of.push(read_u32(&mut r)?);
+    }
+    let mut offsets = Vec::with_capacity(num_local + 1);
+    for _ in 0..=num_local {
+        offsets.push(read_u64(&mut r)?);
+    }
+    let num_edges = *offsets.last().unwrap_or(&0) as usize;
+    let mut dests = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        dests.push(read_u32(&mut r)?);
+    }
+    let edge_data = if weighted {
+        let mut data = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            data.push(read_u32(&mut r)?);
+        }
+        Some(data)
+    } else {
+        None
+    };
+    Ok(DistGraph {
+        part_id,
+        num_parts,
+        global_nodes,
+        global_edges,
+        num_masters,
+        local2global,
+        master_of,
+        graph: Csr::from_parts(offsets, dests),
+        edge_data,
+        class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistGraph {
+        DistGraph {
+            part_id: 1,
+            num_parts: 4,
+            global_nodes: 100,
+            global_edges: 500,
+            num_masters: 2,
+            local2global: vec![10, 20, 5, 99],
+            master_of: vec![1, 1, 0, 3],
+            graph: Csr::from_edges(4, &[(0, 2), (0, 3), (1, 2)]),
+            edge_data: Some(vec![7, 8, 9]),
+            class: PartitionClass::TwoDimensional,
+        }
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cusp-storage-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let dg = sample();
+        let path = temp("roundtrip.part");
+        write_partition(&path, &dg).unwrap();
+        let back = read_partition(&path).unwrap();
+        assert_eq!(back.part_id, dg.part_id);
+        assert_eq!(back.num_parts, dg.num_parts);
+        assert_eq!(back.global_nodes, dg.global_nodes);
+        assert_eq!(back.global_edges, dg.global_edges);
+        assert_eq!(back.num_masters, dg.num_masters);
+        assert_eq!(back.local2global, dg.local2global);
+        assert_eq!(back.master_of, dg.master_of);
+        assert_eq!(back.graph, dg.graph);
+        assert_eq!(back.edge_data, dg.edge_data);
+        assert_eq!(back.class, dg.class);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = temp("garbage.part");
+        std::fs::write(&path, vec![7u8; 128]).unwrap();
+        assert!(read_partition(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let dg = sample();
+        let path = temp("trunc.part");
+        write_partition(&path, &dg).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_partition(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! Message tags used by the partitioning phases.
+//!
+//! Each protocol stage has its own tag so that its FIFO mailbox never
+//! interleaves with another stage's (the fabric guarantees per-(src, dst,
+//! tag) ordering).
+
+use cusp_net::Tag;
+
+/// Master phase: each host's initial request list of neighbor masters.
+pub const TAG_MASTER_REQ: Tag = Tag(1);
+
+/// Master phase: periodic sync messages and the final flush (a header byte
+/// distinguishes `SYNC` from `FINAL`; `FINAL` is the last message a peer
+/// sends on this tag).
+pub const TAG_MASTER_SYNC: Tag = Tag(2);
+
+/// Edge assignment phase: per-peer metadata (counts, mirrors, masters).
+pub const TAG_EDGE_META: Tag = Tag(5);
+
+/// Construction phase: buffered edge payloads.
+pub const TAG_EDGES: Tag = Tag(7);
+
+/// Header byte: a periodic master-sync message (more may follow).
+pub const MSG_SYNC: u8 = 0;
+/// Header byte: the peer's final master-sync message.
+pub const MSG_FINAL: u8 = 1;
+
+/// Header byte: an edge-assignment metadata message with no content.
+pub const META_EMPTY: u8 = 0;
+/// Header byte: a full edge-assignment metadata message.
+pub const META_FULL: u8 = 1;

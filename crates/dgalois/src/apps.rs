@@ -1,0 +1,117 @@
+//! The paper's four evaluation applications (§V-A): bfs, cc, sssp here,
+//! pagerank in [`crate::pagerank::pagerank`].
+
+use std::time::Duration;
+use std::time::Instant;
+
+use cusp::DistGraph;
+use cusp_galois::ThreadPool;
+use cusp_net::Comm;
+
+use crate::engine::min_propagate;
+use crate::plan::SyncPlan;
+use crate::{edge_weight, INF};
+
+/// Result of one distributed app run on one host.
+pub struct AppRun {
+    /// Bulk-synchronous rounds to convergence.
+    pub rounds: u32,
+    /// Wall-clock time of the run on this host.
+    pub elapsed: Duration,
+    /// `(global id, value)` for every master on this host — collectively,
+    /// the authoritative answer.
+    pub master_values: Vec<(u32, u64)>,
+}
+
+fn collect_masters(dg: &DistGraph, values: &[u64]) -> Vec<(u32, u64)> {
+    (0..dg.num_masters as u32)
+        .map(|l| (dg.global_of(l), values[l as usize]))
+        .collect()
+}
+
+/// Breadth-first search from `source` (paper: the max-out-degree node).
+/// Unreached vertices hold [`INF`].
+pub fn bfs(comm: &Comm, pool: &ThreadPool, dg: &DistGraph, plan: &SyncPlan, source: u32) -> AppRun {
+    comm.set_phase("app:bfs");
+    let t = Instant::now();
+    let r = min_propagate(
+        comm,
+        pool,
+        dg,
+        plan,
+        |g| if g == source { 0 } else { INF },
+        |_, _| 1,
+    );
+    AppRun {
+        rounds: r.rounds,
+        elapsed: t.elapsed(),
+        master_values: collect_masters(dg, &r.values),
+    }
+}
+
+/// Single-source shortest paths with the deterministic synthetic weights
+/// of [`edge_weight`]. Bellman-Ford-style relaxation.
+pub fn sssp(comm: &Comm, pool: &ThreadPool, dg: &DistGraph, plan: &SyncPlan, source: u32) -> AppRun {
+    comm.set_phase("app:sssp");
+    let t = Instant::now();
+    let r = min_propagate(
+        comm,
+        pool,
+        dg,
+        plan,
+        |g| if g == source { 0 } else { INF },
+        edge_weight,
+    );
+    AppRun {
+        rounds: r.rounds,
+        elapsed: t.elapsed(),
+        master_values: collect_masters(dg, &r.values),
+    }
+}
+
+/// Single-source shortest paths over **stored** per-edge data
+/// (`DistGraph::edge_data` from a weighted `.bgr` input).
+///
+/// # Panics
+/// Panics if the partition carries no edge data.
+pub fn sssp_weighted(
+    comm: &Comm,
+    pool: &ThreadPool,
+    dg: &DistGraph,
+    plan: &SyncPlan,
+    source: u32,
+) -> AppRun {
+    let data = dg
+        .edge_data
+        .as_ref()
+        .expect("sssp_weighted requires a weighted partition");
+    comm.set_phase("app:sssp");
+    let t = Instant::now();
+    let r = crate::engine::min_propagate_indexed(
+        comm,
+        pool,
+        dg,
+        plan,
+        |g| if g == source { 0 } else { INF },
+        |_l, e, _dl| data[e] as u64,
+    );
+    AppRun {
+        rounds: r.rounds,
+        elapsed: t.elapsed(),
+        master_values: collect_masters(dg, &r.values),
+    }
+}
+
+/// Connected components by min-label propagation. The partitions must be
+/// built from the **symmetrized** graph (paper §V-A: "cc uses partitions
+/// of the undirected or symmetric versions of the graphs").
+pub fn cc(comm: &Comm, pool: &ThreadPool, dg: &DistGraph, plan: &SyncPlan) -> AppRun {
+    comm.set_phase("app:cc");
+    let t = Instant::now();
+    let r = min_propagate(comm, pool, dg, plan, |g| g as u64, |_, _| 0);
+    AppRun {
+        rounds: r.rounds,
+        elapsed: t.elapsed(),
+        master_values: collect_masters(dg, &r.values),
+    }
+}

@@ -1,0 +1,287 @@
+//! Gluon-style synchronization plan (paper §V-C's "communication
+//! optimizations in D-Galois").
+//!
+//! Built once per partition, the plan precomputes, for every peer:
+//!
+//! * **reduce** — which of my mirror proxies report to masters on that
+//!   peer, and (statically) whether any traffic can flow in each
+//!   direction, so empty-round messages are only exchanged on links that
+//!   can ever carry data;
+//! * **broadcast** — which of my master proxies that peer *subscribed* to.
+//!   A mirror subscribes only if it has local out-edges: a value that is
+//!   never read locally need not be refreshed. This single rule yields the
+//!   paper's invariant-specific behaviours — edge-cut mirrors have no
+//!   out-edges (no broadcast at all), CVC mirrors confine partners to the
+//!   grid row/column, and general vertex-cuts broadcast widely.
+
+use cusp::DistGraph;
+use cusp_net::{Comm, Tag, WireReader, WireWriter};
+
+/// Tag for the one-time plan exchange.
+pub const TAG_PLAN: Tag = Tag(10);
+/// Tag for mirror→master reduction rounds.
+pub const TAG_REDUCE: Tag = Tag(11);
+/// Tag for master→mirror broadcast rounds.
+pub const TAG_BCAST: Tag = Tag(12);
+
+/// Precomputed synchronization lists for one partition.
+pub struct SyncPlan {
+    /// `reduce_out[p]`: local ids of my mirrors whose master is on `p`.
+    pub reduce_out: Vec<Vec<u32>>,
+    /// Hosts that will send me reduce messages (they own mirrors of my
+    /// masters).
+    pub reduce_in_from: Vec<usize>,
+    /// `bcast_out[p]`: local ids of my masters that host `p` subscribed to.
+    pub bcast_out: Vec<Vec<u32>>,
+    /// Hosts that will send me broadcast messages (I subscribed to ≥ 1 of
+    /// their masters).
+    pub bcast_in_from: Vec<usize>,
+}
+
+impl SyncPlan {
+    /// Builds the plan with one metadata exchange.
+    pub fn build(comm: &Comm, dg: &DistGraph) -> SyncPlan {
+        let k = comm.num_hosts();
+        let me = comm.host();
+
+        // Mirrors grouped by master owner.
+        let mut reduce_out: Vec<Vec<u32>> = vec![Vec::new(); k];
+        // My subscriptions: mirrors with local out-edges, grouped by owner.
+        let mut subscriptions: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for l in dg.num_masters as u32..dg.num_local() as u32 {
+            let owner = dg.master_of[l as usize] as usize;
+            debug_assert_ne!(owner, me);
+            reduce_out[owner].push(l);
+            if dg.graph.out_degree(l) > 0 {
+                subscriptions[owner].push(l);
+            }
+        }
+
+        // Exchange subscriptions (as global ids) so owners can build their
+        // broadcast lists; the same message advertises whether we will send
+        // reduce traffic at all.
+        for peer in 0..k {
+            if peer == me {
+                continue;
+            }
+            let globals: Vec<u32> = subscriptions[peer]
+                .iter()
+                .map(|&l| dg.global_of(l))
+                .collect();
+            let mut w = WireWriter::with_capacity(9 + globals.len() * 4);
+            w.put_u8(u8::from(!reduce_out[peer].is_empty()));
+            w.put_u32_slice(&globals);
+            comm.send_bytes(peer, TAG_PLAN, w.finish());
+        }
+
+        let mut bcast_out: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut reduce_in_from = Vec::new();
+        // recv_from (not recv_any): per-source FIFO keeps this step from
+        // consuming messages of a later exchange on the same tag.
+        for src in (0..k).filter(|&p| p != me) {
+            let payload = comm.recv_from(src, TAG_PLAN);
+            let mut r = WireReader::new(payload);
+            let sends_reduce = r.get_u8().expect("malformed plan") != 0;
+            if sends_reduce {
+                reduce_in_from.push(src);
+            }
+            let subs = r.get_u32_vec().expect("malformed plan subscriptions");
+            bcast_out[src] = subs
+                .iter()
+                .map(|&g| {
+                    let l = dg.local_of(g).expect("subscribed to absent vertex");
+                    debug_assert!(dg.is_master(l), "subscription to a non-master");
+                    l
+                })
+                .collect();
+        }
+        reduce_in_from.sort_unstable();
+        let mut bcast_in_from: Vec<usize> = (0..k)
+            .filter(|&p| p != me && !subscriptions[p].is_empty())
+            .collect();
+        bcast_in_from.sort_unstable();
+
+        SyncPlan {
+            reduce_out,
+            reduce_in_from,
+            bcast_out,
+            bcast_in_from,
+        }
+    }
+
+    /// Hosts I send reduce messages to every round.
+    pub fn reduce_targets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.reduce_out
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(p, _)| p)
+    }
+
+    /// Hosts I send broadcast messages to every round.
+    pub fn bcast_targets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bcast_out
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(p, _)| p)
+    }
+
+    /// Number of distinct communication partners (either direction).
+    pub fn partner_count(&self) -> usize {
+        let mut partners: Vec<usize> = self
+            .reduce_targets()
+            .chain(self.bcast_targets())
+            .chain(self.reduce_in_from.iter().copied())
+            .chain(self.bcast_in_from.iter().copied())
+            .collect();
+        partners.sort_unstable();
+        partners.dedup();
+        partners.len()
+    }
+}
+
+/// Computes each proxy's **global** out-degree (sum of the local
+/// out-degrees of all its proxies) via one reduce + broadcast round.
+/// Needed by pagerank, whose contribution per edge divides by the global
+/// out-degree even though a vertex-cut spreads the edges across hosts.
+pub fn global_out_degrees(comm: &Comm, dg: &DistGraph, plan: &SyncPlan) -> Vec<u64> {
+    let n = dg.num_local();
+    let mut deg: Vec<u64> = (0..n as u32).map(|l| dg.graph.out_degree(l)).collect();
+
+    // Reduce: mirrors report their local degree to the master owner.
+    for p in plan.reduce_targets() {
+        let mut w = WireWriter::new();
+        let list = &plan.reduce_out[p];
+        w.put_u64(list.len() as u64);
+        for &l in list {
+            w.put_u32(dg.global_of(l));
+            w.put_u64(deg[l as usize]);
+        }
+        comm.send_bytes(p, TAG_PLAN, w.finish());
+    }
+    for &src in &plan.reduce_in_from {
+        let payload = comm.recv_from(src, TAG_PLAN);
+        let mut r = WireReader::new(payload);
+        let cnt = r.get_u64().expect("malformed degree reduce");
+        for _ in 0..cnt {
+            let g = r.get_u32().expect("malformed degree pair");
+            let d = r.get_u64().expect("malformed degree pair");
+            let l = dg.local_of(g).expect("degree for absent vertex");
+            deg[l as usize] += d;
+        }
+    }
+
+    // Broadcast: masters publish the global degree to subscribers.
+    for p in plan.bcast_targets() {
+        let mut w = WireWriter::new();
+        let list = &plan.bcast_out[p];
+        w.put_u64(list.len() as u64);
+        for &l in list {
+            w.put_u32(dg.global_of(l));
+            w.put_u64(deg[l as usize]);
+        }
+        comm.send_bytes(p, TAG_PLAN, w.finish());
+    }
+    for &src in &plan.bcast_in_from {
+        let payload = comm.recv_from(src, TAG_PLAN);
+        let mut r = WireReader::new(payload);
+        let cnt = r.get_u64().expect("malformed degree bcast");
+        for _ in 0..cnt {
+            let g = r.get_u32().expect("malformed degree pair");
+            let d = r.get_u64().expect("malformed degree pair");
+            let l = dg.local_of(g).expect("degree for absent vertex");
+            deg[l as usize] = d;
+        }
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+    use cusp_graph::gen::uniform::erdos_renyi;
+    use cusp_net::Cluster;
+    use std::sync::Arc;
+
+    fn plans_for(kind: PolicyKind, k: usize) -> Vec<(SyncPlan, DistGraph)> {
+        let g = Arc::new(erdos_renyi(400, 4000, 7));
+        let out = Cluster::run(k, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            );
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            (plan, p.dist_graph)
+        });
+        out.results
+    }
+
+    #[test]
+    fn edge_cut_has_no_broadcast_traffic() {
+        // EEC: all out-edges of a vertex are with its master, so mirrors
+        // have no out-edges and never subscribe.
+        for (plan, _dg) in plans_for(PolicyKind::Eec, 4) {
+            assert_eq!(plan.bcast_targets().count(), 0);
+            assert!(plan.bcast_in_from.is_empty());
+        }
+    }
+
+    #[test]
+    fn vertex_cut_broadcasts() {
+        // Under HVC a hub above the degree threshold scatters its edges to
+        // destination masters, so its proxies on other hosts have
+        // out-edges and must subscribe to broadcasts.
+        let mut edges: Vec<(u32, u32)> = (1..1500u32).map(|d| (0, d % 400)).collect();
+        edges.extend((1..100u32).map(|i| (i, i + 1)));
+        let g = Arc::new(cusp_graph::Csr::from_edges(400, &edges));
+        let out = Cluster::run(4, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                PolicyKind::Hvc,
+                &CuspConfig::default(),
+            );
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            plan.bcast_out.iter().map(Vec::len).sum::<usize>()
+        });
+        let total_subs: usize = out.results.iter().sum();
+        assert!(total_subs > 0, "HVC with a hub should require broadcast");
+    }
+
+    #[test]
+    fn reduce_lists_cover_all_mirrors() {
+        for (plan, dg) in plans_for(PolicyKind::Cvc, 4) {
+            let listed: usize = plan.reduce_out.iter().map(Vec::len).sum();
+            assert_eq!(listed, dg.num_mirrors());
+        }
+    }
+
+    #[test]
+    fn global_degrees_match_original_graph() {
+        let g = Arc::new(erdos_renyi(300, 3600, 11));
+        let g2 = Arc::clone(&g);
+        let out = Cluster::run(4, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g2.clone()),
+                PolicyKind::Hvc,
+                &CuspConfig::default(),
+            );
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            let deg = global_out_degrees(comm, &p.dist_graph, &plan);
+            // Report (global id, degree) for masters.
+            (0..p.dist_graph.num_masters as u32)
+                .map(|l| (p.dist_graph.global_of(l), deg[l as usize]))
+                .collect::<Vec<_>>()
+        });
+        for host in out.results {
+            for (gid, deg) in host {
+                assert_eq!(deg, g.out_degree(gid), "global degree of {gid}");
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Single-host reference implementations — the oracles the distributed
+//! apps are tested against.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use cusp_graph::{Csr, Node};
+
+use crate::{edge_weight, INF};
+
+/// Sequential BFS distances from `source`.
+pub fn bfs_ref(g: &Csr, source: Node) -> Vec<u64> {
+    let mut dist = vec![INF; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.edges(u) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential Dijkstra from `source` with the synthetic [`edge_weight`]s.
+pub fn sssp_ref(g: &Csr, source: Node) -> Vec<u64> {
+    let mut dist = vec![INF; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in g.edges(u) {
+            let nd = d + edge_weight(u, v);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential connected components on a **symmetric** graph: every vertex
+/// is labeled with the minimum global id in its component.
+pub fn cc_ref(g: &Csr) -> Vec<u64> {
+    let n = g.num_nodes();
+    let mut label = vec![INF; n];
+    for start in 0..n as Node {
+        if label[start as usize] != INF {
+            continue;
+        }
+        // BFS the component; `start` is the smallest unvisited id, so it
+        // is the component minimum.
+        label[start as usize] = start as u64;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.edges(u) {
+                if label[v as usize] == INF {
+                    label[v as usize] = start as u64;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Sequential PageRank with the same formula, initialization, and
+/// termination rule as [`crate::pagerank::pagerank`].
+pub fn pagerank_ref(g: &Csr, damping: f64, tolerance: f64, max_iterations: u32) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as Node {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = rank[u as usize] / deg as f64;
+            for &v in g.edges(u) {
+                next[v as usize] += share;
+            }
+        }
+        let mut delta = 0.0;
+        for v in 0..n {
+            let r = (1.0 - damping) / nf + damping * next[v];
+            delta += (r - rank[v]).abs();
+            rank[v] = r;
+        }
+        if delta < tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Csr {
+        // 0 → 1 → 2 → 3, plus shortcut 0 → 3
+        Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let d = bfs_ref(&path_graph(), 0);
+        assert_eq!(d, vec![0, 1, 2, 1]);
+        let d1 = bfs_ref(&path_graph(), 1);
+        assert_eq!(d1, vec![INF, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sssp_uses_weights() {
+        let g = path_graph();
+        let d = sssp_ref(&g, 0);
+        assert_eq!(d[0], 0);
+        // Distance to 3 is min of the direct edge and the 3-hop path.
+        let direct = edge_weight(0, 3);
+        let threehop = edge_weight(0, 1) + edge_weight(1, 2) + edge_weight(2, 3);
+        assert_eq!(d[3], direct.min(threehop));
+    }
+
+    #[test]
+    fn cc_labels_components_by_min_id() {
+        // Components {0,1} and {2,3,4} plus isolated 5, symmetric edges.
+        let g = Csr::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 2), (3, 4), (4, 3)]);
+        let l = cc_ref(&g);
+        assert_eq!(l, vec![0, 0, 2, 2, 2, 5]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_less_than_one_and_ranks_hubs() {
+        // Star into node 0: everyone links to 0.
+        let g = Csr::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let r = pagerank_ref(&g, 0.85, 1e-12, 200);
+        assert!(r[0] > r[1] * 3.0, "hub should dominate: {r:?}");
+        // Total mass ≤ 1 (dangling node 0 leaks mass in this formulation).
+        let total: f64 = r.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank_ref(&g, 0.85, 1e-12, 500);
+        for v in &r {
+            assert!((v - 0.25).abs() < 1e-9, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Parallel-for over index ranges with guided dynamic chunking.
+//!
+//! All threads pull chunks from a shared atomic cursor. Chunk sizes start
+//! large (`remaining / (threads * OVERSUBSCRIPTION)`) and shrink toward the
+//! grain size as the range drains, which amortizes dispatch overhead while
+//! still letting fast threads absorb the tail — the same load-balancing
+//! effect as Galois `do_all` with work stealing for range loops.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::ThreadPool;
+
+/// How many chunks per thread a guided schedule aims to create, so that the
+/// tail of the range is split fine enough to rebalance.
+const OVERSUBSCRIPTION: usize = 4;
+
+#[inline]
+fn next_chunk(cursor: &AtomicUsize, n: usize, threads: usize, grain: usize) -> Option<(usize, usize)> {
+    loop {
+        let start = cursor.load(Ordering::Relaxed);
+        if start >= n {
+            return None;
+        }
+        let remaining = n - start;
+        let guided = remaining / (threads * OVERSUBSCRIPTION);
+        let size = guided.max(grain).min(remaining);
+        match cursor.compare_exchange_weak(
+            start,
+            start + size,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some((start, start + size)),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel on `pool`.
+///
+/// `grain` is the minimum chunk size; use [`crate::DEFAULT_GRAIN`] unless
+/// the loop body is unusually heavy (grain 1) or trivial (larger grain).
+pub fn do_all<F>(pool: &ThreadPool, n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    if n == 0 {
+        return;
+    }
+    // Tiny ranges: not worth waking the pool.
+    if n <= grain {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let threads = pool.threads();
+    pool.run(|_tid| {
+        while let Some((lo, hi)) = next_chunk(&cursor, n, threads, grain) {
+            for i in lo..hi {
+                f(i);
+            }
+        }
+    });
+}
+
+/// Like [`do_all`] but also passes the worker's thread id, for use with
+/// [`crate::accum::PerThread`] storage.
+///
+/// Note: unlike `do_all`, this always dispatches to the pool (even for tiny
+/// ranges) so that `tid` is always a genuine worker id in `0..threads`.
+pub fn do_all_with_tid<F>(pool: &ThreadPool, n: usize, grain: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let grain = grain.max(1);
+    if n == 0 {
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let threads = pool.threads();
+    pool.run(|tid| {
+        while let Some((lo, hi)) = next_chunk(&cursor, n, threads, grain) {
+            for i in lo..hi {
+                f(tid, i);
+            }
+        }
+    });
+}
+
+/// Runs `f(&items[i])` for every item of the slice in parallel.
+pub fn do_all_items<T, F>(pool: &ThreadPool, items: &[T], grain: usize, f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    do_all(pool, items.len(), grain, |i| f(&items[i]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        do_all(&pool, n, 8, |i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = ThreadPool::new(2);
+        do_all(&pool, 0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn tiny_range_runs_inline() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicU64::new(0);
+        do_all(&pool, 3, 64, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn with_tid_passes_valid_tids() {
+        let pool = ThreadPool::new(3);
+        do_all_with_tid(&pool, 1000, 4, |tid, _i| {
+            assert!(tid < 3);
+        });
+    }
+
+    #[test]
+    fn items_variant_sums_slice() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..5000).collect();
+        let sum = AtomicU64::new(0);
+        do_all_items(&pool, &items, 16, |&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..5000u64).sum());
+    }
+
+    #[test]
+    fn skewed_work_is_balanced() {
+        // One index is 1000x heavier; the loop must still finish (liveness
+        // smoke test for guided chunking).
+        let pool = ThreadPool::new(4);
+        let sum = AtomicU64::new(0);
+        do_all(&pool, 512, 1, |i| {
+            let reps = if i == 0 { 1000 } else { 1 };
+            let mut acc = 0u64;
+            for r in 0..reps {
+                acc = acc.wrapping_add(r);
+            }
+            sum.fetch_add(acc.max(1), Ordering::Relaxed);
+        });
+        assert!(sum.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Data-driven worklist execution — Galois's `for_each`.
+//!
+//! Unlike [`fn@crate::do_all::do_all`], which iterates a fixed range, `for_each`
+//! processes a dynamic worklist: operator applications may *push new work*
+//! (e.g. relaxing an edge activates its endpoint). Work lives in per-worker
+//! Chase–Lev deques with stealing, seeded from a shared injector;
+//! termination is detected with a global in-flight counter — the loop ends
+//! exactly when every pushed item has been processed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::pool::ThreadPool;
+
+/// Handle through which an operator pushes follow-up work.
+pub struct WorklistHandle<'a, T: Send> {
+    local: &'a Worker<T>,
+    pending: &'a AtomicUsize,
+}
+
+impl<T: Send> WorklistHandle<'_, T> {
+    /// Schedules `item` for processing (LIFO on the pushing worker's
+    /// deque, which gives the cache-friendly depth-first order Galois
+    /// defaults to).
+    #[inline]
+    pub fn push(&self, item: T) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        self.local.push(item);
+    }
+}
+
+/// Processes `initial` and everything transitively pushed by `op` until the
+/// worklist drains. `op` may run concurrently on all pool threads; items
+/// are processed at-least-once semantics only if the caller pushes
+/// duplicates — each *pushed* item is processed exactly once.
+///
+/// ```
+/// use cusp_galois::{for_each, ThreadPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(2);
+/// let visits = AtomicU64::new(0);
+/// // Count down from 5: each item pushes its predecessor.
+/// for_each(&pool, vec![5u32], |x, wl| {
+///     visits.fetch_add(1, Ordering::Relaxed);
+///     if x > 0 {
+///         wl.push(x - 1);
+///     }
+/// });
+/// assert_eq!(visits.load(Ordering::Relaxed), 6);
+/// ```
+pub fn for_each<T, F>(pool: &ThreadPool, initial: Vec<T>, op: F)
+where
+    T: Send,
+    F: Fn(T, &WorklistHandle<T>) + Sync,
+{
+    let pending = AtomicUsize::new(initial.len());
+    if initial.is_empty() {
+        return;
+    }
+    let injector: Injector<T> = Injector::new();
+    for item in initial {
+        injector.push(item);
+    }
+    let threads = pool.threads();
+    let workers: Vec<Worker<T>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<T>> = workers.iter().map(|w| w.stealer()).collect();
+    let slots: Vec<parking_lot::Mutex<Option<Worker<T>>>> = workers
+        .into_iter()
+        .map(|w| parking_lot::Mutex::new(Some(w)))
+        .collect();
+
+    pool.run(|tid| {
+        let local = slots[tid].lock().take().expect("worker deque taken twice");
+        let handle = WorklistHandle {
+            local: &local,
+            pending: &pending,
+        };
+        loop {
+            // Find one item: local LIFO → injector → steal from peers.
+            let item = local.pop().or_else(|| {
+                loop {
+                    match injector.steal() {
+                        Steal::Success(t) => return Some(t),
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+                for off in 1..threads {
+                    let victim = (tid + off) % threads;
+                    loop {
+                        match stealers[victim].steal() {
+                            Steal::Success(t) => return Some(t),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                }
+                None
+            });
+            match item {
+                Some(t) => {
+                    op(t, &handle);
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                None => {
+                    // No visible work: finished only when nothing is
+                    // in flight anywhere (a running operator may still
+                    // push).
+                    if pending.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        *slots[tid].lock() = Some(local);
+    });
+    debug_assert_eq!(pending.load(Ordering::Relaxed), 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn processes_initial_items() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicU64::new(0);
+        for_each(&pool, (0u64..1000).collect(), |x, _wl| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..1000u64).sum());
+    }
+
+    #[test]
+    fn pushed_work_is_processed() {
+        // Each item < LIMIT pushes its doubles: counts a binary expansion.
+        const LIMIT: u64 = 4096;
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        for_each(&pool, vec![1u64], |x, wl| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if x * 2 < LIMIT {
+                wl.push(x * 2);
+                wl.push(x * 2 + 1);
+            }
+        });
+        // Items are exactly 1..LIMIT (a complete binary heap layout).
+        assert_eq!(count.load(Ordering::Relaxed), LIMIT - 1);
+    }
+
+    #[test]
+    fn empty_initial_is_noop() {
+        let pool = ThreadPool::new(2);
+        for_each(&pool, Vec::<u64>::new(), |_x, _wl| {
+            panic!("no work expected")
+        });
+    }
+
+    #[test]
+    fn asynchronous_bfs_matches_level_bfs() {
+        // Classic worklist algorithm: relax-based BFS with re-activation.
+        use std::sync::atomic::AtomicU64 as A;
+        let pool = ThreadPool::new(4);
+        // A random-ish layered digraph.
+        let n = 2000usize;
+        let mut edges = Vec::new();
+        let mut x = 12345u64;
+        let mut rng = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..(n * 4) {
+            let u = (rng() % n as u64) as u32;
+            let v = (rng() % n as u64) as u32;
+            edges.push((u, v));
+        }
+        // CSR without pulling in cusp-graph (dev-dep direction).
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in edges {
+            adj[u as usize].push(v);
+        }
+        let dist: Vec<A> = (0..n).map(|_| A::new(u64::MAX)).collect();
+        dist[0].store(0, Ordering::Relaxed);
+        for_each(&pool, vec![0u32], |u, wl| {
+            let du = dist[u as usize].load(Ordering::Relaxed);
+            for &v in &adj[u as usize] {
+                let cand = du + 1;
+                if dist[v as usize].fetch_min(cand, Ordering::Relaxed) > cand {
+                    wl.push(v);
+                }
+            }
+        });
+        // Reference: level-synchronous BFS.
+        let mut expect = vec![u64::MAX; n];
+        expect[0] = 0;
+        let mut frontier = vec![0u32];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &adj[u as usize] {
+                    if expect[v as usize] == u64::MAX {
+                        expect[v as usize] = expect[u as usize] + 1;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for v in 0..n {
+            assert_eq!(dist[v].load(Ordering::Relaxed), expect[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let count = AtomicU64::new(0);
+        for_each(&pool, vec![10u32], |x, wl| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if x > 0 {
+                wl.push(x - 1);
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 11);
+    }
+}

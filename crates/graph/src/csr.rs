@@ -1,0 +1,395 @@
+//! Compressed Sparse Row graphs.
+//!
+//! [`Csr`] stores a directed graph as an offsets array (`num_nodes + 1`
+//! entries) plus a flat destination array. A CSC graph of the same edge set
+//! is just the [`Csr::transpose`] — CuSP constructs CSC partitions via an
+//! in-memory transpose of the CSR it built (paper Algorithm 4, line 13).
+
+use crate::{EdgeIdx, Node};
+
+/// An immutable CSR graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `dests` for vertex `v`.
+    offsets: Vec<EdgeIdx>,
+    /// Flat destination array.
+    dests: Vec<Node>,
+}
+
+impl Csr {
+    /// Creates a CSR from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone, don't start at 0, or don't
+    /// end at `dests.len()`.
+    pub fn from_parts(offsets: Vec<EdgeIdx>, dests: Vec<Node>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at zero");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            dests.len() as EdgeIdx,
+            "offsets must end at the edge count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        Csr { offsets, dests }
+    }
+
+    /// Builds a CSR with `n` nodes from an unsorted edge list, using a
+    /// counting sort over sources (stable: parallel edges preserved in
+    /// input order).
+    ///
+    /// ```
+    /// use cusp_graph::Csr;
+    /// let g = Csr::from_edges(3, &[(2, 0), (0, 1), (0, 2)]);
+    /// assert_eq!(g.edges(0), &[1, 2]);
+    /// assert_eq!(g.out_degree(2), 1);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(Node, Node)]) -> Self {
+        let mut degree = vec![0 as EdgeIdx; n];
+        for &(u, _) in edges {
+            assert!((u as usize) < n, "source {u} out of range ({n} nodes)");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0 as EdgeIdx; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut dests = vec![0 as Node; edges.len()];
+        for &(u, v) in edges {
+            assert!((v as usize) < n, "destination {v} out of range ({n} nodes)");
+            dests[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        Csr { offsets, dests }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: Node) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Outgoing neighbors of `v`.
+    #[inline]
+    pub fn edges(&self, v: Node) -> &[Node] {
+        &self.dests[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Index of the first outgoing edge of `v` in the global edge order
+    /// (`prop.getNodeOutEdge(v, 0)` in the paper's pseudocode).
+    #[inline]
+    pub fn first_edge(&self, v: Node) -> EdgeIdx {
+        self.offsets[v as usize]
+    }
+
+    /// The offsets array (length `num_nodes + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[EdgeIdx] {
+        &self.offsets
+    }
+
+    /// The flat destination array.
+    #[inline]
+    pub fn dests(&self) -> &[Node] {
+        &self.dests
+    }
+
+    /// Iterates all edges as `(src, dst)` pairs in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.edges(u as Node)
+                .iter()
+                .map(move |&v| (u as Node, v))
+        })
+    }
+
+    /// In-memory transpose: returns the CSC view of this graph as a CSR
+    /// over reversed edges. Counting-sort based, O(V + E).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut in_degree = vec![0 as EdgeIdx; n];
+        for &d in &self.dests {
+            in_degree[d as usize] += 1;
+        }
+        let mut offsets = vec![0 as EdgeIdx; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + in_degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut dests = vec![0 as Node; self.dests.len()];
+        for u in 0..n {
+            for &v in self.edges(u as Node) {
+                dests[cursor[v as usize] as usize] = u as Node;
+                cursor[v as usize] += 1;
+            }
+        }
+        Csr { offsets, dests }
+    }
+
+    /// Transpose carrying per-edge data: returns the transposed graph and
+    /// the data vector permuted to the transposed edge order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != num_edges`.
+    pub fn transpose_with_data(&self, data: &[u32]) -> (Csr, Vec<u32>) {
+        assert_eq!(data.len() as u64, self.num_edges(), "edge data length mismatch");
+        let n = self.num_nodes();
+        let mut in_degree = vec![0 as EdgeIdx; n];
+        for &d in &self.dests {
+            in_degree[d as usize] += 1;
+        }
+        let mut offsets = vec![0 as EdgeIdx; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + in_degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut dests = vec![0 as Node; self.dests.len()];
+        let mut out_data = vec![0u32; data.len()];
+        for u in 0..n {
+            let base = self.offsets[u] as usize;
+            for (i, &v) in self.edges(u as Node).iter().enumerate() {
+                let slot = cursor[v as usize] as usize;
+                dests[slot] = u as Node;
+                out_data[slot] = data[base + i];
+                cursor[v as usize] += 1;
+            }
+        }
+        (Csr { offsets, dests }, out_data)
+    }
+
+    /// Returns the symmetric closure (every edge plus its reverse, then
+    /// deduplicated, self-loops removed) — what the paper's `cc` runs on.
+    pub fn symmetrize(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut pairs: Vec<(Node, Node)> =
+            Vec::with_capacity(self.dests.len() * 2);
+        for (u, v) in self.iter_edges() {
+            if u != v {
+                pairs.push((u, v));
+                pairs.push((v, u));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        Csr::from_edges(n, &pairs)
+    }
+
+    /// The vertex with the highest out-degree (the paper's bfs/sssp source;
+    /// ties broken toward the lower id). `None` for empty graphs.
+    pub fn max_out_degree_node(&self) -> Option<Node> {
+        (0..self.num_nodes() as Node).max_by_key(|&v| (self.out_degree(v), std::cmp::Reverse(v)))
+    }
+}
+
+/// Incremental CSR builder for construction phases that know per-node
+/// degree counts in advance (CuSP's graph-allocation phase): allocate once,
+/// then insert edges in any order, in parallel-friendly per-node slots.
+pub struct CsrBuilder {
+    offsets: Vec<EdgeIdx>,
+    dests: Vec<Node>,
+    /// Next insertion slot per node.
+    cursor: Vec<EdgeIdx>,
+}
+
+impl CsrBuilder {
+    /// Allocates a builder for nodes with the given degrees.
+    pub fn with_degrees(degrees: &[u64]) -> Self {
+        let n = degrees.len();
+        let mut offsets = vec![0 as EdgeIdx; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let total = offsets[n] as usize;
+        CsrBuilder {
+            cursor: offsets[..n].to_vec(),
+            dests: vec![0; total],
+            offsets,
+        }
+    }
+
+    /// Inserts one out-edge of local node `u`.
+    ///
+    /// # Panics
+    /// Panics if more edges are inserted for `u` than its declared degree.
+    pub fn insert(&mut self, u: usize, dst: Node) {
+        let slot = self.cursor[u];
+        assert!(
+            slot < self.offsets[u + 1],
+            "too many edges inserted for node {u}"
+        );
+        self.dests[slot as usize] = dst;
+        self.cursor[u] = slot + 1;
+    }
+
+    /// Inserts a batch of out-edges of `u`, returning the slot range used.
+    pub fn insert_batch(&mut self, u: usize, dsts: &[Node]) {
+        for &d in dsts {
+            self.insert(u, d);
+        }
+    }
+
+    /// Finishes, checking all declared slots were filled.
+    ///
+    /// # Panics
+    /// Panics if any node received fewer edges than declared.
+    pub fn finish(self) -> Csr {
+        for u in 0..self.cursor.len() {
+            assert!(
+                self.cursor[u] == self.offsets[u + 1],
+                "node {u} missing edges: filled {} of {}",
+                self.cursor[u] - self.offsets[u],
+                self.offsets[u + 1] - self.offsets[u]
+            );
+        }
+        Csr {
+            offsets: self.offsets,
+            dests: self.dests,
+        }
+    }
+
+    /// Raw parts for lock-free parallel filling: `(offsets, dests_ptr)`.
+    /// Used by the construction phase, which computes disjoint slot ranges
+    /// with a prefix sum and fills them from multiple threads.
+    pub fn into_parts(self) -> (Vec<EdgeIdx>, Vec<Node>, Vec<EdgeIdx>) {
+        (self.offsets, self.dests, self.cursor)
+    }
+
+    /// Rebuilds from parts after external (parallel) filling.
+    pub fn from_filled_parts(offsets: Vec<EdgeIdx>, dests: Vec<Node>) -> Csr {
+        Csr::from_parts(offsets, dests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_builds_correct_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.edges(0), &[1, 2]);
+        assert_eq!(g.edges(1), &[3]);
+        assert_eq!(g.edges(2), &[3]);
+        assert_eq!(g.edges(3), &[] as &[Node]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.first_edge(2), 3);
+    }
+
+    #[test]
+    fn from_edges_is_stable_for_parallel_edges() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 0), (0, 1)]);
+        assert_eq!(g.edges(0), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.edges(3), &[1, 2]);
+        assert_eq!(t.edges(1), &[0]);
+        assert_eq!(t.edges(0), &[] as &[Node]);
+        // Transpose twice = original edge multiset.
+        let tt = t.transpose();
+        let mut a: Vec<_> = g.iter_edges().collect();
+        let mut b: Vec<_> = tt.iter_edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses_and_dedups() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        let s = g.symmetrize();
+        assert_eq!(s.edges(0), &[1]);
+        assert_eq!(s.edges(1), &[0, 2]);
+        assert_eq!(s.edges(2), &[1]); // self-loop removed
+    }
+
+    #[test]
+    fn iter_edges_yields_csr_order() {
+        let g = diamond();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn max_out_degree_node_breaks_ties_low() {
+        let g = Csr::from_edges(4, &[(1, 0), (1, 2), (3, 0), (3, 2)]);
+        assert_eq!(g.max_out_degree_node(), Some(1));
+        let empty = Csr::from_edges(0, &[]);
+        assert_eq!(empty.max_out_degree_node(), None);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let degrees = vec![2, 0, 1];
+        let mut b = CsrBuilder::with_degrees(&degrees);
+        b.insert(2, 0);
+        b.insert(0, 2);
+        b.insert(0, 1);
+        let g = b.finish();
+        assert_eq!(g.edges(0), &[2, 1]);
+        assert_eq!(g.edges(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn builder_rejects_overfill() {
+        let mut b = CsrBuilder::with_degrees(&[1]);
+        b.insert(0, 0);
+        b.insert(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing edges")]
+    fn builder_rejects_underfill() {
+        let b = CsrBuilder::with_degrees(&[1]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.transpose().num_nodes(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Csr::from_edges(5, &[(0, 4)]);
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.transpose().edges(4), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates_bounds() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+}

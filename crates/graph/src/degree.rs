@@ -1,0 +1,136 @@
+//! Degree-distribution analysis.
+//!
+//! Used to check that the synthetic stand-in inputs actually have the
+//! scale-free character the paper's web crawls do (heavy tails, power-law
+//! exponents in the 1.5–3 range) — the property the partitioning
+//! behaviours under study depend on.
+
+use crate::csr::Csr;
+use crate::Node;
+
+/// Histogram of a degree sequence: `counts[d]` = number of vertices with
+/// degree `d` (dense up to the max degree; fine at laptop scale).
+pub fn degree_histogram(degrees: impl Iterator<Item = u64>) -> Vec<u64> {
+    let mut counts: Vec<u64> = Vec::new();
+    for d in degrees {
+        let d = d as usize;
+        if d >= counts.len() {
+            counts.resize(d + 1, 0);
+        }
+        counts[d] += 1;
+    }
+    counts
+}
+
+/// Out-degree histogram of a graph.
+pub fn out_degree_histogram(g: &Csr) -> Vec<u64> {
+    degree_histogram((0..g.num_nodes() as Node).map(|v| g.out_degree(v)))
+}
+
+/// In-degree histogram of a graph (one counting pass, no transpose).
+pub fn in_degree_histogram(g: &Csr) -> Vec<u64> {
+    let mut in_deg = vec![0u64; g.num_nodes()];
+    for &d in g.dests() {
+        in_deg[d as usize] += 1;
+    }
+    degree_histogram(in_deg.into_iter())
+}
+
+/// Complementary cumulative distribution: `ccdf[d]` = fraction of vertices
+/// with degree ≥ `d`.
+pub fn ccdf(histogram: &[u64]) -> Vec<f64> {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; histogram.len()];
+    let mut acc = 0u64;
+    for d in (0..histogram.len()).rev() {
+        acc += histogram[d];
+        out[d] = acc as f64 / total as f64;
+    }
+    out
+}
+
+/// Estimates the power-law exponent α of the tail via the discrete
+/// maximum-likelihood (Clauset–Shalizi–Newman) estimator
+/// `α ≈ 1 + n / Σ ln(d / (d_min − ½))` over degrees ≥ `d_min`.
+/// Returns `None` if fewer than 10 vertices lie in the tail.
+pub fn powerlaw_alpha(histogram: &[u64], d_min: u64) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let mut n = 0u64;
+    let mut log_sum = 0.0f64;
+    for (d, &count) in histogram.iter().enumerate().skip(d_min as usize) {
+        if count == 0 {
+            continue;
+        }
+        n += count;
+        log_sum += count as f64 * (d as f64 / (d_min as f64 - 0.5)).ln();
+    }
+    if n < 10 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + n as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{powerlaw, PowerLawConfig};
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2)]);
+        let h = out_degree_histogram(&g);
+        // degrees: 2, 1, 0, 0 → counts[0]=2, counts[1]=1, counts[2]=1
+        assert_eq!(h, vec![2, 1, 1]);
+        let hin = in_degree_histogram(&g);
+        // in-degrees: 0, 1, 2, 0
+        assert_eq!(hin, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_one() {
+        let h = vec![5, 3, 2]; // 10 vertices
+        let c = ccdf(&h);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 0.5).abs() < 1e-12);
+        assert!((c[2] - 0.2).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn ccdf_empty() {
+        assert!(ccdf(&[]).is_empty());
+        assert!(ccdf(&[0, 0]).is_empty() || ccdf(&[0, 0]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn alpha_estimator_recovers_generator_tail() {
+        // The web-crawl generator draws out-degrees from Pareto(α = 1.8);
+        // the MLE over the tail should land in the right neighborhood.
+        let g = powerlaw(PowerLawConfig::webcrawl(30_000, 25.0, 9));
+        let h = out_degree_histogram(&g);
+        let alpha = powerlaw_alpha(&h, 30).expect("enough tail mass");
+        assert!(
+            (1.4..=3.4).contains(&alpha),
+            "estimated α {alpha} outside scale-free range"
+        );
+    }
+
+    #[test]
+    fn alpha_estimator_rejects_tiny_tails() {
+        let h = vec![100, 5]; // almost nothing above d_min
+        assert!(powerlaw_alpha(&h, 1).is_none());
+    }
+
+    #[test]
+    fn in_degree_tail_heavier_than_out_for_webcrawls() {
+        let g = powerlaw(PowerLawConfig::webcrawl(20_000, 20.0, 4));
+        let out_a = powerlaw_alpha(&out_degree_histogram(&g), 30);
+        let in_a = powerlaw_alpha(&in_degree_histogram(&g), 30);
+        // Heavier tail = smaller exponent.
+        let (oa, ia) = (out_a.unwrap(), in_a.unwrap());
+        assert!(ia < oa + 0.5, "in tail ({ia}) should be at least as heavy as out ({oa})");
+    }
+}

@@ -1,0 +1,212 @@
+//! Contiguous node-range splits for distributed reading.
+//!
+//! CuSP's graph-reading phase divides the edge array "more or less equally
+//! among hosts ... rounded off so that the outgoing edges of a given node
+//! are not divided between hosts" (paper §IV-B1), i.e. each host gets a
+//! contiguous node range holding roughly `1/k` of a *unit* total, where a
+//! unit blends node count and edge count with user-selected importance
+//! weights (the paper exposes these as command-line arguments).
+
+use crate::EdgeIdx;
+
+/// A host's contiguous node range `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadSplit {
+    /// First node of the range (inclusive).
+    pub lo: u64,
+    /// One past the last node of the range.
+    pub hi: u64,
+}
+
+impl ReadSplit {
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True if `v` lies in `[lo, hi)`.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v < self.hi
+    }
+}
+
+/// Computes contiguous node ranges for `k` hosts.
+///
+/// `end_offsets[v]` is the exclusive global edge offset of node `v` (the
+/// `.bgr` offsets array). The weight of the prefix `[0, v)` is
+/// `node_weight·v + edge_weight·end_offsets[v-1]`; host `i` receives the
+/// nodes whose cumulative weight falls in the `i`-th of `k` equal spans.
+/// With `node_weight = 0, edge_weight = 1` this is the paper's default
+/// edge-balanced division.
+///
+/// Properties guaranteed:
+/// * ranges are disjoint, contiguous, ordered, and cover `[0, n)`;
+/// * a node's edges are never divided (ranges are node-aligned by
+///   construction).
+pub fn reading_split(
+    end_offsets: &[EdgeIdx],
+    k: usize,
+    node_weight: u64,
+    edge_weight: u64,
+) -> Vec<ReadSplit> {
+    assert!(k > 0, "need at least one host");
+    assert!(
+        node_weight > 0 || edge_weight > 0,
+        "at least one weight must be positive"
+    );
+    let n = end_offsets.len() as u64;
+    let total_edges = end_offsets.last().copied().unwrap_or(0);
+    let total_units = node_weight * n + edge_weight * total_edges;
+
+    // weight_before(v) = units of the prefix [0, v)
+    let weight_before = |v: u64| -> u64 {
+        let edges = if v == 0 {
+            0
+        } else {
+            end_offsets[v as usize - 1]
+        };
+        node_weight * v + edge_weight * edges
+    };
+
+    let mut splits = Vec::with_capacity(k);
+    let mut lo = 0u64;
+    for i in 1..=k {
+        let target = total_units * i as u64 / k as u64;
+        // Smallest hi >= lo with weight_before(hi) >= target.
+        let mut a = lo;
+        let mut b = n;
+        while a < b {
+            let mid = a + (b - a) / 2;
+            if weight_before(mid) >= target {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        let hi = if i == k { n } else { a };
+        splits.push(ReadSplit { lo, hi });
+        lo = hi;
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::gen::uniform::erdos_renyi;
+    use crate::gen::{kronecker, KroneckerConfig};
+
+    fn ends(g: &Csr) -> Vec<EdgeIdx> {
+        g.offsets()[1..].to_vec()
+    }
+
+    fn check_cover(splits: &[ReadSplit], n: u64) {
+        assert_eq!(splits[0].lo, 0);
+        assert_eq!(splits.last().unwrap().hi, n);
+        for w in splits.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn covers_all_nodes() {
+        let g = erdos_renyi(1000, 8000, 2);
+        for k in [1, 2, 3, 7, 16] {
+            let splits = reading_split(&ends(&g), k, 0, 1);
+            assert_eq!(splits.len(), k);
+            check_cover(&splits, 1000);
+        }
+    }
+
+    #[test]
+    fn edge_balance_within_tolerance() {
+        let g = erdos_renyi(10_000, 100_000, 3);
+        let e = ends(&g);
+        let splits = reading_split(&e, 8, 0, 1);
+        for s in &splits {
+            let edges: u64 = (s.lo..s.hi)
+                .map(|v| {
+                    let prev = if v == 0 { 0 } else { e[v as usize - 1] };
+                    e[v as usize] - prev
+                })
+                .sum();
+            let ideal = 100_000.0 / 8.0;
+            // Uniform graphs: each range within 25% of ideal.
+            assert!(
+                (edges as f64 - ideal).abs() < ideal * 0.25,
+                "range {s:?} has {edges} edges vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_balance_when_requested() {
+        let g = erdos_renyi(1000, 5000, 4);
+        let splits = reading_split(&ends(&g), 4, 1, 0);
+        for s in &splits {
+            assert!(
+                (s.len() as i64 - 250).abs() <= 1,
+                "node-balanced split uneven: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_heavy_graph_keeps_node_alignment() {
+        // One node owns nearly all edges; its host ends up overloaded but
+        // the node is never split.
+        let mut edges = vec![];
+        for d in 0..1000u32 {
+            edges.push((0u32, d % 50));
+        }
+        edges.push((10, 1));
+        let g = Csr::from_edges(50, &edges);
+        let splits = reading_split(&ends(&g), 4, 0, 1);
+        check_cover(&splits, 50);
+        // Node 0 is in exactly one range.
+        assert_eq!(splits.iter().filter(|s| s.contains(0)).count(), 1);
+    }
+
+    #[test]
+    fn more_hosts_than_nodes_yields_empty_ranges() {
+        let g = erdos_renyi(3, 6, 5);
+        let splits = reading_split(&ends(&g), 8, 0, 1);
+        assert_eq!(splits.len(), 8);
+        check_cover(&splits, 3);
+        assert!(splits.iter().filter(|s| !s.is_empty()).count() <= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let splits = reading_split(&[], 4, 0, 1);
+        assert!(splits.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn skewed_graph_is_edge_balanced() {
+        let g = kronecker(KroneckerConfig::graph500(12, 16, 7));
+        let e = ends(&g);
+        let splits = reading_split(&e, 8, 0, 1);
+        let total = g.num_edges() as f64;
+        for s in &splits {
+            let edges: u64 = (s.lo..s.hi)
+                .map(|v| {
+                    let prev = if v == 0 { 0 } else { e[v as usize - 1] };
+                    e[v as usize] - prev
+                })
+                .sum();
+            // Power-law graphs can't be perfectly balanced, but no host
+            // should exceed 2x the ideal here.
+            assert!(
+                (edges as f64) < total / 8.0 * 2.0,
+                "range {s:?} badly imbalanced: {edges}"
+            );
+        }
+    }
+}

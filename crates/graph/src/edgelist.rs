@@ -1,0 +1,118 @@
+//! Edge-list parsing and conversion ("CuSP provides converters between
+//! these and other graph formats like edge-lists", paper §III-A).
+//!
+//! Text format: one `src dst` pair per line, whitespace separated; `#`
+//! comment lines and blank lines are skipped. Vertex ids are dense
+//! non-negative integers.
+
+use std::io::{self, BufRead, Write};
+
+use crate::csr::Csr;
+use crate::Node;
+
+/// Parses a text edge list. Returns `(max_id + 1, edges)`.
+pub fn parse_edge_list(reader: impl BufRead) -> io::Result<(usize, Vec<(Node, Node)>)> {
+    let mut edges = Vec::new();
+    let mut max_id: i64 = -1;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<Node> {
+            tok.ok_or_else(|| bad_line(lineno, "missing field"))?
+                .parse::<Node>()
+                .map_err(|e| bad_line(lineno, &format!("bad id: {e}")))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(bad_line(lineno, "trailing fields"));
+        }
+        max_id = max_id.max(u as i64).max(v as i64);
+        edges.push((u, v));
+    }
+    Ok(((max_id + 1) as usize, edges))
+}
+
+fn bad_line(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("edge list line {}: {msg}", lineno + 1),
+    )
+}
+
+/// Parses a text edge list directly into a CSR graph.
+pub fn read_edge_list(reader: impl BufRead) -> io::Result<Csr> {
+    let (n, edges) = parse_edge_list(reader)?;
+    Ok(Csr::from_edges(n, &edges))
+}
+
+/// Writes a graph as a text edge list.
+pub fn write_edge_list(graph: &Csr, mut writer: impl Write) -> io::Result<()> {
+    for (u, v) in graph.iter_edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_simple_list() {
+        let text = "0 1\n1 2\n2 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edges(1), &[2]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0 1\n  # another\n1 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn handles_tabs_and_extra_spaces() {
+        let text = "0\t5\n  3   4  \n";
+        let (n, edges) = parse_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(edges, vec![(0, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list(Cursor::new("0\n")).is_err());
+        assert!(read_edge_list(Cursor::new("0 x\n")).is_err());
+        assert!(read_edge_list(Cursor::new("0 1 2\n")).is_err());
+        assert!(read_edge_list(Cursor::new("-1 2\n")).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = read_edge_list(Cursor::new("0 1\nbroken\n")).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = Csr::from_edges(4, &[(0, 1), (3, 2), (1, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

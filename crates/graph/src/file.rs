@@ -1,0 +1,425 @@
+//! Binary on-disk graph format (`.bgr`) with per-host range reads.
+//!
+//! Layout (all little-endian), modeled on the Galois `.gr` format the paper
+//! reads from Lustre:
+//!
+//! ```text
+//! magic   u64   0x2147_4253_5543 ("CUSBG!")
+//! version u64   1 (unweighted) | 2 (u32 edge data follows destinations)
+//! nodes   u64
+//! edges   u64
+//! end[v]  u64 × nodes     exclusive end offset of v's edge range
+//! dst[e]  u32 × edges     destination ids
+//! w[e]    u32 × edges     edge data (version 2 only; `sizeofEdgeTy` = 4)
+//! ```
+//!
+//! [`RangeReader`] reads only the bytes a host needs for a contiguous node
+//! range — the header, that range's slice of the offset array (plus one
+//! preceding entry), and the corresponding span of the destination array —
+//! mirroring how each CuSP host reads its slice of the file (§IV-B1).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::csr::Csr;
+use crate::{EdgeIdx, Node};
+
+const MAGIC: u64 = 0x2147_4253_5543;
+const VERSION_UNWEIGHTED: u64 = 1;
+const VERSION_WEIGHTED: u64 = 2;
+const HEADER_BYTES: u64 = 8 * 4;
+
+fn write_bgr_inner(path: &Path, graph: &Csr, weights: Option<&[u32]>) -> io::Result<()> {
+    if let Some(w) = weights {
+        assert_eq!(
+            w.len() as u64,
+            graph.num_edges(),
+            "edge data length must match edge count"
+        );
+    }
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    let version = if weights.is_some() {
+        VERSION_WEIGHTED
+    } else {
+        VERSION_UNWEIGHTED
+    };
+    w.write_all(&version.to_le_bytes())?;
+    w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&graph.num_edges().to_le_bytes())?;
+    // Exclusive end offsets (skip offsets[0] which is always 0).
+    for &end in &graph.offsets()[1..] {
+        w.write_all(&end.to_le_bytes())?;
+    }
+    for &d in graph.dests() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    if let Some(data) = weights {
+        for &x in data {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes `graph` to `path` in unweighted `.bgr` format (version 1).
+pub fn write_bgr(path: &Path, graph: &Csr) -> io::Result<()> {
+    write_bgr_inner(path, graph, None)
+}
+
+/// Writes `graph` with per-edge `u32` data (version 2); `weights[e]`
+/// belongs to the `e`-th edge of the CSR order.
+pub fn write_bgr_weighted(path: &Path, graph: &Csr, weights: &[u32]) -> io::Result<()> {
+    write_bgr_inner(path, graph, Some(weights))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads an entire `.bgr` file into memory (any version; edge data, if
+/// present, is dropped — use [`read_bgr_weighted`] to keep it).
+pub fn read_bgr(path: &Path) -> io::Result<Csr> {
+    let mut reader = RangeReader::open(path)?;
+    let n = reader.num_nodes();
+    let slice = reader.read_range(0, n)?;
+    Ok(Csr::from_parts(slice.offsets, slice.dests))
+}
+
+/// Reads a version-2 `.bgr` file with its edge data.
+pub fn read_bgr_weighted(path: &Path) -> io::Result<(Csr, Vec<u32>)> {
+    let mut reader = RangeReader::open(path)?;
+    if !reader.has_weights() {
+        return Err(bad_data("file has no edge data section".into()));
+    }
+    let n = reader.num_nodes();
+    let slice = reader.read_range(0, n)?;
+    let weights = slice.weights.expect("weighted reader returns weights");
+    Ok((Csr::from_parts(slice.offsets, slice.dests), weights))
+}
+
+/// A contiguous node-range slice of an on-disk graph.
+///
+/// `offsets` is rebased to the slice (first entry 0); `dests` holds global
+/// destination ids. `first_edge_global` is the global index of the slice's
+/// first edge, needed by edge-balanced master rules (`ContiguousEB`).
+#[derive(Clone, Debug)]
+pub struct GraphSlice {
+    /// First node of the slice (global id).
+    pub node_lo: Node,
+    /// One past the last node (global id).
+    pub node_hi: Node,
+    /// Rebased offsets, `node_hi - node_lo + 1` entries.
+    pub offsets: Vec<EdgeIdx>,
+    /// Global destination ids.
+    pub dests: Vec<Node>,
+    /// Per-edge `u32` data aligned with `dests` (version-2 files only).
+    pub weights: Option<Vec<u32>>,
+    /// Global edge index of the first edge in the slice.
+    pub first_edge_global: EdgeIdx,
+}
+
+impl GraphSlice {
+    /// Number of nodes in the slice.
+    pub fn num_nodes(&self) -> usize {
+        (self.node_hi - self.node_lo) as usize
+    }
+
+    /// Number of edges in the slice.
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Out-degree of global node `v` (must lie in the slice).
+    #[inline]
+    pub fn out_degree(&self, v: Node) -> u64 {
+        let l = (v - self.node_lo) as usize;
+        self.offsets[l + 1] - self.offsets[l]
+    }
+
+    /// Outgoing neighbors of global node `v` (must lie in the slice).
+    #[inline]
+    pub fn edges(&self, v: Node) -> &[Node] {
+        let l = (v - self.node_lo) as usize;
+        &self.dests[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Edge data of global node `v`'s out-edges, if the input is weighted.
+    #[inline]
+    pub fn edge_data(&self, v: Node) -> Option<&[u32]> {
+        let l = (v - self.node_lo) as usize;
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.offsets[l] as usize..self.offsets[l + 1] as usize])
+    }
+
+    /// Global index of the first outgoing edge of global node `v`.
+    #[inline]
+    pub fn first_edge(&self, v: Node) -> EdgeIdx {
+        let l = (v - self.node_lo) as usize;
+        self.first_edge_global + self.offsets[l]
+    }
+
+    /// Builds a slice directly from an in-memory graph (used by tests and
+    /// by in-memory partitioning runs that skip the disk).
+    pub fn from_csr(graph: &Csr, node_lo: Node, node_hi: Node) -> Self {
+        let base = graph.offsets()[node_lo as usize];
+        let offsets: Vec<EdgeIdx> = graph.offsets()[node_lo as usize..=node_hi as usize]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
+        let end = graph.offsets()[node_hi as usize];
+        GraphSlice {
+            node_lo,
+            node_hi,
+            dests: graph.dests()[base as usize..end as usize].to_vec(),
+            offsets,
+            weights: None,
+            first_edge_global: base,
+        }
+    }
+
+    /// Builds a weighted slice from an in-memory graph plus edge data
+    /// (aligned with the graph's CSR edge order).
+    pub fn from_csr_weighted(graph: &Csr, weights: &[u32], node_lo: Node, node_hi: Node) -> Self {
+        assert_eq!(weights.len() as u64, graph.num_edges());
+        let base = graph.offsets()[node_lo as usize] as usize;
+        let end = graph.offsets()[node_hi as usize] as usize;
+        let mut slice = Self::from_csr(graph, node_lo, node_hi);
+        slice.weights = Some(weights[base..end].to_vec());
+        slice
+    }
+}
+
+/// Random-access reader over a `.bgr` file.
+pub struct RangeReader {
+    file: BufReader<File>,
+    nodes: u64,
+    edges: u64,
+    weighted: bool,
+}
+
+impl RangeReader {
+    /// Opens the file and validates the header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let magic = read_u64(&mut r)?;
+        if magic != MAGIC {
+            return Err(bad_data(format!("bad magic {magic:#x}")));
+        }
+        let version = read_u64(&mut r)?;
+        if version != VERSION_UNWEIGHTED && version != VERSION_WEIGHTED {
+            return Err(bad_data(format!("unsupported version {version}")));
+        }
+        let nodes = read_u64(&mut r)?;
+        let edges = read_u64(&mut r)?;
+        Ok(RangeReader {
+            file: r,
+            nodes,
+            edges,
+            weighted: version == VERSION_WEIGHTED,
+        })
+    }
+
+    /// Whether the file carries per-edge data.
+    pub fn has_weights(&self) -> bool {
+        self.weighted
+    }
+
+    /// Number of nodes declared in the header.
+    pub fn num_nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Number of edges declared in the header.
+    pub fn num_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Reads the full end-offsets array (used once, to compute the
+    /// edge-balanced host split).
+    pub fn read_end_offsets(&mut self) -> io::Result<Vec<EdgeIdx>> {
+        self.file.seek(SeekFrom::Start(HEADER_BYTES))?;
+        let mut out = Vec::with_capacity(self.nodes as usize);
+        let mut buf = vec![0u8; 8 * 4096];
+        let mut remaining = self.nodes as usize;
+        while remaining > 0 {
+            let take = remaining.min(4096);
+            let bytes = &mut buf[..take * 8];
+            self.file.read_exact(bytes)?;
+            for c in bytes.chunks_exact(8) {
+                out.push(u64::from_le_bytes(c.try_into().unwrap()));
+            }
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Reads the slice for nodes `[lo, hi)`.
+    pub fn read_range(&mut self, lo: u64, hi: u64) -> io::Result<GraphSlice> {
+        if lo > hi || hi > self.nodes {
+            return Err(bad_data(format!(
+                "range [{lo}, {hi}) out of bounds (nodes = {})",
+                self.nodes
+            )));
+        }
+        // Edge range start = end offset of node lo-1 (0 if lo == 0).
+        let edge_lo = if lo == 0 {
+            0
+        } else {
+            self.file
+                .seek(SeekFrom::Start(HEADER_BYTES + (lo - 1) * 8))?;
+            read_u64(&mut self.file)?
+        };
+        // Read end offsets for [lo, hi).
+        self.file.seek(SeekFrom::Start(HEADER_BYTES + lo * 8))?;
+        let count = (hi - lo) as usize;
+        let mut ends = Vec::with_capacity(count);
+        for _ in 0..count {
+            ends.push(read_u64(&mut self.file)?);
+        }
+        let edge_hi = ends.last().copied().unwrap_or(edge_lo);
+        if edge_hi < edge_lo || edge_hi > self.edges {
+            return Err(bad_data(format!(
+                "corrupt offsets: edge range [{edge_lo}, {edge_hi})"
+            )));
+        }
+        // Rebased offsets.
+        let mut offsets = Vec::with_capacity(count + 1);
+        offsets.push(0);
+        offsets.extend(ends.iter().map(|&e| e - edge_lo));
+        // Destination span.
+        let dest_base = HEADER_BYTES + self.nodes * 8;
+        self.file
+            .seek(SeekFrom::Start(dest_base + edge_lo * 4))?;
+        let edge_count = (edge_hi - edge_lo) as usize;
+        let mut raw = vec![0u8; edge_count * 4];
+        self.file.read_exact(&mut raw)?;
+        let dests: Vec<Node> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let weights = if self.weighted {
+            let data_base = dest_base + self.edges * 4;
+            self.file.seek(SeekFrom::Start(data_base + edge_lo * 4))?;
+            let mut raw = vec![0u8; edge_count * 4];
+            self.file.read_exact(&mut raw)?;
+            Some(
+                raw.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Ok(GraphSlice {
+            node_lo: lo as Node,
+            node_hi: hi as Node,
+            offsets,
+            dests,
+            weights,
+            first_edge_global: edge_lo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform::erdos_renyi;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cusp-graph-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let g = erdos_renyi(200, 1500, 42);
+        let path = temp_path("roundtrip.bgr");
+        write_bgr(&path, &g).unwrap();
+        let back = read_bgr(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_reads_match_in_memory_slices() {
+        let g = erdos_renyi(100, 700, 7);
+        let path = temp_path("ranges.bgr");
+        write_bgr(&path, &g).unwrap();
+        let mut reader = RangeReader::open(&path).unwrap();
+        for (lo, hi) in [(0u64, 30u64), (30, 77), (77, 100), (50, 50), (0, 100)] {
+            let disk = reader.read_range(lo, hi).unwrap();
+            let mem = GraphSlice::from_csr(&g, lo as Node, hi as Node);
+            assert_eq!(disk.offsets, mem.offsets, "offsets for [{lo},{hi})");
+            assert_eq!(disk.dests, mem.dests, "dests for [{lo},{hi})");
+            assert_eq!(disk.first_edge_global, mem.first_edge_global);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slice_queries() {
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (3, 0), (3, 1)]);
+        let s = GraphSlice::from_csr(&g, 1, 4);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.out_degree(1), 1);
+        assert_eq!(s.out_degree(2), 0);
+        assert_eq!(s.out_degree(3), 3);
+        assert_eq!(s.edges(3), &[4, 0, 1]);
+        assert_eq!(s.first_edge(1), 2);
+        assert_eq!(s.first_edge(3), 3);
+    }
+
+    #[test]
+    fn read_end_offsets_matches_graph() {
+        let g = erdos_renyi(64, 300, 3);
+        let path = temp_path("offsets.bgr");
+        write_bgr(&path, &g).unwrap();
+        let mut reader = RangeReader::open(&path).unwrap();
+        let ends = reader.read_end_offsets().unwrap();
+        assert_eq!(ends, g.offsets()[1..].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("bad.bgr");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(RangeReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_range() {
+        let g = erdos_renyi(10, 20, 1);
+        let path = temp_path("oob.bgr");
+        write_bgr(&path, &g).unwrap();
+        let mut reader = RangeReader::open(&path).unwrap();
+        assert!(reader.read_range(5, 11).is_err());
+        assert!(reader.read_range(7, 3).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Csr::from_edges(0, &[]);
+        let path = temp_path("empty.bgr");
+        write_bgr(&path, &g).unwrap();
+        let back = read_bgr(&path).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! Deterministic synthetic graph generators.
+//!
+//! All generators are seeded and reproducible: the same `(parameters,
+//! seed)` pair yields the same graph on every run and platform, which keeps
+//! the benchmark exhibits comparable across machines.
+
+pub mod kronecker;
+pub mod powerlaw;
+pub mod uniform;
+
+pub use kronecker::{kronecker, KroneckerConfig};
+pub use powerlaw::{powerlaw, PowerLawConfig};
+pub use uniform::erdos_renyi;

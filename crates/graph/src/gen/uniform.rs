@@ -1,0 +1,57 @@
+//! Erdős–Rényi G(n, m) generator — flat degree distribution, used mainly by
+//! tests that want structure-free random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Csr;
+use crate::Node;
+
+/// Generates a directed G(n, m) graph: exactly `m` edges drawn uniformly at
+/// random (with replacement, so parallel edges and self-loops may occur).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n < u32::MAX as usize, "too many nodes for u32 ids");
+    if n == 0 {
+        assert_eq!(m, 0, "edges require nodes");
+        return Csr::from_edges(0, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(Node, Node)> = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n as Node),
+                rng.random_range(0..n as Node),
+            )
+        })
+        .collect();
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 555, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 555);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 200, 9), erdos_renyi(50, 200, 9));
+    }
+
+    #[test]
+    fn empty() {
+        let g = erdos_renyi(0, 0, 1);
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges require nodes")]
+    fn edges_without_nodes_rejected() {
+        let _ = erdos_renyi(0, 5, 1);
+    }
+}

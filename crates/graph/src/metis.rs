@@ -1,0 +1,193 @@
+//! METIS graph-format converter.
+//!
+//! The paper compares against offline partitioners (Metis, XtraPulp) whose
+//! ecosystem speaks the METIS format; CuSP "provides converters between
+//! these and other graph formats" (§III-A). The METIS format:
+//!
+//! ```text
+//! % comments start with '%'
+//! <num_vertices> <num_edges> [fmt]        (header; edges counted once)
+//! <neighbors of vertex 1, 1-indexed, space separated>
+//! <neighbors of vertex 2>
+//! ...
+//! ```
+//!
+//! METIS graphs are undirected: each edge appears in both endpoint lines
+//! but is counted once in the header. Reading produces the symmetric CSR;
+//! writing requires a symmetric graph (validated).
+
+use std::io::{self, BufRead, Write};
+
+use crate::csr::Csr;
+use crate::Node;
+
+fn bad(line: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("metis line {line}: {msg}"),
+    )
+}
+
+/// Parses a METIS file into a (symmetric) CSR graph.
+pub fn read_metis(reader: impl BufRead) -> io::Result<Csr> {
+    let mut lines = reader.lines().enumerate();
+    // Header: first non-comment line.
+    let (n, declared_edges) = loop {
+        let Some((lineno, line)) = lines.next() else {
+            return Err(bad(0, "missing header"));
+        };
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let n: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(lineno + 1, "bad vertex count"))?;
+        let m: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(lineno + 1, "bad edge count"))?;
+        if let Some(fmt) = it.next() {
+            if fmt != "0" && fmt != "00" && fmt != "000" {
+                return Err(bad(lineno + 1, "weighted METIS formats not supported"));
+            }
+        }
+        break (n, m);
+    };
+
+    let mut edges: Vec<(Node, Node)> = Vec::with_capacity(declared_edges as usize * 2);
+    let mut vertex = 0usize;
+    for (lineno, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(bad(lineno + 1, "more adjacency lines than vertices"));
+        }
+        for tok in t.split_whitespace() {
+            let neighbor: usize = tok
+                .parse()
+                .map_err(|_| bad(lineno + 1, "bad neighbor id"))?;
+            if neighbor == 0 || neighbor > n {
+                return Err(bad(lineno + 1, "neighbor id out of range (1-indexed)"));
+            }
+            edges.push((vertex as Node, (neighbor - 1) as Node));
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(bad(0, "fewer adjacency lines than vertices"));
+    }
+    if edges.len() as u64 != declared_edges * 2 {
+        return Err(bad(
+            0,
+            &format!(
+                "header declares {declared_edges} edges but found {} directed entries",
+                edges.len()
+            ),
+        ));
+    }
+    Ok(Csr::from_edges(n, &edges))
+}
+
+/// Writes a **symmetric** graph in METIS format.
+///
+/// # Errors
+/// Fails with `InvalidInput` if the graph has self-loops or is not
+/// symmetric (METIS cannot represent either).
+pub fn write_metis(graph: &Csr, mut writer: impl Write) -> io::Result<()> {
+    // Validate symmetry and no self-loops.
+    for (u, v) in graph.iter_edges() {
+        if u == v {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("self-loop at vertex {u}"),
+            ));
+        }
+        if !graph.edges(v).contains(&u) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("edge ({u}, {v}) has no reverse; METIS graphs are undirected"),
+            ));
+        }
+    }
+    writeln!(writer, "{} {}", graph.num_nodes(), graph.num_edges() / 2)?;
+    for v in 0..graph.num_nodes() as Node {
+        let line: Vec<String> = graph.edges(v).iter().map(|&u| (u + 1).to_string()).collect();
+        writeln!(writer, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "% a triangle plus a tail\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+
+    #[test]
+    fn parses_sample() {
+        let g = read_metis(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 8); // 4 undirected = 8 directed
+        assert_eq!(g.edges(0), &[1, 2]);
+        assert_eq!(g.edges(2), &[0, 1, 3]);
+        assert_eq!(g.edges(3), &[2]);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = read_metis(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let back = read_metis(Cursor::new(buf)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trips_generated_symmetric_graph() {
+        let g = crate::gen::uniform::erdos_renyi(50, 200, 5).symmetrize();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(read_metis(Cursor::new(buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_directed_graph() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let mut buf = Vec::new();
+        assert!(write_metis(&g, &mut buf).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let g = Csr::from_edges(1, &[(0, 0)]);
+        let mut buf = Vec::new();
+        assert!(write_metis(&g, &mut buf).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(read_metis(Cursor::new("")).is_err());
+        assert!(read_metis(Cursor::new("2 1\n2\n1\n3\n")).is_err()); // extra line
+        assert!(read_metis(Cursor::new("2 1\n5\n1\n")).is_err()); // id out of range
+        assert!(read_metis(Cursor::new("3 5\n2\n1\n\n")).is_err()); // wrong count
+        assert!(read_metis(Cursor::new("2 1 011\n2\n1\n")).is_err()); // weighted fmt
+    }
+
+    #[test]
+    fn skips_comments_everywhere() {
+        let text = "% head\n%% more\n3 2\n% interlude\n2\n1 3\n2\n";
+        let g = read_metis(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+}

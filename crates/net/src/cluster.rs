@@ -1,0 +1,498 @@
+//! The simulated cluster: SPMD launcher, per-host communicators, and the
+//! shared "fabric" that routes messages between hosts.
+//!
+//! Hosts are OS threads. Each host `h` owns a [`Comm`] handle; `send` pushes
+//! a [`Bytes`] message into the destination's per-tag mailbox (an unbounded
+//! MPMC channel carrying `(src, payload)`), and the various `recv` flavours
+//! pop from it. Per-(src, dst, tag) FIFO order is guaranteed because a given
+//! source thread pushes its messages in program order and channels preserve
+//! insertion order per producer.
+//!
+//! ## Panic containment
+//!
+//! If any host panics, all blocked peers must not hang. The fabric keeps a
+//! poison flag; blocking operations (`recv*`, `barrier`) poll it with a
+//! timeout and panic with a descriptive message once poisoned, unwinding the
+//! whole cluster. [`Cluster::run`] then propagates the original panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::{CommStats, StatsCollector};
+
+/// Identifies a host (partition) in the simulated cluster.
+pub type HostId = usize;
+
+/// A small message-class discriminator, analogous to an MPI tag.
+///
+/// Tags below [`MAX_TAGS`] are valid; each (host, tag) pair has its own
+/// FIFO mailbox so different protocol stages never interfere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+/// Number of distinct tags supported by the fabric.
+pub const MAX_TAGS: usize = 32;
+
+/// How often blocked operations re-check the poison flag.
+const POISON_POLL: Duration = Duration::from_millis(50);
+
+type Mailbox = (Sender<(HostId, Bytes)>, Receiver<(HostId, Bytes)>);
+
+/// A poison-aware reusable barrier (generation counting).
+struct FabricBarrier {
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+    parties: usize,
+}
+
+impl FabricBarrier {
+    fn new(parties: usize) -> Self {
+        FabricBarrier {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            parties,
+        }
+    }
+
+    fn wait(&self, poisoned: &AtomicBool) {
+        let mut guard = self.state.lock();
+        let gen = guard.1;
+        guard.0 += 1;
+        if guard.0 == self.parties {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        while guard.1 == gen {
+            self.cv.wait_for(&mut guard, POISON_POLL);
+            if poisoned.load(Ordering::Acquire) {
+                drop(guard);
+                panic!("cluster poisoned: a peer host panicked while this host waited at a barrier");
+            }
+        }
+    }
+
+    /// Wakes all current waiters (used when poisoning).
+    fn poison_wake(&self) {
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// Shared state between all host threads.
+pub(crate) struct Fabric {
+    hosts: usize,
+    /// `mailboxes[dst][tag]` — MPMC channel of `(src, payload)`.
+    mailboxes: Vec<Vec<Mailbox>>,
+    barrier: FabricBarrier,
+    poisoned: AtomicBool,
+    pub(crate) stats: StatsCollector,
+}
+
+impl Fabric {
+    fn new(hosts: usize) -> Self {
+        let mailboxes = (0..hosts)
+            .map(|_| (0..MAX_TAGS).map(|_| unbounded()).collect())
+            .collect();
+        Fabric {
+            hosts,
+            mailboxes,
+            barrier: FabricBarrier::new(hosts),
+            poisoned: AtomicBool::new(false),
+            stats: StatsCollector::new(hosts),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.barrier.poison_wake();
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("cluster poisoned: a peer host panicked");
+        }
+    }
+}
+
+/// Per-host communicator handle. `send*` methods are thread-safe (pool
+/// workers may send concurrently during parallel serialization); `recv*`
+/// methods are intended for the host's coordinating thread.
+pub struct Comm {
+    host: HostId,
+    fabric: Arc<Fabric>,
+    /// Messages popped from a mailbox while looking for a specific source.
+    pending: Mutex<Vec<std::collections::VecDeque<(HostId, Bytes)>>>,
+    /// Index of the currently active accounting phase.
+    phase: std::sync::atomic::AtomicUsize,
+}
+
+impl Comm {
+    fn new(host: HostId, fabric: Arc<Fabric>) -> Self {
+        Comm {
+            host,
+            fabric,
+            pending: Mutex::new(vec![Default::default(); MAX_TAGS]),
+            phase: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// This host's id (also its partition id).
+    #[inline]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Total number of hosts in the cluster.
+    #[inline]
+    pub fn num_hosts(&self) -> usize {
+        self.fabric.hosts
+    }
+
+    /// Registers (or reuses) an accounting phase and makes it current. All
+    /// subsequent traffic from this host is attributed to it.
+    pub fn set_phase(&self, name: &str) {
+        let idx = self.fabric.stats.phase_index(name);
+        self.phase.store(idx, Ordering::Relaxed);
+    }
+
+    /// Sends `payload` to `dst` under `tag`.
+    ///
+    /// Self-sends are allowed (delivered through the same mailbox) but are
+    /// *not* counted as network traffic, matching how a real host would keep
+    /// local data local.
+    pub fn send_bytes(&self, dst: HostId, tag: Tag, payload: Bytes) {
+        assert!((tag.0 as usize) < MAX_TAGS, "tag out of range");
+        assert!(dst < self.fabric.hosts, "destination host out of range");
+        if dst != self.host {
+            let phase = self.phase.load(Ordering::Relaxed);
+            self.fabric
+                .stats
+                .record(phase, self.host, dst, payload.len() as u64);
+        }
+        self.fabric.mailboxes[dst][tag.0 as usize]
+            .0
+            .send((self.host, payload))
+            .expect("mailbox closed");
+    }
+
+    fn mailbox(&self, tag: Tag) -> &Receiver<(HostId, Bytes)> {
+        &self.fabric.mailboxes[self.host][tag.0 as usize].1
+    }
+
+    /// Receives the next message of `tag` from any source, blocking.
+    pub fn recv_any(&self, tag: Tag) -> (HostId, Bytes) {
+        {
+            let mut pending = self.pending.lock();
+            if let Some(m) = pending[tag.0 as usize].pop_front() {
+                return m;
+            }
+        }
+        loop {
+            match self.mailbox(tag).recv_timeout(POISON_POLL) {
+                Ok(m) => return m,
+                Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("mailbox disconnected")
+                }
+            }
+        }
+    }
+
+    /// Receives the next message of `tag` from `src` specifically, blocking.
+    /// Messages from other sources that arrive first are buffered.
+    pub fn recv_from(&self, src: HostId, tag: Tag) -> Bytes {
+        {
+            let mut pending = self.pending.lock();
+            let q = &mut pending[tag.0 as usize];
+            if let Some(pos) = q.iter().position(|(s, _)| *s == src) {
+                return q.remove(pos).expect("position valid").1;
+            }
+        }
+        loop {
+            let m = loop {
+                match self.mailbox(tag).recv_timeout(POISON_POLL) {
+                    Ok(m) => break m,
+                    Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
+                    Err(RecvTimeoutError::Disconnected) => panic!("mailbox disconnected"),
+                }
+            };
+            if m.0 == src {
+                return m.1;
+            }
+            self.pending.lock()[tag.0 as usize].push_back(m);
+        }
+    }
+
+    /// Non-blocking receive of `tag` from any source.
+    pub fn try_recv_any(&self, tag: Tag) -> Option<(HostId, Bytes)> {
+        {
+            let mut pending = self.pending.lock();
+            if let Some(m) = pending[tag.0 as usize].pop_front() {
+                return Some(m);
+            }
+        }
+        self.fabric.check_poison();
+        self.mailbox(tag).try_recv().ok()
+    }
+
+    /// Blocks until all hosts reach the barrier.
+    pub fn barrier(&self) {
+        self.fabric.barrier.wait(&self.fabric.poisoned);
+    }
+
+    /// Immutable access to the live statistics collector (e.g. to read
+    /// bytes sent so far from inside a host).
+    pub fn stats(&self) -> &StatsCollector {
+        &self.fabric.stats
+    }
+}
+
+/// Results of a cluster execution.
+pub struct ClusterOutput<R> {
+    /// Per-host return values, indexed by host id.
+    pub results: Vec<R>,
+    /// Snapshot of all communication statistics.
+    pub stats: CommStats,
+}
+
+/// SPMD launcher for the simulated cluster.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on `hosts` threads, one per host, and collects results.
+    ///
+    /// # Panics
+    /// Propagates the first host panic after unwinding all hosts.
+    pub fn run<R, F>(hosts: usize, f: F) -> ClusterOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        assert!(hosts > 0, "cluster needs at least one host");
+        let fabric = Arc::new(Fabric::new(hosts));
+        let mut results: Vec<Option<R>> = (0..hosts).map(|_| None).collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(hosts);
+            for (h, slot) in results.iter_mut().enumerate() {
+                let fabric = Arc::clone(&fabric);
+                let f = &f;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("host-{h}"))
+                        .spawn_scoped(scope, move || {
+                            let comm = Comm::new(h, Arc::clone(&fabric));
+                            let out = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| f(&comm)),
+                            );
+                            match out {
+                                Ok(r) => {
+                                    *slot = Some(r);
+                                    Ok(())
+                                }
+                                Err(p) => {
+                                    fabric.poison();
+                                    Err(p)
+                                }
+                            }
+                        })
+                        .expect("failed to spawn host thread"),
+                );
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(p)) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                    Err(p) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+
+        ClusterOutput {
+            results: results.into_iter().map(|r| r.expect("host produced no result")).collect(),
+            stats: fabric.stats.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_exchange() {
+        let out = Cluster::run(5, |comm| {
+            let me = comm.host();
+            let k = comm.num_hosts();
+            let mut w = crate::WireWriter::new();
+            w.put_u64(me as u64 * 100);
+            comm.send_bytes((me + 1) % k, Tag(1), w.finish());
+            let prev = (me + k - 1) % k;
+            let data = comm.recv_from(prev, Tag(1));
+            let mut r = crate::WireReader::new(data);
+            r.get_u64().unwrap()
+        });
+        assert_eq!(out.results, vec![400, 0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let out = Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                for i in 0..100u64 {
+                    let mut w = crate::WireWriter::new();
+                    w.put_u64(i);
+                    comm.send_bytes(1, Tag(0), w.finish());
+                }
+                Vec::new()
+            } else {
+                (0..100)
+                    .map(|_| {
+                        let (_s, b) = comm.recv_any(Tag(0));
+                        crate::WireReader::new(b).get_u64().unwrap()
+                    })
+                    .collect()
+            }
+        });
+        assert_eq!(out.results[1], (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn tags_are_independent() {
+        let out = Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                comm.send_bytes(1, Tag(2), Bytes::from_static(b"late-tag"));
+                comm.send_bytes(1, Tag(3), Bytes::from_static(b"early-tag"));
+                String::new()
+            } else {
+                // Read tag 3 first even though tag 2 arrived first.
+                let (_s, b3) = comm.recv_any(Tag(3));
+                let (_s, b2) = comm.recv_any(Tag(2));
+                format!(
+                    "{}/{}",
+                    std::str::from_utf8(&b3).unwrap(),
+                    std::str::from_utf8(&b2).unwrap()
+                )
+            }
+        });
+        assert_eq!(out.results[1], "early-tag/late-tag");
+    }
+
+    #[test]
+    fn recv_from_buffers_other_sources() {
+        let out = Cluster::run(3, |comm| {
+            match comm.host() {
+                0 | 1 => {
+                    let mut w = crate::WireWriter::new();
+                    w.put_u64(comm.host() as u64);
+                    comm.send_bytes(2, Tag(0), w.finish());
+                    0
+                }
+                _ => {
+                    // Deliberately ask for host 1 first, then host 0.
+                    let b1 = comm.recv_from(1, Tag(0));
+                    let b0 = comm.recv_from(0, Tag(0));
+                    let v1 = crate::WireReader::new(b1).get_u64().unwrap();
+                    let v0 = crate::WireReader::new(b0).get_u64().unwrap();
+                    (v1 * 10 + v0) as usize
+                }
+            }
+        });
+        assert_eq!(out.results[2], 10);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Cluster::run(4, |comm| {
+            for round in 1..=10 {
+                counter.fetch_add(1, Ordering::SeqCst);
+                comm.barrier();
+                assert_eq!(counter.load(Ordering::SeqCst), round * 4);
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_bytes_per_phase() {
+        let out = Cluster::run(2, |comm| {
+            comm.set_phase("phase-a");
+            if comm.host() == 0 {
+                comm.send_bytes(1, Tag(0), Bytes::from(vec![0u8; 100]));
+            } else {
+                comm.recv_any(Tag(0));
+            }
+            comm.barrier();
+            comm.set_phase("phase-b");
+            if comm.host() == 1 {
+                comm.send_bytes(0, Tag(0), Bytes::from(vec![0u8; 7]));
+            } else {
+                comm.recv_any(Tag(0));
+            }
+        });
+        let a = out.stats.phase("phase-a").expect("phase-a recorded");
+        assert_eq!(a.total_bytes(), 100);
+        assert_eq!(a.bytes_between(0, 1), 100);
+        assert_eq!(a.bytes_between(1, 0), 0);
+        assert_eq!(a.total_messages(), 1);
+        let b = out.stats.phase("phase-b").expect("phase-b recorded");
+        assert_eq!(b.total_bytes(), 7);
+    }
+
+    #[test]
+    fn self_sends_not_counted() {
+        let out = Cluster::run(1, |comm| {
+            comm.set_phase("only");
+            comm.send_bytes(0, Tag(0), Bytes::from(vec![1u8; 64]));
+            let (src, b) = comm.recv_any(Tag(0));
+            (src, b.len())
+        });
+        assert_eq!(out.results[0], (0, 64));
+        assert_eq!(out.stats.phase("only").unwrap().total_bytes(), 0);
+    }
+
+    #[test]
+    fn host_panic_propagates_without_hanging() {
+        let res = std::panic::catch_unwind(|| {
+            Cluster::run(3, |comm| {
+                if comm.host() == 1 {
+                    panic!("deliberate failure on host 1");
+                }
+                // These hosts would otherwise block forever.
+                comm.recv_any(Tag(0));
+            });
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn single_host_cluster() {
+        let out = Cluster::run(1, |comm| {
+            comm.barrier();
+            comm.host()
+        });
+        assert_eq!(out.results, vec![0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Hand-rolled little-endian wire codec.
+//!
+//! CuSP serializes node ids and edge lists into flat byte buffers (paper
+//! §IV-C3). A fixed-width, explicitly little-endian codec keeps the byte
+//! counts reported in Table V deterministic and easy to reason about, and
+//! lets serialization/deserialization happen in parallel on thread-local
+//! buffers without any framing library.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error returned when a reader runs out of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError {
+    /// Bytes requested by the failed read.
+    pub needed: usize,
+    /// Bytes that were actually available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire underrun: needed {} bytes, {} available",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only message writer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a new instance with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    #[inline]
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    #[inline]
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    #[inline]
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.put_u64_le(v);
+        }
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.put_u32_le(v);
+        }
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Finishes the message, leaving the writer empty and reusable.
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+
+    /// Finishes the message, consuming the writer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A sequential message reader.
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Creates a new instance.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    #[inline]
+    /// True when all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    #[inline]
+    fn check(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError {
+                needed: n,
+                available: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    #[inline]
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        self.check(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    #[inline]
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        self.check(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    #[inline]
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        self.check(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    #[inline]
+    /// Reads a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        self.check(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.get_u64()? as usize;
+        self.check(n.saturating_mul(8))?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u64_le());
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.get_u64()? as usize;
+        self.check(n.saturating_mul(4))?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u32_le());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(std::f64::consts::PI);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_slices() {
+        let mut w = WireWriter::new();
+        let a: Vec<u64> = (0..100).map(|i| i * 31).collect();
+        let b: Vec<u32> = (0..50).map(|i| i * 7).collect();
+        w.put_u64_slice(&a);
+        w.put_u32_slice(&b);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u64_vec().unwrap(), a);
+        assert_eq!(r.get_u32_vec().unwrap(), b);
+    }
+
+    #[test]
+    fn underrun_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u32(1);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u32().unwrap(), 1);
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(err.needed, 8);
+        assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn truncated_slice_is_an_error() {
+        let mut w = WireWriter::new();
+        w.put_u64(1000); // claims 1000 elements, provides none
+        let mut r = WireReader::new(w.finish());
+        assert!(r.get_u64_vec().is_err());
+    }
+
+    #[test]
+    fn take_resets_writer() {
+        let mut w = WireWriter::new();
+        w.put_u64(42);
+        let first = w.take();
+        assert_eq!(first.len(), 8);
+        assert!(w.is_empty());
+        w.put_u8(1);
+        assert_eq!(w.take().len(), 1);
+    }
+
+    #[test]
+    fn byte_counts_are_exact() {
+        // Table V relies on wire sizes being predictable.
+        let mut w = WireWriter::new();
+        w.put_u64_slice(&[1, 2, 3]);
+        assert_eq!(w.len(), 8 + 3 * 8);
+        w.put_u32_slice(&[1]);
+        assert_eq!(w.len(), 8 + 3 * 8 + 8 + 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Exact communication accounting.
+//!
+//! Every `Comm::send_bytes` to a remote host records `(phase, src, dst,
+//! bytes)` into a live [`StatsCollector`]; [`CommStats`] is the immutable
+//! snapshot returned by `Cluster::run`. This is what makes Table V (GB sent
+//! per phase for CVC vs HVC) an exact measurement in this reproduction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Live, thread-safe statistics collector shared by all hosts.
+pub struct StatsCollector {
+    hosts: usize,
+    /// Phase name → index, append-only.
+    names: RwLock<Vec<String>>,
+    /// Per-phase matrices, allocated on phase registration.
+    phases: RwLock<Vec<PhaseCounters>>,
+}
+
+struct PhaseCounters {
+    bytes: Vec<AtomicU64>,
+    msgs: Vec<AtomicU64>,
+}
+
+impl PhaseCounters {
+    fn new(hosts: usize) -> Self {
+        PhaseCounters {
+            bytes: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
+            msgs: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl StatsCollector {
+    pub(crate) fn new(hosts: usize) -> Self {
+        let collector = StatsCollector {
+            hosts,
+            names: RwLock::new(Vec::new()),
+            phases: RwLock::new(Vec::new()),
+        };
+        // Phase 0 always exists: traffic before any `set_phase` call.
+        collector.phase_index("(untagged)");
+        collector
+    }
+
+    /// Returns the index for `name`, registering it if new.
+    pub fn phase_index(&self, name: &str) -> usize {
+        {
+            let names = self.names.read();
+            if let Some(idx) = names.iter().position(|n| n == name) {
+                return idx;
+            }
+        }
+        let mut names = self.names.write();
+        // Re-check: another thread may have registered it meanwhile.
+        if let Some(idx) = names.iter().position(|n| n == name) {
+            return idx;
+        }
+        names.push(name.to_string());
+        self.phases.write().push(PhaseCounters::new(self.hosts));
+        names.len() - 1
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, phase: usize, src: usize, dst: usize, bytes: u64) {
+        let phases = self.phases.read();
+        let counters = &phases[phase];
+        let cell = src * self.hosts + dst;
+        counters.bytes[cell].fetch_add(bytes, Ordering::Relaxed);
+        counters.msgs[cell].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes recorded so far under `name` (0 if never registered).
+    pub fn live_total_bytes(&self, name: &str) -> u64 {
+        let names = self.names.read();
+        let Some(idx) = names.iter().position(|n| n == name) else {
+            return 0;
+        };
+        let phases = self.phases.read();
+        phases[idx].bytes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Freezes the collector into an immutable snapshot.
+    pub fn snapshot(&self) -> CommStats {
+        let names = self.names.read().clone();
+        let phases = self.phases.read();
+        let snaps = phases
+            .iter()
+            .map(|p| PhaseSnapshot {
+                hosts: self.hosts,
+                bytes: p.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                msgs: p.msgs.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            })
+            .collect();
+        CommStats {
+            hosts: self.hosts,
+            names,
+            phases: snaps,
+        }
+    }
+}
+
+/// Immutable snapshot of all traffic in one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseSnapshot {
+    hosts: usize,
+    /// Row-major `hosts × hosts` matrix of bytes from src (row) to dst (col).
+    bytes: Vec<u64>,
+    msgs: Vec<u64>,
+}
+
+impl PhaseSnapshot {
+    /// Bytes sent from `src` to `dst`.
+    pub fn bytes_between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.hosts + dst]
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn messages_between(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.hosts + dst]
+    }
+
+    /// Total bytes across all host pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total message count across all host pairs.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Bytes sent out of `src` to all destinations.
+    pub fn bytes_out(&self, src: usize) -> u64 {
+        (0..self.hosts).map(|d| self.bytes_between(src, d)).sum()
+    }
+
+    /// Bytes received by `dst` from all sources.
+    pub fn bytes_in(&self, dst: usize) -> u64 {
+        (0..self.hosts).map(|s| self.bytes_between(s, dst)).sum()
+    }
+
+    /// Messages sent out of `src`.
+    pub fn messages_out(&self, src: usize) -> u64 {
+        (0..self.hosts).map(|d| self.messages_between(src, d)).sum()
+    }
+
+    /// Messages received by `dst`.
+    pub fn messages_in(&self, dst: usize) -> u64 {
+        (0..self.hosts).map(|s| self.messages_between(s, dst)).sum()
+    }
+
+    /// Number of distinct peers `src` sent at least one byte to.
+    pub fn fanout(&self, src: usize) -> usize {
+        (0..self.hosts)
+            .filter(|&d| d != src && self.bytes_between(src, d) > 0)
+            .count()
+    }
+
+    /// Number of hosts in the matrix.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+}
+
+/// Immutable snapshot of all phases of a cluster run.
+#[derive(Clone, Debug)]
+pub struct CommStats {
+    hosts: usize,
+    names: Vec<String>,
+    phases: Vec<PhaseSnapshot>,
+}
+
+impl CommStats {
+    /// Looks a phase up by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSnapshot> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.phases[idx])
+    }
+
+    /// All registered phase names, in registration order.
+    pub fn phase_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterates `(name, snapshot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseSnapshot)> {
+        self.names
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.phases.iter())
+    }
+
+    /// Grand total bytes across every phase.
+    pub fn grand_total_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_bytes()).sum()
+    }
+
+    /// Grand total messages across every phase.
+    pub fn grand_total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_messages()).sum()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Merges phase totals matching a prefix (e.g. all `"construct:*"`).
+    pub fn total_bytes_with_prefix(&self, prefix: &str) -> u64 {
+        self.iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, p)| p.total_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_registration_is_idempotent() {
+        let c = StatsCollector::new(4);
+        let a = c.phase_index("alpha");
+        let b = c.phase_index("beta");
+        assert_ne!(a, b);
+        assert_eq!(c.phase_index("alpha"), a);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = StatsCollector::new(3);
+        let p = c.phase_index("work");
+        c.record(p, 0, 1, 10);
+        c.record(p, 0, 1, 5);
+        c.record(p, 2, 0, 100);
+        let snap = c.snapshot();
+        let ph = snap.phase("work").unwrap();
+        assert_eq!(ph.bytes_between(0, 1), 15);
+        assert_eq!(ph.messages_between(0, 1), 2);
+        assert_eq!(ph.bytes_between(2, 0), 100);
+        assert_eq!(ph.total_bytes(), 115);
+        assert_eq!(ph.bytes_out(0), 15);
+        assert_eq!(ph.bytes_in(0), 100);
+        assert_eq!(ph.fanout(0), 1);
+    }
+
+    #[test]
+    fn live_totals() {
+        let c = StatsCollector::new(2);
+        let p = c.phase_index("x");
+        assert_eq!(c.live_total_bytes("x"), 0);
+        c.record(p, 0, 1, 9);
+        assert_eq!(c.live_total_bytes("x"), 9);
+        assert_eq!(c.live_total_bytes("unknown"), 0);
+    }
+
+    #[test]
+    fn prefix_totals() {
+        let c = StatsCollector::new(2);
+        let p1 = c.phase_index("construct:edges");
+        let p2 = c.phase_index("construct:meta");
+        let p3 = c.phase_index("other");
+        c.record(p1, 0, 1, 1);
+        c.record(p2, 0, 1, 2);
+        c.record(p3, 0, 1, 4);
+        let snap = c.snapshot();
+        assert_eq!(snap.total_bytes_with_prefix("construct:"), 3);
+        assert_eq!(snap.grand_total_bytes(), 7);
+    }
+}

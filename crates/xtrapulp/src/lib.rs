@@ -1,0 +1,27 @@
+//! # cusp-xtrapulp: the paper's baseline partitioner
+//!
+//! A reproduction of XtraPulp [Slota et al., IPDPS'17] — the
+//! state-of-the-art *offline* distributed partitioner CuSP is evaluated
+//! against (§V). XtraPulp computes an **edge-cut**: multi-constraint
+//! (vertex- and edge-balanced) label propagation over the distributed
+//! graph, iterated bulk-synchronously until the labeling stabilizes; all
+//! out-edges of a vertex then live with its label.
+//!
+//! Differences from the C/MPI original, kept deliberately small:
+//! * label propagation counts out-neighbors (the direction analytics
+//!   traverse) rather than undirected neighbors;
+//! * the outer refinement schedule is a fixed number of iterations rather
+//!   than Pulp's staged constraint phases.
+//!
+//! Like the paper's setup, "partitioning time" for XtraPulp covers graph
+//! reading and label computation only — XtraPulp has no built-in graph
+//! construction (§V-A), so the [`cusp::DistGraph`] assembly reuses the CuSP
+//! pipeline with the computed labels as a master rule ([`LabelRule`]).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lp;
+
+pub use driver::{xtrapulp_partition, XpConfig, XpOutput};
+pub use lp::LabelRule;

@@ -1,0 +1,321 @@
+//! `cusp-part` — the stand-alone partitioning tool.
+//!
+//! ```text
+//! cusp-part gen       --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr
+//! cusp-part convert   --edgelist IN.txt --out G.bgr
+//! cusp-part convert   --metis IN.graph --out G.bgr
+//! cusp-part props     G.bgr
+//! cusp-part partition --graph G.bgr --policy EEC|HVC|CVC|FEC|GVC|SVC|CEC|FNC|HDRF|XTRAPULP
+//!                     --hosts K [--out-dir DIR] [--sync-rounds N] [--buffer BYTES]
+//!                     [--threads T] [--csc]
+//! cusp-part inspect   PART.part [PART.part ...]
+//! cusp-part validate  --graph G.bgr --parts DIR
+//! ```
+//!
+//! `partition` runs the full five-phase pipeline on a simulated K-host
+//! cluster, prints per-phase timings, communication volume, and quality
+//! metrics, and (with `--out-dir`) writes one `.part` file per host.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+use cusp::{
+    metrics, partition_with_policy, write_partition, CuspConfig, GraphSource, OutputFormat,
+    PolicyKind,
+};
+use cusp_graph::gen::{kronecker, powerlaw, KroneckerConfig, PowerLawConfig};
+use cusp_graph::{edgelist, read_bgr, write_bgr, GraphProps};
+use cusp_net::Cluster;
+use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]"
+    );
+    exit(2)
+}
+
+/// Minimal `--flag value` parser; positional args collect separately.
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if name == "csc" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                eprintln!("flag --{name} is missing its value");
+                usage();
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> &'a str {
+    flags.get(name).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{name}");
+        usage()
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: '{s}'");
+        usage()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (flags, positional) = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "convert" => cmd_convert(&flags),
+        "props" => cmd_props(&positional),
+        "partition" => cmd_partition(&flags),
+        "inspect" => cmd_inspect(&positional),
+        "validate" => cmd_validate(&flags),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage()
+        }
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) {
+    let kind = required(flags, "kind");
+    let nodes: usize = parse_num(required(flags, "nodes"), "node count");
+    let degree: f64 = flags
+        .get("degree")
+        .map(|s| parse_num(s, "degree"))
+        .unwrap_or(16.0);
+    let seed: u64 = flags.get("seed").map(|s| parse_num(s, "seed")).unwrap_or(42);
+    let out = PathBuf::from(required(flags, "out"));
+    let graph = match kind {
+        "kron" => {
+            let scale = (nodes.max(2) as f64).log2().ceil() as u32;
+            println!("generating kronecker: scale {scale}, edge factor {degree}");
+            kronecker(KroneckerConfig::graph500(scale, degree as u32, seed))
+        }
+        "webcrawl" => powerlaw(PowerLawConfig::webcrawl(nodes, degree, seed)),
+        "uniform" => {
+            cusp_graph::gen::uniform::erdos_renyi(nodes, (nodes as f64 * degree) as usize, seed)
+        }
+        other => {
+            eprintln!("unknown generator '{other}'");
+            usage()
+        }
+    };
+    write_bgr(&out, &graph).expect("failed to write graph");
+    println!("{}", GraphProps::compute(&graph).row(out.display().to_string().as_str()));
+}
+
+fn cmd_convert(flags: &HashMap<String, String>) {
+    let out = PathBuf::from(required(flags, "out"));
+    let (input, graph) = if let Some(path) = flags.get("edgelist") {
+        let input = PathBuf::from(path);
+        let file = std::fs::File::open(&input).expect("cannot open edge list");
+        let graph =
+            edgelist::read_edge_list(std::io::BufReader::new(file)).expect("parse failed");
+        (input, graph)
+    } else if let Some(path) = flags.get("metis") {
+        let input = PathBuf::from(path);
+        let file = std::fs::File::open(&input).expect("cannot open metis file");
+        let graph =
+            cusp_graph::metis::read_metis(std::io::BufReader::new(file)).expect("parse failed");
+        (input, graph)
+    } else {
+        eprintln!("convert needs --edgelist or --metis");
+        usage()
+    };
+    write_bgr(&out, &graph).expect("failed to write graph");
+    println!(
+        "converted {} -> {} ({} nodes, {} edges)",
+        input.display(),
+        out.display(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+}
+
+fn cmd_inspect(positional: &[String]) {
+    if positional.is_empty() {
+        eprintln!("inspect needs at least one .part file");
+        usage()
+    }
+    for path in positional {
+        let p = cusp::read_partition(&PathBuf::from(path)).expect("cannot read partition");
+        println!(
+            "{path}: partition {}/{} of a {}-node / {}-edge graph ({:?})",
+            p.part_id,
+            p.num_parts,
+            p.global_nodes,
+            p.global_edges,
+            p.class
+        );
+        println!(
+            "  {} masters, {} mirrors, {} local edges{}",
+            p.num_masters,
+            p.num_mirrors(),
+            p.num_local_edges(),
+            if p.edge_data.is_some() { ", weighted" } else { "" }
+        );
+    }
+}
+
+fn cmd_validate(flags: &HashMap<String, String>) {
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let dir = PathBuf::from(required(flags, "parts"));
+    let original = read_bgr(&graph_path).expect("cannot read graph");
+    let mut parts = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cannot read parts dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "part"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        parts.push(cusp::read_partition(&path).expect("cannot read partition"));
+    }
+    parts.sort_by_key(|p| p.part_id);
+    if parts.is_empty() {
+        eprintln!("no .part files in {}", dir.display());
+        exit(1);
+    }
+    match metrics::validate_partitioning(&original, &parts) {
+        Ok(()) => {
+            let q = metrics::quality(&parts);
+            println!(
+                "valid: {} partitions, replication factor {:.3}, edge balance {:.3}",
+                parts.len(),
+                q.replication_factor,
+                q.edge_balance
+            );
+        }
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_props(positional: &[String]) {
+    let Some(path) = positional.first() else { usage() };
+    let graph = read_bgr(&PathBuf::from(path)).expect("cannot read graph");
+    println!("{}", GraphProps::compute(&graph).row(path));
+}
+
+fn cmd_partition(flags: &HashMap<String, String>) {
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let policy_name = required(flags, "policy").to_ascii_uppercase();
+    let hosts: usize = parse_num(required(flags, "hosts"), "host count");
+    let cfg = CuspConfig {
+        sync_rounds: flags
+            .get("sync-rounds")
+            .map(|s| parse_num(s, "sync rounds"))
+            .unwrap_or(10),
+        buffer_threshold: flags
+            .get("buffer")
+            .map(|s| parse_num(s, "buffer bytes"))
+            .unwrap_or(256 << 10),
+        threads_per_host: flags
+            .get("threads")
+            .map(|s| parse_num(s, "threads"))
+            .unwrap_or(2),
+        output: if flags.contains_key("csc") {
+            OutputFormat::Csc
+        } else {
+            OutputFormat::Csr
+        },
+        ..CuspConfig::default()
+    };
+
+    let source = GraphSource::File(graph_path.clone());
+    let (parts, times_text, stats) = if policy_name == "XTRAPULP" {
+        let out = Cluster::run(hosts, move |comm| {
+            let r = xtrapulp_partition(comm, source.clone(), &XpConfig::default());
+            (r.partition.dist_graph, r.partition_time)
+        });
+        let reported = out.results.iter().map(|r| r.1).max().unwrap();
+        let parts: Vec<_> = out.results.into_iter().map(|r| r.0).collect();
+        (
+            parts,
+            format!("partitioning (read + label propagation): {reported:.2?}"),
+            out.stats,
+        )
+    } else {
+        let Some(kind) = PolicyKind::parse(&policy_name) else {
+            eprintln!("unknown policy '{policy_name}'");
+            usage()
+        };
+        let cfg2 = cfg.clone();
+        let out = Cluster::run(hosts, move |comm| {
+            let r = partition_with_policy(comm, source.clone(), kind, &cfg2);
+            (r.dist_graph, r.times)
+        });
+        let mut t = cusp::PhaseTimes::default();
+        let mut parts = Vec::new();
+        for (dg, times) in out.results {
+            t = t.max(&times);
+            parts.push(dg);
+        }
+        (
+            parts,
+            format!(
+                "read {:.2?} | master {:.2?} | edge-assign {:.2?} | alloc {:.2?} | construct {:.2?} | total {:.2?}",
+                t.read, t.master, t.edge_assign, t.alloc, t.construct, t.total()
+            ),
+            out.stats,
+        )
+    };
+
+    println!("{times_text}");
+    println!(
+        "communication: {:.2} MB in {} messages",
+        stats.grand_total_bytes() as f64 / 1e6,
+        stats.grand_total_messages()
+    );
+
+    // Validate against the original (in-memory reload) and report quality.
+    let original = read_bgr(&graph_path).expect("cannot re-read graph");
+    if cfg.output == OutputFormat::Csr {
+        metrics::validate_partitioning(&original, &parts).expect("partitioning INVALID");
+        println!("validation: ok");
+    }
+    let q = metrics::quality(&parts);
+    println!(
+        "quality: replication factor {:.3}, node balance {:.3}, edge balance {:.3}",
+        q.replication_factor, q.node_balance, q.edge_balance
+    );
+    for p in &parts {
+        println!(
+            "  host {:>3}: {:>9} masters  {:>9} mirrors  {:>11} edges",
+            p.part_id,
+            p.num_masters,
+            p.num_mirrors(),
+            p.num_local_edges()
+        );
+    }
+
+    if let Some(dir) = flags.get("out-dir") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("cannot create out dir");
+        for p in &parts {
+            let path = dir.join(format!("part-{:04}.part", p.part_id));
+            write_partition(&path, p).expect("failed to write partition");
+        }
+        println!("wrote {} partition files to {}", parts.len(), dir.display());
+    }
+}

@@ -1,0 +1,323 @@
+//! Integration tests: distributed analytics over CuSP partitions must
+//! agree with single-host reference implementations, for every policy
+//! class the paper evaluates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_dgalois::reference;
+use cusp_dgalois::{bfs, cc, pagerank, sssp, PageRankConfig, SyncPlan};
+use cusp_galois::ThreadPool;
+use cusp_graph::gen::powerlaw;
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::gen::PowerLawConfig;
+use cusp_graph::Csr;
+use cusp_net::Cluster;
+
+/// Runs `app` distributed over `k` hosts with the given policy and returns
+/// the assembled global (id → value) map from master values.
+fn run_distributed_u64(
+    graph: &Arc<Csr>,
+    k: usize,
+    kind: PolicyKind,
+    app: impl Fn(&cusp_net::Comm, &ThreadPool, &cusp::DistGraph, &SyncPlan) -> cusp_dgalois::AppRun
+        + Sync,
+) -> Vec<u64> {
+    let g = Arc::clone(graph);
+    let out = Cluster::run(k, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            kind,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(2);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        app(comm, &pool, &p.dist_graph, &plan).master_values
+    });
+    let mut values = vec![u64::MAX; graph.num_nodes()];
+    let mut seen = 0usize;
+    for host in out.results {
+        for (gid, v) in host {
+            values[gid as usize] = v;
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, graph.num_nodes(), "masters must cover every vertex");
+    values
+}
+
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Eec,
+    PolicyKind::Hvc,
+    PolicyKind::Cvc,
+    PolicyKind::Fec,
+    PolicyKind::Gvc,
+    PolicyKind::Svc,
+];
+
+#[test]
+fn bfs_matches_reference_across_policies() {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(800, 8.0, 5)));
+    let source = graph.max_out_degree_node().unwrap();
+    let expect = reference::bfs_ref(&graph, source);
+    for kind in POLICIES {
+        let got = run_distributed_u64(&graph, 4, kind, |c, pool, dg, plan| {
+            bfs(c, pool, dg, plan, source)
+        });
+        assert_eq!(got, expect, "bfs mismatch under {kind}");
+    }
+}
+
+#[test]
+fn sssp_matches_reference_across_policies() {
+    let graph = Arc::new(erdos_renyi(500, 4000, 9));
+    let source = graph.max_out_degree_node().unwrap();
+    let expect = reference::sssp_ref(&graph, source);
+    for kind in POLICIES {
+        let got = run_distributed_u64(&graph, 4, kind, |c, pool, dg, plan| {
+            sssp(c, pool, dg, plan, source)
+        });
+        assert_eq!(got, expect, "sssp mismatch under {kind}");
+    }
+}
+
+#[test]
+fn cc_matches_reference_across_policies() {
+    // Sparse graph → several components; symmetrize as the paper does.
+    let graph = Arc::new(erdos_renyi(600, 700, 13).symmetrize());
+    let expect = reference::cc_ref(&graph);
+    for kind in POLICIES {
+        let got = run_distributed_u64(&graph, 4, kind, cc);
+        assert_eq!(got, expect, "cc mismatch under {kind}");
+    }
+}
+
+#[test]
+fn pagerank_matches_reference_across_policies() {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(500, 10.0, 21)));
+    let cfg = PageRankConfig {
+        damping: 0.85,
+        tolerance: 1e-9,
+        max_iterations: 60,
+    };
+    let expect = reference::pagerank_ref(&graph, cfg.damping, cfg.tolerance, cfg.max_iterations);
+    for kind in POLICIES {
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(4, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            );
+            let pool = ThreadPool::new(2);
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            pagerank(comm, &pool, &p.dist_graph, &plan, cfg).master_ranks
+        });
+        let mut got: HashMap<u32, f64> = HashMap::new();
+        for host in out.results {
+            got.extend(host);
+        }
+        assert_eq!(got.len(), graph.num_nodes());
+        for (gid, rank) in got {
+            let e = expect[gid as usize];
+            assert!(
+                (rank - e).abs() < 1e-6,
+                "{kind}: pagerank of {gid} = {rank}, expected {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_from_isolated_source_reaches_nothing() {
+    let graph = Arc::new(Csr::from_edges(20, &[(1, 2), (2, 3)]));
+    let expect = reference::bfs_ref(&graph, 10);
+    let got = run_distributed_u64(&graph, 3, PolicyKind::Cvc, |c, pool, dg, plan| {
+        bfs(c, pool, dg, plan, 10)
+    });
+    assert_eq!(got, expect);
+    assert!(got.iter().enumerate().all(|(v, &d)| (d == 0) == (v == 10)));
+}
+
+#[test]
+fn apps_work_on_single_host() {
+    let graph = Arc::new(erdos_renyi(200, 1500, 27));
+    let source = graph.max_out_degree_node().unwrap();
+    let expect = reference::bfs_ref(&graph, source);
+    let got = run_distributed_u64(&graph, 1, PolicyKind::Eec, |c, pool, dg, plan| {
+        bfs(c, pool, dg, plan, source)
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn apps_work_at_higher_host_counts() {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(600, 10.0, 33)));
+    let source = graph.max_out_degree_node().unwrap();
+    let expect = reference::bfs_ref(&graph, source);
+    for k in [2, 6, 8] {
+        for kind in [PolicyKind::Cvc, PolicyKind::Hvc] {
+            let got = run_distributed_u64(&graph, k, kind, |c, pool, dg, plan| {
+                bfs(c, pool, dg, plan, source)
+            });
+            assert_eq!(got, expect, "bfs mismatch at k={k} under {kind}");
+        }
+    }
+}
+
+#[test]
+fn edge_cut_apps_have_no_broadcast_traffic() {
+    // The §V-C communication optimization: under an out-edge-cut, mirrors
+    // never need master values pushed back.
+    let graph = Arc::new(erdos_renyi(400, 3000, 39));
+    let source = graph.max_out_degree_node().unwrap();
+    let g = Arc::clone(&graph);
+    let out = Cluster::run(4, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            PolicyKind::Eec,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(2);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        let _ = bfs(comm, &pool, &p.dist_graph, &plan, source);
+        plan.bcast_targets().count()
+    });
+    assert!(out.results.iter().all(|&c| c == 0));
+}
+
+#[test]
+fn kcore_matches_oracle_across_policies() {
+    let graph = Arc::new(erdos_renyi(500, 2500, 211).symmetrize());
+    for k_threshold in [2u64, 4, 8] {
+        let expect = cusp_dgalois::kcore_ref(&graph, k_threshold);
+        for kind in [PolicyKind::Eec, PolicyKind::Hvc, PolicyKind::Svc] {
+            let got = run_distributed_u64(&graph, 4, kind, |c, pool, dg, plan| {
+                cusp_dgalois::kcore(c, pool, dg, plan, k_threshold)
+            });
+            assert_eq!(got, expect, "kcore({k_threshold}) mismatch under {kind}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_respects_iteration_cap_and_tolerance() {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(400, 8.0, 301)));
+    // Hard cap: exactly 3 rounds when tolerance is unreachable.
+    let g = Arc::clone(&graph);
+    let capped = Cluster::run(2, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            PolicyKind::Eec,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(1);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        pagerank(
+            comm,
+            &pool,
+            &p.dist_graph,
+            &plan,
+            PageRankConfig {
+                damping: 0.85,
+                tolerance: 0.0,
+                max_iterations: 3,
+            },
+        )
+        .rounds
+    });
+    assert!(capped.results.iter().all(|&r| r == 3));
+
+    // Loose tolerance: converges well before a generous cap.
+    let g = Arc::clone(&graph);
+    let loose = Cluster::run(2, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            PolicyKind::Eec,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(1);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        pagerank(
+            comm,
+            &pool,
+            &p.dist_graph,
+            &plan,
+            PageRankConfig {
+                damping: 0.85,
+                tolerance: 1e-2,
+                max_iterations: 500,
+            },
+        )
+        .rounds
+    });
+    assert!(loose.results.iter().all(|&r| r < 50), "{:?}", loose.results);
+}
+
+#[test]
+fn sssp_weighted_equals_hash_weight_sssp() {
+    // Storing hash weights in the partition must give the same answer as
+    // computing them on the fly.
+    let graph = Arc::new(erdos_renyi(300, 2400, 307));
+    let weights: Arc<Vec<u32>> = Arc::new(
+        graph
+            .iter_edges()
+            .map(|(u, v)| cusp_dgalois::edge_weight(u, v) as u32)
+            .collect(),
+    );
+    let source = graph.max_out_degree_node().unwrap();
+    let on_the_fly = run_distributed_u64(&graph, 3, PolicyKind::Cvc, |c, pool, dg, plan| {
+        sssp(c, pool, dg, plan, source)
+    });
+    let g = Arc::clone(&graph);
+    let w = Arc::clone(&weights);
+    let stored = Cluster::run(3, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::MemoryWeighted(g.clone(), w.clone()),
+            PolicyKind::Cvc,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(2);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        cusp_dgalois::sssp_weighted(comm, &pool, &p.dist_graph, &plan, source).master_values
+    });
+    let mut stored_vals = vec![u64::MAX; graph.num_nodes()];
+    for host in stored.results {
+        for (gid, v) in host {
+            stored_vals[gid as usize] = v;
+        }
+    }
+    assert_eq!(stored_vals, on_the_fly);
+}
+
+#[test]
+fn core_decomposition_matches_oracle() {
+    let graph = Arc::new(erdos_renyi(300, 2400, 401).symmetrize());
+    let expect = cusp_dgalois::kcore::core_numbers_ref(&graph, 64);
+    let g = Arc::clone(&graph);
+    let out = Cluster::run(4, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            PolicyKind::Cvc,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(1);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        cusp_dgalois::kcore::core_numbers(comm, &pool, &p.dist_graph, &plan)
+    });
+    let mut got = vec![u64::MAX; graph.num_nodes()];
+    for host in out.results {
+        for (gid, c) in host {
+            got[gid as usize] = c;
+        }
+    }
+    assert_eq!(got, expect);
+}

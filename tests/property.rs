@@ -1,0 +1,290 @@
+//! Property-based tests (proptest): structural invariants of the full
+//! partitioning pipeline and its building blocks under randomized inputs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cusp::{metrics, partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_graph::{reading_split, Csr, Node};
+use cusp_net::Cluster;
+
+/// Strategy: a random directed graph as (n, edge list), possibly with
+/// self-loops, parallel edges, isolated vertices, and empty graphs.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (1usize..120).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as Node, 0..n as Node),
+            0..(n * 8).min(600),
+        );
+        (Just(n), edges)
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Eec),
+        Just(PolicyKind::Hvc),
+        Just(PolicyKind::Cvc),
+        Just(PolicyKind::Fec),
+        Just(PolicyKind::Gvc),
+        Just(PolicyKind::Svc),
+        Just(PolicyKind::Cec),
+        Just(PolicyKind::Hdrf),
+        Just(PolicyKind::Ldg),
+        Just(PolicyKind::Bvc),
+        Just(PolicyKind::Jvc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any policy on any random graph at any host count produces a valid
+    /// partitioning (every edge exactly once, one master per vertex,
+    /// consistent mirror bookkeeping).
+    #[test]
+    fn pipeline_always_produces_valid_partitions(
+        (n, edges) in arb_graph(),
+        kind in arb_policy(),
+        hosts in 1usize..6,
+    ) {
+        let graph = Arc::new(Csr::from_edges(n, &edges));
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(hosts, move |comm| {
+            partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig { threads_per_host: 1, ..CuspConfig::default() },
+            )
+            .dist_graph
+        });
+        let parts = out.results;
+        prop_assert!(metrics::validate_partitioning(&graph, &parts).is_ok());
+        // Replication factor bounds.
+        let q = metrics::quality(&parts);
+        prop_assert!(q.replication_factor >= 1.0 - 1e-9);
+        prop_assert!(q.replication_factor <= hosts as f64 + 1e-9);
+    }
+
+    /// The reading split covers all nodes with contiguous, ordered ranges
+    /// for arbitrary degree sequences and weights.
+    #[test]
+    fn reading_split_is_a_partition_of_nodes(
+        degrees in proptest::collection::vec(0u64..50, 0..300),
+        k in 1usize..12,
+        node_w in 0u64..3,
+        edge_w in 0u64..3,
+    ) {
+        prop_assume!(node_w + edge_w > 0);
+        let mut ends = Vec::with_capacity(degrees.len());
+        let mut acc = 0u64;
+        for d in &degrees {
+            acc += d;
+            ends.push(acc);
+        }
+        let splits = reading_split(&ends, k, node_w, edge_w);
+        prop_assert_eq!(splits.len(), k);
+        prop_assert_eq!(splits[0].lo, 0);
+        prop_assert_eq!(splits.last().unwrap().hi, degrees.len() as u64);
+        for w in splits.windows(2) {
+            prop_assert_eq!(w[0].hi, w[1].lo);
+        }
+    }
+
+    /// CSR transpose is an involution on the edge multiset.
+    #[test]
+    fn transpose_is_involution((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.iter_edges().collect();
+        let mut b: Vec<_> = tt.iter_edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Symmetrize produces a symmetric, loop-free graph containing every
+    /// original non-loop edge.
+    #[test]
+    fn symmetrize_properties((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        let s = g.symmetrize();
+        for (u, v) in s.iter_edges() {
+            prop_assert_ne!(u, v, "self-loop survived");
+            prop_assert!(s.edges(v).contains(&u), "missing reverse edge");
+        }
+        for (u, v) in g.iter_edges() {
+            if u != v {
+                prop_assert!(s.edges(u).contains(&v), "original edge lost");
+            }
+        }
+    }
+
+    /// The wire codec round-trips arbitrary payload structures.
+    #[test]
+    fn wire_codec_round_trips(
+        u8s in proptest::collection::vec(any::<u8>(), 0..20),
+        u32s in proptest::collection::vec(any::<u32>(), 0..50),
+        u64s in proptest::collection::vec(any::<u64>(), 0..50),
+        f in any::<f64>(),
+    ) {
+        let mut w = cusp_net::WireWriter::new();
+        for &b in &u8s {
+            w.put_u8(b);
+        }
+        w.put_u32_slice(&u32s);
+        w.put_u64_slice(&u64s);
+        w.put_f64(f);
+        let mut r = cusp_net::WireReader::new(w.finish());
+        for &b in &u8s {
+            prop_assert_eq!(r.get_u8().unwrap(), b);
+        }
+        prop_assert_eq!(r.get_u32_vec().unwrap(), u32s);
+        prop_assert_eq!(r.get_u64_vec().unwrap(), u64s);
+        let back = r.get_f64().unwrap();
+        prop_assert!(back == f || (back.is_nan() && f.is_nan()));
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// Parallel prefix sum equals the sequential scan for any input.
+    #[test]
+    fn prefix_sum_matches_sequential(
+        input in proptest::collection::vec(0u64..1000, 0..5000),
+        threads in 1usize..5,
+    ) {
+        let pool = cusp_galois::ThreadPool::new(threads);
+        let mut out = vec![0u64; input.len()];
+        let total = cusp_galois::exclusive_prefix_sum(&pool, &input, &mut out);
+        let mut run = 0u64;
+        for (i, &x) in input.iter().enumerate() {
+            prop_assert_eq!(out[i], run);
+            run += x;
+        }
+        prop_assert_eq!(total, run);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // the distributed-app oracle check is heavier
+        ..ProptestConfig::default()
+    })]
+
+    /// Distributed bfs equals the sequential oracle on random graphs under
+    /// a random paper policy.
+    #[test]
+    fn distributed_bfs_matches_oracle(
+        (n, edges) in arb_graph(),
+        kind in arb_policy(),
+        hosts in 1usize..5,
+        source_pick in any::<prop::sample::Index>(),
+    ) {
+        let graph = Arc::new(Csr::from_edges(n, &edges));
+        let source = source_pick.index(n) as Node;
+        let expect = cusp_dgalois::reference::bfs_ref(&graph, source);
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(hosts, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig { threads_per_host: 1, ..CuspConfig::default() },
+            );
+            let pool = cusp_galois::ThreadPool::new(1);
+            let plan = cusp_dgalois::SyncPlan::build(comm, &p.dist_graph);
+            cusp_dgalois::bfs(comm, &pool, &p.dist_graph, &plan, source).master_values
+        });
+        let mut got = vec![u64::MAX; n];
+        for host in out.results {
+            for (gid, v) in host {
+                got[gid as usize] = v;
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Edge data follows its edge through the full pipeline for random
+    /// weighted graphs under random policies.
+    #[test]
+    fn weights_survive_partitioning(
+        (n, edges) in arb_graph(),
+        kind in arb_policy(),
+        hosts in 1usize..5,
+    ) {
+        let graph = Arc::new(Csr::from_edges(n, &edges));
+        let weights: Arc<Vec<u32>> = Arc::new(
+            graph.iter_edges().enumerate().map(|(i, _)| i as u32 * 7 + 1).collect(),
+        );
+        let g = Arc::clone(&graph);
+        let w = Arc::clone(&weights);
+        let out = Cluster::run(hosts, move |comm| {
+            cusp::partition_with_policy(
+                comm,
+                GraphSource::MemoryWeighted(g.clone(), w.clone()),
+                kind,
+                &CuspConfig { threads_per_host: 1, ..CuspConfig::default() },
+            )
+            .dist_graph
+        });
+        prop_assert!(
+            cusp::metrics::validate_partitioning_weighted(&graph, &weights, &out.results).is_ok()
+        );
+    }
+
+    /// CSC-oriented partitioning is a valid partitioning of the transpose
+    /// for any policy and host count.
+    #[test]
+    fn csc_orientation_partitions_transpose(
+        (n, edges) in arb_graph(),
+        kind in arb_policy(),
+        hosts in 1usize..5,
+    ) {
+        let graph = Arc::new(Csr::from_edges(n, &edges));
+        let transposed = graph.transpose();
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(hosts, move |comm| {
+            cusp::partition_with_policy_oriented(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                cusp::Orientation::Csc,
+                &CuspConfig { threads_per_host: 1, ..CuspConfig::default() },
+            )
+            .dist_graph
+        });
+        prop_assert!(metrics::validate_partitioning(&transposed, &out.results).is_ok());
+    }
+
+    /// transpose_with_data keeps every (src, dst, weight) triple.
+    #[test]
+    fn transpose_with_data_preserves_triples((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        let data: Vec<u32> = (0..g.num_edges() as u32).map(|i| i * 3 + 1).collect();
+        let (t, td) = g.transpose_with_data(&data);
+        let mut orig: Vec<(Node, Node, u32)> = g
+            .iter_edges()
+            .enumerate()
+            .map(|(i, (u, v))| (u, v, data[i]))
+            .collect();
+        let mut back: Vec<(Node, Node, u32)> = t
+            .iter_edges()
+            .enumerate()
+            .map(|(i, (v, u))| (u, v, td[i]))
+            .collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        prop_assert_eq!(orig, back);
+    }
+}

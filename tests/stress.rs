@@ -1,0 +1,78 @@
+//! Opt-in stress tests (run with `cargo test --release -- --ignored`):
+//! larger graphs, more hosts, and longer pipelines than the default suite.
+
+use std::sync::Arc;
+
+use cusp::{metrics, partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_dgalois::{bfs, reference, SyncPlan};
+use cusp_galois::ThreadPool;
+use cusp_graph::gen::{kronecker, powerlaw, KroneckerConfig, PowerLawConfig};
+use cusp_net::Cluster;
+
+#[test]
+#[ignore = "stress: ~1M-edge graphs on 16 hosts; run with --ignored"]
+fn million_edge_kronecker_all_policies() {
+    let graph = Arc::new(kronecker(KroneckerConfig::graph500(16, 16, 1)));
+    for kind in cusp::policies::ALL_POLICIES {
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(16, move |comm| {
+            partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            )
+            .dist_graph
+        });
+        metrics::validate_partitioning(&graph, &out.results)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+#[ignore = "stress: bfs oracle check on a 2M-edge crawl; run with --ignored"]
+fn large_crawl_bfs_oracle() {
+    let graph = Arc::new(powerlaw(PowerLawConfig::webcrawl(60_000, 34.0, 2)));
+    let source = graph.max_out_degree_node().unwrap();
+    let expect = reference::bfs_ref(&graph, source);
+    let g = Arc::clone(&graph);
+    let out = Cluster::run(16, move |comm| {
+        let p = partition_with_policy(
+            comm,
+            GraphSource::Memory(g.clone()),
+            PolicyKind::Cvc,
+            &CuspConfig::default(),
+        );
+        let pool = ThreadPool::new(2);
+        let plan = SyncPlan::build(comm, &p.dist_graph);
+        bfs(comm, &pool, &p.dist_graph, &plan, source).master_values
+    });
+    let mut got = vec![u64::MAX; graph.num_nodes()];
+    for host in out.results {
+        for (gid, v) in host {
+            got[gid as usize] = v;
+        }
+    }
+    assert_eq!(got, expect);
+}
+
+#[test]
+#[ignore = "stress: 500 sequential small pipelines (leak/fd soak); run with --ignored"]
+fn pipeline_soak() {
+    let graph = Arc::new(cusp_graph::gen::uniform::erdos_renyi(200, 1600, 3));
+    for i in 0..500 {
+        let kind = cusp::policies::ALL_POLICIES[i % 6];
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(4, move |comm| {
+            partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            )
+            .dist_graph
+            .num_local_edges()
+        });
+        assert_eq!(out.results.iter().sum::<u64>(), 1600);
+    }
+}
