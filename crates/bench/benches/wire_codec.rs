@@ -45,8 +45,58 @@ fn bench_codec(c: &mut Criterion) {
             black_box(w.finish())
         });
     });
+
+    group.bench_function("edge_records_bulk", |b| {
+        // Same record stream, destinations written as one raw run each.
+        let dsts: Vec<u32> = (0..64).collect();
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(1 << 16);
+            for src in 0..1000u32 {
+                w.put_u32(src);
+                w.put_u32(dsts.len() as u32);
+                w.put_u32_raw_slice(&dsts);
+            }
+            black_box(w.finish())
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
+/// Scalar vs bulk on the acceptance workload: a 1K-element u32 slice,
+/// encoded then decoded per iteration.
+fn bench_u32_slice_1k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec_u32_1k");
+    let n = 1000usize;
+    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+
+    group.bench_function("encode_decode_scalar", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(n * 4);
+            for &v in &data {
+                w.put_u32(v);
+            }
+            let mut r = WireReader::new(w.finish());
+            let mut sum = 0u32;
+            for _ in 0..n {
+                sum = sum.wrapping_add(r.get_u32().unwrap());
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("encode_decode_bulk", |b| {
+        let mut out = vec![0u32; n];
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(n * 4);
+            w.put_u32_raw_slice(&data);
+            let mut r = WireReader::new(w.finish());
+            r.get_u32_into(&mut out).unwrap();
+            black_box(out[n - 1])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_u32_slice_1k);
 criterion_main!(benches);

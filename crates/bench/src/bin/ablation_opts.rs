@@ -3,9 +3,12 @@
 //!
 //! * the §IV-D5 pure-master elision ("replicate computation instead of
 //!   communication") — toggled with `CuspConfig::force_stored_masters`;
-//! * §IV-D3 message buffering — buffered vs unbuffered construction.
+//! * §IV-D3 message buffering — buffered vs unbuffered construction;
+//! * the bulk wire codec — element-by-element serialization via
+//!   `CuspConfig::scalar_codec` (wire bytes are identical; only CPU cost
+//!   changes).
 //!
-//! Both knobs leave results identical (validated by the test suite); the
+//! All knobs leave results identical (validated by the test suite); the
 //! ablation shows what they cost when disabled.
 
 use cusp::{CuspConfig, GraphSource, PolicyKind};
@@ -30,7 +33,7 @@ fn main() {
         ],
     );
     for input in drilldown_inputs(scale) {
-        let variants: [(&str, CuspConfig); 4] = [
+        let variants: [(&str, CuspConfig); 5] = [
             ("baseline", CuspConfig::default()),
             (
                 "no pure-master elision",
@@ -43,6 +46,13 @@ fn main() {
                 "no buffering",
                 CuspConfig {
                     buffer_threshold: 0,
+                    ..CuspConfig::default()
+                },
+            ),
+            (
+                "scalar codec",
+                CuspConfig {
+                    scalar_codec: true,
                     ..CuspConfig::default()
                 },
             ),

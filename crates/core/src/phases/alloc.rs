@@ -15,6 +15,9 @@ use cusp_graph::{EdgeIdx, Node};
 use crate::phases::edge_assign::EdgeAssignOutcome;
 use crate::PartId;
 
+/// Sentinel for a dense-index hole (no proxy with that global id).
+const NO_PROXY: u32 = u32::MAX;
+
 /// The allocated (but not yet filled) partition.
 pub struct AllocOutcome {
     /// Local id → global id (masters segment then mirrors segment).
@@ -31,20 +34,69 @@ pub struct AllocOutcome {
     pub edge_data: Option<Vec<u32>>,
     /// Per-node insertion cursors for lock-free parallel filling.
     pub cursors: Vec<AtomicU64>,
+    /// Global ids of all proxies, sorted ascending (fallback index).
+    index_keys: Vec<Node>,
+    /// Local id of `index_keys[i]`.
+    index_locals: Vec<u32>,
+    /// First global id covered by `dense_index` (when non-empty).
+    index_lo: Node,
+    /// Dense global → local table with [`NO_PROXY`] holes; empty when the
+    /// proxy id span is too sparse to afford.
+    dense_index: Vec<u32>,
 }
 
 impl AllocOutcome {
+    /// Builds the global→local index over a finished `local2global` map.
+    ///
+    /// Construction resolves every received destination through
+    /// [`AllocOutcome::local_of`] — once per edge — so the two-segment
+    /// binary search this used to do is frozen into a dense window (holes
+    /// hold [`NO_PROXY`]) whenever the proxy ids span an affordable range,
+    /// with a single sorted-array search as the sparse fallback.
+    fn build_index(local2global: &[Node]) -> (Vec<Node>, Vec<u32>, Node, Vec<u32>) {
+        let mut pairs: Vec<(Node, u32)> = local2global
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l as u32))
+            .collect();
+        pairs.sort_unstable_by_key(|&(g, _)| g);
+        let keys: Vec<Node> = pairs.iter().map(|&(g, _)| g).collect();
+        let locals: Vec<u32> = pairs.iter().map(|&(_, l)| l).collect();
+        let (index_lo, dense) = match (keys.first(), keys.last()) {
+            (Some(&lo), Some(&hi)) => {
+                let span = (hi - lo) as usize + 1;
+                // Partitions of real graphs have proxies blanketing the id
+                // space; the cap only rejects degenerate sparse layouts.
+                if span <= keys.len().saturating_mul(4).saturating_add(1024) {
+                    let mut dense = vec![NO_PROXY; span];
+                    for &(g, l) in &pairs {
+                        dense[(g - lo) as usize] = l;
+                    }
+                    (lo, dense)
+                } else {
+                    (0, Vec::new())
+                }
+            }
+            _ => (0, Vec::new()),
+        };
+        (keys, locals, index_lo, dense)
+    }
+
     /// Local id of global vertex `v` (must exist in this partition).
+    #[inline]
     pub fn local_of(&self, v: Node) -> u32 {
-        let masters = &self.local2global[..self.num_masters];
-        if let Ok(i) = masters.binary_search(&v) {
-            return i as u32;
+        if !self.dense_index.is_empty() {
+            let off = v.wrapping_sub(self.index_lo) as usize;
+            if off < self.dense_index.len() {
+                let l = self.dense_index[off];
+                if l != NO_PROXY {
+                    return l;
+                }
+            }
+        } else if let Ok(i) = self.index_keys.binary_search(&v) {
+            return self.index_locals[i];
         }
-        let mirrors = &self.local2global[self.num_masters..];
-        match mirrors.binary_search(&v) {
-            Ok(i) => (self.num_masters + i) as u32,
-            Err(_) => panic!("global vertex {v} has no proxy in this partition"),
-        }
+        panic!("global vertex {v} has no proxy in this partition")
     }
 }
 
@@ -123,6 +175,8 @@ fn build(
     }
 
     // --- Degrees and CSR skeleton. -----------------------------------------
+    let (index_keys, index_locals, index_lo, dense_index) =
+        AllocOutcome::build_index(&local2global);
     let alloc = AllocOutcome {
         local2global,
         num_masters,
@@ -131,6 +185,10 @@ fn build(
         dests: Vec::new(),
         edge_data: None,
         cursors: Vec::new(),
+        index_keys,
+        index_locals,
+        index_lo,
+        dense_index,
     };
     let mut degrees = vec![0u64; num_local];
     for &(s, c, _) in &outcome.incoming_srcs {
@@ -199,6 +257,26 @@ mod tests {
         assert_eq!(a.master_of, vec![0, 0, 0, 1]);
         assert_eq!(a.offsets, vec![0, 1, 1, 1, 1]);
         assert_eq!(a.edge_data.as_ref().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn sparse_proxy_ids_use_fallback_index() {
+        // Ids scattered across the u32 space exceed the dense-window cap,
+        // exercising the sorted-array fallback of local_of.
+        let pool = ThreadPool::new(1);
+        let o = EdgeAssignOutcome {
+            incoming_srcs: vec![(0, 1, 0), (500_000_000, 2, 1)],
+            mirrors: vec![(1_000_000_000, 2)],
+            my_master_nodes: Some(vec![0, 1]),
+            to_receive: 2,
+        };
+        let a = allocate(0, &pool, &o, false);
+        assert_eq!(a.local2global, vec![0, 1, 500_000_000, 1_000_000_000]);
+        assert_eq!(a.local_of(0), 0);
+        assert_eq!(a.local_of(1), 1);
+        assert_eq!(a.local_of(500_000_000), 2);
+        assert_eq!(a.local_of(1_000_000_000), 3);
+        assert_eq!(a.offsets, vec![0, 1, 1, 3, 3]);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! the configured threshold (§IV-D3). Because allocation reserved exact
 //! per-node slots, arriving records are inserted with a lock-free
 //! fetch-add cursor; no two records ever contend for the same slots.
+//!
+//! The byte path is bulk end to end: destination/weight runs are encoded
+//! with the wire codec's memcpy slice ops, incoming messages are sized by
+//! skip-scanning record headers in O(records), and destination runs are
+//! decoded straight from the received payload into the record's reserved
+//! CSR slots (weights are a straight memcpy). The wire format is identical
+//! to the element-by-element encoding — `CuspConfig::scalar_codec` keeps
+//! the scalar path around as an ablation and parity check.
 
 use std::sync::atomic::Ordering;
 
@@ -66,6 +74,7 @@ pub fn construct<ER: EdgeRule>(
     let local_n = slice.num_nodes();
     let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
     let weighted = slice.weights.is_some();
+    let scalar = cfg.scalar_codec;
     debug_assert_eq!(weighted, alloc.edge_data.is_some());
 
     let dest_ptr = DestPtr(alloc.dests.as_mut_ptr());
@@ -123,12 +132,21 @@ pub fn construct<ER: EdgeRule>(
                     ts.buffers.record(comm, h, |w| {
                         w.put_u32(s);
                         w.put_u32(bucket.len() as u32);
-                        for &d in bucket {
-                            w.put_u32(d);
-                        }
-                        if let Some(ws) = wbucket {
-                            for &x in ws {
-                                w.put_u32(x);
+                        if scalar {
+                            for &d in bucket {
+                                w.put_u32(d);
+                            }
+                            if let Some(ws) = wbucket {
+                                for &x in ws {
+                                    w.put_u32(x);
+                                }
+                            }
+                        } else {
+                            // Raw runs: same bytes as the scalar writes,
+                            // one memcpy per run instead of a call per edge.
+                            w.put_u32_raw_slice(bucket);
+                            if let Some(ws) = wbucket {
+                                w.put_u32_raw_slice(ws);
                             }
                         }
                     });
@@ -159,20 +177,22 @@ pub fn construct<ER: EdgeRule>(
     let mut batch: Vec<bytes::Bytes> = Vec::new();
     while received < to_receive {
         let (_src, payload) = comm.recv_any(TAG_EDGES);
-        received += count_edges_in(&payload, weighted);
+        received += count_edges_in(&payload, weighted, scalar);
         batch.push(payload);
         // Opportunistically grab whatever else already arrived.
         while received < to_receive {
             match comm.try_recv_any(TAG_EDGES) {
                 Some((_s, p)) => {
-                    received += count_edges_in(&p, weighted);
+                    received += count_edges_in(&p, weighted, scalar);
                     batch.push(p);
                 }
                 None => break,
             }
         }
+        // do_all_items runs one- or two-message batches inline on this
+        // thread; larger backlogs are deserialized in parallel.
         do_all_items(pool, &batch, 1, |payload| {
-            insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted);
+            insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted, scalar);
         });
         batch.clear();
     }
@@ -201,6 +221,19 @@ pub fn construct<ER: EdgeRule>(
     }
 }
 
+/// Reserves `cnt` contiguous CSR slots for a record of `src` and returns
+/// the first slot index.
+#[inline]
+fn reserve_slots(alloc: &AllocOutcome, src: Node, cnt: usize) -> usize {
+    let ls = alloc.local_of(src) as usize;
+    let slot = alloc.cursors[ls].fetch_add(cnt as u64, Ordering::Relaxed);
+    assert!(
+        slot + cnt as u64 <= alloc.offsets[ls + 1],
+        "edge overflow for source {src}: assignment and construction disagree"
+    );
+    slot as usize
+}
+
 /// Inserts one record's destinations (and optional per-edge data) into the
 /// preallocated CSR, converting global destination ids to local ids.
 #[inline]
@@ -212,18 +245,13 @@ fn insert_record(
     dsts: &[Node],
     weights: Option<&[u32]>,
 ) {
-    let ls = alloc.local_of(src) as usize;
-    let slot = alloc.cursors[ls].fetch_add(dsts.len() as u64, Ordering::Relaxed);
-    assert!(
-        slot + dsts.len() as u64 <= alloc.offsets[ls + 1],
-        "edge overflow for source {src}: assignment and construction disagree"
-    );
+    let slot = reserve_slots(alloc, src, dsts.len());
     for (off, &d) in dsts.iter().enumerate() {
         let ld = alloc.local_of(d);
         // SAFETY: slots [slot, slot + len) were exclusively reserved by the
         // fetch_add above; no other thread writes them.
         unsafe {
-            *dest_ptr.get().add(slot as usize + off) = ld;
+            *dest_ptr.get().add(slot + off) = ld;
         }
     }
     if let Some(ws) = weights {
@@ -231,14 +259,18 @@ fn insert_record(
         for (off, &x) in ws.iter().enumerate() {
             // SAFETY: same exclusively reserved slots as above.
             unsafe {
-                *data_ptr.get().add(slot as usize + off) = x;
+                *data_ptr.get().add(slot + off) = x;
             }
         }
     }
 }
 
-/// Total edges carried by a message (sum of record counts) — cheap scan.
-fn count_edges_in(payload: &bytes::Bytes, weighted: bool) -> u64 {
+/// Total edges carried by a message (sum of record counts).
+///
+/// Bulk mode skip-scans the record headers — O(records), not O(edges) —
+/// since the run lengths alone determine the total. Scalar mode decodes
+/// every element (the pre-bulk behavior, kept for the ablation).
+fn count_edges_in(payload: &bytes::Bytes, weighted: bool, scalar: bool) -> u64 {
     let mut r = WireReader::new(payload.clone());
     let per_edge = if weighted { 2 } else { 1 };
     let mut total = 0u64;
@@ -246,42 +278,74 @@ fn count_edges_in(payload: &bytes::Bytes, weighted: bool) -> u64 {
         let _src = r.get_u32().expect("malformed edge record");
         let cnt = r.get_u32().expect("malformed edge record") as u64;
         total += cnt;
-        for _ in 0..cnt * per_edge {
-            let _ = r.get_u32().expect("malformed edge record");
+        if scalar {
+            for _ in 0..cnt * per_edge {
+                let _ = r.get_u32().expect("malformed edge record");
+            }
+        } else {
+            r.skip((cnt * per_edge) as usize * 4).expect("malformed edge record");
         }
     }
     total
 }
 
 /// Deserializes a full message of records and inserts them.
+///
+/// Bulk mode is zero-copy: each record's destination run is decoded from
+/// the payload directly into its reserved CSR slots and localized in place,
+/// and the weight run is a straight memcpy into the edge-data slots — no
+/// intermediate `Vec` is materialized.
 fn insert_message(
     alloc: &AllocOutcome,
     dest_ptr: &DestPtr,
     data_ptr: &DataPtr,
     payload: bytes::Bytes,
     weighted: bool,
+    scalar: bool,
 ) {
     let mut r = WireReader::new(payload);
-    let mut dsts: Vec<Node> = Vec::new();
-    let mut ws: Vec<u32> = Vec::new();
+    if scalar {
+        let mut dsts: Vec<Node> = Vec::new();
+        let mut ws: Vec<u32> = Vec::new();
+        while !r.is_exhausted() {
+            let src = r.get_u32().expect("malformed edge record");
+            let cnt = r.get_u32().expect("malformed edge record") as usize;
+            dsts.clear();
+            dsts.reserve(cnt);
+            for _ in 0..cnt {
+                dsts.push(r.get_u32().expect("malformed edge record"));
+            }
+            let weights = if weighted {
+                ws.clear();
+                ws.reserve(cnt);
+                for _ in 0..cnt {
+                    ws.push(r.get_u32().expect("malformed edge record"));
+                }
+                Some(ws.as_slice())
+            } else {
+                None
+            };
+            insert_record(alloc, dest_ptr, data_ptr, src, &dsts, weights);
+        }
+        return;
+    }
     while !r.is_exhausted() {
         let src = r.get_u32().expect("malformed edge record");
         let cnt = r.get_u32().expect("malformed edge record") as usize;
-        dsts.clear();
-        dsts.reserve(cnt);
-        for _ in 0..cnt {
-            dsts.push(r.get_u32().expect("malformed edge record"));
+        let slot = reserve_slots(alloc, src, cnt);
+        // SAFETY: slots [slot, slot + cnt) were exclusively reserved by
+        // reserve_slots; no other thread touches them.
+        let dst_slots =
+            unsafe { std::slice::from_raw_parts_mut(dest_ptr.get().add(slot), cnt) };
+        r.get_u32_into(dst_slots).expect("malformed edge record");
+        for d in dst_slots.iter_mut() {
+            *d = alloc.local_of(*d);
         }
-        let weights = if weighted {
-            ws.clear();
-            ws.reserve(cnt);
-            for _ in 0..cnt {
-                ws.push(r.get_u32().expect("malformed edge record"));
-            }
-            Some(ws.as_slice())
-        } else {
-            None
-        };
-        insert_record(alloc, dest_ptr, data_ptr, src, &dsts, weights);
+        if weighted {
+            // SAFETY: same exclusively reserved slots, edge-data buffer.
+            let data_slots =
+                unsafe { std::slice::from_raw_parts_mut(data_ptr.get().add(slot), cnt) };
+            r.get_u32_into(data_slots).expect("malformed edge record");
+        }
     }
 }

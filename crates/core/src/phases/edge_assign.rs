@@ -129,24 +129,25 @@ pub fn assign_edges<ER: EdgeRule>(
         let mut w = WireWriter::with_capacity(local_n * 4 + 64);
         w.put_u8(META_FULL);
         w.put_u64(local_n as u64);
-        for c in count_slice {
-            w.put_u32(c.load(Ordering::Relaxed));
-        }
+        // Bulk-encode the positional count vector (same bytes as the old
+        // per-element writes; raw runs carry no length prefix).
+        let count_vec: Vec<u32> = count_slice.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        w.put_u32_raw_slice(&count_vec);
         if !pure {
             // Compacted masters of nonzero-count sources, in position order.
             let compacted: Vec<u32> = (0..local_n)
-                .filter(|&i| count_slice[i].load(Ordering::Relaxed) > 0)
+                .filter(|&i| count_vec[i] > 0)
                 .map(|i| masters.of(lo + i as Node))
                 .collect();
             w.put_u32_slice(&compacted);
         }
         w.put_u64(mirrors_for[peer].len() as u64);
-        for &(d, dm) in &mirrors_for[peer] {
-            w.put_u32(d);
-            if !pure {
-                w.put_u32(dm);
-            }
-        }
+        let mirror_run: Vec<u32> = if pure {
+            mirrors_for[peer].iter().map(|&(d, _)| d).collect()
+        } else {
+            mirrors_for[peer].iter().flat_map(|&(d, dm)| [d, dm]).collect()
+        };
+        w.put_u32_raw_slice(&mirror_run);
         if !pure {
             w.put_u32_slice(&master_buckets[peer]);
         }
@@ -178,10 +179,8 @@ pub fn assign_edges<ER: EdgeRule>(
         let sender_lo = setup.read_splits[src].lo as Node;
         let n = r.get_u64().expect("malformed counts") as usize;
         debug_assert_eq!(n as u64, setup.read_splits[src].len());
-        let mut raw_counts = Vec::with_capacity(n);
-        for _ in 0..n {
-            raw_counts.push(r.get_u32().expect("malformed counts"));
-        }
+        let mut raw_counts = vec![0u32; n];
+        r.get_u32_into(&mut raw_counts).expect("malformed counts");
         let compacted: Option<Vec<u32>> = if pure {
             None
         } else {
@@ -205,14 +204,12 @@ pub fn assign_edges<ER: EdgeRule>(
             debug_assert_eq!(j, v.len());
         }
         let nm = r.get_u64().expect("malformed mirror count") as usize;
-        for _ in 0..nm {
-            let d = r.get_u32().expect("malformed mirror");
-            let dm = if pure {
-                masters.of(d)
-            } else {
-                r.get_u32().expect("malformed mirror master")
-            };
-            mirrors.push((d, dm));
+        let mut mirror_run = vec![0u32; if pure { nm } else { nm * 2 }];
+        r.get_u32_into(&mut mirror_run).expect("malformed mirrors");
+        if pure {
+            mirrors.extend(mirror_run.into_iter().map(|d| (d, masters.of(d))));
+        } else {
+            mirrors.extend(mirror_run.chunks_exact(2).map(|p| (p[0], p[1])));
         }
         if !pure {
             let list = r.get_u32_vec().expect("malformed master list");

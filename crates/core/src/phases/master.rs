@@ -38,19 +38,98 @@ use crate::state::PartitionState;
 use crate::tags::{MSG_FINAL, MSG_SYNC, TAG_MASTER_REQ, TAG_MASTER_SYNC};
 use crate::PartId;
 
+/// Dense lookup table for the masters of requested remote nodes.
+///
+/// Built once from the sparse protocol-time map after master resolution.
+/// The edge-assignment and construction inner loops call
+/// [`ResolvedMasters::of`] up to twice *per edge*, so the `HashMap` the sync
+/// protocol accumulates into is frozen here: when the requested ids span a
+/// window comparable to their count, lookup is a bounds check plus an array
+/// load (holes hold [`UNASSIGNED`]); for pathologically sparse id sets it
+/// falls back to binary search over the sorted ids.
+pub struct RemoteMasters {
+    /// Requested node ids, sorted ascending.
+    keys: Vec<Node>,
+    /// Master of `keys[i]`.
+    vals: Vec<PartId>,
+    /// First id covered by `window` (meaningful only when non-empty).
+    window_lo: Node,
+    /// Dense id → master table covering `window_lo..window_lo + len`.
+    window: Vec<PartId>,
+}
+
+impl RemoteMasters {
+    /// Freezes a protocol-time map into the dense lookup form.
+    pub fn from_map(map: &HashMap<Node, PartId>) -> Self {
+        let mut pairs: Vec<(Node, PartId)> = map.iter().map(|(&v, &p)| (v, p)).collect();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        let keys: Vec<Node> = pairs.iter().map(|&(v, _)| v).collect();
+        let vals: Vec<PartId> = pairs.iter().map(|&(_, p)| p).collect();
+        let (window_lo, window) = match (keys.first(), keys.last()) {
+            (Some(&lo), Some(&hi)) => {
+                let span = (hi - lo) as usize + 1;
+                // Remote dests of a contiguous read range tend to blanket
+                // the id space, so the dense form almost always applies; the
+                // cap only guards against degenerate sparse sets (a few ids
+                // scattered across billions).
+                if span <= keys.len().saturating_mul(4).saturating_add(1024) {
+                    let mut window = vec![UNASSIGNED; span];
+                    for &(v, p) in &pairs {
+                        window[(v - lo) as usize] = p;
+                    }
+                    (lo, window)
+                } else {
+                    (0, Vec::new())
+                }
+            }
+            _ => (0, Vec::new()),
+        };
+        RemoteMasters { keys, vals, window_lo, window }
+    }
+
+    /// The master of `v`, or `None` if the protocol never delivered it.
+    #[inline]
+    pub fn get(&self, v: Node) -> Option<PartId> {
+        if !self.window.is_empty() {
+            let off = v.wrapping_sub(self.window_lo) as usize;
+            if off < self.window.len() {
+                let m = self.window[off];
+                return (m != UNASSIGNED).then_some(m);
+            }
+            return None;
+        }
+        self.keys.binary_search(&v).ok().map(|i| self.vals[i])
+    }
+
+    /// Number of stored assignments.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no remote assignments were requested.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates `(node, master)` pairs in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (Node, PartId)> + '_ {
+        self.keys.iter().copied().zip(self.vals.iter().copied())
+    }
+}
+
 /// Master assignments as visible to the later phases on one host.
 pub enum ResolvedMasters {
     /// Assignment is a replicated pure function.
     Pure(Box<dyn Fn(Node) -> PartId + Send + Sync>),
-    /// Assignments are stored: dense for the local read range, sparse for
-    /// the requested remote nodes.
+    /// Assignments are stored: dense for the local read range, dense-window
+    /// (or sorted-array) for the requested remote nodes.
     Stored {
         /// First node of the locally read range.
         lo: Node,
         /// Master of each node in the local range.
         local: Vec<PartId>,
         /// Masters of the requested remote nodes.
-        remote: HashMap<Node, PartId>,
+        remote: RemoteMasters,
     },
 }
 
@@ -67,8 +146,8 @@ impl ResolvedMasters {
                     debug_assert_ne!(m, UNASSIGNED);
                     m
                 } else {
-                    *remote
-                        .get(&v)
+                    remote
+                        .get(v)
                         .unwrap_or_else(|| panic!("master of {v} unknown on this host"))
                 }
             }
@@ -237,7 +316,9 @@ pub fn assign_masters<MR: MasterRule>(
     ResolvedMasters::Stored {
         lo,
         local: local.into_iter().map(|a| a.into_inner()).collect(),
-        remote,
+        // Freeze the protocol-time map into the dense form the per-edge
+        // lookups in edge assignment and construction read from.
+        remote: RemoteMasters::from_map(&remote),
     }
 }
 
@@ -333,7 +414,7 @@ mod tests {
         k: usize,
         rule_of: impl Fn(&Setup) -> MR + Sync,
         rounds: u32,
-    ) -> Vec<(Node, Vec<PartId>, HashMap<Node, PartId>)> {
+    ) -> Vec<(Node, Vec<PartId>, RemoteMasters)> {
         let g = Arc::new(erdos_renyi(300, 3000, 17));
         let out = Cluster::run(k, |comm| {
             let cfg = CuspConfig {
@@ -358,8 +439,10 @@ mod tests {
         let results = run_assignment(4, |_s| ModRule, 1);
         // Every remote entry must equal what the owner computed locally.
         for (_, _, remote) in &results {
-            for (&v, &p) in remote {
+            assert!(!remote.is_empty());
+            for (v, p) in remote.iter() {
                 assert_eq!(p, v % 4, "remote master of {v} wrong");
+                assert_eq!(remote.get(v), Some(p));
             }
         }
         // Local arrays complete.
@@ -386,11 +469,37 @@ mod tests {
             assert_eq!(truth.len(), 300);
             // Remote views agree with the truth.
             for (_, _, remote) in &results {
-                for (&v, &p) in remote {
+                for (v, p) in remote.iter() {
                     assert_eq!(p, truth[&v], "rounds={rounds}: master of {v} diverged");
                 }
             }
         }
+    }
+
+    #[test]
+    fn remote_masters_dense_and_sparse_forms_agree() {
+        // Dense: contiguous-ish ids → window form.
+        let dense: HashMap<Node, PartId> =
+            (100u32..400).filter(|v| v % 3 != 0).map(|v| (v, v % 5)).collect();
+        let rm = RemoteMasters::from_map(&dense);
+        assert_eq!(rm.len(), dense.len());
+        for v in 0u32..500 {
+            assert_eq!(rm.get(v), dense.get(&v).copied(), "dense get({v})");
+        }
+        // Sparse: ids scattered far beyond the dense-window cap → sorted
+        // array + binary search.
+        let sparse: HashMap<Node, PartId> =
+            (0u32..8).map(|i| (i.wrapping_mul(100_000_003), i)).collect();
+        let rm = RemoteMasters::from_map(&sparse);
+        assert_eq!(rm.len(), sparse.len());
+        for (&v, &p) in &sparse {
+            assert_eq!(rm.get(v), Some(p));
+            assert_eq!(rm.get(v ^ 1), sparse.get(&(v ^ 1)).copied());
+        }
+        // Empty map.
+        let rm = RemoteMasters::from_map(&HashMap::new());
+        assert!(rm.is_empty());
+        assert_eq!(rm.get(0), None);
     }
 
     #[test]

@@ -90,12 +90,25 @@ where
     });
 }
 
+/// Batches at or below this size run inline on the calling thread even when
+/// `grain` is smaller: waking the whole pool for a couple of items (the
+/// common case in receive loops that drain one message at a time) costs more
+/// than processing them in place.
+const SMALL_BATCH: usize = 2;
+
 /// Runs `f(&items[i])` for every item of the slice in parallel.
 pub fn do_all_items<T, F>(pool: &ThreadPool, items: &[T], grain: usize, f: F)
 where
     T: Sync,
     F: Fn(&T) + Sync,
 {
+    // Mirrors do_all's tiny-range shortcut, extended to SMALL_BATCH items.
+    if items.len() <= SMALL_BATCH.max(grain) {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
     do_all(pool, items.len(), grain, |i| f(&items[i]));
 }
 
@@ -148,6 +161,21 @@ mod tests {
             sum.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), (0..5000u64).sum());
+    }
+
+    #[test]
+    fn small_item_batches_run_inline() {
+        // A batch of SMALL_BATCH items with grain 1 must run on the calling
+        // thread, not the pool workers.
+        let pool = ThreadPool::new(4);
+        let caller = std::thread::current().id();
+        let inline_runs = AtomicU64::new(0);
+        let items = [10u64, 20];
+        do_all_items(&pool, &items, 1, |_x| {
+            assert_eq!(std::thread::current().id(), caller);
+            inline_runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(inline_runs.load(Ordering::Relaxed), 2);
     }
 
     #[test]

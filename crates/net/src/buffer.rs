@@ -32,7 +32,10 @@ impl SendBuffers {
             buffers: (0..hosts)
                 .map(|_| WireWriter::with_capacity(threshold.min(1 << 20)))
                 .collect(),
-            threshold,
+            // Normalized once so the per-record hot path is a plain compare:
+            // threshold 0 ("send immediately") behaves identically to 1
+            // because every non-empty record is at least one byte.
+            threshold: threshold.max(1),
             tag,
             flushes: 0,
             records: 0,
@@ -45,7 +48,7 @@ impl SendBuffers {
         let buf = &mut self.buffers[dst];
         write(buf);
         self.records += 1;
-        if buf.len() >= self.threshold.max(1) {
+        if buf.len() >= self.threshold {
             let payload = buf.take();
             self.send(comm, dst, payload);
         }

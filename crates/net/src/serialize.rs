@@ -87,18 +87,56 @@ impl WireWriter {
     /// Writes a length-prefixed `u64` slice.
     pub fn put_u64_slice(&mut self, vs: &[u64]) {
         self.put_u64(vs.len() as u64);
-        self.buf.reserve(vs.len() * 8);
-        for &v in vs {
-            self.buf.put_u64_le(v);
-        }
+        self.put_u64_raw_slice(vs);
     }
 
     /// Writes a length-prefixed `u32` slice.
     pub fn put_u32_slice(&mut self, vs: &[u32]) {
         self.put_u64(vs.len() as u64);
-        self.buf.reserve(vs.len() * 4);
-        for &v in vs {
-            self.buf.put_u32_le(v);
+        self.put_u32_raw_slice(vs);
+    }
+
+    /// Appends a `u32` run with **no length prefix**, byte-identical to
+    /// calling [`WireWriter::put_u32`] once per element.
+    ///
+    /// On little-endian targets the run is a single memcpy; elsewhere it
+    /// falls back to the portable per-element encode.
+    pub fn put_u32_raw_slice(&mut self, vs: &[u32]) {
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `u32` has no padding; on little-endian targets its
+            // in-memory bytes are exactly the wire encoding.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(vs.as_ptr() as *const u8, std::mem::size_of_val(vs))
+            };
+            self.buf.put_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            self.buf.reserve(vs.len() * 4);
+            for &v in vs {
+                self.buf.put_u32_le(v);
+            }
+        }
+    }
+
+    /// Appends a `u64` run with **no length prefix**, byte-identical to
+    /// calling [`WireWriter::put_u64`] once per element.
+    pub fn put_u64_raw_slice(&mut self, vs: &[u64]) {
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: as in `put_u32_raw_slice`.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(vs.as_ptr() as *const u8, std::mem::size_of_val(vs))
+            };
+            self.buf.put_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            self.buf.reserve(vs.len() * 8);
+            for &v in vs {
+                self.buf.put_u64_le(v);
+            }
         }
     }
 
@@ -181,14 +219,67 @@ impl WireReader {
         Ok(self.buf.get_f64_le())
     }
 
+    /// Skips `n` bytes without decoding them.
+    ///
+    /// This is what lets receivers count records in O(records): read each
+    /// header, then `skip` the whole element run.
+    #[inline]
+    pub fn skip(&mut self, n: usize) -> Result<(), WireError> {
+        self.check(n)?;
+        self.buf.advance(n);
+        Ok(())
+    }
+
+    /// Reads exactly `dst.len()` `u32`s (no length prefix) into `dst`.
+    ///
+    /// On little-endian targets the run is a single memcpy out of the
+    /// payload; elsewhere it falls back to the portable per-element decode.
+    pub fn get_u32_into(&mut self, dst: &mut [u32]) -> Result<(), WireError> {
+        let nbytes = std::mem::size_of_val(dst);
+        self.check(nbytes)?;
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `u32` has no padding or invalid bit patterns, and the
+            // wire encoding is exactly its little-endian memory layout.
+            let out =
+                unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, nbytes) };
+            self.buf.copy_to_slice(out);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            for v in dst.iter_mut() {
+                *v = self.buf.get_u32_le();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `dst.len()` `u64`s (no length prefix) into `dst`.
+    pub fn get_u64_into(&mut self, dst: &mut [u64]) -> Result<(), WireError> {
+        let nbytes = std::mem::size_of_val(dst);
+        self.check(nbytes)?;
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: as in `get_u32_into`.
+            let out =
+                unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, nbytes) };
+            self.buf.copy_to_slice(out);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            for v in dst.iter_mut() {
+                *v = self.buf.get_u64_le();
+            }
+        }
+        Ok(())
+    }
+
     /// Reads a length-prefixed `u64` slice.
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.get_u64()? as usize;
         self.check(n.saturating_mul(8))?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.buf.get_u64_le());
-        }
+        let mut out = vec![0u64; n];
+        self.get_u64_into(&mut out)?;
         Ok(out)
     }
 
@@ -196,10 +287,8 @@ impl WireReader {
     pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
         let n = self.get_u64()? as usize;
         self.check(n.saturating_mul(4))?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.buf.get_u32_le());
-        }
+        let mut out = vec![0u32; n];
+        self.get_u32_into(&mut out)?;
         Ok(out)
     }
 }
@@ -263,6 +352,65 @@ mod tests {
         assert!(w.is_empty());
         w.put_u8(1);
         assert_eq!(w.take().len(), 1);
+    }
+
+    #[test]
+    fn raw_slice_matches_scalar_encoding() {
+        // The bulk writers must be byte-identical to per-element puts —
+        // Table V byte counts depend on it.
+        let vals32: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(0x0101_0101)).collect();
+        let vals64: Vec<u64> = (0..129u64).map(|i| i.wrapping_mul(0x0101_0101_0101_0101)).collect();
+        let mut bulk = WireWriter::new();
+        bulk.put_u32_raw_slice(&vals32);
+        bulk.put_u64_raw_slice(&vals64);
+        let mut scalar = WireWriter::new();
+        for &v in &vals32 {
+            scalar.put_u32(v);
+        }
+        for &v in &vals64 {
+            scalar.put_u64(v);
+        }
+        assert_eq!(&*bulk.finish(), &*scalar.finish());
+    }
+
+    #[test]
+    fn get_into_reads_raw_runs() {
+        let vals: Vec<u32> = (0..100).map(|i| i * 3 + 1).collect();
+        let mut w = WireWriter::new();
+        w.put_u32_raw_slice(&vals);
+        w.put_u64(99);
+        let mut r = WireReader::new(w.finish());
+        let mut out = vec![0u32; vals.len()];
+        r.get_u32_into(&mut out).unwrap();
+        assert_eq!(out, vals);
+        assert_eq!(r.get_u64().unwrap(), 99);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn get_into_empty_and_underrun() {
+        let mut w = WireWriter::new();
+        w.put_u32(5);
+        let mut r = WireReader::new(w.finish());
+        r.get_u32_into(&mut []).unwrap(); // empty read is a no-op
+        let mut too_big = vec![0u32; 3];
+        let err = r.get_u32_into(&mut too_big).unwrap_err();
+        assert_eq!(err.needed, 12);
+        assert_eq!(err.available, 4);
+        // A failed bulk read consumes nothing.
+        assert_eq!(r.get_u32().unwrap(), 5);
+    }
+
+    #[test]
+    fn skip_advances_without_decoding() {
+        let mut w = WireWriter::new();
+        w.put_u32_raw_slice(&[1, 2, 3]);
+        w.put_u8(7);
+        let mut r = WireReader::new(w.finish());
+        r.skip(12).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.skip(1).unwrap_err(), WireError { needed: 1, available: 0 });
+        r.skip(0).unwrap();
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property-based tests for the bulk wire codec: the memcpy slice ops must
+//! be byte-identical to per-element encoding, round-trip losslessly at any
+//! alignment, and fail cleanly (without consuming input) on underruns.
+
+use proptest::prelude::*;
+
+use cusp_net::{WireReader, WireWriter};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        ..ProptestConfig::default()
+    })]
+
+    /// Raw u32 runs encode exactly like per-element writes and decode back,
+    /// even when a leading u8 puts the run at an odd byte offset.
+    #[test]
+    fn u32_raw_slice_is_byte_identical_and_roundtrips(
+        vs in proptest::collection::vec(any::<u32>(), 0..300),
+        lead in any::<u8>(),
+        misalign in any::<bool>(),
+    ) {
+        let mut bulk = WireWriter::new();
+        let mut scalar = WireWriter::new();
+        if misalign {
+            bulk.put_u8(lead);
+            scalar.put_u8(lead);
+        }
+        bulk.put_u32_raw_slice(&vs);
+        for &v in &vs {
+            scalar.put_u32(v);
+        }
+        let bulk = bulk.finish();
+        prop_assert_eq!(&*bulk, &*scalar.finish());
+
+        let mut r = WireReader::new(bulk);
+        if misalign {
+            prop_assert_eq!(r.get_u8().unwrap(), lead);
+        }
+        let mut back = vec![0u32; vs.len()];
+        r.get_u32_into(&mut back).unwrap();
+        prop_assert_eq!(back, vs);
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// Length-prefixed u64 slices round-trip through the bulk path.
+    #[test]
+    fn u64_slice_roundtrips(
+        vs in proptest::collection::vec(any::<u64>(), 0..200),
+        misalign in any::<bool>(),
+    ) {
+        let mut w = WireWriter::new();
+        if misalign {
+            w.put_u8(0xA5);
+        }
+        w.put_u64_slice(&vs);
+        let mut r = WireReader::new(w.finish());
+        if misalign {
+            r.get_u8().unwrap();
+        }
+        prop_assert_eq!(r.get_u64_vec().unwrap(), vs);
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// skip() lands exactly where element-wise reads would.
+    #[test]
+    fn skip_matches_elementwise_reads(
+        vs in proptest::collection::vec(any::<u32>(), 1..200),
+        sentinel in any::<u64>(),
+    ) {
+        let mut w = WireWriter::new();
+        w.put_u32_raw_slice(&vs);
+        w.put_u64(sentinel);
+        let payload = w.finish();
+
+        let mut skipper = WireReader::new(payload.clone());
+        skipper.skip(vs.len() * 4).unwrap();
+        let mut stepper = WireReader::new(payload);
+        for _ in 0..vs.len() {
+            stepper.get_u32().unwrap();
+        }
+        prop_assert_eq!(skipper.remaining(), stepper.remaining());
+        prop_assert_eq!(skipper.get_u64().unwrap(), sentinel);
+        prop_assert!(skipper.is_exhausted());
+    }
+
+    /// Underruns error out without consuming anything: the reader can still
+    /// decode what is actually there.
+    #[test]
+    fn underrun_consumes_nothing(
+        vs in proptest::collection::vec(any::<u32>(), 0..50),
+        extra in 1usize..20,
+    ) {
+        let mut w = WireWriter::new();
+        w.put_u32_raw_slice(&vs);
+        let mut r = WireReader::new(w.finish());
+
+        let mut too_big = vec![0u32; vs.len() + extra];
+        let err = r.get_u32_into(&mut too_big).unwrap_err();
+        prop_assert_eq!(err.needed, (vs.len() + extra) * 4);
+        prop_assert_eq!(err.available, vs.len() * 4);
+        prop_assert_eq!(r.remaining(), vs.len() * 4);
+        prop_assert!(r.skip(vs.len() * 4 + 1).is_err());
+
+        let mut back = vec![0u32; vs.len()];
+        r.get_u32_into(&mut back).unwrap();
+        prop_assert_eq!(back, vs);
+    }
+}

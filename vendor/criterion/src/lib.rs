@@ -1,0 +1,241 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` used by
+//! this workspace (vendored because the build image has no crates.io access;
+//! see `[patch.crates-io]` in the workspace `Cargo.toml`).
+//!
+//! It keeps the `criterion_group!`/`criterion_main!`/`BenchmarkGroup` shape
+//! and performs a real warmup + calibrated timed run per benchmark, printing
+//! mean time per iteration and (when a [`Throughput`] is set) bytes- or
+//! elements-per-second. There is no statistical analysis, HTML report, or
+//! result persistence — numbers land on stdout.
+
+use std::fmt;
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark id string (implemented for `&str`, `String`,
+/// and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, retaining the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one("", &id.into_id(), None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub calibrates iteration counts
+    /// itself and does not use a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark: single-iteration warmup to estimate cost, then a
+/// calibrated timed run targeting ~80ms of wall clock.
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, thrpt: Option<Throughput>, mut f: F) {
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let est = b.elapsed.max(Duration::from_nanos(1));
+
+    const TARGET: Duration = Duration::from_millis(80);
+    let iters = (TARGET.as_nanos() / est.as_nanos()).clamp(1, 50_000_000) as u64;
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let mut line = format!("{full:<50} time: {}", fmt_time(per_iter_ns));
+    if let Some(t) = thrpt {
+        line.push_str(&match t {
+            Throughput::Bytes(n) => {
+                let gib = n as f64 / per_iter_ns * 1e9 / (1u64 << 30) as f64;
+                format!("   thrpt: {gib:>10.3} GiB/s")
+            }
+            Throughput::Elements(n) => {
+                let melem = n as f64 / per_iter_ns * 1e9 / 1e6;
+                format!("   thrpt: {melem:>10.3} Melem/s")
+            }
+        });
+    }
+    println!("{line}");
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>9.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:>9.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>9.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:>9.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Bytes(64));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").into_id(), "p");
+    }
+}

@@ -1,0 +1,193 @@
+//! Work-stealing deque: owner pops LIFO (or FIFO), thieves steal FIFO from
+//! the opposite end, plus a shared FIFO `Injector`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+#[derive(Clone, Copy)]
+enum Flavor {
+    Lifo,
+    Fifo,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Owner end of a work-stealing deque.
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()) }),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    pub fn new_fifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()) }),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.shared.lock().push_back(value);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.shared.lock();
+        match self.flavor {
+            Flavor::Lifo => q.pop_back(),
+            Flavor::Fifo => q.pop_front(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Thief end of a work-stealing deque; steals from the front.
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Shared FIFO injection queue.
+pub struct Injector<T> {
+    shared: Shared<T>,
+}
+
+impl<T> Injector<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Injector { shared: Shared { queue: Mutex::new(VecDeque::new()) } }
+    }
+
+    pub fn push(&self, value: T) {
+        self.shared.lock().push_back(value);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_worker_pops_front() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal(), Steal::Success('a'));
+        assert_eq!(inj.steal(), Steal::Success('b'));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steal_across_threads() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let handles: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut n = 0u32;
+                    while let Steal::Success(_) = s.steal() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let stolen: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        assert_eq!(stolen + local, 1000);
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal, API-compatible stand-in for the subset of `crossbeam` used by
+//! this workspace (vendored because the build image has no crates.io access;
+//! see `[patch.crates-io]` in the workspace `Cargo.toml`).
+//!
+//! Provides `channel` (MPMC unbounded), `deque` (Worker/Stealer/Injector),
+//! and `utils::CachePadded`. The implementations favor simplicity over raw
+//! speed (mutex-backed queues rather than lock-free ones) but preserve the
+//! observable semantics the workspace relies on: disconnect-on-last-sender,
+//! timeout-aware receive, LIFO worker pop with FIFO steal.
+
+pub mod channel;
+pub mod deque;
+pub mod utils;

@@ -1,0 +1,47 @@
+//! Utility types: cache-line padding.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) a cache line to prevent false
+/// sharing between adjacent slots.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,92 @@
+//! `any::<T>()`: full-range generation for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "arbitrary" distribution (full value range).
+pub trait ArbValue {
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arb_uint {
+    ($($t:ty),*) => {$(
+        impl ArbValue for $t {
+            fn arb(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arb_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbValue for bool {
+    fn arb(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbValue for f64 {
+    fn arb(rng: &mut TestRng) -> Self {
+        // Arbitrary bit pattern: exercises subnormals, infinities, and NaNs
+        // like the real crate's special-value generator.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl ArbValue for f32 {
+    fn arb(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl ArbValue for char {
+    fn arb(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: ArbValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// Creates a strategy generating arbitrary values of `T`.
+pub fn any<T: ArbValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<u32>();
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        let c = s.generate(&mut rng);
+        assert!(a != b || b != c);
+    }
+
+    #[test]
+    fn any_f64_hits_special_values_eventually() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<f64>();
+        let mut saw_nonfinite = false;
+        for _ in 0..10_000 {
+            if !s.generate(&mut rng).is_finite() {
+                saw_nonfinite = true;
+            }
+        }
+        assert!(saw_nonfinite);
+    }
+}

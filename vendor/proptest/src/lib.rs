@@ -1,0 +1,147 @@
+//! Minimal, API-compatible stand-in for the subset of `proptest` used by
+//! this workspace (vendored because the build image has no crates.io access;
+//! see `[patch.crates-io]` in the workspace `Cargo.toml`).
+//!
+//! Supports the `proptest!` macro (with `#![proptest_config]`), the
+//! `prop_assert*`/`prop_assume`/`prop_oneof` macros, `Strategy` with
+//! `prop_map`/`prop_flat_map`/`boxed`, range/tuple/`Just`/`any` strategies,
+//! `collection::vec`, and `sample::Index`. Each test runs `cases` random
+//! cases from a per-test deterministic seed. Unlike real proptest there is
+//! **no shrinking** — a failing case reports its values' Debug output (via
+//! the assertion message) but is not minimized.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__proptest_config,
+                stringify!($name),
+                |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    let __proptest_body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __proptest_body()
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(
+            __pa_left == __pa_right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __pa_left,
+            __pa_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(
+            __pa_left == __pa_right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __pa_left,
+            __pa_right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(
+            __pa_left != __pa_right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __pa_left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(
+            __pa_left != __pa_right,
+            "{}\n  both: `{:?}`",
+            format!($($fmt)+),
+            __pa_left
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

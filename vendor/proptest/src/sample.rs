@@ -1,0 +1,45 @@
+//! Sampling helpers: `Index` for picking positions in runtime-sized
+//! collections.
+
+use crate::arbitrary::ArbValue;
+use crate::test_runner::TestRng;
+
+/// A size-independent index: scale against any collection length at use
+/// time via [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index {
+    unit: f64,
+}
+
+impl Index {
+    /// Projects this index onto `0..size`; `size` must be nonzero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        ((self.unit * size as f64) as usize).min(size - 1)
+    }
+}
+
+impl ArbValue for Index {
+    fn arb(rng: &mut TestRng) -> Self {
+        Index { unit: rng.unit_f64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn index_in_bounds_for_any_size() {
+        let mut rng = TestRng::from_seed(8);
+        let s = any::<Index>();
+        for _ in 0..500 {
+            let ix = s.generate(&mut rng);
+            for size in [1usize, 2, 7, 100] {
+                assert!(ix.index(size) < size);
+            }
+        }
+    }
+}

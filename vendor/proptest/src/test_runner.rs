@@ -1,0 +1,198 @@
+//! Case runner: deterministic RNG, config, and the pass/fail/reject loop.
+
+use std::fmt;
+
+/// Deterministic RNG driving value generation (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample from empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        let span = hi - lo;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a test case did not pass: a real failure or a filtered case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. All fields public so struct-update syntax
+/// (`..ProptestConfig::default()`) works as with the real crate.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; this stub does not shrink.
+    pub max_shrink_iters: u32,
+    /// Cap on `prop_assume` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65536 }
+    }
+}
+
+/// Alias matching `proptest::test_runner::Config`.
+pub use ProptestConfig as Config;
+
+/// Drives `f` until `config.cases` cases pass, panicking on the first
+/// failure. The seed is derived from the test name (override with
+/// `PROPTEST_STUB_SEED`), so runs are reproducible.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // FNV-1a over the test name for a stable per-test seed.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_STUB_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            seed = seed.wrapping_add(v);
+        }
+    }
+    let mut rng = TestRng::from_seed(seed);
+
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case: u32 = 0;
+    while passed < config.cases {
+        case += 1;
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {case} (seed {seed}):\n{msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_passes() {
+        let mut n = 0;
+        run_proptest(&ProptestConfig { cases: 10, ..ProptestConfig::default() }, "t", |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run_proptest(&ProptestConfig::default(), "t", |_rng| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let mut calls = 0;
+        run_proptest(&ProptestConfig { cases: 5, ..ProptestConfig::default() }, "t", |_rng| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::Reject("skip".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 9);
+    }
+}
