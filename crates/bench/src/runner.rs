@@ -147,6 +147,19 @@ pub fn run_partition(
     }
 }
 
+/// Runs the partition-invariant oracle over a finished [`PartitionRun`]:
+/// every input edge on exactly one host, one master per vertex with
+/// symmetric mirror pointers, well-formed CSRs, and conserved per-phase
+/// communication. Returns all violations (empty means the run is valid).
+///
+/// Exhibit binaries call this before reporting numbers so a partitioner
+/// bug surfaces as a loud failure instead of a silently wrong figure.
+pub fn verify_run(graph: &Csr, run: &PartitionRun) -> Vec<cusp::Violation> {
+    let mut v = cusp::check_partition(graph, None, &run.parts);
+    v.extend(cusp::check_comm_stats(&run.stats));
+    v
+}
+
 /// The four evaluation applications.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AppKind {
@@ -245,5 +258,25 @@ pub fn run_app(
         rounds,
         comm_bytes: phase.map_or(0, |p| p.total_bytes()),
         modeled_net: phase.map_or(0.0, |p| model().phase_time(p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusp_graph::gen::uniform::erdos_renyi;
+
+    /// Oracle-backed smoke: the whole Fig. 3 partitioner set (XtraPulp +
+    /// six CuSP policies) produces oracle-clean partitions on the bench
+    /// path.
+    #[test]
+    fn figure3_set_is_oracle_clean() {
+        let graph = Arc::new(erdos_renyi(120, 700, 17));
+        let cfg = CuspConfig::default();
+        for p in Partitioner::figure3_set() {
+            let run = run_partition(GraphSource::Memory(graph.clone()), 4, p, &cfg);
+            let v = verify_run(&graph, &run);
+            assert!(v.is_empty(), "{}: oracle violations: {v:#?}", p.name());
+        }
     }
 }

@@ -61,6 +61,17 @@ pub struct CuspConfig {
     /// bytes are identical either way — this isolates the codec's CPU cost
     /// without perturbing the communication-volume tables.
     pub scalar_codec: bool,
+    /// Testing switch: make partitioning bitwise reproducible. Replaces the
+    /// master phase's asynchronous "drain whatever arrived" rounds
+    /// (§IV-D5) with lockstep rounds (every host sends one SYNC to every
+    /// peer per round and blocking-receives one from each, in host order),
+    /// runs neighbor-aware chunks sequentially, and sorts each node's
+    /// adjacency before freezing the CSR. With `threads_per_host: 1` the
+    /// same seed then yields bit-identical partitions — the determinism
+    /// contract the oracle harness asserts. Off by default because
+    /// lockstep sacrifices the asynchrony the paper's streaming design is
+    /// built around.
+    pub deterministic_sync: bool,
 }
 
 impl Default for CuspConfig {
@@ -74,6 +85,7 @@ impl Default for CuspConfig {
             output: OutputFormat::Csr,
             force_stored_masters: false,
             scalar_codec: false,
+            deterministic_sync: false,
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod props;
 pub mod state;
 pub mod storage;
 pub mod tags;
+pub mod verify;
 
 pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
 pub use dist_graph::{DistGraph, PartitionClass};
@@ -68,6 +69,9 @@ pub use policy::{EdgeRule, MasterRule, MasterView, Setup};
 pub use props::LocalProps;
 pub use state::{LoadState, PartitionState};
 pub use storage::{read_partition, write_partition};
+pub use verify::{
+    check_all, check_comm_stats, check_partition, partition_fingerprint, Violation, ViolationKind,
+};
 
 /// A partition id; CuSP runs with as many hosts as partitions, so this is
 /// interchangeable with `cusp_net::HostId` (which is a `usize`).

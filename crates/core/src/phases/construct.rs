@@ -207,8 +207,17 @@ pub fn construct<ER: EdgeRule>(
         );
     }
 
-    let csr = Csr::from_parts(alloc.offsets.clone(), std::mem::take(&mut alloc.dests));
-    let data = alloc.edge_data.take();
+    let mut dests = std::mem::take(&mut alloc.dests);
+    let mut data = alloc.edge_data.take();
+    if cfg.deterministic_sync {
+        // Slots within a node's range are claimed in arrival/thread order,
+        // which varies run to run. A canonical per-node adjacency order
+        // (destination, then weight) makes the frozen CSR — and its CSC
+        // transpose — a pure function of the assignment, fulfilling the
+        // bit-identical determinism contract.
+        sort_adjacency(&alloc.offsets, &mut dests, data.as_deref_mut());
+    }
+    let csr = Csr::from_parts(alloc.offsets.clone(), dests);
     match (cfg.output, data) {
         (OutputFormat::Csr, data) => (csr, data),
         // "each host performs an in-memory transpose of their CSR graph to
@@ -217,6 +226,26 @@ pub fn construct<ER: EdgeRule>(
         (OutputFormat::Csc, Some(data)) => {
             let (t, td) = csr.transpose_with_data(&data);
             (t, Some(td))
+        }
+    }
+}
+
+/// Sorts each node's adjacency slice (keeping per-edge data aligned) into
+/// (destination, weight) order.
+fn sort_adjacency(offsets: &[u64], dests: &mut [Node], mut data: Option<&mut [u32]>) {
+    for l in 0..offsets.len() - 1 {
+        let (s, e) = (offsets[l] as usize, offsets[l + 1] as usize);
+        match data.as_deref_mut() {
+            None => dests[s..e].sort_unstable(),
+            Some(d) => {
+                let mut pairs: Vec<(Node, u32)> =
+                    dests[s..e].iter().copied().zip(d[s..e].iter().copied()).collect();
+                pairs.sort_unstable();
+                for (i, (dst, w)) in pairs.into_iter().enumerate() {
+                    dests[s + i] = dst;
+                    d[s + i] = w;
+                }
+            }
         }
     }
 }

@@ -231,7 +231,7 @@ pub fn assign_masters<MR: MasterRule>(
                 local: &local,
                 remote: &remote,
             };
-            if rule.uses_neighbor_masters() && pool.threads() > 1 {
+            if rule.uses_neighbor_masters() && pool.threads() > 1 && !cfg.deterministic_sync {
                 // Parallel within the chunk; neighbor lookups see fresh
                 // local assignments through the atomics (Galois-style
                 // thread-safe, non-deterministic streaming).
@@ -275,15 +275,32 @@ pub fn assign_masters<MR: MasterRule>(
                 cur += 1;
             }
             sent_cursor[peer] = cur;
-            if pairs.is_empty() && delta_buf.iter().all(|&v| v == 0) {
+            if !cfg.deterministic_sync && pairs.is_empty() && delta_buf.iter().all(|&v| v == 0) {
                 continue; // nothing new for this peer this round
             }
             comm.send_bytes(peer, TAG_MASTER_SYNC, encode_sync(MSG_SYNC, &delta_buf, &pairs));
         }
-        // Drain whatever peers have sent, without blocking.
-        while let Some((_src, payload)) = comm.try_recv_any(TAG_MASTER_SYNC) {
-            if apply_sync::<MR>(payload, state, &mut remote) {
-                finals += 1;
+        if cfg.deterministic_sync {
+            // Lockstep rounds: every host sent one SYNC to every peer above
+            // (no skip-empty elision), so blocking-receive exactly one from
+            // each peer, in host order. Per-channel FIFO guarantees this is
+            // the peer's round-`round` SYNC, making the state every chunk
+            // observes a pure function of the config and seed.
+            for peer in 0..k {
+                if peer == me {
+                    continue;
+                }
+                let payload = comm.recv_from(peer, TAG_MASTER_SYNC);
+                if apply_sync::<MR>(payload, state, &mut remote) {
+                    finals += 1;
+                }
+            }
+        } else {
+            // Drain whatever peers have sent, without blocking.
+            while let Some((_src, payload)) = comm.try_recv_any(TAG_MASTER_SYNC) {
+                if apply_sync::<MR>(payload, state, &mut remote) {
+                    finals += 1;
+                }
             }
         }
     }
@@ -305,10 +322,29 @@ pub fn assign_masters<MR: MasterRule>(
             .collect();
         comm.send_bytes(peer, TAG_MASTER_SYNC, encode_sync(MSG_FINAL, &delta_buf, &pairs));
     }
-    while finals < k - 1 {
-        let (_src, payload) = comm.recv_any(TAG_MASTER_SYNC);
-        if apply_sync::<MR>(payload, state, &mut remote) {
-            finals += 1;
+    if cfg.deterministic_sync {
+        // Fixed-order reconciliation: drain each peer's channel through its
+        // FINAL, in host order, so state folds apply in the same order on
+        // every run.
+        for peer in 0..k {
+            if peer == me {
+                continue;
+            }
+            loop {
+                let payload = comm.recv_from(peer, TAG_MASTER_SYNC);
+                if apply_sync::<MR>(payload, state, &mut remote) {
+                    finals += 1;
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(finals, k - 1);
+    } else {
+        while finals < k - 1 {
+            let (_src, payload) = comm.recv_any(TAG_MASTER_SYNC);
+            if apply_sync::<MR>(payload, state, &mut remote) {
+                finals += 1;
+            }
         }
     }
 

@@ -1,0 +1,587 @@
+//! Partition-invariant oracle.
+//!
+//! [`check_partition`] asserts the full cross-host invariant set CuSP's
+//! correctness argument rests on (paper §III-B, Table I) and returns
+//! **every** violation it finds — unlike `metrics::validate_partitioning`,
+//! which stops at the first — so a corrupted partition can be attributed to
+//! an invariant class:
+//!
+//! * **edge coverage** — every input edge is assigned to exactly one host
+//!   (as a multiset: no loss, no duplication, no fabrication);
+//! * **master assignment** — every vertex has exactly one master, and
+//!   every host holding a proxy agrees where it is;
+//! * **mirror symmetry** — mirror proxy lists are consistent with the
+//!   master side (a mirror always points at a partition that actually
+//!   hosts the vertex as a master, never at itself);
+//! * **CSR well-formedness** — sorted offsets, in-bounds destinations,
+//!   id maps sorted and duplicate-free with round-tripping lookups;
+//! * **weight preservation** — per-edge data survives partitioning
+//!   byte-for-byte (checked as a weighted edge multiset);
+//! * **communication conservation** — per phase, bytes/messages sent equal
+//!   bytes/messages received (the Table V accounting identity), via
+//!   [`check_comm_stats`].
+//!
+//! The oracle is pure observation: it never mutates the partitions and is
+//! safe to run from tests, benches, or debugging sessions.
+
+use std::collections::HashMap;
+
+use cusp_graph::{Csr, Node};
+use cusp_net::CommStats;
+
+use crate::dist_graph::DistGraph;
+use crate::PartId;
+
+/// The invariant class a [`Violation`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// An input edge is missing, duplicated, or fabricated.
+    EdgeCoverage,
+    /// A vertex has zero or multiple masters, or a proxy disagrees about
+    /// where the master lives.
+    MasterAssignment,
+    /// A mirror's master pointer is not symmetric with the master side.
+    MirrorSymmetry,
+    /// A partition's CSR or id map is structurally broken.
+    CsrWellFormed,
+    /// Per-edge data was altered by partitioning.
+    WeightPreservation,
+    /// A phase sent bytes/messages that were never received (or vice
+    /// versa).
+    CommConservation,
+}
+
+/// One concrete invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant class that failed.
+    pub kind: ViolationKind,
+    /// The partition the violation was observed on, when attributable.
+    pub part: Option<PartId>,
+    /// Human-readable description with the offending ids/values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.part {
+            Some(p) => write!(f, "[{:?}] part {}: {}", self.kind, p, self.detail),
+            None => write!(f, "[{:?}] {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Detailed violations reported per kind before summarizing with a count
+/// (keeps mutation tests readable when thousands of edges are corrupted).
+const MAX_DETAILED: usize = 16;
+
+struct Reporter {
+    out: Vec<Violation>,
+    counts: HashMap<ViolationKind, usize>,
+}
+
+impl Reporter {
+    fn new() -> Self {
+        Reporter { out: Vec::new(), counts: HashMap::new() }
+    }
+
+    fn push(&mut self, kind: ViolationKind, part: Option<PartId>, detail: String) {
+        let n = self.counts.entry(kind).or_insert(0);
+        *n += 1;
+        if *n <= MAX_DETAILED {
+            self.out.push(Violation { kind, part, detail });
+        }
+    }
+
+    fn finish(mut self) -> Vec<Violation> {
+        for (&kind, &n) in &self.counts {
+            if n > MAX_DETAILED {
+                self.out.push(Violation {
+                    kind,
+                    part: None,
+                    detail: format!("...and {} more {kind:?} violations", n - MAX_DETAILED),
+                });
+            }
+        }
+        self.out
+    }
+}
+
+/// Checks every partition-level invariant of `parts` against the original
+/// graph, returning all violations (empty means the partition is valid).
+///
+/// `original_data` must be the per-edge data aligned with `original`'s edge
+/// order for weighted inputs, or `None` for unweighted ones.
+pub fn check_partition(
+    original: &Csr,
+    original_data: Option<&[u32]>,
+    parts: &[DistGraph],
+) -> Vec<Violation> {
+    let mut r = Reporter::new();
+    let n = original.num_nodes() as u64;
+    let k = parts.len();
+
+    // --- Per-part structural checks. -----------------------------------
+    for (idx, p) in parts.iter().enumerate() {
+        let pid = Some(p.part_id);
+        if p.part_id as usize != idx {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!("part_id {} at index {idx}", p.part_id),
+            );
+        }
+        if p.num_parts as usize != k {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!("num_parts {} but {} partitions exist", p.num_parts, k),
+            );
+        }
+        if p.global_nodes != n || p.global_edges != original.num_edges() {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!(
+                    "global shape {}x{} disagrees with input {}x{}",
+                    p.global_nodes,
+                    p.global_edges,
+                    n,
+                    original.num_edges()
+                ),
+            );
+        }
+        if p.master_of.len() != p.num_local() {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!("master_of has {} entries for {} proxies", p.master_of.len(), p.num_local()),
+            );
+        }
+        if p.num_masters > p.num_local() {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!("num_masters {} exceeds {} proxies", p.num_masters, p.num_local()),
+            );
+        }
+        // Id map: both segments strictly ascending, all ids in range.
+        for (name, seg) in [("master", p.master_globals()), ("mirror", p.mirror_globals())] {
+            for w in seg.windows(2) {
+                if w[0] >= w[1] {
+                    r.push(
+                        ViolationKind::CsrWellFormed,
+                        pid,
+                        format!("{name} segment not strictly ascending at {} >= {}", w[0], w[1]),
+                    );
+                }
+            }
+            for &g in seg {
+                if g as u64 >= n {
+                    r.push(
+                        ViolationKind::CsrWellFormed,
+                        pid,
+                        format!("{name} proxy for nonexistent global vertex {g}"),
+                    );
+                }
+            }
+        }
+        // CSR shape: offsets sorted, destinations in bounds, weights sized.
+        let nl = p.num_local();
+        if p.graph.num_nodes() != nl {
+            r.push(
+                ViolationKind::CsrWellFormed,
+                pid,
+                format!("CSR has {} nodes for {} proxies", p.graph.num_nodes(), nl),
+            );
+        }
+        let offsets = p.graph.offsets();
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                r.push(
+                    ViolationKind::CsrWellFormed,
+                    pid,
+                    format!("offsets not sorted: {} > {}", w[0], w[1]),
+                );
+            }
+        }
+        for &d in p.graph.dests() {
+            if d as usize >= nl {
+                r.push(
+                    ViolationKind::CsrWellFormed,
+                    pid,
+                    format!("edge destination local id {d} out of range ({nl} proxies)"),
+                );
+            }
+        }
+        match (&p.edge_data, original_data) {
+            (Some(d), _) if d.len() as u64 != p.graph.num_edges() => {
+                r.push(
+                    ViolationKind::WeightPreservation,
+                    pid,
+                    format!("{} weights for {} edges", d.len(), p.graph.num_edges()),
+                );
+            }
+            (Some(_), None) => {
+                r.push(
+                    ViolationKind::WeightPreservation,
+                    pid,
+                    "partition carries weights but the input had none".to_string(),
+                );
+            }
+            (None, Some(_)) => {
+                r.push(
+                    ViolationKind::WeightPreservation,
+                    pid,
+                    "input weights were dropped by partitioning".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // --- Master uniqueness, coverage, and proxy agreement. --------------
+    // master_home[v] = the partition hosting v's master proxy.
+    let mut master_home: Vec<Option<PartId>> = vec![None; original.num_nodes()];
+    for p in parts {
+        for &g in p.master_globals() {
+            if (g as u64) >= n {
+                continue; // already reported above
+            }
+            match master_home[g as usize] {
+                None => master_home[g as usize] = Some(p.part_id),
+                Some(prev) => r.push(
+                    ViolationKind::MasterAssignment,
+                    Some(p.part_id),
+                    format!("vertex {g} has masters on both part {prev} and part {}", p.part_id),
+                ),
+            }
+        }
+    }
+    for (v, home) in master_home.iter().enumerate() {
+        if home.is_none() {
+            r.push(
+                ViolationKind::MasterAssignment,
+                None,
+                format!("vertex {v} has no master on any partition"),
+            );
+        }
+    }
+    for p in parts {
+        for (l, (&g, &claimed)) in p.local2global.iter().zip(&p.master_of).enumerate() {
+            if (g as u64) >= n {
+                continue;
+            }
+            if claimed as usize >= parts.len() {
+                r.push(
+                    ViolationKind::MasterAssignment,
+                    Some(p.part_id),
+                    format!("proxy of {g} claims nonexistent master partition {claimed}"),
+                );
+                continue;
+            }
+            let is_master = l < p.num_masters;
+            if is_master {
+                if claimed != p.part_id {
+                    r.push(
+                        ViolationKind::MasterAssignment,
+                        Some(p.part_id),
+                        format!("master proxy of {g} points at part {claimed}, not itself"),
+                    );
+                }
+            } else {
+                // Mirror symmetry: the claimed master partition must host v
+                // as a master, and a mirror never points at its own part.
+                if claimed == p.part_id {
+                    r.push(
+                        ViolationKind::MirrorSymmetry,
+                        Some(p.part_id),
+                        format!("mirror of {g} points at its own partition"),
+                    );
+                } else if master_home[g as usize] != Some(claimed) {
+                    r.push(
+                        ViolationKind::MirrorSymmetry,
+                        Some(p.part_id),
+                        format!(
+                            "mirror of {g} points at part {claimed}, but the master lives on {:?}",
+                            master_home[g as usize]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Edge multiset coverage (and weight preservation). --------------
+    // balance > 0: the input edge is missing; < 0: extra/duplicated.
+    let mut unweighted: HashMap<(Node, Node), i64> = HashMap::with_capacity(original.num_edges() as usize);
+    for (u, v) in original.iter_edges() {
+        *unweighted.entry((u, v)).or_insert(0) += 1;
+    }
+    let mut weighted: HashMap<(Node, Node, u32), i64> = HashMap::new();
+    if let Some(data) = original_data {
+        for ((u, v), &w) in original.iter_edges().zip(data) {
+            *weighted.entry((u, v, w)).or_insert(0) += 1;
+        }
+    }
+    for p in parts {
+        for (e, (lu, lv)) in p.graph.iter_edges().enumerate() {
+            let (Some(&gu), Some(&gv)) =
+                (p.local2global.get(lu as usize), p.local2global.get(lv as usize))
+            else {
+                continue; // out-of-range local id, already reported
+            };
+            *unweighted.entry((gu, gv)).or_insert(0) -= 1;
+            if let (Some(_), Some(data)) = (original_data, &p.edge_data) {
+                if let Some(&w) = data.get(e) {
+                    *weighted.entry((gu, gv, w)).or_insert(0) -= 1;
+                }
+            }
+        }
+    }
+    let mut coverage_ok = true;
+    for (&(u, v), &bal) in unweighted.iter() {
+        if bal > 0 {
+            coverage_ok = false;
+            r.push(
+                ViolationKind::EdgeCoverage,
+                None,
+                format!("edge {u}->{v} assigned to no host ({bal} copies missing)"),
+            );
+        } else if bal < 0 {
+            coverage_ok = false;
+            r.push(
+                ViolationKind::EdgeCoverage,
+                None,
+                format!("edge {u}->{v} over-assigned ({} extra copies)", -bal),
+            );
+        }
+    }
+    // Weight mismatches only make sense to report when the (u, v) multiset
+    // itself balances — otherwise they restate the coverage failure.
+    if coverage_ok && original_data.is_some() {
+        for (&(u, v, w), &bal) in weighted.iter() {
+            if bal != 0 {
+                r.push(
+                    ViolationKind::WeightPreservation,
+                    None,
+                    format!("edge {u}->{v} weight {w} imbalance {bal}"),
+                );
+            }
+        }
+    }
+
+    r.finish()
+}
+
+/// Checks the per-phase communication conservation invariant: everything
+/// sent was delivered to and consumed by the receiving application
+/// (Table V accounting balances on both sides of the wire).
+pub fn check_comm_stats(stats: &CommStats) -> Vec<Violation> {
+    let mut r = Reporter::new();
+    for (name, pairs) in stats.unconserved_phases() {
+        for (src, dst) in pairs {
+            let p = stats.phase(name).expect("phase exists");
+            r.push(
+                ViolationKind::CommConservation,
+                None,
+                format!(
+                    "phase '{name}': {}->{} sent {}B/{} msgs, received {}B/{} msgs",
+                    src,
+                    dst,
+                    p.bytes_between(src, dst),
+                    p.messages_between(src, dst),
+                    p.recv_bytes_between(src, dst),
+                    p.recv_messages_between(src, dst),
+                ),
+            );
+        }
+    }
+    r.finish()
+}
+
+/// Runs [`check_partition`] and [`check_comm_stats`] together.
+pub fn check_all(
+    original: &Csr,
+    original_data: Option<&[u32]>,
+    parts: &[DistGraph],
+    stats: &CommStats,
+) -> Vec<Violation> {
+    let mut out = check_partition(original, original_data, parts);
+    out.extend(check_comm_stats(stats));
+    out
+}
+
+/// FNV-1a fingerprint over every structural byte of the partitions, in
+/// partition order. Two runs produce the same fingerprint iff they built
+/// bit-identical partitions (id maps, master pointers, CSR arrays, weights,
+/// and class) — the quantity the determinism harness compares.
+pub fn partition_fingerprint(parts: &[DistGraph]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(parts.len() as u64);
+    for p in parts {
+        h.u64(p.part_id as u64);
+        h.u64(p.num_masters as u64);
+        h.u64(p.global_nodes);
+        h.u64(p.global_edges);
+        h.u64(p.class as u64);
+        h.u64(p.local2global.len() as u64);
+        for &g in &p.local2global {
+            h.u64(g as u64);
+        }
+        for &m in &p.master_of {
+            h.u64(m as u64);
+        }
+        for &o in p.graph.offsets() {
+            h.u64(o);
+        }
+        for &d in p.graph.dests() {
+            h.u64(d as u64);
+        }
+        match &p.edge_data {
+            None => h.u64(0),
+            Some(data) => {
+                h.u64(1 + data.len() as u64);
+                for &w in data {
+                    h.u64(w as u64);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_graph::PartitionClass;
+
+    /// A hand-built valid 2-partition of the 4-cycle 0->1->2->3->0.
+    fn valid_parts() -> (Csr, Vec<DistGraph>) {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // Part 0 masters {0,1}, mirrors {2}; holds edges 0->1, 1->2.
+        // Part 1 masters {2,3}, mirrors {0}; holds edges 2->3, 3->0.
+        let p0 = DistGraph {
+            part_id: 0,
+            num_parts: 2,
+            global_nodes: 4,
+            global_edges: 4,
+            num_masters: 2,
+            local2global: vec![0, 1, 2],
+            master_of: vec![0, 0, 1],
+            graph: Csr::from_edges(3, &[(0, 1), (1, 2)]),
+            edge_data: None,
+            class: PartitionClass::OutEdgeCut,
+        };
+        let p1 = DistGraph {
+            part_id: 1,
+            num_parts: 2,
+            global_nodes: 4,
+            global_edges: 4,
+            num_masters: 2,
+            local2global: vec![2, 3, 0],
+            master_of: vec![1, 1, 0],
+            graph: Csr::from_edges(3, &[(0, 1), (1, 2)]),
+            edge_data: None,
+            class: PartitionClass::OutEdgeCut,
+        };
+        (g, vec![p0, p1])
+    }
+
+    #[test]
+    fn valid_partition_has_no_violations() {
+        let (g, parts) = valid_parts();
+        assert!(check_partition(&g, None, &parts).is_empty());
+    }
+
+    #[test]
+    fn missing_edge_is_edge_coverage() {
+        let (g, mut parts) = valid_parts();
+        parts[0].graph = Csr::from_edges(3, &[(0, 1)]); // drops 1->2
+        let v = check_partition(&g, None, &parts);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::EdgeCoverage), "{v:?}");
+    }
+
+    #[test]
+    fn duplicate_master_is_master_assignment() {
+        let (g, mut parts) = valid_parts();
+        // Part 1 also claims vertex 0 as a master.
+        parts[1].num_masters = 3;
+        parts[1].local2global = vec![0, 2, 3];
+        parts[1].master_of = vec![1, 1, 1];
+        parts[1].graph = Csr::from_edges(3, &[(1, 2), (2, 0)]);
+        let v = check_partition(&g, None, &parts);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::MasterAssignment), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_mirror_pointer_is_mirror_symmetry() {
+        let (g, mut parts) = valid_parts();
+        parts[0].master_of[2] = 0; // mirror of vertex 2 points at itself
+        let v = check_partition(&g, None, &parts);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::MirrorSymmetry), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_range_dest_is_csr_well_formed() {
+        let (g, mut parts) = valid_parts();
+        // Destination local id 7 with only 3 proxies.
+        parts[0].graph = Csr::from_parts(vec![0, 1, 2, 2], vec![1, 7]);
+        let v = check_partition(&g, None, &parts);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::CsrWellFormed), "{v:?}");
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let (_, parts) = valid_parts();
+        let a = partition_fingerprint(&parts);
+        let (_, mut tweaked) = valid_parts();
+        tweaked[1].master_of[2] = 1;
+        assert_ne!(a, partition_fingerprint(&tweaked));
+        let (_, same) = valid_parts();
+        assert_eq!(a, partition_fingerprint(&same));
+    }
+
+    #[test]
+    fn violation_reporting_is_capped() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        // A single empty partition: every vertex lacks a master and the
+        // edge is uncovered; with many vertices the report must stay small.
+        let big = Csr::from_edges(1000, &(0..999).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let p = DistGraph {
+            part_id: 0,
+            num_parts: 1,
+            global_nodes: 1000,
+            global_edges: 999,
+            num_masters: 0,
+            local2global: vec![],
+            master_of: vec![],
+            graph: Csr::from_edges(0, &[]),
+            edge_data: None,
+            class: PartitionClass::GeneralVertexCut,
+        };
+        let v = check_partition(&big, None, &[p]);
+        assert!(!v.is_empty());
+        assert!(v.len() <= 2 * (MAX_DETAILED + 1) + 4, "report exploded: {} entries", v.len());
+        let _ = g;
+    }
+}

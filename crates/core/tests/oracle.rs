@@ -1,0 +1,360 @@
+//! Differential partition oracle.
+//!
+//! Every policy in the catalog is run at 1/2/4/8 hosts with 3 graph seeds,
+//! with and without an active [`FaultPlan`], and each run is checked
+//! against the full invariant oracle ([`cusp::check_partition`] /
+//! [`cusp::check_comm_stats`]), against a single-host reference partition
+//! (edge-multiset differential), and against itself (same seed ⇒
+//! bit-identical partitions and CommStats, faults on or off).
+//!
+//! Mutation tests then corrupt real partitions one invariant class at a
+//! time and assert the oracle attributes the damage correctly — proving
+//! the oracle would actually catch each bug class, not just that clean
+//! runs are clean.
+
+use std::sync::Arc;
+
+use cusp::{
+    check_comm_stats, check_partition, partition_fingerprint, partition_with_policy, CuspConfig,
+    DistGraph, GraphSource, PolicyKind, ViolationKind,
+};
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::Csr;
+use cusp_net::{Cluster, ClusterOptions, CommStats, FaultPlan, FaultReport, Tag};
+
+const HOSTS: [usize; 4] = [1, 2, 4, 8];
+const SEEDS: [u64; 3] = [11, 29, 47];
+const NODES: usize = 150;
+const EDGES: usize = 800;
+
+/// The chaos seed for oracle runs: `CUSP_FAULT_SEED` (set by the CI chaos
+/// job) or a fixed default.
+fn env_seed() -> u64 {
+    std::env::var("CUSP_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// The reproducibility configuration the determinism contract requires.
+fn det_cfg() -> CuspConfig {
+    CuspConfig {
+        threads_per_host: 1,
+        sync_rounds: 4,
+        deterministic_sync: true,
+        ..CuspConfig::default()
+    }
+}
+
+fn run(
+    hosts: usize,
+    kind: PolicyKind,
+    source: GraphSource,
+    fault: Option<FaultPlan>,
+) -> (Vec<DistGraph>, CommStats, Option<FaultReport>) {
+    let out = Cluster::run_with(hosts, ClusterOptions { fault }, move |comm| {
+        partition_with_policy(comm, source.clone(), kind, &det_cfg())
+    });
+    let parts = out.results.into_iter().map(|r| r.dist_graph).collect();
+    (parts, out.stats, out.faults)
+}
+
+/// Sorted multiset of global edges across all partitions.
+fn global_edges(parts: &[DistGraph]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for p in parts {
+        for (lu, lv) in p.graph.iter_edges() {
+            out.push((p.local2global[lu as usize], p.local2global[lv as usize]));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn assert_clean(parts: &[DistGraph], stats: &CommStats, graph: &Csr, label: &str) {
+    let v = check_partition(graph, None, parts);
+    assert!(v.is_empty(), "{label}: partition violations: {v:#?}");
+    let c = check_comm_stats(stats);
+    assert!(c.is_empty(), "{label}: conservation violations: {c:#?}");
+}
+
+/// The full matrix for one policy: hosts × seeds × faults on/off, each run
+/// oracle-checked, differential-checked against the 1-host reference, and
+/// fingerprint-compared between the clean and the faulty run.
+fn matrix(kind: PolicyKind) {
+    // The bulk codec packs a whole phase into a handful of messages, so a
+    // single small run can legitimately draw zero faults; assert the chaos
+    // plan fired across the matrix as a whole instead of per run.
+    let mut chaos_total = 0u64;
+    for &seed in &SEEDS {
+        let graph = Arc::new(erdos_renyi(NODES, EDGES, seed));
+        let src = GraphSource::Memory(graph.clone());
+        let (reference, ref_stats, _) = run(1, kind, src.clone(), None);
+        assert_clean(&reference, &ref_stats, &graph, &format!("{kind:?} ref seed {seed}"));
+        let ref_edges = global_edges(&reference);
+
+        for &hosts in &HOSTS {
+            let label = format!("{kind:?} hosts {hosts} seed {seed}");
+            let (clean, clean_stats, _) = run(hosts, kind, src.clone(), None);
+            assert_clean(&clean, &clean_stats, &graph, &label);
+            assert_eq!(
+                global_edges(&clean),
+                ref_edges,
+                "{label}: edge multiset diverged from single-host reference"
+            );
+
+            let plan = FaultPlan::chaos(env_seed() ^ seed ^ hosts as u64);
+            let (faulty, faulty_stats, report) = run(hosts, kind, src.clone(), Some(plan));
+            assert_clean(&faulty, &faulty_stats, &graph, &format!("{label} +faults"));
+            assert_eq!(
+                partition_fingerprint(&clean),
+                partition_fingerprint(&faulty),
+                "{label}: faults changed the partition"
+            );
+            assert_eq!(
+                clean_stats, faulty_stats,
+                "{label}: faults leaked into CommStats"
+            );
+            chaos_total += report.expect("fault plan was active").total();
+        }
+    }
+    assert!(chaos_total > 0, "{kind:?}: chaos plans injected nothing across the whole matrix");
+}
+
+macro_rules! oracle_matrix {
+    ($($name:ident => $kind:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() { matrix(PolicyKind::$kind); }
+    )*};
+}
+
+oracle_matrix! {
+    oracle_matrix_eec => Eec,
+    oracle_matrix_hvc => Hvc,
+    oracle_matrix_cvc => Cvc,
+    oracle_matrix_fec => Fec,
+    oracle_matrix_gvc => Gvc,
+    oracle_matrix_svc => Svc,
+    oracle_matrix_cec => Cec,
+    oracle_matrix_fnc => Fnc,
+    oracle_matrix_hdrf => Hdrf,
+    oracle_matrix_ldg => Ldg,
+    oracle_matrix_bvc => Bvc,
+    oracle_matrix_jvc => Jvc,
+}
+
+/// Same seed ⇒ bit-identical partitions, CommStats, and fault report —
+/// for a stateless and a stateful (HDRF) policy, faults on and off.
+#[test]
+fn same_seed_is_bit_identical() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 7));
+    let src = GraphSource::Memory(graph.clone());
+    for kind in [PolicyKind::Cvc, PolicyKind::Hdrf] {
+        let (a, a_stats, _) = run(4, kind, src.clone(), None);
+        let (b, b_stats, _) = run(4, kind, src.clone(), None);
+        assert_eq!(partition_fingerprint(&a), partition_fingerprint(&b), "{kind:?} clean");
+        assert_eq!(a_stats, b_stats, "{kind:?} clean stats");
+
+        let plan = FaultPlan::chaos(env_seed());
+        let (c, c_stats, c_rep) = run(4, kind, src.clone(), Some(plan));
+        let (d, d_stats, d_rep) = run(4, kind, src.clone(), Some(plan));
+        assert_eq!(partition_fingerprint(&c), partition_fingerprint(&d), "{kind:?} chaos");
+        assert_eq!(c_stats, d_stats, "{kind:?} chaos stats");
+        assert_eq!(c_rep, d_rep, "{kind:?} fault report must replay per seed");
+        assert_eq!(partition_fingerprint(&a), partition_fingerprint(&c), "{kind:?} faults");
+    }
+}
+
+/// A weighted pipeline preserves per-edge data exactly, faults on or off.
+#[test]
+fn weighted_pipeline_preserves_edge_data() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 13));
+    let data: Arc<Vec<u32>> = Arc::new(
+        (0..graph.num_edges())
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761))
+            .collect(),
+    );
+    let src = GraphSource::MemoryWeighted(graph.clone(), data.clone());
+    for fault in [None, Some(FaultPlan::chaos(env_seed() ^ 13))] {
+        let (parts, stats, _) = run(4, PolicyKind::Hvc, src.clone(), fault);
+        let v = check_partition(&graph, Some(&data), &parts);
+        assert!(v.is_empty(), "weighted violations: {v:#?}");
+        assert!(check_comm_stats(&stats).is_empty());
+    }
+}
+
+// --- Mutation tests: corrupt one invariant class of a *real* partition ---
+// and assert the oracle attributes the damage to that class.
+
+fn real_partition() -> (Arc<Csr>, Vec<DistGraph>) {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 3));
+    let (parts, _, _) = run(4, PolicyKind::Cvc, GraphSource::Memory(graph.clone()), None);
+    (graph, parts)
+}
+
+fn kinds(v: &[cusp::Violation]) -> Vec<ViolationKind> {
+    let mut k: Vec<_> = v.iter().map(|v| v.kind).collect();
+    k.dedup();
+    k
+}
+
+/// Find a partition with at least one edge and return its index.
+fn busy_part(parts: &[DistGraph]) -> usize {
+    parts
+        .iter()
+        .position(|p| p.graph.num_edges() > 0)
+        .expect("some partition holds edges")
+}
+
+#[test]
+fn mutation_dropped_edge_is_caught() {
+    let (graph, mut parts) = real_partition();
+    let i = busy_part(&parts);
+    let p = &mut parts[i];
+    let mut dests = p.graph.dests().to_vec();
+    dests.pop();
+    let n = dests.len() as u64;
+    let offsets: Vec<u64> = p.graph.offsets().iter().map(|&o| o.min(n)).collect();
+    p.graph = Csr::from_parts(offsets, dests);
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::EdgeCoverage),
+        "expected EdgeCoverage, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_duplicated_edge_is_caught() {
+    let (graph, mut parts) = real_partition();
+    let i = busy_part(&parts);
+    let p = &mut parts[i];
+    let mut dests = p.graph.dests().to_vec();
+    dests.push(*dests.last().unwrap());
+    let mut offsets = p.graph.offsets().to_vec();
+    *offsets.last_mut().unwrap() += 1;
+    p.graph = Csr::from_parts(offsets, dests);
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::EdgeCoverage),
+        "expected EdgeCoverage, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_stolen_master_is_caught() {
+    let (graph, mut parts) = real_partition();
+    // A master proxy that points away from its own partition breaks the
+    // single-master agreement.
+    let i = parts.iter().position(|p| p.num_masters > 0).unwrap();
+    parts[i].master_of[0] = (parts[i].part_id + 1) % parts[i].num_parts;
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::MasterAssignment),
+        "expected MasterAssignment, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_demoted_master_is_caught() {
+    let (graph, mut parts) = real_partition();
+    // Shrinking the master segment orphans the last master: no partition
+    // claims the vertex any more.
+    let i = parts.iter().position(|p| p.num_masters > 0).unwrap();
+    parts[i].num_masters -= 1;
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::MasterAssignment),
+        "expected MasterAssignment, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_lying_mirror_is_caught() {
+    let (graph, mut parts) = real_partition();
+    let (i, l) = parts
+        .iter()
+        .enumerate()
+        .find_map(|(i, p)| (p.num_mirrors() > 0).then_some((i, p.num_masters)))
+        .expect("some partition has mirrors");
+    // Point the mirror at a partition that does not host the master.
+    let truth = parts[i].master_of[l];
+    parts[i].master_of[l] = (truth + 1) % parts[i].num_parts;
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::MirrorSymmetry | ViolationKind::MasterAssignment
+        )),
+        "expected MirrorSymmetry, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_out_of_range_dest_is_caught() {
+    let (graph, mut parts) = real_partition();
+    let i = busy_part(&parts);
+    let p = &mut parts[i];
+    let mut dests = p.graph.dests().to_vec();
+    let last = dests.len() - 1;
+    dests[last] = p.num_local() as u32 + 1000;
+    p.graph = Csr::from_parts(p.graph.offsets().to_vec(), dests);
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::CsrWellFormed),
+        "expected CsrWellFormed, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_shuffled_id_map_is_caught() {
+    let (graph, mut parts) = real_partition();
+    let i = parts.iter().position(|p| p.num_masters >= 2).unwrap();
+    parts[i].local2global.swap(0, 1);
+    let v = check_partition(&graph, None, &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::CsrWellFormed),
+        "expected CsrWellFormed, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_altered_weight_is_caught() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 5));
+    let data: Arc<Vec<u32>> = Arc::new((0..graph.num_edges()).map(|i| i as u32).collect());
+    let src = GraphSource::MemoryWeighted(graph.clone(), data.clone());
+    let (mut parts, _, _) = run(4, PolicyKind::Eec, src, None);
+    let i = busy_part(&parts);
+    parts[i].edge_data.as_mut().unwrap()[0] ^= 1;
+    let v = check_partition(&graph, Some(&data), &parts);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::WeightPreservation),
+        "expected WeightPreservation, got {:?}",
+        kinds(&v)
+    );
+}
+
+#[test]
+fn mutation_leaky_phase_breaks_conservation() {
+    // A host that sends a message nobody consumes must show up as a
+    // CommConservation violation.
+    let out = Cluster::run(2, |comm| {
+        comm.set_phase("leak");
+        if comm.host() == 0 {
+            comm.send_bytes(1, Tag(9), bytes::Bytes::from_static(b"orphan"));
+        }
+        comm.barrier();
+    });
+    let v = check_comm_stats(&out.stats);
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::CommConservation),
+        "expected CommConservation, got {:?}",
+        kinds(&v)
+    );
+}

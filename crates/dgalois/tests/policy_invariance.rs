@@ -1,0 +1,106 @@
+//! Analytics results must be a function of the *graph*, not of the
+//! *partitioning policy* (the paper's premise: the policy tunes
+//! performance, never correctness). PageRank and k-core are run over every
+//! policy in the catalog and compared against the single-machine reference.
+
+use std::sync::Arc;
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_dgalois::reference::pagerank_ref;
+use cusp_dgalois::{kcore, kcore_ref, pagerank, PageRankConfig, SyncPlan};
+use cusp_galois::ThreadPool;
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::Csr;
+use cusp_net::Cluster;
+
+const HOSTS: usize = 4;
+
+const ALL_12: [PolicyKind; 12] = [
+    PolicyKind::Eec,
+    PolicyKind::Hvc,
+    PolicyKind::Cvc,
+    PolicyKind::Fec,
+    PolicyKind::Gvc,
+    PolicyKind::Svc,
+    PolicyKind::Cec,
+    PolicyKind::Fnc,
+    PolicyKind::Hdrf,
+    PolicyKind::Ldg,
+    PolicyKind::Bvc,
+    PolicyKind::Jvc,
+];
+
+/// Gathers per-vertex master values from all hosts into one dense map.
+fn collect<T: Copy>(n: usize, per_host: &[Vec<(u32, T)>], zero: T) -> Vec<T> {
+    let mut out = vec![zero; n];
+    let mut seen = 0usize;
+    for vals in per_host {
+        for &(gid, v) in vals {
+            out[gid as usize] = v;
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, n, "each vertex must be reported by exactly one master");
+    out
+}
+
+#[test]
+fn pagerank_is_policy_invariant() {
+    let n = 120;
+    let graph = Arc::new(erdos_renyi(n, 700, 21));
+    let pr_cfg = PageRankConfig::default();
+    let reference = pagerank_ref(&graph, pr_cfg.damping, pr_cfg.tolerance, pr_cfg.max_iterations);
+    for kind in ALL_12 {
+        let g = Arc::clone(&graph);
+        let out = Cluster::run(HOSTS, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            );
+            let pool = ThreadPool::new(1);
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            comm.barrier();
+            pagerank(comm, &pool, &p.dist_graph, &plan, PageRankConfig::default()).master_ranks
+        });
+        let per_host: Vec<_> = out.results;
+        let ranks = collect(n, &per_host, 0.0f64);
+        for (v, (&got, &want)) in ranks.iter().zip(&reference).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-4 * want.max(1.0),
+                "{kind:?}: pagerank({v}) = {got}, reference {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kcore_is_policy_invariant() {
+    let n = 120;
+    // k-core is defined on undirected graphs; symmetrize first.
+    let graph = Arc::new(erdos_renyi(n, 500, 33).symmetrize());
+    let k = 4u64;
+    let reference = kcore_ref(&graph, k);
+    for kind in ALL_12 {
+        let g: Arc<Csr> = Arc::clone(&graph);
+        let out = Cluster::run(HOSTS, move |comm| {
+            let p = partition_with_policy(
+                comm,
+                GraphSource::Memory(g.clone()),
+                kind,
+                &CuspConfig::default(),
+            );
+            let pool = ThreadPool::new(1);
+            let plan = SyncPlan::build(comm, &p.dist_graph);
+            comm.barrier();
+            kcore(comm, &pool, &p.dist_graph, &plan, k).master_values
+        });
+        let alive = collect(n, &out.results, 0u64);
+        assert_eq!(
+            alive,
+            reference,
+            "{kind:?}: k-core membership diverged from the reference"
+        );
+    }
+}

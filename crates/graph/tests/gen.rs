@@ -1,0 +1,78 @@
+//! Structural invariants of the synthetic graph generators: consistent
+//! degree sums, in-range vertex ids, and same-seed determinism.
+
+use cusp_graph::gen::kronecker::{kronecker, KroneckerConfig};
+use cusp_graph::gen::powerlaw::{powerlaw, PowerLawConfig};
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::Csr;
+
+fn generators(seed: u64) -> Vec<(&'static str, Csr)> {
+    vec![
+        ("kronecker", kronecker(KroneckerConfig::graph500(8, 8, seed))),
+        ("powerlaw", powerlaw(PowerLawConfig::webcrawl(400, 6.0, seed))),
+        ("erdos_renyi", erdos_renyi(300, 1800, seed)),
+    ]
+}
+
+/// Offsets must partition the destination array: the out-degree sum (the
+/// last offset) equals |E|, per node and in total.
+#[test]
+fn degree_sum_equals_edge_count() {
+    for (name, g) in generators(42) {
+        let per_node: u64 = (0..g.num_nodes()).map(|v| g.out_degree(v as u32)).sum();
+        assert_eq!(per_node, g.num_edges(), "{name}: degree sum != |E|");
+        assert_eq!(
+            *g.offsets().last().unwrap(),
+            g.num_edges(),
+            "{name}: final offset != |E|"
+        );
+        assert!(g.num_edges() > 0, "{name}: generated an empty graph");
+    }
+}
+
+/// After symmetrization every edge has its reverse, so each undirected
+/// edge contributes exactly 2 to the degree sum.
+#[test]
+fn symmetrized_degree_sum_is_twice_undirected_edges() {
+    for (name, g) in generators(7) {
+        let s = g.symmetrize();
+        let degree_sum: u64 = (0..s.num_nodes()).map(|v| s.out_degree(v as u32)).sum();
+        assert_eq!(degree_sum, s.num_edges(), "{name}: symmetrized degree sum");
+        assert_eq!(degree_sum % 2, 0, "{name}: odd degree sum after symmetrize");
+        // Every directed edge must appear in both directions.
+        let mut edges: Vec<(u32, u32)> = s.iter_edges().collect();
+        edges.sort_unstable();
+        for &(u, v) in &edges {
+            assert!(
+                edges.binary_search(&(v, u)).is_ok(),
+                "{name}: edge {u}->{v} has no reverse"
+            );
+        }
+    }
+}
+
+/// Every destination id must name an existing vertex.
+#[test]
+fn no_out_of_range_ids() {
+    for (name, g) in generators(99) {
+        let n = g.num_nodes() as u32;
+        for &d in g.dests() {
+            assert!(d < n, "{name}: destination {d} out of range (n = {n})");
+        }
+    }
+}
+
+/// Same seed ⇒ bit-identical graph; different seed ⇒ different graph.
+#[test]
+fn seeds_are_deterministic_and_effective() {
+    for ((name, a), (_, b)) in generators(1234).into_iter().zip(generators(1234)) {
+        assert_eq!(a.offsets(), b.offsets(), "{name}: offsets differ for same seed");
+        assert_eq!(a.dests(), b.dests(), "{name}: dests differ for same seed");
+    }
+    for ((name, a), (_, c)) in generators(1234).into_iter().zip(generators(4321)) {
+        assert!(
+            a.offsets() != c.offsets() || a.dests() != c.dests(),
+            "{name}: different seeds produced identical graphs"
+        );
+    }
+}

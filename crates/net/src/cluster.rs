@@ -2,11 +2,20 @@
 //! shared "fabric" that routes messages between hosts.
 //!
 //! Hosts are OS threads. Each host `h` owns a [`Comm`] handle; `send` pushes
-//! a [`Bytes`] message into the destination's per-tag mailbox (an unbounded
-//! MPMC channel carrying `(src, payload)`), and the various `recv` flavours
-//! pop from it. Per-(src, dst, tag) FIFO order is guaranteed because a given
-//! source thread pushes its messages in program order and channels preserve
-//! insertion order per producer.
+//! an [`Envelope`] (source, per-channel sequence number, sender phase, and
+//! the [`Bytes`] payload) into the destination's per-tag mailbox (an
+//! unbounded MPMC channel), and the various `recv` flavours pop from it
+//! through a **resequencer**: envelopes are reordered back into sequence
+//! order per `(src, tag)` and duplicates are discarded, so the application
+//! always observes per-(src, dst, tag) FIFO delivery — even when a seeded
+//! [`FaultPlan`] delays, reorders, duplicates, or drops-and-retries
+//! messages underneath (see [`crate::fault`]).
+//!
+//! Receive-side accounting mirrors send-side accounting: when the
+//! resequencer hands a message to the application it is recorded against
+//! the *sender's* phase (carried in the envelope), which makes the
+//! per-phase conservation invariant — bytes/messages sent == received —
+//! checkable from a [`CommStats`] snapshot.
 //!
 //! ## Panic containment
 //!
@@ -15,7 +24,8 @@
 //! timeout and panic with a descriptive message once poisoned, unwinding the
 //! whole cluster. [`Cluster::run`] then propagates the original panic.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,6 +33,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::{FaultPlan, FaultReport, FaultStats};
 use crate::stats::{CommStats, StatsCollector};
 
 /// Identifies a host (partition) in the simulated cluster.
@@ -41,7 +52,18 @@ pub const MAX_TAGS: usize = 32;
 /// How often blocked operations re-check the poison flag.
 const POISON_POLL: Duration = Duration::from_millis(50);
 
-type Mailbox = (Sender<(HostId, Bytes)>, Receiver<(HostId, Bytes)>);
+/// One in-flight message: transport metadata plus the payload.
+#[derive(Clone)]
+struct Envelope {
+    src: HostId,
+    /// Position in the per-(src, dst, tag) send sequence.
+    seq: u64,
+    /// The sender's accounting phase at send time.
+    phase: u32,
+    payload: Bytes,
+}
+
+type Mailbox = (Sender<Envelope>, Receiver<Envelope>);
 
 /// A poison-aware reusable barrier (generation counting).
 struct FabricBarrier {
@@ -85,26 +107,44 @@ impl FabricBarrier {
     }
 }
 
+/// The seeded fault-injection layer attached to a fabric.
+struct FaultLayer {
+    plan: FaultPlan,
+    stats: FaultStats,
+    /// Messages held back for reordered release, per destination.
+    holdback: Vec<Mutex<Vec<(Tag, Envelope)>>>,
+}
+
 /// Shared state between all host threads.
 pub(crate) struct Fabric {
     hosts: usize,
-    /// `mailboxes[dst][tag]` — MPMC channel of `(src, payload)`.
+    /// `mailboxes[dst][tag]` — MPMC channel of envelopes.
     mailboxes: Vec<Vec<Mailbox>>,
+    /// `seqs[(src * hosts + dst) * MAX_TAGS + tag]` — next send sequence
+    /// number for that channel.
+    seqs: Vec<AtomicU64>,
     barrier: FabricBarrier,
     poisoned: AtomicBool,
+    fault: Option<FaultLayer>,
     pub(crate) stats: StatsCollector,
 }
 
 impl Fabric {
-    fn new(hosts: usize) -> Self {
+    fn new(hosts: usize, fault: Option<FaultPlan>) -> Self {
         let mailboxes = (0..hosts)
             .map(|_| (0..MAX_TAGS).map(|_| unbounded()).collect())
             .collect();
         Fabric {
             hosts,
             mailboxes,
+            seqs: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
             barrier: FabricBarrier::new(hosts),
             poisoned: AtomicBool::new(false),
+            fault: fault.map(|plan| FaultLayer {
+                plan,
+                stats: FaultStats::default(),
+                holdback: (0..hosts).map(|_| Mutex::new(Vec::new())).collect(),
+            }),
             stats: StatsCollector::new(hosts),
         }
     }
@@ -119,6 +159,94 @@ impl Fabric {
             panic!("cluster poisoned: a peer host panicked");
         }
     }
+
+    fn next_seq(&self, src: HostId, dst: HostId, tag: Tag) -> u64 {
+        let cell = (src * self.hosts + dst) * MAX_TAGS + tag.0 as usize;
+        self.seqs[cell].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pushes an envelope straight into the destination mailbox.
+    fn deliver(&self, dst: HostId, tag: Tag, env: Envelope) {
+        self.mailboxes[dst][tag.0 as usize]
+            .0
+            .send(env)
+            .expect("mailbox closed");
+    }
+
+    /// Routes a remote send through the fault layer (if any).
+    fn dispatch(&self, dst: HostId, tag: Tag, env: Envelope) {
+        let Some(layer) = &self.fault else {
+            self.deliver(dst, tag, env);
+            return;
+        };
+        let d = layer.plan.decide(env.src, dst, tag.0, env.seq);
+        if d.failed_attempts > 0 {
+            // Dropped attempts are repaired by bounded retransmission at the
+            // send site; delivery is guaranteed by the final attempt.
+            layer
+                .stats
+                .dropped_attempts
+                .fetch_add(d.failed_attempts as u64, Ordering::Relaxed);
+        }
+        if d.duplicate {
+            layer.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.deliver(dst, tag, env.clone());
+        }
+        if d.delay {
+            layer.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            let mut q = layer.holdback[dst].lock();
+            q.push((tag, env));
+            if q.len() > layer.plan.reorder_window {
+                let drained: Vec<_> = q.drain(..).collect();
+                drop(q);
+                // Reverse order maximizes observable reordering; the
+                // receive-side resequencer restores sequence order.
+                for (t, e) in drained.into_iter().rev() {
+                    self.deliver(dst, t, e);
+                }
+            }
+        } else {
+            self.deliver(dst, tag, env);
+        }
+    }
+
+    /// Releases every held-back message destined for `dst`. Called from the
+    /// receive paths and at barriers so a delayed message can never
+    /// deadlock the protocol.
+    fn flush_holdback(&self, dst: HostId) {
+        let Some(layer) = &self.fault else { return };
+        let drained: Vec<_> = {
+            let mut q = layer.holdback[dst].lock();
+            if q.is_empty() {
+                return;
+            }
+            q.drain(..).collect()
+        };
+        for (t, e) in drained.into_iter().rev() {
+            self.deliver(dst, t, e);
+        }
+    }
+}
+
+/// Receive-side state: the resequencer plus ready (application-visible)
+/// messages, all per tag.
+struct RecvState {
+    /// Messages in delivery order, ready for the application.
+    ready: Vec<std::collections::VecDeque<(HostId, Bytes)>>,
+    /// `next[tag][src]` — the next expected sequence number.
+    next: Vec<Vec<u64>>,
+    /// `stash[tag][src]` — out-of-order envelopes awaiting predecessors.
+    stash: Vec<Vec<BTreeMap<u64, (u32, Bytes)>>>,
+}
+
+impl RecvState {
+    fn new(hosts: usize) -> Self {
+        RecvState {
+            ready: (0..MAX_TAGS).map(|_| Default::default()).collect(),
+            next: (0..MAX_TAGS).map(|_| vec![0; hosts]).collect(),
+            stash: (0..MAX_TAGS).map(|_| (0..hosts).map(|_| BTreeMap::new()).collect()).collect(),
+        }
+    }
 }
 
 /// Per-host communicator handle. `send*` methods are thread-safe (pool
@@ -127,18 +255,18 @@ impl Fabric {
 pub struct Comm {
     host: HostId,
     fabric: Arc<Fabric>,
-    /// Messages popped from a mailbox while looking for a specific source.
-    pending: Mutex<Vec<std::collections::VecDeque<(HostId, Bytes)>>>,
+    recv: Mutex<RecvState>,
     /// Index of the currently active accounting phase.
     phase: std::sync::atomic::AtomicUsize,
 }
 
 impl Comm {
     fn new(host: HostId, fabric: Arc<Fabric>) -> Self {
+        let hosts = fabric.hosts;
         Comm {
             host,
             fabric,
-            pending: Mutex::new(vec![Default::default(); MAX_TAGS]),
+            recv: Mutex::new(RecvState::new(hosts)),
             phase: std::sync::atomic::AtomicUsize::new(0),
         }
     }
@@ -166,37 +294,98 @@ impl Comm {
     ///
     /// Self-sends are allowed (delivered through the same mailbox) but are
     /// *not* counted as network traffic, matching how a real host would keep
-    /// local data local.
+    /// local data local. Sends are accounted exactly once, at the
+    /// application level — fault-layer duplicates and retransmissions do
+    /// not inflate [`CommStats`].
     pub fn send_bytes(&self, dst: HostId, tag: Tag, payload: Bytes) {
         assert!((tag.0 as usize) < MAX_TAGS, "tag out of range");
         assert!(dst < self.fabric.hosts, "destination host out of range");
+        let phase = self.phase.load(Ordering::Relaxed);
         if dst != self.host {
-            let phase = self.phase.load(Ordering::Relaxed);
             self.fabric
                 .stats
                 .record(phase, self.host, dst, payload.len() as u64);
         }
-        self.fabric.mailboxes[dst][tag.0 as usize]
-            .0
-            .send((self.host, payload))
-            .expect("mailbox closed");
+        let env = Envelope {
+            src: self.host,
+            seq: self.fabric.next_seq(self.host, dst, tag),
+            phase: phase as u32,
+            payload,
+        };
+        if dst == self.host {
+            // Local data stays local: self-sends bypass the fault layer.
+            self.fabric.deliver(dst, tag, env);
+        } else {
+            self.fabric.dispatch(dst, tag, env);
+        }
     }
 
-    fn mailbox(&self, tag: Tag) -> &Receiver<(HostId, Bytes)> {
+    fn mailbox(&self, tag: Tag) -> &Receiver<Envelope> {
         &self.fabric.mailboxes[self.host][tag.0 as usize].1
+    }
+
+    /// Runs one envelope through the resequencer: duplicates (sequence
+    /// numbers already delivered) are dropped, out-of-order envelopes are
+    /// stashed, and in-order messages — plus any stashed successors they
+    /// unblock — move to the ready queue, recording receive-side stats
+    /// against the sender's phase.
+    fn ingest(&self, st: &mut RecvState, tag: Tag, env: Envelope) {
+        let t = tag.0 as usize;
+        let src = env.src;
+        let next = st.next[t][src];
+        if env.seq < next {
+            return; // duplicate of an already-delivered message
+        }
+        if env.seq > next {
+            st.stash[t][src].entry(env.seq).or_insert((env.phase, env.payload));
+            return;
+        }
+        st.next[t][src] += 1;
+        self.account_recv(env.phase, src, env.payload.len());
+        st.ready[t].push_back((src, env.payload));
+        while let Some(entry) = st.stash[t][src].first_entry() {
+            if *entry.key() != st.next[t][src] {
+                break;
+            }
+            let (phase, payload) = entry.remove();
+            st.next[t][src] += 1;
+            self.account_recv(phase, src, payload.len());
+            st.ready[t].push_back((src, payload));
+        }
+    }
+
+    fn account_recv(&self, phase: u32, src: HostId, len: usize) {
+        if src != self.host {
+            self.fabric
+                .stats
+                .record_recv(phase as usize, src, self.host, len as u64);
+        }
+    }
+
+    /// Pulls every immediately available envelope of `tag` through the
+    /// resequencer.
+    fn drain_channel(&self, st: &mut RecvState, tag: Tag) {
+        while let Ok(env) = self.mailbox(tag).try_recv() {
+            self.ingest(st, tag, env);
+        }
     }
 
     /// Receives the next message of `tag` from any source, blocking.
     pub fn recv_any(&self, tag: Tag) -> (HostId, Bytes) {
-        {
-            let mut pending = self.pending.lock();
-            if let Some(m) = pending[tag.0 as usize].pop_front() {
-                return m;
-            }
-        }
         loop {
+            {
+                let mut st = self.recv.lock();
+                if let Some(m) = st.ready[tag.0 as usize].pop_front() {
+                    return m;
+                }
+            }
+            self.fabric.flush_holdback(self.host);
             match self.mailbox(tag).recv_timeout(POISON_POLL) {
-                Ok(m) => return m,
+                Ok(env) => {
+                    let mut st = self.recv.lock();
+                    self.ingest(&mut st, tag, env);
+                    self.drain_channel(&mut st, tag);
+                }
                 Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
                 Err(RecvTimeoutError::Disconnected) => {
                     panic!("mailbox disconnected")
@@ -206,44 +395,45 @@ impl Comm {
     }
 
     /// Receives the next message of `tag` from `src` specifically, blocking.
-    /// Messages from other sources that arrive first are buffered.
+    /// Messages from other sources that arrive first stay buffered.
     pub fn recv_from(&self, src: HostId, tag: Tag) -> Bytes {
-        {
-            let mut pending = self.pending.lock();
-            let q = &mut pending[tag.0 as usize];
-            if let Some(pos) = q.iter().position(|(s, _)| *s == src) {
-                return q.remove(pos).expect("position valid").1;
-            }
-        }
         loop {
-            let m = loop {
-                match self.mailbox(tag).recv_timeout(POISON_POLL) {
-                    Ok(m) => break m,
-                    Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
-                    Err(RecvTimeoutError::Disconnected) => panic!("mailbox disconnected"),
+            {
+                let mut st = self.recv.lock();
+                let q = &mut st.ready[tag.0 as usize];
+                if let Some(pos) = q.iter().position(|(s, _)| *s == src) {
+                    return q.remove(pos).expect("position valid").1;
                 }
-            };
-            if m.0 == src {
-                return m.1;
             }
-            self.pending.lock()[tag.0 as usize].push_back(m);
+            self.fabric.flush_holdback(self.host);
+            match self.mailbox(tag).recv_timeout(POISON_POLL) {
+                Ok(env) => {
+                    let mut st = self.recv.lock();
+                    self.ingest(&mut st, tag, env);
+                    self.drain_channel(&mut st, tag);
+                }
+                Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
+                Err(RecvTimeoutError::Disconnected) => panic!("mailbox disconnected"),
+            }
         }
     }
 
     /// Non-blocking receive of `tag` from any source.
     pub fn try_recv_any(&self, tag: Tag) -> Option<(HostId, Bytes)> {
-        {
-            let mut pending = self.pending.lock();
-            if let Some(m) = pending[tag.0 as usize].pop_front() {
-                return Some(m);
-            }
-        }
         self.fabric.check_poison();
-        self.mailbox(tag).try_recv().ok()
+        self.fabric.flush_holdback(self.host);
+        let mut st = self.recv.lock();
+        self.drain_channel(&mut st, tag);
+        st.ready[tag.0 as usize].pop_front()
     }
 
-    /// Blocks until all hosts reach the barrier.
+    /// Blocks until all hosts reach the barrier. Any held-back (delayed)
+    /// messages are released first so nothing can remain parked across a
+    /// phase boundary.
     pub fn barrier(&self) {
+        for dst in 0..self.fabric.hosts {
+            self.fabric.flush_holdback(dst);
+        }
         self.fabric.barrier.wait(&self.fabric.poisoned);
     }
 
@@ -260,6 +450,15 @@ pub struct ClusterOutput<R> {
     pub results: Vec<R>,
     /// Snapshot of all communication statistics.
     pub stats: CommStats,
+    /// Injected-fault counters, when the run had a [`FaultPlan`].
+    pub faults: Option<FaultReport>,
+}
+
+/// Options for [`Cluster::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterOptions {
+    /// Seeded fault injection; `None` runs a fault-free fabric.
+    pub fault: Option<FaultPlan>,
 }
 
 /// SPMD launcher for the simulated cluster.
@@ -275,8 +474,20 @@ impl Cluster {
         R: Send,
         F: Fn(&Comm) -> R + Sync,
     {
+        Self::run_with(hosts, ClusterOptions::default(), f)
+    }
+
+    /// Like [`Cluster::run`], with explicit options (e.g. a [`FaultPlan`]).
+    ///
+    /// # Panics
+    /// Propagates the first host panic after unwinding all hosts.
+    pub fn run_with<R, F>(hosts: usize, opts: ClusterOptions, f: F) -> ClusterOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
         assert!(hosts > 0, "cluster needs at least one host");
-        let fabric = Arc::new(Fabric::new(hosts));
+        let fabric = Arc::new(Fabric::new(hosts, opts.fault));
         let mut results: Vec<Option<R>> = (0..hosts).map(|_| None).collect();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
@@ -331,6 +542,7 @@ impl Cluster {
         ClusterOutput {
             results: results.into_iter().map(|r| r.expect("host produced no result")).collect(),
             stats: fabric.stats.snapshot(),
+            faults: fabric.fault.as_ref().map(|l| l.stats.report()),
         }
     }
 }
@@ -353,6 +565,7 @@ mod tests {
             r.get_u64().unwrap()
         });
         assert_eq!(out.results, vec![400, 0, 100, 200, 300]);
+        assert!(out.faults.is_none());
     }
 
     #[test]
@@ -459,6 +672,44 @@ mod tests {
         assert_eq!(a.total_messages(), 1);
         let b = out.stats.phase("phase-b").expect("phase-b recorded");
         assert_eq!(b.total_bytes(), 7);
+    }
+
+    #[test]
+    fn recv_side_accounting_matches_send_side() {
+        let out = Cluster::run(3, |comm| {
+            comm.set_phase("exchange");
+            let me = comm.host();
+            let k = comm.num_hosts();
+            for peer in 0..k {
+                if peer != me {
+                    comm.send_bytes(peer, Tag(0), Bytes::from(vec![me as u8; 10 + me]));
+                }
+            }
+            for _ in 0..k - 1 {
+                comm.recv_any(Tag(0));
+            }
+        });
+        let p = out.stats.phase("exchange").unwrap();
+        for s in 0..3 {
+            for d in 0..3 {
+                assert_eq!(p.bytes_between(s, d), p.recv_bytes_between(s, d));
+                assert_eq!(p.messages_between(s, d), p.recv_messages_between(s, d));
+            }
+        }
+        assert!(p.unconserved_pairs().is_empty());
+    }
+
+    #[test]
+    fn unconsumed_message_breaks_conservation() {
+        let out = Cluster::run(2, |comm| {
+            comm.set_phase("leaky");
+            if comm.host() == 0 {
+                comm.send_bytes(1, Tag(4), Bytes::from_static(b"never read"));
+            }
+            comm.barrier();
+        });
+        let p = out.stats.phase("leaky").unwrap();
+        assert_eq!(p.unconserved_pairs(), vec![(0, 1)]);
     }
 
     #[test]

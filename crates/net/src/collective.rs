@@ -152,19 +152,33 @@ pub fn all_gather_bytes(comm: &Comm, mine: Bytes) -> Vec<Bytes> {
     } else {
         comm.send_bytes(ROOT, COLLECTIVE_TAG, mine);
         let payload = comm.recv_from(ROOT, COLLECTIVE_TAG);
-        let mut r = WireReader::new(payload.clone());
-        let n = r.get_u64().expect("malformed gather frame") as usize;
-        let mut offset = 8usize;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut hdr = WireReader::new(payload.slice(offset..));
-            let len = hdr.get_u64().expect("malformed gather frame") as usize;
-            offset += 8;
-            out.push(payload.slice(offset..offset + len));
-            offset += len;
-        }
-        out
+        parse_gather_frame(&payload).expect("malformed gather frame")
     }
+}
+
+/// Checked parse of the root's length-prefixed gather frame. Every offset
+/// is validated against the payload length before slicing, so a truncated
+/// or corrupted frame yields an error instead of an out-of-bounds panic.
+fn parse_gather_frame(payload: &Bytes) -> Result<Vec<Bytes>, crate::serialize::WireError> {
+    let total = payload.len();
+    let mut r = WireReader::new(payload.clone());
+    let n = r.get_u64()? as usize;
+    let mut offset = 8usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let mut hdr = WireReader::new(payload.slice(offset.min(total)..));
+        let len = hdr.get_u64()? as usize;
+        offset += 8;
+        let end = offset.checked_add(len).filter(|&e| e <= total).ok_or(
+            crate::serialize::WireError {
+                needed: len,
+                available: total.saturating_sub(offset),
+            },
+        )?;
+        out.push(payload.slice(offset..end));
+        offset = end;
+    }
+    Ok(out)
 }
 
 /// Broadcast `value` from `root` to all hosts.
@@ -261,6 +275,35 @@ mod tests {
         });
         assert_eq!(out.results[0], (5, 1));
         assert_eq!(out.stats.grand_total_bytes(), 0);
+    }
+
+    #[test]
+    fn malformed_gather_frames_are_errors_not_panics() {
+        // A frame whose blob length points past the payload end.
+        let mut w = WireWriter::new();
+        w.put_u64(1); // one blob
+        w.put_u64(100); // claims 100 bytes
+        w.put_raw(b"only-9-by");
+        assert!(parse_gather_frame(&w.finish()).is_err());
+        // A frame truncated inside a blob header.
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u64(0);
+        assert!(parse_gather_frame(&w.finish()).is_err());
+        // A length that would overflow the offset arithmetic.
+        let mut w = WireWriter::new();
+        w.put_u64(1);
+        w.put_u64(u64::MAX);
+        assert!(parse_gather_frame(&w.finish()).is_err());
+        // A well-formed frame still parses.
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u64(3);
+        w.put_raw(b"abc");
+        w.put_u64(0);
+        let blobs = parse_gather_frame(&w.finish()).unwrap();
+        assert_eq!(&*blobs[0], b"abc");
+        assert!(blobs[1].is_empty());
     }
 
     #[test]

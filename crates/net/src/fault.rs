@@ -1,0 +1,237 @@
+//! Seeded fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] makes the transport adversarial while keeping the
+//! *application-visible* behaviour identical: messages can be delayed
+//! (held back and released later, out of order), duplicated, or dropped.
+//! Drops are repaired by bounded retransmission at the send site — the
+//! moral equivalent of an ack/retry loop under the collective layer — so
+//! delivery is still guaranteed by the last attempt; the receive path
+//! restores per-`(src, dst, tag)` FIFO order and discards duplicates via
+//! sequence numbers (see `cluster.rs`).
+//!
+//! Every per-message decision is a pure function of
+//! `(seed, src, dst, tag, seq)`, **not** of wall-clock time or thread
+//! scheduling, so the same plan replays the same faults: two runs with the
+//! same `FaultPlan` seed produce bit-identical partitions and
+//! [`crate::CommStats`], and identical [`FaultReport`] counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Knobs for seeded fault injection on the simulated fabric.
+///
+/// Probabilities are clamped to `[0, 1]`. A plan with all probabilities at
+/// zero behaves exactly like a fault-free fabric (modulo the extra
+/// bookkeeping), which is occasionally useful to isolate the transport
+/// rework itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all per-message decisions.
+    pub seed: u64,
+    /// Probability a message is held back (released later, out of order).
+    pub delay_prob: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Per-attempt probability that a transmission is dropped.
+    pub drop_prob: f64,
+    /// Upper bound on retransmissions for a dropped message; the attempt
+    /// after `max_retries` failures always succeeds (bounded retry ⇒
+    /// guaranteed delivery).
+    pub max_retries: u32,
+    /// How many held-back messages a destination can accumulate before the
+    /// whole holdback queue is force-flushed (in reverse order, to maximize
+    /// observable reordering).
+    pub reorder_window: usize,
+}
+
+impl FaultPlan {
+    /// An aggressive all-knobs-on plan, the default for chaos testing.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.25,
+            duplicate_prob: 0.15,
+            drop_prob: 0.20,
+            max_retries: 4,
+            reorder_window: 8,
+        }
+    }
+
+    /// A quiet plan with every fault disabled (useful as a baseline).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.0,
+            duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            max_retries: 0,
+            reorder_window: 8,
+        }
+    }
+
+    /// The fate of one message, fully determined by the plan and the
+    /// message's coordinates.
+    pub(crate) fn decide(&self, src: usize, dst: usize, tag: u8, seq: u64) -> Decision {
+        let base = self
+            .seed
+            .wrapping_add(mix(((src as u64) << 40) | ((dst as u64) << 16) | (tag as u64)))
+            .wrapping_add(mix(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let delay = probability_hit(mix(base ^ SALT_DELAY), self.delay_prob);
+        let duplicate = probability_hit(mix(base ^ SALT_DUP), self.duplicate_prob);
+        let mut failed_attempts = 0u32;
+        while failed_attempts < self.max_retries
+            && probability_hit(
+                mix(base ^ SALT_DROP.wrapping_add(failed_attempts as u64)),
+                self.drop_prob,
+            )
+        {
+            failed_attempts += 1;
+        }
+        Decision { delay, duplicate, failed_attempts }
+    }
+}
+
+const SALT_DELAY: u64 = 0xd1b5_4a32_d192_ed03;
+const SALT_DUP: u64 = 0xaef1_7502_b3a8_8e0d;
+const SALT_DROP: u64 = 0x94d0_49bb_1331_11eb;
+
+/// What happens to one message.
+pub(crate) struct Decision {
+    pub delay: bool,
+    pub duplicate: bool,
+    /// Simulated failed transmission attempts before the one that succeeds.
+    pub failed_attempts: u32,
+}
+
+/// splitmix64 finalizer — a cheap, well-distributed 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// True with probability `p` given a uniformly mixed word.
+fn probability_hit(word: u64, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    (word as f64) < p * (u64::MAX as f64)
+}
+
+/// Live fault counters, shared by all hosts of a faulty fabric.
+#[derive(Default)]
+pub(crate) struct FaultStats {
+    pub delayed: AtomicU64,
+    pub duplicated: AtomicU64,
+    pub dropped_attempts: AtomicU64,
+}
+
+impl FaultStats {
+    pub(crate) fn report(&self) -> FaultReport {
+        FaultReport {
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            dropped_attempts: self.dropped_attempts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of the faults a run injected — proof that the chaos
+/// knobs actually fired. Every counter is a sum of per-message decisions,
+/// so two runs with the same plan produce identical reports regardless of
+/// thread scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages held back for later, reordered (reverse-order) release.
+    pub delayed: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Simulated failed transmission attempts that were retried.
+    pub dropped_attempts: u64,
+}
+
+impl FaultReport {
+    /// Total number of injected fault events.
+    pub fn total(&self) -> u64 {
+        self.delayed + self.duplicated + self.dropped_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::chaos(42);
+        for seq in 0..1000 {
+            let a = plan.decide(0, 1, 7, seq);
+            let b = plan.decide(0, 1, 7, seq);
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.duplicate, b.duplicate);
+            assert_eq!(a.failed_attempts, b.failed_attempts);
+        }
+    }
+
+    #[test]
+    fn decisions_differ_across_seeds_and_channels() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let mut diff = 0;
+        for seq in 0..256 {
+            if a.decide(0, 1, 0, seq).delay != b.decide(0, 1, 0, seq).delay {
+                diff += 1;
+            }
+        }
+        assert!(diff > 0, "different seeds should change decisions");
+        let mut chan_diff = 0;
+        for seq in 0..256 {
+            if a.decide(0, 1, 0, seq).delay != a.decide(1, 0, 0, seq).delay {
+                chan_diff += 1;
+            }
+        }
+        assert!(chan_diff > 0, "different channels should change decisions");
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_probabilities() {
+        let plan = FaultPlan::chaos(7);
+        let n = 10_000;
+        let mut delayed = 0usize;
+        let mut duplicated = 0usize;
+        for seq in 0..n as u64 {
+            let d = plan.decide(2, 3, 5, seq);
+            delayed += d.delay as usize;
+            duplicated += d.duplicate as usize;
+        }
+        let delay_rate = delayed as f64 / n as f64;
+        let dup_rate = duplicated as f64 / n as f64;
+        assert!((delay_rate - 0.25).abs() < 0.03, "delay rate {delay_rate}");
+        assert!((dup_rate - 0.15).abs() < 0.03, "dup rate {dup_rate}");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::chaos(9)
+        };
+        for seq in 0..100 {
+            let d = plan.decide(0, 1, 0, seq);
+            assert_eq!(d.failed_attempts, plan.max_retries);
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let plan = FaultPlan::quiet(3);
+        for seq in 0..1000 {
+            let d = plan.decide(0, 1, 0, seq);
+            assert!(!d.delay && !d.duplicate && d.failed_attempts == 0);
+        }
+    }
+}

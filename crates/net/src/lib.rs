@@ -37,12 +37,14 @@
 pub mod buffer;
 pub mod cluster;
 pub mod collective;
+pub mod fault;
 pub mod model;
 pub mod serialize;
 pub mod stats;
 
 pub use buffer::SendBuffers;
-pub use cluster::{Cluster, ClusterOutput, Comm, HostId, Tag, MAX_TAGS};
+pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, MAX_TAGS};
+pub use fault::{FaultPlan, FaultReport};
 pub use model::NetworkModel;
 pub use serialize::{WireReader, WireWriter};
 pub use stats::{CommStats, PhaseSnapshot};

@@ -414,6 +414,66 @@ mod tests {
     }
 
     #[test]
+    fn truncated_u64_run_is_an_error_not_a_panic() {
+        // Regression: a bulk u64 read one element past the payload must
+        // fail with an exact underrun report, not over-read or panic.
+        let mut w = WireWriter::new();
+        w.put_u64_raw_slice(&[1, 2, 3]);
+        let mut r = WireReader::new(w.finish());
+        let mut dst = vec![0u64; 4];
+        let err = r.get_u64_into(&mut dst).unwrap_err();
+        assert_eq!(err, WireError { needed: 32, available: 24 });
+        // The reader is still usable and positioned where it was.
+        let mut ok = vec![0u64; 3];
+        r.get_u64_into(&mut ok).unwrap();
+        assert_eq!(ok, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn skip_past_end_is_an_error_and_consumes_nothing() {
+        let mut w = WireWriter::new();
+        w.put_u32(9);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.skip(5).unwrap_err(), WireError { needed: 5, available: 4 });
+        // Nothing was consumed by the failed skip.
+        assert_eq!(r.get_u32().unwrap(), 9);
+    }
+
+    #[test]
+    fn absurd_claimed_length_fails_before_allocating() {
+        // A corrupted length prefix claiming ~2^61 elements must be
+        // rejected by the byte-availability check up front — the
+        // `vec![0; n]` allocation would otherwise abort the process.
+        for claim in [u64::MAX, u64::MAX / 8, 1u64 << 61] {
+            let mut w = WireWriter::new();
+            w.put_u64(claim);
+            w.put_u32(1);
+            let mut r = WireReader::new(w.finish());
+            assert!(r.get_u64_vec().is_err(), "claim {claim} must fail");
+            let mut w = WireWriter::new();
+            w.put_u64(claim);
+            w.put_u32(1);
+            let mut r = WireReader::new(w.finish());
+            assert!(r.get_u32_vec().is_err(), "claim {claim} must fail");
+        }
+    }
+
+    #[test]
+    fn truncated_u32_run_mid_message_reports_exact_deficit() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u32_raw_slice(&[10, 20]);
+        let payload = w.finish();
+        // Drop the last 3 bytes of the message.
+        let truncated = payload.slice(0..payload.len() - 3);
+        let mut r = WireReader::new(truncated);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        let mut dst = vec![0u32; 2];
+        let err = r.get_u32_into(&mut dst).unwrap_err();
+        assert_eq!(err, WireError { needed: 8, available: 5 });
+    }
+
+    #[test]
     fn byte_counts_are_exact() {
         // Table V relies on wire sizes being predictable.
         let mut w = WireWriter::new();

@@ -21,6 +21,8 @@ pub struct StatsCollector {
 struct PhaseCounters {
     bytes: Vec<AtomicU64>,
     msgs: Vec<AtomicU64>,
+    recv_bytes: Vec<AtomicU64>,
+    recv_msgs: Vec<AtomicU64>,
 }
 
 impl PhaseCounters {
@@ -28,6 +30,8 @@ impl PhaseCounters {
         PhaseCounters {
             bytes: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
             msgs: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
+            recv_bytes: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
+            recv_msgs: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -71,6 +75,18 @@ impl StatsCollector {
         counters.msgs[cell].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a message handed to the application on the receive side.
+    /// `phase` is the *sender's* phase (carried in the envelope), so the
+    /// send and receive matrices of a phase are directly comparable.
+    #[inline]
+    pub(crate) fn record_recv(&self, phase: usize, src: usize, dst: usize, bytes: u64) {
+        let phases = self.phases.read();
+        let counters = &phases[phase];
+        let cell = src * self.hosts + dst;
+        counters.recv_bytes[cell].fetch_add(bytes, Ordering::Relaxed);
+        counters.recv_msgs[cell].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total bytes recorded so far under `name` (0 if never registered).
     pub fn live_total_bytes(&self, name: &str) -> u64 {
         let names = self.names.read();
@@ -91,6 +107,8 @@ impl StatsCollector {
                 hosts: self.hosts,
                 bytes: p.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
                 msgs: p.msgs.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                recv_bytes: p.recv_bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                recv_msgs: p.recv_msgs.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             })
             .collect();
         CommStats {
@@ -102,12 +120,16 @@ impl StatsCollector {
 }
 
 /// Immutable snapshot of all traffic in one phase.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PhaseSnapshot {
     hosts: usize,
     /// Row-major `hosts × hosts` matrix of bytes from src (row) to dst (col).
     bytes: Vec<u64>,
     msgs: Vec<u64>,
+    /// Same matrices, recorded when the receiver's transport handed the
+    /// message to the application (attributed to the sender's phase).
+    recv_bytes: Vec<u64>,
+    recv_msgs: Vec<u64>,
 }
 
 impl PhaseSnapshot {
@@ -162,10 +184,47 @@ impl PhaseSnapshot {
     pub fn hosts(&self) -> usize {
         self.hosts
     }
+
+    /// Bytes received by `dst` from `src` (application-visible deliveries).
+    pub fn recv_bytes_between(&self, src: usize, dst: usize) -> u64 {
+        self.recv_bytes[src * self.hosts + dst]
+    }
+
+    /// Messages received by `dst` from `src` (application-visible
+    /// deliveries; fault-layer duplicates are not counted).
+    pub fn recv_messages_between(&self, src: usize, dst: usize) -> u64 {
+        self.recv_msgs[src * self.hosts + dst]
+    }
+
+    /// Total bytes delivered to applications across all host pairs.
+    pub fn total_recv_bytes(&self) -> u64 {
+        self.recv_bytes.iter().sum()
+    }
+
+    /// Total messages delivered to applications across all host pairs.
+    pub fn total_recv_messages(&self) -> u64 {
+        self.recv_msgs.iter().sum()
+    }
+
+    /// The `(src, dst)` pairs whose send-side and receive-side accounting
+    /// disagree — the conservation invariant (everything sent in a phase is
+    /// delivered and consumed) fails exactly on these cells.
+    pub fn unconserved_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for src in 0..self.hosts {
+            for dst in 0..self.hosts {
+                let cell = src * self.hosts + dst;
+                if self.bytes[cell] != self.recv_bytes[cell] || self.msgs[cell] != self.recv_msgs[cell] {
+                    out.push((src, dst));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Immutable snapshot of all phases of a cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommStats {
     hosts: usize,
     names: Vec<String>,
@@ -205,6 +264,19 @@ impl CommStats {
     /// Number of hosts.
     pub fn hosts(&self) -> usize {
         self.hosts
+    }
+
+    /// Phases whose send-side and receive-side matrices disagree, with the
+    /// offending `(src, dst)` pairs. Empty means every byte and message
+    /// sent in every phase was delivered and consumed (Table V accounting
+    /// is conserved).
+    pub fn unconserved_phases(&self) -> Vec<(&str, Vec<(usize, usize)>)> {
+        self.iter()
+            .filter_map(|(name, p)| {
+                let pairs = p.unconserved_pairs();
+                (!pairs.is_empty()).then_some((name, pairs))
+            })
+            .collect()
     }
 
     /// Merges phase totals matching a prefix (e.g. all `"construct:*"`).

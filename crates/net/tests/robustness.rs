@@ -55,6 +55,56 @@ fn malformed_payload_fails_loudly_not_silently() {
 }
 
 #[test]
+fn truncated_bulk_run_fails_loudly_not_silently() {
+    // Regression for the bulk decode paths (get_u32_into / skip): a header
+    // that claims more elements than the payload carries must surface as an
+    // error on the receiver, never an over-read.
+    let res = std::panic::catch_unwind(|| {
+        Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                let mut w = WireWriter::new();
+                w.put_u32(10); // claims a 10-element raw run
+                w.put_u32_raw_slice(&[1, 2]); // provides 2
+                comm.send_bytes(1, Tag(0), w.finish());
+                0
+            } else {
+                let (_s, payload) = comm.recv_any(Tag(0));
+                let mut r = WireReader::new(payload);
+                let n = r.get_u32().unwrap() as usize;
+                let mut dst = vec![0u32; n];
+                r.get_u32_into(&mut dst).expect("must underrun");
+                dst.len()
+            }
+        });
+    });
+    assert!(res.is_err(), "truncated bulk run must be detected");
+}
+
+#[test]
+fn truncated_skip_fails_loudly_not_silently() {
+    let res = std::panic::catch_unwind(|| {
+        Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                let mut w = WireWriter::new();
+                w.put_u32(100); // record claims 100 u32s follow
+                w.put_u32_raw_slice(&[7; 3]);
+                comm.send_bytes(1, Tag(0), w.finish());
+                0
+            } else {
+                let (_s, payload) = comm.recv_any(Tag(0));
+                let mut r = WireReader::new(payload);
+                let n = r.get_u32().unwrap() as usize;
+                // Skip-scanning a truncated record must error, not advance
+                // past the end of the buffer.
+                r.skip(n * 4).expect("must underrun");
+                0
+            }
+        });
+    });
+    assert!(res.is_err(), "truncated skip must be detected");
+}
+
+#[test]
 fn heavy_concurrent_send_recv_is_lossless() {
     const N: u64 = 2_000;
     let out = Cluster::run(6, |comm| {

@@ -6,9 +6,11 @@
 //! `prop_assert*`/`prop_assume`/`prop_oneof` macros, `Strategy` with
 //! `prop_map`/`prop_flat_map`/`boxed`, range/tuple/`Just`/`any` strategies,
 //! `collection::vec`, and `sample::Index`. Each test runs `cases` random
-//! cases from a per-test deterministic seed. Unlike real proptest there is
-//! **no shrinking** — a failing case reports its values' Debug output (via
-//! the assertion message) but is not minimized.
+//! cases from a per-test deterministic seed. Failures (assertions or
+//! panics) are shrunk at the raw draw-stream level — tail truncation plus
+//! per-draw binary-search minimization, bounded by `max_shrink_iters` — and
+//! the report carries the minimized failure, the seed, and a
+//! `PROPTEST_STUB_SEED` reproduction hint.
 
 pub mod arbitrary;
 pub mod collection;

@@ -1,11 +1,35 @@
-//! Case runner: deterministic RNG, config, and the pass/fail/reject loop.
+//! Case runner: deterministic RNG, config, the pass/fail/reject loop, and
+//! draw-stream shrinking.
+//!
+//! Shrinking works at the level of the raw `u64` draw stream (the way
+//! Hypothesis does): every `next_u64` a case consumes is recorded, and on
+//! failure the runner replays the closure against mutated copies of that
+//! stream — truncating the tail (replays past the end of the tape draw 0)
+//! and minimizing each element (try 0, else binary search between the
+//! largest passing and smallest failing value). Because every derived
+//! sampler (`u64_in`, `usize_below`, ...) is monotone in the raw word,
+//! minimal words give minimal drawn values, so a property failing for
+//! `v >= 100` shrinks to exactly `v == 100`. Panics inside the property
+//! are caught and treated as failures, both live and during shrinking.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Deterministic RNG driving value generation (xoshiro256++).
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Generate fresh values from the xoshiro state.
+    Random,
+    /// Replay a prescribed draw tape; draws past the end return 0.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+/// Deterministic RNG driving value generation (xoshiro256++), recording
+/// every draw so a failing case can be shrunk by stream mutation.
 #[derive(Clone, Debug)]
 pub struct TestRng {
     s: [u64; 4],
+    mode: Mode,
+    record: Vec<u64>,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -26,19 +50,42 @@ impl TestRng {
                 splitmix64(&mut state),
                 splitmix64(&mut state),
             ],
+            mode: Mode::Random,
+            record: Vec::new(),
+        }
+    }
+
+    /// An RNG that replays `tape` verbatim and draws 0 once it runs out —
+    /// the shrinker's candidate-execution mode.
+    pub fn replaying(tape: &[u64]) -> Self {
+        TestRng {
+            s: [0; 4],
+            mode: Mode::Replay { tape: tape.to_vec(), pos: 0 },
+            record: Vec::new(),
         }
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        let s = &mut self.s;
-        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
+        let result = match &mut self.mode {
+            Mode::Random => {
+                let s = &mut self.s;
+                let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+                let t = s[1] << 17;
+                s[2] ^= s[0];
+                s[3] ^= s[1];
+                s[1] ^= s[2];
+                s[0] ^= s[3];
+                s[2] ^= t;
+                s[3] = s[3].rotate_left(45);
+                result
+            }
+            Mode::Replay { tape, pos } => {
+                let v = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.record.push(result);
         result
     }
 
@@ -95,7 +142,7 @@ pub type TestCaseResult = Result<(), TestCaseError>;
 pub struct ProptestConfig {
     /// Number of successful cases required for the test to pass.
     pub cases: u32,
-    /// Accepted for compatibility; this stub does not shrink.
+    /// Cap on property executions spent minimizing a failing case.
     pub max_shrink_iters: u32,
     /// Cap on `prop_assume` rejections before the test errors out.
     pub max_global_rejects: u32,
@@ -110,19 +157,115 @@ impl Default for ProptestConfig {
 /// Alias matching `proptest::test_runner::Config`.
 pub use ProptestConfig as Config;
 
-/// Drives `f` until `config.cases` cases pass, panicking on the first
-/// failure. The seed is derived from the test name (override with
-/// `PROPTEST_STUB_SEED`), so runs are reproducible.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs one candidate against the recorded tape. `Some(msg)` means the
+/// case still fails (assertion failure or panic); `None` means it passes
+/// or no longer reproduces (a reject counts as not reproducing).
+fn replay<F>(f: &mut F, tape: &[u64]) -> Option<String>
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::replaying(tape);
+    match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+        Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => None,
+        Ok(Err(TestCaseError::Fail(m))) => Some(m),
+        Err(p) => Some(panic_message(p.as_ref())),
+    }
+}
+
+/// Minimizes a failing draw tape, bounded by `budget` property executions.
+/// Returns the minimal tape, its failure message, and executions spent.
+fn shrink<F>(
+    f: &mut F,
+    mut best: Vec<u64>,
+    mut best_msg: String,
+    budget: u32,
+) -> (Vec<u64>, String, u32)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut iters: u32 = 0;
+    loop {
+        let mut changed = false;
+        // Tail truncation: draws past the tape replay as 0, so popping the
+        // last element both shortens and zeroes the suffix.
+        while !best.is_empty() && iters < budget {
+            iters += 1;
+            match replay(f, &best[..best.len() - 1]) {
+                Some(m) => {
+                    best.pop();
+                    best_msg = m;
+                    changed = true;
+                }
+                None => break,
+            }
+        }
+        // Per-element minimization: try 0, else binary-search the smallest
+        // still-failing word between the largest passing and the current
+        // failing value. Derived samplers are monotone in the raw word, so
+        // this lands on the boundary drawn value exactly.
+        for i in 0..best.len() {
+            let orig = best[i];
+            if orig == 0 || iters >= budget {
+                continue;
+            }
+            best[i] = 0;
+            iters += 1;
+            if let Some(m) = replay(f, &best) {
+                best_msg = m;
+                changed = true;
+                continue;
+            }
+            let (mut lo, mut hi) = (0u64, orig); // lo passes, hi fails
+            while hi - lo > 1 && iters < budget {
+                let mid = lo + (hi - lo) / 2;
+                best[i] = mid;
+                iters += 1;
+                match replay(f, &best) {
+                    Some(m) => {
+                        hi = mid;
+                        best_msg = m;
+                    }
+                    None => lo = mid,
+                }
+            }
+            best[i] = hi;
+            if hi != orig {
+                changed = true;
+            }
+        }
+        if !changed || iters >= budget {
+            return (best, best_msg, iters);
+        }
+    }
+}
+
+/// Drives `f` until `config.cases` cases pass. On the first failure
+/// (assertion or panic) the recorded draw stream is shrunk to a minimal
+/// counterexample and the runner panics with the minimized failure, the
+/// seed, and a `PROPTEST_STUB_SEED` reproduction hint. The seed is derived
+/// from the test name (offset with `PROPTEST_STUB_SEED`), so runs are
+/// reproducible.
 pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut f: F)
 where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
     // FNV-1a over the test name for a stable per-test seed.
-    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut name_seed: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
-        seed ^= b as u64;
-        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        name_seed ^= b as u64;
+        name_seed = name_seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
+    let mut seed = name_seed;
     if let Ok(s) = std::env::var("PROPTEST_STUB_SEED") {
         if let Ok(v) = s.parse::<u64>() {
             seed = seed.wrapping_add(v);
@@ -135,7 +278,12 @@ where
     let mut case: u32 = 0;
     while passed < config.cases {
         case += 1;
-        match f(&mut rng) {
+        rng.record.clear();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(r) => r,
+            Err(p) => Err(TestCaseError::Fail(panic_message(p.as_ref()))),
+        };
+        match outcome {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
                 rejected += 1;
@@ -147,7 +295,17 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!("proptest '{name}' failed at case {case} (seed {seed}):\n{msg}");
+                let tape = std::mem::take(&mut rng.record);
+                let (min_tape, min_msg, iters) =
+                    shrink(&mut f, tape, msg, config.max_shrink_iters);
+                panic!(
+                    "proptest '{name}' failed at case {case} (seed {seed}):\n{min_msg}\n\
+                     minimal counterexample after {iters} shrink executions \
+                     ({} raw draws: {min_tape:?})\n\
+                     reproduce with PROPTEST_STUB_SEED={}",
+                    min_tape.len(),
+                    seed.wrapping_sub(name_seed),
+                );
             }
         }
     }
@@ -162,6 +320,15 @@ mod tests {
         let mut a = TestRng::from_seed(1);
         let mut b = TestRng::from_seed(1);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn replay_rng_returns_tape_then_zero() {
+        let mut r = TestRng::replaying(&[5, 7]);
+        assert_eq!(r.next_u64(), 5);
+        assert_eq!(r.next_u64(), 7);
+        assert_eq!(r.next_u64(), 0);
+        assert_eq!(r.next_u64(), 0);
     }
 
     #[test]
@@ -194,5 +361,80 @@ mod tests {
             }
         });
         assert!(calls >= 9);
+    }
+
+    fn failure_message(body: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = catch_unwind(body).expect_err("property should fail");
+        panic_message(payload.as_ref())
+    }
+
+    #[test]
+    fn shrinks_to_minimal_counterexample() {
+        // Fails for v >= 100 drawn from [0, 1000): must minimize to exactly
+        // v == 100, and the report must carry the reproduction hint.
+        let msg = failure_message(|| {
+            run_proptest(&ProptestConfig::default(), "shrink_min", |rng| {
+                let v = rng.u64_in(0, 1000);
+                if v >= 100 {
+                    Err(TestCaseError::fail(format!("v={v}")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        assert!(msg.contains("v=100"), "not minimized: {msg}");
+        assert!(!msg.contains("v=101"), "overshot: {msg}");
+        assert!(msg.contains("PROPTEST_STUB_SEED="), "no repro hint: {msg}");
+        assert!(msg.contains("seed "), "no seed: {msg}");
+    }
+
+    #[test]
+    fn shrinks_panicking_properties_too() {
+        let msg = failure_message(|| {
+            run_proptest(&ProptestConfig::default(), "shrink_panic", |rng| {
+                let v = rng.u64_in(0, 1000);
+                assert!(v < 100, "exploded at v={v}");
+                Ok(())
+            });
+        });
+        assert!(msg.contains("exploded at v=100"), "not minimized: {msg}");
+    }
+
+    #[test]
+    fn shrinking_truncates_irrelevant_tail_draws() {
+        // Fails when any of 8 draws is odd; the minimal tape is all-zero
+        // except a single trailing 1 (zeros past the tape are free).
+        let msg = failure_message(|| {
+            run_proptest(&ProptestConfig::default(), "shrink_trunc", |rng| {
+                let bits: Vec<u64> = (0..8).map(|_| rng.next_u64() & 1).collect();
+                let odd: u64 = bits.iter().sum();
+                if odd >= 1 {
+                    Err(TestCaseError::fail(format!("odd={odd} bits={bits:?}")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        assert!(msg.contains("odd=1 "), "not minimized: {msg}");
+    }
+
+    #[test]
+    fn shrinking_respects_iteration_budget() {
+        let mut executions = 0u32;
+        let cfg = ProptestConfig { max_shrink_iters: 3, ..ProptestConfig::default() };
+        let msg = failure_message(AssertUnwindSafe(|| {
+            run_proptest(&cfg, "shrink_budget", |rng| {
+                executions += 1;
+                let v = rng.u64_in(0, 1_000_000);
+                if v >= 100 {
+                    Err(TestCaseError::fail(format!("v={v}")))
+                } else {
+                    Ok(())
+                }
+            });
+        }));
+        // 1 live failing case + at most 3 shrink executions.
+        assert!(executions <= 4, "budget ignored: {executions} executions");
+        assert!(msg.contains("shrink executions"), "{msg}");
     }
 }
