@@ -6,7 +6,9 @@
 //! * §IV-D3 message buffering — buffered vs unbuffered construction;
 //! * the bulk wire codec — element-by-element serialization via
 //!   `CuspConfig::scalar_codec` (wire bytes are identical; only CPU cost
-//!   changes).
+//!   changes);
+//! * chunk streaming — `CuspConfig::chunk_edges` bounds resident edge
+//!   state to O(chunk) at the cost of per-chunk re-reads and flushes.
 //!
 //! All knobs leave results identical (validated by the test suite); the
 //! ablation shows what they cost when disabled.
@@ -33,7 +35,7 @@ fn main() {
         ],
     );
     for input in drilldown_inputs(scale) {
-        let variants: [(&str, CuspConfig); 5] = [
+        let variants: [(&str, CuspConfig); 7] = [
             ("baseline", CuspConfig::default()),
             (
                 "no pure-master elision",
@@ -61,6 +63,20 @@ fn main() {
                 CuspConfig {
                     force_stored_masters: true,
                     buffer_threshold: 0,
+                    ..CuspConfig::default()
+                },
+            ),
+            (
+                "chunked (64Ki edges)",
+                CuspConfig {
+                    chunk_edges: Some(64 * 1024),
+                    ..CuspConfig::default()
+                },
+            ),
+            (
+                "chunked (4Ki edges)",
+                CuspConfig {
+                    chunk_edges: Some(4 * 1024),
                     ..CuspConfig::default()
                 },
             ),

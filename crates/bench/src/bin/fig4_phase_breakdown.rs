@@ -21,6 +21,10 @@ fn main() {
             "graph", "policy", "read", "master", "edgeAssign", "alloc", "construct", "total",
         ],
     );
+    let mut shares = Table::new(
+        &format!("Figure 4 — phase shares at {MAX_HOSTS} hosts (% of partitioning time)"),
+        &["graph", "policy", "read", "master", "edgeAssign", "alloc", "construct"],
+    );
     for input in drilldown_inputs(scale) {
         for kind in cusp::policies::ALL_POLICIES {
             let run = run_partition(
@@ -41,7 +45,18 @@ fn main() {
                 secs(run.times.construct),
                 format!("{:.3}", run.times.total().as_secs_f64() + run.modeled_disk),
             ]);
+            // The normalized view the paper's stacked bars show, straight
+            // from the PhaseCtx timers.
+            let mut row = vec![input.name.to_string(), kind.name().to_string()];
+            row.extend(
+                run.times
+                    .breakdown()
+                    .iter()
+                    .map(|(_, _, share)| format!("{:.1}%", share * 100.0)),
+            );
+            shares.row(row);
         }
     }
     table.emit("fig4_phase_breakdown");
+    shares.emit("fig4_phase_shares");
 }

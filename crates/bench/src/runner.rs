@@ -100,7 +100,7 @@ pub fn run_partition(
                 times = times.max(&t);
                 parts.push(dg);
             }
-            let modeled_net = ["read", "master", "edge_assign", "alloc", "construct"]
+            let modeled_net = PhaseTimes::NAMES
                 .iter()
                 .filter_map(|p| out.stats.phase(p))
                 .map(|ph| model().phase_time(ph))

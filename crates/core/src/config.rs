@@ -61,6 +61,17 @@ pub struct CuspConfig {
     /// bytes are identical either way — this isolates the codec's CPU cost
     /// without perturbing the communication-volume tables.
     pub scalar_codec: bool,
+    /// Upper bound on edges materialized per reader chunk. `None` (the
+    /// default) streams each host's whole slice as one chunk — the
+    /// monolithic behaviour. With `Some(c)` the reading phase keeps only
+    /// the O(nodes) offset array resident and the edge-walking phases
+    /// (master, edge assignment, construction) pull node-aligned chunks of
+    /// at most `c` edges on demand, flushing construction send buffers at
+    /// every chunk boundary, so peak resident edge state is O(c) instead
+    /// of O(slice). A single node whose degree exceeds `c` gets a chunk of
+    /// its own (the bound is `max(c, d_max)`). Under `deterministic_sync`
+    /// the produced partitions are bit-identical for every chunk size.
+    pub chunk_edges: Option<u64>,
     /// Testing switch: make partitioning bitwise reproducible. Replaces the
     /// master phase's asynchronous "drain whatever arrived" rounds
     /// (§IV-D5) with lockstep rounds (every host sends one SYNC to every
@@ -85,6 +96,7 @@ impl Default for CuspConfig {
             output: OutputFormat::Csr,
             force_stored_masters: false,
             scalar_codec: false,
+            chunk_edges: None,
             deterministic_sync: false,
         }
     }
@@ -106,6 +118,50 @@ pub struct PhaseTimes {
 }
 
 impl PhaseTimes {
+    /// Canonical phase names, in pipeline order. These are also the comm
+    /// accounting tags ([`crate::phases::pipeline::Phase::NAME`]), so the
+    /// timing table and the byte-count tables line up by construction.
+    pub const NAMES: [&'static str; 5] = ["read", "master", "edge_assign", "alloc", "construct"];
+
+    /// Records `elapsed` against the named phase. Called by the pipeline's
+    /// [`crate::phases::pipeline::PhaseCtx`] timers; unknown names panic
+    /// (a `Phase` impl outside the five-phase pipeline must keep its own
+    /// clock).
+    pub fn record(&mut self, phase: &str, elapsed: Duration) {
+        match phase {
+            "read" => self.read += elapsed,
+            "master" => self.master += elapsed,
+            "edge_assign" => self.edge_assign += elapsed,
+            "alloc" => self.alloc += elapsed,
+            "construct" => self.construct += elapsed,
+            other => panic!("unknown phase {other:?} (expected one of {:?})", Self::NAMES),
+        }
+    }
+
+    /// The time recorded for the named phase.
+    pub fn get(&self, phase: &str) -> Duration {
+        match phase {
+            "read" => self.read,
+            "master" => self.master,
+            "edge_assign" => self.edge_assign,
+            "alloc" => self.alloc,
+            "construct" => self.construct,
+            other => panic!("unknown phase {other:?} (expected one of {:?})", Self::NAMES),
+        }
+    }
+
+    /// Per-phase `(name, time, share-of-total)` rows in pipeline order —
+    /// the Fig. 4-style breakdown. Shares are fractions in `[0, 1]` and
+    /// sum to 1 (all zero when no time was recorded at all).
+    pub fn breakdown(&self) -> [(&'static str, Duration, f64); 5] {
+        let total = self.total().as_secs_f64();
+        Self::NAMES.map(|name| {
+            let d = self.get(name);
+            let share = if total > 0.0 { d.as_secs_f64() / total } else { 0.0 };
+            (name, d, share)
+        })
+    }
+
     /// Total partitioning time (the quantity in Fig. 3).
     pub fn total(&self) -> Duration {
         self.read + self.master + self.edge_assign + self.alloc + self.construct

@@ -62,7 +62,9 @@ pub mod verify;
 
 pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
 pub use dist_graph::{DistGraph, PartitionClass};
+pub use phases::alloc::MasterSpec;
 pub use phases::driver::{partition, PartitionOutput};
+pub use phases::pipeline::{Phase, PhaseCtx, ReplayReady, SliceData};
 pub use policies::catalog::{partition_with_policy, PolicyKind};
 pub use orientation::{partition_with_policy_oriented, Orientation};
 pub use policy::{EdgeRule, MasterRule, MasterView, Setup};

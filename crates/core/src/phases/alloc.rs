@@ -100,31 +100,31 @@ impl AllocOutcome {
     }
 }
 
-/// Runs the allocation phase for host `me` when masters were stored (the
-/// edge-assignment exchange carried the master list for this host).
+/// Where the master list of a host comes from: either the stored list the
+/// edge-assignment exchange carried, or — for pure master rules — the
+/// closed-form owned range, which never had to be materialized or shipped.
+///
+/// Both feed the same allocation path; the spec only decides how the sorted
+/// master-global list is produced.
+pub enum MasterSpec<'a> {
+    /// Masters were stored and exchanged (sorted ascending global ids).
+    Stored(&'a [Node]),
+    /// Pure master rule: this host's masters are exactly the range.
+    PureRange(std::ops::Range<Node>),
+}
+
+/// Runs the allocation phase for host `me`.
 pub fn allocate(
     me: usize,
     pool: &ThreadPool,
+    spec: MasterSpec<'_>,
     outcome: &EdgeAssignOutcome,
     weighted: bool,
 ) -> AllocOutcome {
-    let master_globals = outcome
-        .my_master_nodes
-        .clone()
-        .expect("allocate() requires stored masters; use allocate_with_pure_range for pure rules");
-    build(me, pool, master_globals, outcome, weighted)
-}
-
-/// Allocation entry point when the master rule is pure: the masters on this
-/// host are exactly `range`.
-pub fn allocate_with_pure_range(
-    me: usize,
-    pool: &ThreadPool,
-    range: std::ops::Range<Node>,
-    outcome: &EdgeAssignOutcome,
-    weighted: bool,
-) -> AllocOutcome {
-    let master_globals: Vec<Node> = range.collect();
+    let master_globals: Vec<Node> = match spec {
+        MasterSpec::Stored(globals) => globals.to_vec(),
+        MasterSpec::PureRange(range) => range.collect(),
+    };
     build(me, pool, master_globals, outcome, weighted)
 }
 
@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn allocation_layout() {
         let pool = ThreadPool::new(2);
-        let a = allocate(0, &pool, &outcome(), false);
+        let o = outcome();
+        let a = allocate(0, &pool, MasterSpec::Stored(o.my_master_nodes.as_deref().unwrap()), &o, false);
         // masters {2, 4}, mirrors {7, 9}
         assert_eq!(a.local2global, vec![2, 4, 7, 9]);
         assert_eq!(a.num_masters, 2);
@@ -251,7 +252,7 @@ mod tests {
             my_master_nodes: None,
             to_receive: 0,
         };
-        let a = allocate_with_pure_range(0, &pool, 5..8, &o, true);
+        let a = allocate(0, &pool, MasterSpec::PureRange(5..8), &o, true);
         assert_eq!(a.local2global, vec![5, 6, 7, 20]);
         assert_eq!(a.num_masters, 3);
         assert_eq!(a.master_of, vec![0, 0, 0, 1]);
@@ -270,7 +271,7 @@ mod tests {
             my_master_nodes: Some(vec![0, 1]),
             to_receive: 2,
         };
-        let a = allocate(0, &pool, &o, false);
+        let a = allocate(0, &pool, MasterSpec::Stored(o.my_master_nodes.as_deref().unwrap()), &o, false);
         assert_eq!(a.local2global, vec![0, 1, 500_000_000, 1_000_000_000]);
         assert_eq!(a.local_of(0), 0);
         assert_eq!(a.local_of(1), 1);
@@ -283,10 +284,10 @@ mod tests {
     #[should_panic(expected = "no proxy in this partition")]
     fn local_of_rejects_absent_vertex() {
         let pool = ThreadPool::new(1);
-        let a = allocate_with_pure_range(
+        let a = allocate(
             0,
             &pool,
-            0..2,
+            MasterSpec::PureRange(0..2),
             &EdgeAssignOutcome {
                 incoming_srcs: vec![],
                 mirrors: vec![],

@@ -20,12 +20,13 @@
 use std::sync::atomic::Ordering;
 
 use cusp_galois::{do_all_items, do_all_with_tid, PerThread, ThreadPool, DEFAULT_GRAIN};
-use cusp_graph::{Csr, GraphSlice, Node};
+use cusp_graph::{Csr, Node};
 use cusp_net::{Comm, SendBuffers, WireReader};
 
 use crate::config::{CuspConfig, OutputFormat};
 use crate::phases::alloc::AllocOutcome;
 use crate::phases::master::ResolvedMasters;
+use crate::phases::pipeline::SliceData;
 use crate::policy::{EdgeRule, Setup};
 use crate::props::LocalProps;
 use crate::state::PartitionState;
@@ -60,7 +61,7 @@ pub fn construct<ER: EdgeRule>(
     comm: &Comm,
     pool: &ThreadPool,
     setup: &Setup,
-    slice: &GraphSlice,
+    data: &mut SliceData,
     masters: &ResolvedMasters,
     rule: &ER,
     estate: &ER::State,
@@ -70,10 +71,7 @@ pub fn construct<ER: EdgeRule>(
 ) -> (Csr, Option<Vec<u32>>) {
     let me = comm.host();
     let k = comm.num_hosts();
-    let lo = slice.node_lo;
-    let local_n = slice.num_nodes();
-    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
-    let weighted = slice.weights.is_some();
+    let weighted = data.weighted();
     let scalar = cfg.scalar_codec;
     debug_assert_eq!(weighted, alloc.edge_data.is_some());
 
@@ -92,89 +90,115 @@ pub fn construct<ER: EdgeRule>(
         buckets: Vec<Vec<Node>>,
         wbuckets: Vec<Vec<u32>>,
     }
-    let threads: PerThread<ThreadState> = PerThread::new(pool, |_| ThreadState {
+    let mut threads: PerThread<ThreadState> = PerThread::new(pool, |_| ThreadState {
         buffers: SendBuffers::new(k, cfg.buffer_threshold, TAG_EDGES),
         buckets: vec![Vec::new(); k],
         wbuckets: vec![Vec::new(); k],
     });
 
-    let process = |tid: usize, i: usize| {
-        let s = lo + i as Node;
-        let edges = slice.edges(s);
-        if edges.is_empty() {
-            return;
-        }
-        let sm = masters.of(s);
-        let edge_data = slice.edge_data(s);
-        threads.with(tid, |ts| {
-            for b in ts.buckets.iter_mut() {
-                b.clear();
-            }
-            for b in ts.wbuckets.iter_mut() {
-                b.clear();
-            }
-            for (i, &d) in edges.iter().enumerate() {
-                let dm = masters.of(d);
-                let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
-                ts.buckets[h as usize].push(d);
-                if let Some(data) = edge_data {
-                    ts.wbuckets[h as usize].push(data[i]);
-                }
-            }
-            for (h, bucket) in ts.buckets.iter().enumerate() {
-                if bucket.is_empty() {
-                    continue;
-                }
-                let wbucket = weighted.then(|| ts.wbuckets[h].as_slice());
-                if h == me {
-                    insert_record(alloc_ref, &dest_ptr, &data_ptr, s, bucket, wbucket);
-                } else {
-                    ts.buffers.record(comm, h, |w| {
-                        w.put_u32(s);
-                        w.put_u32(bucket.len() as u32);
-                        if scalar {
-                            for &d in bucket {
-                                w.put_u32(d);
-                            }
-                            if let Some(ws) = wbucket {
-                                for &x in ws {
-                                    w.put_u32(x);
-                                }
-                            }
-                        } else {
-                            // Raw runs: same bytes as the scalar writes,
-                            // one memcpy per run instead of a call per edge.
-                            w.put_u32_raw_slice(bucket);
-                            if let Some(ws) = wbucket {
-                                w.put_u32_raw_slice(ws);
-                            }
-                        }
-                    });
-                }
-            }
-        });
-    };
-
-    if ER::State::STATELESS {
-        do_all_with_tid(pool, local_n, DEFAULT_GRAIN, process);
-    } else {
-        // Deterministic replay for stateful edge rules (same node order as
-        // edge assignment).
-        for i in 0..local_n {
-            process(0, i);
-        }
-    }
-
-    // Flush residual buffers from every thread.
-    let mut thread_states = threads.into_inner();
-    for ts in &mut thread_states {
-        ts.buffers.flush_all(comm);
-    }
-
-    // Drain incoming edge records; batches of messages are deserialized
-    // and inserted in parallel (§IV-C3).
     let mut received = 0u64;
     let mut batch: Vec<bytes::Bytes> = Vec::new();
+
+    // The source edges stream through one bounded chunk at a time (a whole
+    // slice is a single chunk): replay, flush, and opportunistically drain
+    // per chunk, so resident edge state stays O(chunk) end to end.
+    data.for_each_chunk(|chunk| {
+        let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, chunk);
+        let process = |tid: usize, j: usize| {
+            let s = chunk.node_lo + j as Node;
+            let edges = chunk.edges(s);
+            if edges.is_empty() {
+                return;
+            }
+            let sm = masters.of(s);
+            let edge_data = chunk.edge_data(s);
+            threads.with(tid, |ts| {
+                for b in ts.buckets.iter_mut() {
+                    b.clear();
+                }
+                for b in ts.wbuckets.iter_mut() {
+                    b.clear();
+                }
+                for (i, &d) in edges.iter().enumerate() {
+                    let dm = masters.of(d);
+                    let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
+                    ts.buckets[h as usize].push(d);
+                    if let Some(data) = edge_data {
+                        ts.wbuckets[h as usize].push(data[i]);
+                    }
+                }
+                for (h, bucket) in ts.buckets.iter().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let wbucket = weighted.then(|| ts.wbuckets[h].as_slice());
+                    if h == me {
+                        insert_record(alloc_ref, &dest_ptr, &data_ptr, s, bucket, wbucket);
+                    } else {
+                        ts.buffers.record(comm, h, |w| {
+                            w.put_u32(s);
+                            w.put_u32(bucket.len() as u32);
+                            if scalar {
+                                for &d in bucket {
+                                    w.put_u32(d);
+                                }
+                                if let Some(ws) = wbucket {
+                                    for &x in ws {
+                                        w.put_u32(x);
+                                    }
+                                }
+                            } else {
+                                // Raw runs: same bytes as the scalar writes,
+                                // one memcpy per run instead of a call per edge.
+                                w.put_u32_raw_slice(bucket);
+                                if let Some(ws) = wbucket {
+                                    w.put_u32_raw_slice(ws);
+                                }
+                            }
+                        });
+                    }
+                }
+            });
+        };
+
+        if ER::State::STATELESS {
+            do_all_with_tid(pool, chunk.num_nodes(), DEFAULT_GRAIN, process);
+        } else {
+            // Deterministic replay for stateful edge rules (same node order
+            // as edge assignment, within and across chunks).
+            for j in 0..chunk.num_nodes() {
+                process(0, j);
+            }
+        }
+
+        // Flush residual buffers from every thread, so in-flight serialized
+        // edges never accumulate beyond the chunk just processed.
+        for ts in threads.iter_mut() {
+            ts.buffers.flush_all(comm);
+        }
+
+        // Opportunistically drain records that already arrived, so the
+        // receive queue cannot grow to hold a whole remote slice.
+        while received < to_receive {
+            match comm.try_recv_any(TAG_EDGES) {
+                Some((_s, p)) => {
+                    received += count_edges_in(&p, weighted, scalar);
+                    batch.push(p);
+                }
+                None => break,
+            }
+        }
+        if !batch.is_empty() {
+            do_all_items(pool, &batch, 1, |payload| {
+                insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted, scalar);
+            });
+            batch.clear();
+        }
+    });
+    drop(threads);
+
+    // Block for the remaining edge records; batches of messages are
+    // deserialized and inserted in parallel (§IV-C3).
     while received < to_receive {
         let (_src, payload) = comm.recv_any(TAG_EDGES);
         received += count_edges_in(&payload, weighted, scalar);

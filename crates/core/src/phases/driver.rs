@@ -1,17 +1,19 @@
 //! Orchestrates the five partitioning phases on one host (paper Fig. 2).
+//!
+//! The driver is now a thin composition of [`Phase`] values executed by
+//! [`PhaseCtx::run_phase`]; all cross-cutting machinery (comm tagging,
+//! timing, barriers) lives in the pipeline harness, and the §IV-B4
+//! state-reset seam between allocation and construction is the
+//! [`ReplayReady`] token rather than a free-floating call.
 
-use std::time::Instant;
-
-use cusp_galois::ThreadPool;
 use cusp_net::Comm;
 
 use crate::config::{CuspConfig, GraphSource, PhaseTimes};
 use crate::dist_graph::{DistGraph, PartitionClass};
-use crate::phases::alloc::{allocate, allocate_with_pure_range};
-use crate::phases::construct::construct;
-use crate::phases::edge_assign::assign_edges;
-use crate::phases::master::{assign_masters, pure_masters};
-use crate::phases::read::read_phase;
+use crate::phases::alloc::MasterSpec;
+use crate::phases::pipeline::{
+    AllocPhase, ConstructPhase, EdgeAssignPhase, MasterPhase, PhaseCtx, ReadPhase, ReplayReady,
+};
 use crate::policy::{EdgeRule, MasterRule, Setup};
 use crate::state::PartitionState;
 use crate::PartId;
@@ -22,6 +24,10 @@ pub struct PartitionOutput {
     pub dist_graph: DistGraph,
     /// Per-phase wall-clock times on this host.
     pub times: PhaseTimes,
+    /// High-water mark of source edges resident at once on this host: the
+    /// whole read slice for monolithic runs, the largest materialized chunk
+    /// when `CuspConfig::chunk_edges` streams the slice.
+    pub peak_resident_edges: u64,
 }
 
 /// Partitions the input graph with a user-supplied policy.
@@ -45,77 +51,53 @@ where
     ER: EdgeRule,
 {
     let me = comm.host();
-    let pool = ThreadPool::new(cfg.threads_per_host.max(1));
-    let mut times = PhaseTimes::default();
+    let mut ctx = PhaseCtx::new(comm, cfg);
 
     // Phase 1: graph reading.
-    comm.set_phase("read");
-    let t = Instant::now();
-    let read = read_phase(comm, &source, cfg).expect("failed to read input graph");
-    comm.barrier();
-    times.read = t.elapsed();
+    let read = ctx.run_phase(ReadPhase { source: &source }, ());
     let setup = read.setup;
-    let slice = read.slice;
+    let mut data = read.data;
 
     let (master_rule, edge_rule) = build(&setup);
 
     // Phase 2: master assignment.
-    comm.set_phase("master");
-    let t = Instant::now();
     let mstate = <MR as MasterRule>::State::new(setup.parts);
-    let use_pure = master_rule.is_pure() && !cfg.force_stored_masters;
-    let masters = if use_pure {
-        pure_masters(&master_rule)
-    } else {
-        assign_masters(comm, &pool, &setup, &slice, &master_rule, &mstate, cfg)
-    };
-    comm.barrier();
-    times.master = t.elapsed();
+    let masters = ctx.run_phase(
+        MasterPhase { setup: &setup, rule: &master_rule, state: &mstate },
+        &mut data,
+    );
 
     // Phase 3: edge assignment.
-    comm.set_phase("edge_assign");
-    let t = Instant::now();
     let estate = <ER as EdgeRule>::State::new(setup.parts);
-    let ea = assign_edges(comm, &pool, &setup, &slice, &masters, &edge_rule, &estate);
-    comm.barrier();
-    times.edge_assign = t.elapsed();
-
-    // Phase 4: graph allocation (no communication). The edge-rule state is
-    // reset here so construction replays the same decisions (§IV-B4).
-    comm.set_phase("alloc");
-    let t = Instant::now();
-    let weighted = slice.weights.is_some();
-    let mut alloc = if masters.is_pure() {
-        allocate_with_pure_range(
-            me,
-            &pool,
-            master_rule.pure_owned_range(me as PartId),
-            &ea,
-            weighted,
-        )
-    } else {
-        allocate(me, &pool, &ea, weighted)
-    };
-    estate.reset();
-    times.alloc = t.elapsed();
-
-    // Phase 5: graph construction.
-    comm.set_phase("construct");
-    let t = Instant::now();
-    let (graph, edge_data) = construct(
-        comm,
-        &pool,
-        &setup,
-        &slice,
-        &masters,
-        &edge_rule,
-        &estate,
-        &mut alloc,
-        ea.to_receive,
-        cfg,
+    let ea = ctx.run_phase(
+        EdgeAssignPhase { setup: &setup, masters: &masters, rule: &edge_rule, state: &estate },
+        &mut data,
     );
-    comm.barrier();
-    times.construct = t.elapsed();
+
+    // Phase 4: graph allocation (host-local, no barrier).
+    let spec = if masters.is_pure() {
+        MasterSpec::PureRange(master_rule.pure_owned_range(me as PartId))
+    } else {
+        MasterSpec::Stored(
+            ea.my_master_nodes
+                .as_deref()
+                .expect("stored master assignment produced no master list"),
+        )
+    };
+    let mut alloc = ctx.run_phase(AllocPhase { spec, weighted: data.weighted() }, &ea);
+
+    // Phase 5: graph construction. Arming the replay token resets the
+    // edge-rule state so construction replays the assignment decisions.
+    let (graph, edge_data) = ctx.run_phase(
+        ConstructPhase {
+            setup: &setup,
+            masters: &masters,
+            rule: &edge_rule,
+            replay: ReplayReady::arm(&estate),
+            to_receive: ea.to_receive,
+        },
+        (&mut data, &mut alloc),
+    );
 
     PartitionOutput {
         dist_graph: DistGraph {
@@ -130,6 +112,7 @@ where
             edge_data,
             class,
         },
-        times,
+        times: ctx.times,
+        peak_resident_edges: data.peak_resident_edges(),
     }
 }

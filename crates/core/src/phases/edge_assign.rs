@@ -18,10 +18,11 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use cusp_galois::{do_all_with_tid, PerThread, ThreadPool, DEFAULT_GRAIN};
-use cusp_graph::{GraphSlice, Node};
+use cusp_graph::Node;
 use cusp_net::{Comm, WireReader, WireWriter};
 
 use crate::phases::master::ResolvedMasters;
+use crate::phases::pipeline::SliceData;
 use crate::policy::{EdgeRule, Setup};
 use crate::props::LocalProps;
 use crate::state::PartitionState;
@@ -49,48 +50,54 @@ pub fn assign_edges<ER: EdgeRule>(
     comm: &Comm,
     pool: &ThreadPool,
     setup: &Setup,
-    slice: &GraphSlice,
+    data: &mut SliceData,
     masters: &ResolvedMasters,
     rule: &ER,
     estate: &ER::State,
 ) -> EdgeAssignOutcome {
     let me = comm.host();
     let k = comm.num_hosts();
-    let lo = slice.node_lo;
-    let local_n = slice.num_nodes();
-    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
+    let lo = data.node_lo();
+    let local_n = data.num_nodes();
 
     // --- Local tally (Algorithm 3, lines 1–6). --------------------------
     // counts[h * local_n + i]: edges of node (lo + i) owned by host h.
+    // The positional tally covers the whole range (O(nodes) resident);
+    // edge payloads stream through one bounded chunk at a time.
     let counts: Vec<AtomicU32> = (0..k * local_n).map(|_| AtomicU32::new(0)).collect();
     let mirror_lists: PerThread<Vec<(PartId, Node)>> = PerThread::new(pool, |_| Vec::new());
 
-    let process = |tid: usize, i: usize| {
-        let s = lo + i as Node;
-        let sm = masters.of(s);
-        mirror_lists.with(tid, |mirrors| {
-            for &d in slice.edges(s) {
-                let dm = masters.of(d);
-                let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
-                debug_assert!(h < setup.parts);
-                counts[h as usize * local_n + i].fetch_add(1, Ordering::Relaxed);
-                if h != dm {
-                    mirrors.push((h, d));
+    data.for_each_chunk(|chunk| {
+        let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, chunk);
+        let base = (chunk.node_lo - lo) as usize;
+        let process = |tid: usize, j: usize| {
+            let s = chunk.node_lo + j as Node;
+            let sm = masters.of(s);
+            mirror_lists.with(tid, |mirrors| {
+                for &d in chunk.edges(s) {
+                    let dm = masters.of(d);
+                    let h = rule.get_edge_owner(&prop, s, d, sm, dm, estate);
+                    debug_assert!(h < setup.parts);
+                    counts[h as usize * local_n + base + j].fetch_add(1, Ordering::Relaxed);
+                    if h != dm {
+                        mirrors.push((h, d));
+                    }
                 }
+            });
+        };
+        if ER::State::STATELESS {
+            // Dynamic chunking absorbs the wildly uneven per-node cost of
+            // power-law hubs (§IV-C1).
+            do_all_with_tid(pool, chunk.num_nodes(), DEFAULT_GRAIN, process);
+        } else {
+            // Stateful edge rules replay during construction; sequential
+            // node order (within and across chunks) keeps the decision
+            // stream deterministic (see EdgeRule docs).
+            for j in 0..chunk.num_nodes() {
+                process(0, j);
             }
-        });
-    };
-    if ER::State::STATELESS {
-        // Dynamic chunking absorbs the wildly uneven per-node cost of
-        // power-law hubs (§IV-C1).
-        do_all_with_tid(pool, local_n, DEFAULT_GRAIN, process);
-    } else {
-        // Stateful edge rules replay during construction; sequential node
-        // order keeps the decision stream deterministic (see EdgeRule docs).
-        for i in 0..local_n {
-            process(0, i);
         }
-    }
+    });
 
     // Group mirrors by owner host, sorted and deduplicated.
     let mut flat: Vec<(PartId, Node)> = mirror_lists.into_inner().into_iter().flatten().collect();
@@ -251,10 +258,10 @@ mod tests {
         let out = Cluster::run(k, move |comm| {
             let cfg = CuspConfig::default();
             let pool = ThreadPool::new(2);
-            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            let mut r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
             let rule = ContiguousEB::new(&r.setup);
             let masters = pure_masters(&rule);
-            assign_edges(comm, &pool, &r.setup, &r.slice, &masters, &SourceEdge, &())
+            assign_edges(comm, &pool, &r.setup, &mut r.data, &masters, &SourceEdge, &())
         });
         (g, out.results)
     }
@@ -311,10 +318,10 @@ mod tests {
         let out = Cluster::run(3, move |comm| {
             let cfg = CuspConfig::default();
             let pool = ThreadPool::new(2);
-            let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
+            let mut r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
             let rule = ContiguousEB::new(&r.setup);
             let masters = pure_masters(&rule);
-            assign_edges(comm, &pool, &r.setup, &r.slice, &masters, &NextHost, &())
+            assign_edges(comm, &pool, &r.setup, &mut r.data, &masters, &NextHost, &())
         });
         let total_recv: u64 = out.results.iter().map(|o| o.to_receive).sum();
         let total_incoming: u64 = out

@@ -28,10 +28,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use cusp_galois::{do_all, PerThread, ThreadPool, DEFAULT_GRAIN};
-use cusp_graph::{GraphSlice, Node};
+use cusp_graph::Node;
 use cusp_net::{Comm, WireReader, WireWriter};
 
 use crate::config::CuspConfig;
+use crate::phases::pipeline::SliceData;
 use crate::policy::{MasterRule, MasterView, Setup, UNASSIGNED};
 use crate::props::LocalProps;
 use crate::state::PartitionState;
@@ -168,7 +169,7 @@ pub fn assign_masters<MR: MasterRule>(
     comm: &Comm,
     pool: &ThreadPool,
     setup: &Setup,
-    slice: &GraphSlice,
+    data: &mut SliceData,
     rule: &MR,
     state: &MR::State,
     cfg: &CuspConfig,
@@ -177,11 +178,11 @@ pub fn assign_masters<MR: MasterRule>(
     // disabled (`CuspConfig::force_stored_masters` ablation).
     let me = comm.host();
     let k = comm.num_hosts();
-    let lo = slice.node_lo;
-    let local_n = slice.num_nodes();
+    let lo = data.node_lo();
+    let local_n = data.num_nodes();
 
     // --- Step 1: request the masters of my edges' destinations. --------
-    let needed = remote_dests(pool, slice, setup, me);
+    let needed = remote_dests(pool, data, setup, me);
     let mut per_peer_requests: Vec<Vec<Node>> = vec![Vec::new(); k];
     for &d in &needed {
         per_peer_requests[setup.reader_of(d)].push(d);
@@ -206,7 +207,6 @@ pub fn assign_masters<MR: MasterRule>(
     // --- Step 2: assignment loop with periodic asynchronous sync. ------
     let local: Vec<AtomicU32> = (0..local_n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
     let mut remote: HashMap<Node, PartId> = HashMap::with_capacity(needed.len());
-    let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, slice);
 
     let rounds = if rule.uses_neighbor_masters() {
         cfg.sync_rounds.max(1) as usize
@@ -231,24 +231,33 @@ pub fn assign_masters<MR: MasterRule>(
                 local: &local,
                 remote: &remote,
             };
-            if rule.uses_neighbor_masters() && pool.threads() > 1 && !cfg.deterministic_sync {
-                // Parallel within the chunk; neighbor lookups see fresh
-                // local assignments through the atomics (Galois-style
-                // thread-safe, non-deterministic streaming).
-                do_all(pool, end - start, DEFAULT_GRAIN, |i| {
-                    let v = lo + (start + i) as Node;
-                    let m = rule.get_master(&prop, v, state, &view);
-                    debug_assert!(m < setup.parts);
-                    local[start + i].store(m, Ordering::Relaxed);
-                });
-            } else {
-                for i in start..end {
-                    let v = lo + i as Node;
-                    let m = rule.get_master(&prop, v, state, &view);
-                    debug_assert!(m < setup.parts);
-                    local[i].store(m, Ordering::Relaxed);
+            let parallel =
+                rule.uses_neighbor_masters() && pool.threads() > 1 && !cfg.deterministic_sync;
+            // Stream the round's node range chunk by chunk; for monolithic
+            // data this is a single pass over the resident slice.
+            data.for_chunks_in(lo + start as Node..lo + end as Node, |chunk, sub| {
+                let prop = LocalProps::new(setup.num_nodes, setup.num_edges, setup.parts, chunk);
+                let base = (sub.start - lo) as usize;
+                let n = (sub.end - sub.start) as usize;
+                if parallel {
+                    // Parallel within the chunk; neighbor lookups see fresh
+                    // local assignments through the atomics (Galois-style
+                    // thread-safe, non-deterministic streaming).
+                    do_all(pool, n, DEFAULT_GRAIN, |j| {
+                        let v = sub.start + j as Node;
+                        let m = rule.get_master(&prop, v, state, &view);
+                        debug_assert!(m < setup.parts);
+                        local[base + j].store(m, Ordering::Relaxed);
+                    });
+                } else {
+                    for j in 0..n {
+                        let v = sub.start + j as Node;
+                        let m = rule.get_master(&prop, v, state, &view);
+                        debug_assert!(m < setup.parts);
+                        local[base + j].store(m, Ordering::Relaxed);
+                    }
                 }
-            }
+            });
         }
         start = end;
         let last = round + 1 == rounds;
@@ -367,17 +376,18 @@ pub fn pure_masters<MR: MasterRule + Clone + 'static>(rule: &MR) -> ResolvedMast
 
 /// Sorted, deduplicated destinations of the local slice that fall outside
 /// the local read range (the nodes whose masters this host must request).
-fn remote_dests(pool: &ThreadPool, slice: &GraphSlice, setup: &Setup, me: usize) -> Vec<Node> {
+fn remote_dests(pool: &ThreadPool, data: &mut SliceData, setup: &Setup, me: usize) -> Vec<Node> {
     let locals: PerThread<Vec<Node>> = PerThread::new(pool, |_| Vec::new());
-    let n = slice.num_nodes();
-    cusp_galois::do_all_with_tid(pool, n, DEFAULT_GRAIN, |tid, i| {
-        let v = slice.node_lo + i as Node;
-        locals.with(tid, |out| {
-            for &d in slice.edges(v) {
-                if setup.reader_of(d) != me {
-                    out.push(d);
+    data.for_each_chunk(|chunk| {
+        cusp_galois::do_all_with_tid(pool, chunk.num_nodes(), DEFAULT_GRAIN, |tid, i| {
+            let v = chunk.node_lo + i as Node;
+            locals.with(tid, |out| {
+                for &d in chunk.edges(v) {
+                    if setup.reader_of(d) != me {
+                        out.push(d);
+                    }
                 }
-            }
+            });
         });
     });
     let mut all: Vec<Node> = locals.into_inner().into_iter().flatten().collect();
@@ -459,10 +469,10 @@ mod tests {
                 ..CuspConfig::default()
             };
             let pool = ThreadPool::new(cfg.threads_per_host);
-            let r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
+            let mut r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
             let rule = rule_of(&r.setup);
             let state = MR::State::new(r.setup.parts);
-            match assign_masters(comm, &pool, &r.setup, &r.slice, &rule, &state, &cfg) {
+            match assign_masters(comm, &pool, &r.setup, &mut r.data, &rule, &state, &cfg) {
                 ResolvedMasters::Stored { lo, local, remote } => (lo, local, remote),
                 _ => unreachable!(),
             }
@@ -547,10 +557,10 @@ mod tests {
                 ..CuspConfig::default()
             };
             let pool = ThreadPool::new(2);
-            let r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
+            let mut r = read_phase(comm, &GraphSource::Memory(g.clone()), &cfg).unwrap();
             let rule = FennelEB::new(&r.setup);
             let state = LoadState::new(r.setup.parts);
-            let _ = assign_masters(comm, &pool, &r.setup, &r.slice, &rule, &state, &cfg);
+            let _ = assign_masters(comm, &pool, &r.setup, &mut r.data, &rule, &state, &cfg);
             comm.barrier();
             (0..4u32).map(|p| (state.nodes(p), state.edges(p))).collect::<Vec<_>>()
         });

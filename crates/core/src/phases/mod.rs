@@ -7,4 +7,5 @@ pub mod construct;
 pub mod driver;
 pub mod edge_assign;
 pub mod master;
+pub mod pipeline;
 pub mod read;

@@ -5,6 +5,12 @@
 //! so that the outgoing edges of a given node are not divided between
 //! hosts." Each host loads only its slice; later phases read from memory.
 //!
+//! With `CuspConfig::chunk_edges` set, the slice is not materialized at
+//! all: this phase reads only the O(nodes) offset array of the host's
+//! range and hands later phases a [`ChunkedSlice`] that re-streams the
+//! edge payload in bounded, node-aligned chunks (from the file, or from
+//! the shared in-memory graph standing in for the page cache).
+//!
 //! This phase also derives the [`Setup`] every rule is built from: the
 //! global node/edge counts, the reading split, and the edge-balanced
 //! blocking used by `ContiguousEB`. All hosts compute identical values
@@ -12,17 +18,19 @@
 
 use std::sync::Arc;
 
-use cusp_graph::{reading_split, GraphSlice, ReadSplit};
+use cusp_graph::{reading_split, ChunkBacking, ChunkedSlice, EdgeIdx, GraphSlice, Node, ReadSplit};
 use cusp_net::Comm;
 
 use crate::config::{CuspConfig, GraphSource};
+use crate::phases::pipeline::SliceData;
 use crate::policy::Setup;
 
 /// Result of the reading phase on one host. For weighted (version-2)
 /// files the slice carries the per-edge data of the host's range.
 pub struct ReadOutcome {
-    /// The contiguous node range (and its edges) this host read.
-    pub slice: GraphSlice,
+    /// The contiguous node range this host reads — resident as one slice,
+    /// or streamed as bounded chunks per `CuspConfig::chunk_edges`.
+    pub data: SliceData,
     /// Global facts identical on every host.
     pub setup: Setup,
 }
@@ -35,6 +43,17 @@ fn splits_to_boundaries(splits: &[ReadSplit]) -> Vec<u64> {
         b.push(s.hi);
     }
     b
+}
+
+/// Rebases the global end-offsets of range `[lo, hi)` into a local offset
+/// array (`hi - lo + 1` entries, first entry 0) plus the range's first
+/// global edge index.
+fn rebase_offsets(ends: &[EdgeIdx], lo: u64, hi: u64) -> (Vec<EdgeIdx>, EdgeIdx) {
+    let base = if lo == 0 { 0 } else { ends[lo as usize - 1] };
+    let mut offsets = Vec::with_capacity((hi - lo) as usize + 1);
+    offsets.push(0);
+    offsets.extend(ends[lo as usize..hi as usize].iter().map(|&e| e - base));
+    (offsets, base)
 }
 
 /// Executes the reading phase.
@@ -50,9 +69,22 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
             let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
             let eb = reading_split(&ends, k, 0, 1);
             let my = read_splits[me];
-            let slice = reader.read_range(my.lo, my.hi)?;
+            let data = match cfg.chunk_edges {
+                None => SliceData::Whole(reader.read_range(my.lo, my.hi)?),
+                Some(c) => {
+                    let (offsets, base) = rebase_offsets(&ends, my.lo, my.hi);
+                    SliceData::Chunked(ChunkedSlice::new(
+                        ChunkBacking::File(reader),
+                        my.lo as Node,
+                        my.hi as Node,
+                        offsets,
+                        base,
+                        c,
+                    ))
+                }
+            };
             Ok(ReadOutcome {
-                slice,
+                data,
                 setup: Setup {
                     num_nodes,
                     num_edges,
@@ -67,9 +99,18 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
             let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
             let eb = reading_split(&ends, k, 0, 1);
             let my = read_splits[me];
-            let slice = GraphSlice::from_csr(graph, my.lo as u32, my.hi as u32);
+            let data = match cfg.chunk_edges {
+                None => SliceData::Whole(GraphSlice::from_csr(graph, my.lo as u32, my.hi as u32)),
+                Some(c) => SliceData::Chunked(ChunkedSlice::from_csr(
+                    Arc::clone(graph),
+                    None,
+                    my.lo as u32,
+                    my.hi as u32,
+                    c,
+                )),
+            };
             Ok(ReadOutcome {
-                slice,
+                data,
                 setup: Setup {
                     num_nodes: graph.num_nodes() as u64,
                     num_edges: graph.num_edges(),
@@ -84,10 +125,23 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
             let read_splits = reading_split(&ends, k, cfg.node_read_weight, cfg.edge_read_weight);
             let eb = reading_split(&ends, k, 0, 1);
             let my = read_splits[me];
-            let slice =
-                GraphSlice::from_csr_weighted(graph, weights, my.lo as u32, my.hi as u32);
+            let data = match cfg.chunk_edges {
+                None => SliceData::Whole(GraphSlice::from_csr_weighted(
+                    graph,
+                    weights,
+                    my.lo as u32,
+                    my.hi as u32,
+                )),
+                Some(c) => SliceData::Chunked(ChunkedSlice::from_csr(
+                    Arc::clone(graph),
+                    Some(Arc::clone(weights)),
+                    my.lo as u32,
+                    my.hi as u32,
+                    c,
+                )),
+            };
             Ok(ReadOutcome {
-                slice,
+                data,
                 setup: Setup {
                     num_nodes: graph.num_nodes() as u64,
                     num_edges: graph.num_edges(),
@@ -113,7 +167,7 @@ mod tests {
         let out = Cluster::run(4, move |comm| {
             let cfg = CuspConfig::default();
             let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
-            (r.slice.node_lo, r.slice.node_hi, r.slice.num_edges(), r.setup.num_edges)
+            (r.data.node_lo(), r.data.node_hi(), r.data.num_edges(), r.setup.num_edges)
         });
         let total: u64 = out.results.iter().map(|r| r.2).sum();
         assert_eq!(total, g.num_edges());
@@ -137,13 +191,51 @@ mod tests {
             let cfg = CuspConfig::default();
             let mem = read_phase(comm, &GraphSource::Memory(g2.clone()), &cfg).unwrap();
             let file = read_phase(comm, &GraphSource::File(p2.clone()), &cfg).unwrap();
-            assert_eq!(mem.slice.offsets, file.slice.offsets);
-            assert_eq!(mem.slice.dests, file.slice.dests);
+            assert_eq!(mem.data.expect_whole().offsets, file.data.expect_whole().offsets);
+            assert_eq!(mem.data.expect_whole().dests, file.data.expect_whole().dests);
             assert_eq!(*mem.setup.eb_boundaries, *file.setup.eb_boundaries);
             assert_eq!(*mem.setup.read_splits, *file.setup.read_splits);
         });
         drop(out);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_file_source_streams_the_same_edges() {
+        let g = Arc::new(erdos_renyi(260, 2100, 33));
+        let mut path = std::env::temp_dir();
+        path.push(format!("cusp-read-chunked-{}.bgr", std::process::id()));
+        cusp_graph::write_bgr(&path, &g).unwrap();
+        let g2 = Arc::clone(&g);
+        let p2 = path.clone();
+        let out = Cluster::run(3, move |comm| {
+            let whole_cfg = CuspConfig::default();
+            let chunk_cfg = CuspConfig { chunk_edges: Some(50), ..CuspConfig::default() };
+            let whole = read_phase(comm, &GraphSource::Memory(g2.clone()), &whole_cfg).unwrap();
+            for source in [GraphSource::Memory(g2.clone()), GraphSource::File(p2.clone())] {
+                let mut chunked = read_phase(comm, &source, &chunk_cfg).unwrap();
+                assert!(chunked.data.is_chunked());
+                assert_eq!(chunked.data.num_edges(), whole.data.num_edges());
+                let ws = whole.data.expect_whole();
+                let mut edges = 0u64;
+                chunked.data.for_each_chunk(|chunk| {
+                    for v in chunk.node_lo..chunk.node_hi {
+                        assert_eq!(chunk.edges(v), ws.edges(v), "node {v}");
+                        assert_eq!(chunk.first_edge(v), ws.first_edge(v), "node {v}");
+                        edges += chunk.out_degree(v);
+                    }
+                });
+                assert_eq!(edges, ws.num_edges());
+                assert!(chunked.data.peak_resident_edges() <= 50.max(max_degree(ws)));
+            }
+        });
+        drop(out);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(test)]
+    fn max_degree(s: &GraphSlice) -> u64 {
+        (s.node_lo..s.node_hi).map(|v| s.out_degree(v)).max().unwrap_or(0)
     }
 
     #[test]

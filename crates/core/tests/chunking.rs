@@ -1,0 +1,168 @@
+//! Chunk-streaming equivalence suite.
+//!
+//! `CuspConfig::chunk_edges` must be a pure memory/latency knob: under
+//! `deterministic_sync` a chunked run is required to produce partitions
+//! bit-identical (by [`partition_fingerprint`]) to the monolithic run, for
+//! every chunk size, host count, and policy — while actually bounding the
+//! resident edge state to O(max(chunk, d_max)) and keeping the per-phase
+//! communication conserved.
+
+use std::sync::Arc;
+
+use cusp::{
+    check_all, check_comm_stats, partition_fingerprint, partition_with_policy, CuspConfig,
+    DistGraph, GraphSource, PolicyKind,
+};
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::Csr;
+use cusp_net::{Cluster, CommStats};
+
+const NODES: usize = 150;
+const EDGES: usize = 800;
+
+/// Deterministic config with the given chunking (None = monolithic).
+fn cfg(chunk_edges: Option<u64>) -> CuspConfig {
+    CuspConfig {
+        threads_per_host: 1,
+        sync_rounds: 4,
+        deterministic_sync: true,
+        chunk_edges,
+        ..CuspConfig::default()
+    }
+}
+
+/// Partitions `source` on `hosts` hosts; returns the parts, the per-host
+/// peak resident edge counts, and the run's comm stats.
+fn run(
+    hosts: usize,
+    kind: PolicyKind,
+    source: GraphSource,
+    chunk_edges: Option<u64>,
+) -> (Vec<DistGraph>, Vec<u64>, CommStats) {
+    let out = Cluster::run(hosts, move |comm| {
+        let r = partition_with_policy(comm, source.clone(), kind, &cfg(chunk_edges));
+        (r.dist_graph, r.peak_resident_edges)
+    });
+    let (parts, peaks) = out.results.into_iter().unzip();
+    (parts, peaks, out.stats)
+}
+
+fn max_degree(g: &Csr) -> u64 {
+    g.offsets().windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+}
+
+/// Chunk sizes covering the degenerate (one node per chunk), the prime
+/// mid-size, and the larger-than-slice cases.
+const CHUNKS: [u64; 3] = [1, 7, 1024];
+
+/// Policies spanning the rule space: CVC (stateless 2D rules), FEC
+/// (stateful load-aware master rule), HDRF (stateful edge rule that
+/// replays during construction).
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Cvc, PolicyKind::Fec, PolicyKind::Hdrf];
+
+/// The tentpole contract: chunked runs are bit-identical to monolithic
+/// ones, for every chunk size × host count × policy, and all oracle
+/// invariants keep holding.
+#[test]
+fn chunked_runs_match_monolithic_fingerprints() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 71));
+    for kind in POLICIES {
+        for hosts in [1usize, 4] {
+            let src = GraphSource::Memory(graph.clone());
+            let (whole, _, _) = run(hosts, kind, src.clone(), None);
+            let reference = partition_fingerprint(&whole);
+            for chunk in CHUNKS {
+                let (parts, _, stats) = run(hosts, kind, src.clone(), Some(chunk));
+                assert_eq!(
+                    partition_fingerprint(&parts),
+                    reference,
+                    "{kind:?} at {hosts} hosts, chunk_edges {chunk}"
+                );
+                let v = check_all(&graph, None, &parts, &stats);
+                assert!(v.is_empty(), "{kind:?} chunk {chunk}: {v:#?}");
+            }
+        }
+    }
+}
+
+/// Streaming must actually bound memory: the measured per-host peak is at
+/// most max(chunk_edges, d_max) — a chunk always holds at least one whole
+/// node — and strictly below the host's full slice for small chunks.
+#[test]
+fn peak_resident_edges_is_bounded_by_chunk_size() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 71));
+    let d_max = max_degree(&graph);
+    let src = GraphSource::Memory(graph.clone());
+    let (_, whole_peaks, _) = run(2, PolicyKind::Cvc, src.clone(), None);
+    // Monolithic runs report their full slice: the per-host peaks are
+    // exactly the read slices, which partition the edge set.
+    assert!(whole_peaks.iter().all(|&p| p > 0));
+    assert_eq!(whole_peaks.iter().sum::<u64>(), graph.num_edges());
+    for chunk in CHUNKS {
+        let (_, peaks, _) = run(2, PolicyKind::Cvc, src.clone(), Some(chunk));
+        for &peak in &peaks {
+            assert!(
+                peak <= chunk.max(d_max),
+                "chunk_edges {chunk}: peak {peak} exceeds bound {}",
+                chunk.max(d_max)
+            );
+        }
+    }
+    // A small chunk is a real reduction, not a no-op.
+    let (_, small_peaks, _) = run(2, PolicyKind::Cvc, src, Some(7));
+    assert!(small_peaks.iter().all(|&p| p < graph.num_edges() / 2));
+}
+
+/// Per-chunk send-buffer flushes change message boundaries but must not
+/// lose or invent traffic: every tagged phase stays conserved, and nothing
+/// lands in the untagged bucket now that the Phase harness sets the tag.
+#[test]
+fn chunked_comm_stays_conserved_and_tagged() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 29));
+    for chunk in [None, Some(7), Some(64)] {
+        let (_, _, stats) = run(4, PolicyKind::Hvc, GraphSource::Memory(graph.clone()), chunk);
+        assert!(check_comm_stats(&stats).is_empty(), "chunk {chunk:?}");
+        if let Some(untagged) = stats.phase("(untagged)") {
+            assert_eq!(
+                untagged.total_bytes(),
+                0,
+                "phase-tagged pipeline leaked untagged traffic (chunk {chunk:?})"
+            );
+        }
+    }
+}
+
+/// Weighted inputs stream their per-edge data chunk-aligned with the
+/// destinations; fingerprints (which hash edge data) must still match.
+#[test]
+fn weighted_chunked_runs_match_monolithic() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 13));
+    let data: Arc<Vec<u32>> = Arc::new(
+        (0..graph.num_edges())
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761))
+            .collect(),
+    );
+    let src = GraphSource::MemoryWeighted(graph.clone(), data.clone());
+    let (whole, _, _) = run(4, PolicyKind::Hvc, src.clone(), None);
+    let reference = partition_fingerprint(&whole);
+    for chunk in CHUNKS {
+        let (parts, _, stats) = run(4, PolicyKind::Hvc, src.clone(), Some(chunk));
+        assert_eq!(partition_fingerprint(&parts), reference, "chunk {chunk}");
+        let v = check_all(&graph, Some(&data), &parts, &stats);
+        assert!(v.is_empty(), "chunk {chunk}: {v:#?}");
+    }
+}
+
+/// The file-backed reader must stream the same partitions as the in-memory
+/// backing (it re-reads byte ranges instead of copying windows).
+#[test]
+fn file_backed_chunks_match_memory_backed() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 47));
+    let mut path = std::env::temp_dir();
+    path.push(format!("cusp-chunking-{}.bgr", std::process::id()));
+    cusp_graph::write_bgr(&path, &graph).unwrap();
+    let (mem, _, _) = run(4, PolicyKind::Cvc, GraphSource::Memory(graph.clone()), Some(7));
+    let (file, _, _) = run(4, PolicyKind::Cvc, GraphSource::File(path.clone()), Some(7));
+    assert_eq!(partition_fingerprint(&mem), partition_fingerprint(&file));
+    std::fs::remove_file(&path).ok();
+}

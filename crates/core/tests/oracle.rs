@@ -37,11 +37,18 @@ fn env_seed() -> u64 {
 }
 
 /// The reproducibility configuration the determinism contract requires.
+///
+/// `CUSP_CHUNK_EDGES` (set by the CI chaos job) re-runs the entire oracle
+/// suite with chunk-streaming slices of that size — the partitions must be
+/// bit-identical to monolithic runs, so every oracle check carries over.
 fn det_cfg() -> CuspConfig {
     CuspConfig {
         threads_per_host: 1,
         sync_rounds: 4,
         deterministic_sync: true,
+        chunk_edges: std::env::var("CUSP_CHUNK_EDGES")
+            .ok()
+            .and_then(|s| s.parse().ok()),
         ..CuspConfig::default()
     }
 }

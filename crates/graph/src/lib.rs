@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod csr;
 pub mod degree;
 pub mod dist;
@@ -28,6 +29,7 @@ pub mod gen;
 pub mod metis;
 pub mod props;
 
+pub use chunk::{chunk_boundaries, ChunkBacking, ChunkedSlice};
 pub use csr::{Csr, CsrBuilder};
 pub use dist::{reading_split, ReadSplit};
 pub use file::{read_bgr, read_bgr_weighted, write_bgr, write_bgr_weighted, RangeReader};

@@ -36,15 +36,17 @@ pub fn xtrapulp_partition(comm: &Comm, source: GraphSource, cfg: &XpConfig) -> X
     // --- Timed section: read + label propagation. -----------------------
     comm.set_phase("xp:read");
     let t0 = Instant::now();
+    // Label propagation iterates over the whole slice repeatedly, so it
+    // runs monolithic (chunk_edges: None — the default it passes here).
     let read = read_phase(comm, &source, &CuspConfig::default()).expect("failed to read graph");
     comm.set_phase("xp:lp");
-    let labels = label_propagation(comm, &read.setup, &read.slice, cfg.lp);
+    let labels = label_propagation(comm, &read.setup, read.data.expect_whole(), cfg.lp);
     comm.barrier();
     let partition_time = t0.elapsed();
 
     // --- Untimed assembly via CuSP (XtraPulp has no built-in
     // construction; D-Galois loads its label file and builds partitions).
-    let lo = read.slice.node_lo;
+    let lo = read.data.node_lo();
     let labels = Arc::new(labels);
     let partition = partition(
         comm,

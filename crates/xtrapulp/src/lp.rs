@@ -347,7 +347,7 @@ mod tests {
         let out = Cluster::run(k, move |comm| {
             let r = read_phase(comm, &GraphSource::Memory(g.clone()), &CuspConfig::default())
                 .unwrap();
-            label_propagation(comm, &r.setup, &r.slice, params)
+            label_propagation(comm, &r.setup, r.data.expect_whole(), params)
         });
         out.results
     }
@@ -404,13 +404,13 @@ mod tests {
         let out = Cluster::run(2, move |comm| {
             let r = read_phase(comm, &GraphSource::Memory(g2.clone()), &CuspConfig::default())
                 .unwrap();
-            let initial: Vec<PartId> = (r.slice.node_lo..r.slice.node_hi)
+            let initial: Vec<PartId> = (r.data.node_lo()..r.data.node_hi())
                 .map(|v| {
                     let inner = &r.setup.eb_boundaries[1..r.setup.eb_boundaries.len() - 1];
                     inner.partition_point(|&b| b <= v as u64) as PartId
                 })
                 .collect();
-            let refined = label_propagation(comm, &r.setup, &r.slice, LpParams::default());
+            let refined = label_propagation(comm, &r.setup, r.data.expect_whole(), LpParams::default());
             (initial, refined)
         });
         let initial: Vec<PartId> = out.results.iter().flat_map(|(i, _)| i.clone()).collect();

@@ -31,7 +31,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E]"
     );
     exit(2)
 }
@@ -239,6 +239,9 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         } else {
             OutputFormat::Csr
         },
+        chunk_edges: flags
+            .get("chunk-edges")
+            .map(|s| parse_num(s, "chunk edges")),
         ..CuspConfig::default()
     };
 
@@ -263,18 +266,20 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         let cfg2 = cfg.clone();
         let out = Cluster::run(hosts, move |comm| {
             let r = partition_with_policy(comm, source.clone(), kind, &cfg2);
-            (r.dist_graph, r.times)
+            (r.dist_graph, r.times, r.peak_resident_edges)
         });
         let mut t = cusp::PhaseTimes::default();
+        let mut peak = 0u64;
         let mut parts = Vec::new();
-        for (dg, times) in out.results {
+        for (dg, times, p) in out.results {
             t = t.max(&times);
+            peak = peak.max(p);
             parts.push(dg);
         }
         (
             parts,
             format!(
-                "read {:.2?} | master {:.2?} | edge-assign {:.2?} | alloc {:.2?} | construct {:.2?} | total {:.2?}",
+                "read {:.2?} | master {:.2?} | edge-assign {:.2?} | alloc {:.2?} | construct {:.2?} | total {:.2?}\npeak resident source edges per host: {peak}",
                 t.read, t.master, t.edge_assign, t.alloc, t.construct, t.total()
             ),
             out.stats,
