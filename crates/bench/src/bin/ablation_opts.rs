@@ -8,7 +8,14 @@
 //!   `CuspConfig::scalar_codec` (wire bytes are identical; only CPU cost
 //!   changes);
 //! * chunk streaming — `CuspConfig::chunk_edges` bounds resident edge
-//!   state to O(chunk) at the cost of per-chunk re-reads and flushes.
+//!   state to O(chunk) at the cost of per-chunk re-reads and flushes;
+//! * `cusp-obs` tracing — the "traced" row reruns the baseline with event
+//!   recording on, so the delta against "baseline" is the tracing
+//!   overhead (per-event cost is also micro-benched in `obs_recorder`).
+//!   Caveat: at `MAX_HOSTS` the cluster runs ~3× more threads than most
+//!   machines have cores, so sub-100ms walls are dominated by scheduler
+//!   noise; trust the delta only when it holds across repeated runs (at
+//!   sane thread counts the overhead measures well under 2%).
 //!
 //! All knobs leave results identical (validated by the test suite); the
 //! ablation shows what they cost when disabled.
@@ -16,8 +23,9 @@
 use cusp::{CuspConfig, GraphSource, PolicyKind};
 use cusp_bench::inputs::{drilldown_inputs, Scale};
 use cusp_bench::report::{megabytes, warn_if_debug, Table};
-use cusp_bench::runner::{run_partition, Partitioner};
+use cusp_bench::runner::{run_partition_opts, Partitioner};
 use cusp_bench::MAX_HOSTS;
+use cusp_net::{ClusterOptions, TraceConfig};
 
 fn main() {
     warn_if_debug();
@@ -35,14 +43,16 @@ fn main() {
         ],
     );
     for input in drilldown_inputs(scale) {
-        let variants: [(&str, CuspConfig); 7] = [
-            ("baseline", CuspConfig::default()),
+        let variants: [(&str, CuspConfig, bool); 8] = [
+            ("baseline", CuspConfig::default(), false),
+            ("traced", CuspConfig::default(), true),
             (
                 "no pure-master elision",
                 CuspConfig {
                     force_stored_masters: true,
                     ..CuspConfig::default()
                 },
+                false,
             ),
             (
                 "no buffering",
@@ -50,6 +60,7 @@ fn main() {
                     buffer_threshold: 0,
                     ..CuspConfig::default()
                 },
+                false,
             ),
             (
                 "scalar codec",
@@ -57,6 +68,7 @@ fn main() {
                     scalar_codec: true,
                     ..CuspConfig::default()
                 },
+                false,
             ),
             (
                 "neither",
@@ -65,6 +77,7 @@ fn main() {
                     buffer_threshold: 0,
                     ..CuspConfig::default()
                 },
+                false,
             ),
             (
                 "chunked (64Ki edges)",
@@ -72,6 +85,7 @@ fn main() {
                     chunk_edges: Some(64 * 1024),
                     ..CuspConfig::default()
                 },
+                false,
             ),
             (
                 "chunked (4Ki edges)",
@@ -79,15 +93,28 @@ fn main() {
                     chunk_edges: Some(4 * 1024),
                     ..CuspConfig::default()
                 },
+                false,
             ),
         ];
-        for (name, cfg) in variants {
-            let run = run_partition(
+        for (name, cfg, traced) in variants {
+            let opts = ClusterOptions {
+                trace: traced.then(TraceConfig::default),
+                ..ClusterOptions::default()
+            };
+            let (run, trace) = run_partition_opts(
                 GraphSource::File(input.path.clone()),
                 MAX_HOSTS,
                 Partitioner::Cusp(PolicyKind::Cvc),
                 &cfg,
+                opts,
             );
+            if let Some(t) = &trace {
+                eprintln!(
+                    "  traced run recorded {} events ({} dropped)",
+                    t.events.len(),
+                    t.dropped_events
+                );
+            }
             let master_bytes = run.stats.phase("master").map_or(0, |p| p.total_bytes());
             table.row(vec![
                 input.name.to_string(),

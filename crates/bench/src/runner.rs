@@ -13,7 +13,7 @@ use cusp::{partition_with_policy, CuspConfig, DistGraph, GraphSource, PhaseTimes
 use cusp_dgalois::{bfs, cc, pagerank, sssp, PageRankConfig, SyncPlan};
 use cusp_galois::ThreadPool;
 use cusp_graph::{Csr, Node};
-use cusp_net::{Cluster, CommStats, NetworkModel};
+use cusp_net::{Cluster, ClusterOptions, CommStats, NetworkModel};
 use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 /// Which partitioner to run.
@@ -87,10 +87,24 @@ pub fn run_partition(
     p: Partitioner,
     cfg: &CuspConfig,
 ) -> PartitionRun {
+    run_partition_opts(source, k, p, cfg, ClusterOptions::default()).0
+}
+
+/// Like [`run_partition`], with explicit cluster options — used by the
+/// tracing-overhead ablation (traced vs. untraced run of the same
+/// configuration) and anywhere a bench wants the event [`cusp_obs::Trace`]
+/// back.
+pub fn run_partition_opts(
+    source: GraphSource,
+    k: usize,
+    p: Partitioner,
+    cfg: &CuspConfig,
+    opts: ClusterOptions,
+) -> (PartitionRun, Option<cusp_obs::Trace>) {
     match p {
         Partitioner::Cusp(kind) => {
             let cfg = cfg.clone();
-            let out = Cluster::run(k, move |comm| {
+            let out = Cluster::run_with(k, opts, move |comm| {
                 let r = partition_with_policy(comm, source.clone(), kind, &cfg);
                 (r.dist_graph, r.times)
             });
@@ -108,18 +122,21 @@ pub fn run_partition(
             let modeled_disk = parts
                 .first()
                 .map_or(0.0, |d| modeled_disk_secs(d.global_nodes, d.global_edges, k));
-            PartitionRun {
-                parts,
-                reported: times.total(),
-                times,
-                stats: out.stats,
-                modeled_net,
-                modeled_disk,
-            }
+            (
+                PartitionRun {
+                    parts,
+                    reported: times.total(),
+                    times,
+                    stats: out.stats,
+                    modeled_net,
+                    modeled_disk,
+                },
+                out.trace,
+            )
         }
         Partitioner::XtraPulp => {
             let xp = XpConfig::default();
-            let out = Cluster::run(k, move |comm| {
+            let out = Cluster::run_with(k, opts, move |comm| {
                 let r = xtrapulp_partition(comm, source.clone(), &xp);
                 (r.partition.dist_graph, r.partition.times, r.partition_time)
             });
@@ -135,14 +152,17 @@ pub fn run_partition(
             let modeled_disk = parts
                 .first()
                 .map_or(0.0, |d| modeled_disk_secs(d.global_nodes, d.global_edges, k));
-            PartitionRun {
-                parts,
-                times,
-                reported,
-                stats: out.stats,
-                modeled_net,
-                modeled_disk,
-            }
+            (
+                PartitionRun {
+                    parts,
+                    times,
+                    reported,
+                    stats: out.stats,
+                    modeled_net,
+                    modeled_disk,
+                },
+                out.trace,
+            )
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod props;
 pub mod state;
 pub mod storage;
 pub mod tags;
+pub mod tracing;
 pub mod verify;
 
 pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
@@ -71,6 +72,7 @@ pub use policy::{EdgeRule, MasterRule, MasterView, Setup};
 pub use props::LocalProps;
 pub use state::{LoadState, PartitionState};
 pub use storage::{read_partition, write_partition};
+pub use tracing::{phase_net_rows, phase_summary, render_phase_summary};
 pub use verify::{
     check_all, check_comm_stats, check_partition, partition_fingerprint, Violation, ViolationKind,
 };

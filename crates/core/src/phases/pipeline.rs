@@ -126,8 +126,10 @@ impl SliceData {
                 for i in first..=last {
                     let (lo, hi) = c.chunk_bounds(i);
                     let sub = nodes.start.max(lo)..nodes.end.min(hi);
+                    cusp_obs::span_begin_arg("chunk", i as u64);
                     let chunk = c.load_chunk(i);
                     f(&chunk, sub);
+                    cusp_obs::span_end("chunk");
                 }
             }
         }
@@ -179,12 +181,14 @@ impl<'a> PhaseCtx<'a> {
     /// the clock so the per-phase times attribute cleanly across hosts.
     pub fn run_phase<P: Phase>(&mut self, phase: P, input: P::Input) -> P::Output {
         self.comm.set_phase(P::NAME);
+        cusp_obs::span_begin(P::NAME);
         let t = Instant::now();
         let out = phase.run(self, input);
         if P::BARRIER {
             self.comm.barrier();
         }
         self.times.record(P::NAME, t.elapsed());
+        cusp_obs::span_end(P::NAME);
         out
     }
 }

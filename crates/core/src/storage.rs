@@ -205,6 +205,61 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Round-trips every class tag, both weighted and unweighted — the
+    /// class byte and the weighted flag are the only format branches, so
+    /// this covers the whole header matrix.
+    #[test]
+    fn round_trip_all_classes_and_weights() {
+        for class in [
+            PartitionClass::OutEdgeCut,
+            PartitionClass::TwoDimensional,
+            PartitionClass::GeneralVertexCut,
+        ] {
+            for weighted in [false, true] {
+                let dg = DistGraph {
+                    class,
+                    edge_data: weighted.then(|| vec![7, 8, 9]),
+                    ..sample()
+                };
+                let path = temp(&format!("rt-{}-{weighted}.part", class_tag(class)));
+                write_partition(&path, &dg).unwrap();
+                let back = read_partition(&path).unwrap();
+                assert_eq!(back.class, class);
+                assert_eq!(back.edge_data, dg.edge_data);
+                assert_eq!(back.graph, dg.graph);
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    /// Corrupts one header field at a time and checks the reader names
+    /// the problem rather than mis-parsing the rest of the file.
+    #[test]
+    fn rejects_corrupt_header_fields() {
+        let dg = sample();
+        let path = temp("header.part");
+        write_partition(&path, &dg).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Byte offsets from the format doc: magic @0, version @8,
+        // class tag @56.
+        let cases: [(usize, u8, &str); 3] =
+            [(0, 0xFF, "magic"), (8, 9, "version"), (56, 3, "class tag")];
+        for (offset, value, what) in cases {
+            let mut bytes = clean.clone();
+            bytes[offset] = value;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = read_partition(&path)
+                .err()
+                .unwrap_or_else(|| panic!("corrupt {what} accepted"));
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "corrupt {what}");
+        }
+        // The untouched copy still reads back fine.
+        std::fs::write(&path, &clean).unwrap();
+        assert!(read_partition(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn rejects_garbage() {
         let path = temp("garbage.part");

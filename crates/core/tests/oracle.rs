@@ -59,7 +59,7 @@ fn run(
     source: GraphSource,
     fault: Option<FaultPlan>,
 ) -> (Vec<DistGraph>, CommStats, Option<FaultReport>) {
-    let out = Cluster::run_with(hosts, ClusterOptions { fault }, move |comm| {
+    let out = Cluster::run_with(hosts, ClusterOptions { fault, ..ClusterOptions::default() }, move |comm| {
         partition_with_policy(comm, source.clone(), kind, &det_cfg())
     });
     let parts = out.results.into_iter().map(|r| r.dist_graph).collect();

@@ -91,20 +91,29 @@ impl ThreadPool {
         assert!(threads > 0, "ThreadPool needs at least one thread");
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
+        // If the creating thread is being traced (it is a cluster host
+        // thread during a traced run), extend the attachment to the
+        // workers so their task spans land under the same host.
+        let attachment = cusp_obs::current();
         for tid in 0..threads {
             let (tx, rx) = unbounded::<Message>();
             senders.push(tx);
+            let attachment = attachment.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("galois-worker-{tid}"))
                 .spawn(move || {
+                    let _trace_guard =
+                        attachment.as_ref().map(|a| a.attach(&format!("worker-{tid}")));
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Message::Run(job) => {
                                 // SAFETY: see `Job` — the pointee is alive
                                 // until we signal completion below.
                                 let func = unsafe { &*job.func };
-                                let result =
-                                    catch_unwind(AssertUnwindSafe(|| func(tid)));
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    let _task = cusp_obs::span("pool_task");
+                                    func(tid)
+                                }));
                                 if result.is_err() {
                                     job.done.panicked.store(true, Ordering::Release);
                                 }
@@ -240,5 +249,30 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn workers_inherit_tracing_attachment() {
+        let rec = cusp_obs::Recorder::new();
+        let guard = rec.attach(7, "host");
+        let pool = ThreadPool::new(2);
+        pool.run(|_| {});
+        drop(pool); // joins the workers, so their rings are quiescent
+        drop(guard);
+        let trace = rec.drain();
+        assert_eq!(trace.threads.len(), 3); // host thread + 2 workers
+        assert!(trace.threads.iter().all(|t| t.host == 7));
+        let tasks = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == cusp_obs::EventKind::SpanBegin { name: "pool_task", arg: 0 })
+            .count();
+        assert_eq!(tasks, 2);
+    }
+
+    #[test]
+    fn untraced_pool_records_nothing() {
+        let pool = ThreadPool::new(2);
+        pool.run(|_| assert!(!cusp_obs::is_active()));
     }
 }

@@ -82,6 +82,7 @@ where
                 loop {
                     match stealers[victim].steal() {
                         Steal::Success(b) => {
+                            cusp_obs::instant("steal", victim as u64);
                             stolen = Some(b);
                             break 'victims;
                         }

@@ -312,6 +312,13 @@ impl Comm {
             phase: phase as u32,
             payload,
         };
+        cusp_obs::msg_send(
+            dst as u32,
+            tag.0,
+            env.seq,
+            env.payload.len() as u64,
+            dst != self.host,
+        );
         if dst == self.host {
             // Local data stays local: self-sends bypass the fault layer.
             self.fabric.deliver(dst, tag, env);
@@ -342,14 +349,17 @@ impl Comm {
         }
         st.next[t][src] += 1;
         self.account_recv(env.phase, src, env.payload.len());
+        cusp_obs::msg_recv(src as u32, tag.0, env.seq, env.payload.len() as u64);
         st.ready[t].push_back((src, env.payload));
         while let Some(entry) = st.stash[t][src].first_entry() {
-            if *entry.key() != st.next[t][src] {
+            let seq = *entry.key();
+            if seq != st.next[t][src] {
                 break;
             }
             let (phase, payload) = entry.remove();
             st.next[t][src] += 1;
             self.account_recv(phase, src, payload.len());
+            cusp_obs::msg_recv(src as u32, tag.0, seq, payload.len() as u64);
             st.ready[t].push_back((src, payload));
         }
     }
@@ -431,6 +441,7 @@ impl Comm {
     /// messages are released first so nothing can remain parked across a
     /// phase boundary.
     pub fn barrier(&self) {
+        let _span = cusp_obs::span("barrier");
         for dst in 0..self.fabric.hosts {
             self.fabric.flush_holdback(dst);
         }
@@ -452,6 +463,26 @@ pub struct ClusterOutput<R> {
     pub stats: CommStats,
     /// Injected-fault counters, when the run had a [`FaultPlan`].
     pub faults: Option<FaultReport>,
+    /// Drained event trace, when the run had a [`TraceConfig`].
+    pub trace: Option<cusp_obs::Trace>,
+}
+
+/// Tracing configuration for a cluster run. When present in
+/// [`ClusterOptions`], every host thread is attached to a fresh
+/// [`cusp_obs::Recorder`] for the duration of the run (worker threads the
+/// hosts spawn inherit the attachment), and the drained trace is returned
+/// in [`ClusterOutput::trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-thread event-ring capacity; older events are overwritten (and
+    /// counted as dropped) once a thread exceeds it.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { ring_capacity: cusp_obs::DEFAULT_RING_CAPACITY }
+    }
 }
 
 /// Options for [`Cluster::run_with`].
@@ -459,6 +490,9 @@ pub struct ClusterOutput<R> {
 pub struct ClusterOptions {
     /// Seeded fault injection; `None` runs a fault-free fabric.
     pub fault: Option<FaultPlan>,
+    /// Event tracing; `None` leaves every recording call a single
+    /// thread-local null check.
+    pub trace: Option<TraceConfig>,
 }
 
 /// SPMD launcher for the simulated cluster.
@@ -488,6 +522,9 @@ impl Cluster {
     {
         assert!(hosts > 0, "cluster needs at least one host");
         let fabric = Arc::new(Fabric::new(hosts, opts.fault));
+        let recorder = opts
+            .trace
+            .map(|cfg| cusp_obs::Recorder::with_capacity(cfg.ring_capacity));
         let mut results: Vec<Option<R>> = (0..hosts).map(|_| None).collect();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
@@ -495,11 +532,14 @@ impl Cluster {
             let mut handles = Vec::with_capacity(hosts);
             for (h, slot) in results.iter_mut().enumerate() {
                 let fabric = Arc::clone(&fabric);
+                let recorder = recorder.clone();
                 let f = &f;
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("host-{h}"))
                         .spawn_scoped(scope, move || {
+                            let _trace_guard =
+                                recorder.as_ref().map(|r| r.attach(h as u32, "main"));
                             let comm = Comm::new(h, Arc::clone(&fabric));
                             let out = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| f(&comm)),
@@ -543,6 +583,9 @@ impl Cluster {
             results: results.into_iter().map(|r| r.expect("host produced no result")).collect(),
             stats: fabric.stats.snapshot(),
             faults: fabric.fault.as_ref().map(|l| l.stats.report()),
+            // All host threads (and any pool workers they owned) have
+            // joined, so the rings are quiescent.
+            trace: recorder.map(|r| r.drain()),
         }
     }
 }
@@ -736,6 +779,58 @@ mod tests {
             });
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn traced_run_records_message_events() {
+        use cusp_obs::EventKind;
+        let opts = ClusterOptions {
+            trace: Some(TraceConfig::default()),
+            ..ClusterOptions::default()
+        };
+        let out = Cluster::run_with(2, opts, |comm| {
+            if comm.host() == 0 {
+                comm.send_bytes(1, Tag(3), Bytes::from(vec![9u8; 48]));
+            } else {
+                comm.recv_any(Tag(3));
+            }
+            comm.barrier();
+        });
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.threads.len(), 2);
+        let sends: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MsgSend { .. }))
+            .collect();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(
+            sends[0].kind,
+            EventKind::MsgSend { dst: 1, tag: 3, seq: 0, bytes: 48, remote: true }
+        );
+        assert!(trace.events.iter().any(|e| e.host == 1
+            && e.kind == EventKind::MsgRecv { src: 0, tag: 3, seq: 0, bytes: 48 }));
+        // Both hosts recorded their barrier span.
+        let barriers = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin { name: "barrier", arg: 0 })
+            .count();
+        assert_eq!(barriers, 2);
+        // The export validates end to end.
+        let json = cusp_obs::export_chrome_trace(&trace);
+        let check = cusp_obs::validate_trace_json(&json).expect("valid trace json");
+        assert_eq!(check.processes, 2);
+        assert!(check.flow_pairs >= 1);
+    }
+
+    #[test]
+    fn untraced_run_returns_no_trace() {
+        let out = Cluster::run(2, |comm| {
+            assert!(!cusp_obs::is_active());
+            comm.barrier();
+        });
+        assert!(out.trace.is_none());
     }
 
     #[test]

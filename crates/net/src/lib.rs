@@ -43,7 +43,7 @@ pub mod serialize;
 pub mod stats;
 
 pub use buffer::SendBuffers;
-pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, MAX_TAGS};
+pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, TraceConfig, MAX_TAGS};
 pub use fault::{FaultPlan, FaultReport};
 pub use model::NetworkModel;
 pub use serialize::{WireReader, WireWriter};

@@ -56,6 +56,12 @@ impl NetworkModel {
         }
     }
 
+    /// The same parameters as a `cusp-obs` [`cusp_obs::CostModel`], for
+    /// feeding the per-phase critical-path summary.
+    pub fn cost_model(&self) -> cusp_obs::CostModel {
+        cusp_obs::CostModel { alpha: self.alpha, beta: self.beta }
+    }
+
     /// Modeled network time for one phase, in seconds.
     pub fn phase_time(&self, phase: &PhaseSnapshot) -> f64 {
         let hosts = phase.hosts();

@@ -13,6 +13,7 @@ use cusp_net::{
 fn chaos_opts(seed: u64) -> ClusterOptions {
     ClusterOptions {
         fault: Some(FaultPlan::chaos(seed)),
+        ..ClusterOptions::default()
     }
 }
 
@@ -220,6 +221,7 @@ fn quiet_plan_reports_zero_faults() {
         2,
         ClusterOptions {
             fault: Some(FaultPlan::quiet(1)),
+            ..ClusterOptions::default()
         },
         |comm| {
             if comm.host() == 0 {

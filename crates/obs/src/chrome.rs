@@ -1,0 +1,634 @@
+//! Chrome trace-event JSON export and validation.
+//!
+//! The exporter renders a drained [`Trace`] in the Chrome trace-event
+//! format (the `traceEvents` array flavor), loadable in Perfetto or
+//! `chrome://tracing`:
+//!
+//! * one *process* per simulated host (`pid` = host id, labeled via a
+//!   `process_name` metadata event), one *thread* per attached thread;
+//! * spans become `B`/`E` duration events, instants `i`, counters `C`;
+//! * each delivered message becomes a flow-event pair (`s` at the send,
+//!   `f` at the delivery) whose id encodes the envelope key
+//!   `(src, dst, tag, seq)` — Perfetto draws these as arrows between
+//!   hosts. Sends without a recorded delivery (faulted runs, wrapped
+//!   rings) emit no flow arrow so the output always validates.
+//!
+//! The same module carries a small self-contained JSON parser (the
+//! workspace vendors no serde) powering [`validate_trace_json`], used by
+//! tests, `cusp-part trace-check`, and the CI smoke job.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::recorder::Trace;
+
+/// Renders a drained trace as Chrome trace-event JSON.
+pub fn export_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(ev);
+    };
+
+    // Metadata: name each host process and thread track.
+    let hosts: BTreeSet<u32> = trace.threads.iter().map(|t| t.host).collect();
+    for h in &hosts {
+        push(
+            &mut out,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{h},\"tid\":0,\
+                 \"args\":{{\"name\":\"host-{h}\"}}}}"
+            ),
+        );
+    }
+    for t in &trace.threads {
+        push(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                t.host,
+                t.tid,
+                json_string(&t.name)
+            ),
+        );
+    }
+
+    // Flow arrows only for messages whose delivery was also recorded.
+    let mut recv_keys: BTreeSet<(u32, u32, u8, u64)> = BTreeSet::new();
+    let mut send_keys: BTreeSet<(u32, u32, u8, u64)> = BTreeSet::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::MsgSend { dst, tag, seq, .. } => {
+                send_keys.insert((e.host, dst, tag, seq));
+            }
+            EventKind::MsgRecv { src, tag, seq, .. } => {
+                recv_keys.insert((src, e.host, tag, seq));
+            }
+            _ => {}
+        }
+    }
+
+    for e in &trace.events {
+        let (pid, tid) = (e.host, e.tid);
+        let ts = e.ts_ns as f64 / 1000.0;
+        match e.kind {
+            EventKind::SpanBegin { name, arg } => push(
+                &mut out,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"B\",\"ts\":{ts:.3},\"pid\":{pid},\
+                     \"tid\":{tid},\"args\":{{\"arg\":{arg}}}}}",
+                    json_string(name)
+                ),
+            ),
+            EventKind::SpanEnd { name } => push(
+                &mut out,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"E\",\"ts\":{ts:.3},\"pid\":{pid},\
+                     \"tid\":{tid}}}",
+                    json_string(name)
+                ),
+            ),
+            EventKind::Instant { name, arg } => push(
+                &mut out,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"instant\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3},\
+                     \"pid\":{pid},\"tid\":{tid},\"args\":{{\"arg\":{arg}}}}}",
+                    json_string(name)
+                ),
+            ),
+            EventKind::Counter { name, value } => push(
+                &mut out,
+                &format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"value\":{value}}}}}",
+                    json_string(name)
+                ),
+            ),
+            EventKind::MsgSend { dst, tag, seq, bytes, remote } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"name\":\"send\",\"cat\":\"msg\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"dst\":{dst},\
+                         \"tag\":{tag},\"seq\":{seq},\"bytes\":{bytes},\"remote\":{remote}}}}}"
+                    ),
+                );
+                if recv_keys.contains(&(e.host, dst, tag, seq)) {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"ts\":{ts:.3},\
+                             \"pid\":{pid},\"tid\":{tid},\"id\":\"{}\"}}",
+                            flow_id(e.host, dst, tag, seq)
+                        ),
+                    );
+                }
+            }
+            EventKind::MsgRecv { src, tag, seq, bytes } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"name\":\"recv\",\"cat\":\"msg\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"src\":{src},\
+                         \"tag\":{tag},\"seq\":{seq},\"bytes\":{bytes}}}}}"
+                    ),
+                );
+                if send_keys.contains(&(src, e.host, tag, seq)) {
+                    push(
+                        &mut out,
+                        &format!(
+                            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\
+                             \"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid},\"id\":\"{}\"}}",
+                            flow_id(src, e.host, tag, seq)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        "\n],\"otherData\":{{\"dropped_events\":{}}}}}",
+        trace.dropped_events
+    );
+    out
+}
+
+fn flow_id(src: u32, dst: u32, tag: u8, seq: u64) -> String {
+    format!("s{src}d{dst}t{tag}q{seq}")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (no external deps) + trace-event validation.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value; just enough structure for trace validation.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { text: s, bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multibyte scalar. The input is a &str and `pos` only
+                    // ever advances by whole scalars, so it sits on a char
+                    // boundary; decoding one char here is O(1) — never
+                    // re-validate the whole tail, that turns string-heavy
+                    // traces quadratic.
+                    let c = self.text[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+pub(crate) fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after value"));
+    }
+    Ok(v)
+}
+
+/// Counts reported by a successful [`validate_trace_json`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents`.
+    pub total_events: usize,
+    /// Duration events (`B` + `E`).
+    pub span_events: usize,
+    /// Matched flow pairs (`s`/`f` with the same id).
+    pub flow_pairs: usize,
+    /// Distinct `pid`s (simulated hosts).
+    pub processes: usize,
+}
+
+/// Checks that `text` is well-formed Chrome trace-event JSON: every event
+/// carries `ph`/`ts`/`pid`/`tid`, per-thread timestamps are monotone
+/// non-decreasing in array order, span begins/ends balance per thread and
+/// name, and every flow start (`s`) has exactly one matching flow finish
+/// (`f`) and vice versa.
+pub fn validate_trace_json(text: &str) -> Result<TraceCheck, String> {
+    let root = parse_json(text)?;
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err("traceEvents is not an array".into()),
+        None => match root {
+            Json::Arr(ref events) => events,
+            _ => return Err("expected a traceEvents array".into()),
+        },
+    };
+
+    let mut check = TraceCheck { total_events: events.len(), ..TraceCheck::default() };
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut span_balance: HashMap<(u64, u64, String), i64> = HashMap::new();
+    let mut flows: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: missing or malformed '{field}'");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?
+            .to_string();
+        let ts = ev.get("ts").and_then(Json::as_num).ok_or_else(|| ctx("ts"))?;
+        let pid = ev.get("pid").and_then(Json::as_num).ok_or_else(|| ctx("pid"))? as u64;
+        let tid = ev.get("tid").and_then(Json::as_num).ok_or_else(|| ctx("tid"))? as u64;
+        pids.insert(pid);
+
+        if ph != "M" {
+            let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on pid {pid} tid {tid} (prev {prev})"
+                ));
+            }
+            *prev = ts;
+        }
+
+        match ph.as_str() {
+            "B" | "E" => {
+                check.span_events += 1;
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("name"))?
+                    .to_string();
+                *span_balance.entry((pid, tid, name)).or_insert(0) +=
+                    if ph == "B" { 1 } else { -1 };
+            }
+            "s" | "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("id"))?
+                    .to_string();
+                let entry = flows.entry(id).or_insert((0, 0));
+                if ph == "s" {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+            "i" | "C" | "M" => {}
+            other => return Err(format!("event {i}: unknown ph '{other}'")),
+        }
+    }
+
+    for ((pid, tid, name), bal) in &span_balance {
+        if *bal != 0 {
+            return Err(format!(
+                "unbalanced span '{name}' on pid {pid} tid {tid} (balance {bal})"
+            ));
+        }
+    }
+    for (id, (starts, ends)) in &flows {
+        if starts != ends {
+            return Err(format!(
+                "flow '{id}' has {starts} start(s) but {ends} finish(es)"
+            ));
+        }
+        check.flow_pairs += starts;
+    }
+    check.processes = pids.len();
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_trace() -> Trace {
+        let rec = Recorder::new();
+        let g0 = rec.attach(0, "main");
+        crate::span_begin("read");
+        crate::msg_send(1, 5, 0, 64, true);
+        crate::counter("resident", 7);
+        crate::span_end("read");
+        drop(g0);
+        let g1 = rec.attach(1, "main");
+        crate::span_begin("read");
+        crate::msg_recv(0, 5, 0, 64);
+        crate::instant("steal", 3);
+        crate::span_end("read");
+        drop(g1);
+        rec.drain()
+    }
+
+    #[test]
+    fn export_validates_clean() {
+        let json = export_chrome_trace(&sample_trace());
+        let check = validate_trace_json(&json).expect("valid trace");
+        assert_eq!(check.processes, 2);
+        assert_eq!(check.flow_pairs, 1);
+        assert_eq!(check.span_events, 4);
+        assert!(check.total_events >= 10);
+    }
+
+    #[test]
+    fn unmatched_send_emits_no_flow() {
+        let rec = Recorder::new();
+        let g = rec.attach(0, "main");
+        crate::msg_send(1, 5, 0, 64, true); // never delivered
+        drop(g);
+        let json = export_chrome_trace(&rec.drain());
+        let check = validate_trace_json(&json).expect("valid trace");
+        assert_eq!(check.flow_pairs, 0);
+    }
+
+    #[test]
+    fn parser_round_trips_escapes() {
+        let v = parse_json(r#"{"a":[1,-2.5e1,"x\n\"A",true,null],"b":{}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Str("x\n\"A".into()),
+                Json::Bool(true),
+                Json::Null,
+            ]))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn validator_catches_missing_fields() {
+        let err =
+            validate_trace_json(r#"{"traceEvents":[{"ph":"B","ts":1,"pid":0}]}"#).unwrap_err();
+        assert!(err.contains("tid"), "{err}");
+    }
+
+    #[test]
+    fn validator_catches_backwards_ts() {
+        let err = validate_trace_json(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"B","ts":5,"pid":0,"tid":0},
+                {"name":"a","ph":"E","ts":1,"pid":0,"tid":0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_catches_unbalanced_span() {
+        let err = validate_trace_json(
+            r#"{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":0,"tid":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+    }
+
+    #[test]
+    fn validator_catches_dangling_flow() {
+        let err = validate_trace_json(
+            r#"{"traceEvents":[{"name":"m","ph":"s","id":"x","ts":1,"pid":0,"tid":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("flow"), "{err}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Fixed-size event records and their raw ring encoding.
+//!
+//! Events are stored in the per-thread rings as `EVENT_WORDS` `u64` words so
+//! that recording never allocates: span/counter names are `&'static str`s
+//! whose pointer and length are stored verbatim (and reconstructed at drain
+//! time), message events are purely numeric. One slot is 64 bytes — a cache
+//! line — so consecutive records from one thread never share a line with
+//! another thread's ring.
+
+/// Number of `u64` words per event slot (64 bytes: one cache line).
+pub const EVENT_WORDS: usize = 8;
+
+/// A raw, still-encoded event as stored in a ring slot.
+pub(crate) type RawEvent = [u64; EVENT_WORDS];
+
+const KIND_SPAN_BEGIN: u64 = 1;
+const KIND_SPAN_END: u64 = 2;
+const KIND_INSTANT: u64 = 3;
+const KIND_COUNTER: u64 = 4;
+const KIND_MSG_SEND: u64 = 5;
+const KIND_MSG_RECV: u64 = 6;
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated host (Chrome-trace process) the recording thread belongs to.
+    pub host: u32,
+    /// Recorder-scoped thread id (Chrome-trace thread).
+    pub tid: u32,
+    /// Nanoseconds since the recorder's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened on the recording thread.
+    SpanBegin {
+        /// Span name (doubles as the structural identity of the span).
+        name: &'static str,
+        /// Free-form argument (e.g. chunk index); 0 when unused.
+        arg: u64,
+    },
+    /// The innermost open span of that name closed.
+    SpanEnd {
+        /// Span name, matching the begin event.
+        name: &'static str,
+    },
+    /// A point event (e.g. a successful steal).
+    Instant {
+        /// Event name.
+        name: &'static str,
+        /// Free-form argument (e.g. the steal victim's thread id).
+        arg: u64,
+    },
+    /// A sampled counter value.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+    /// A message handed to the fabric by `Comm::send_bytes`. The source
+    /// host is the event's `host`; `(src, dst, tag, seq)` identifies the
+    /// message end to end (the fabric's per-channel sequence number).
+    MsgSend {
+        /// Destination host.
+        dst: u32,
+        /// Message tag (mailbox class).
+        tag: u8,
+        /// Per-(src, dst, tag) sequence number.
+        seq: u64,
+        /// Payload length in bytes.
+        bytes: u64,
+        /// False for self-sends (not network traffic).
+        remote: bool,
+    },
+    /// A message handed to the application by the resequencer. The
+    /// destination host is the event's `host`.
+    MsgRecv {
+        /// Source host.
+        src: u32,
+        /// Message tag (mailbox class).
+        tag: u8,
+        /// Per-(src, dst, tag) sequence number.
+        seq: u64,
+        /// Payload length in bytes.
+        bytes: u64,
+    },
+}
+
+#[inline]
+fn name_words(name: &'static str) -> (u64, u64) {
+    (name.as_ptr() as usize as u64, name.len() as u64)
+}
+
+/// # Safety
+/// `ptr`/`len` must have been produced by [`name_words`] from a
+/// `&'static str`, which the recording API guarantees.
+unsafe fn name_back(ptr: u64, len: u64) -> &'static str {
+    let slice = std::slice::from_raw_parts(ptr as usize as *const u8, len as usize);
+    std::str::from_utf8_unchecked(slice)
+}
+
+#[inline]
+pub(crate) fn raw_span_begin(ts: u64, name: &'static str, arg: u64) -> RawEvent {
+    let (p, l) = name_words(name);
+    [KIND_SPAN_BEGIN, ts, p, l, arg, 0, 0, 0]
+}
+
+#[inline]
+pub(crate) fn raw_span_end(ts: u64, name: &'static str) -> RawEvent {
+    let (p, l) = name_words(name);
+    [KIND_SPAN_END, ts, p, l, 0, 0, 0, 0]
+}
+
+#[inline]
+pub(crate) fn raw_instant(ts: u64, name: &'static str, arg: u64) -> RawEvent {
+    let (p, l) = name_words(name);
+    [KIND_INSTANT, ts, p, l, arg, 0, 0, 0]
+}
+
+#[inline]
+pub(crate) fn raw_counter(ts: u64, name: &'static str, value: u64) -> RawEvent {
+    let (p, l) = name_words(name);
+    [KIND_COUNTER, ts, p, l, value, 0, 0, 0]
+}
+
+#[inline]
+pub(crate) fn raw_msg_send(ts: u64, dst: u32, tag: u8, seq: u64, bytes: u64, remote: bool) -> RawEvent {
+    [
+        KIND_MSG_SEND,
+        ts,
+        dst as u64,
+        tag as u64 | (u64::from(remote) << 8),
+        seq,
+        bytes,
+        0,
+        0,
+    ]
+}
+
+#[inline]
+pub(crate) fn raw_msg_recv(ts: u64, src: u32, tag: u8, seq: u64, bytes: u64) -> RawEvent {
+    [KIND_MSG_RECV, ts, src as u64, tag as u64, seq, bytes, 0, 0]
+}
+
+/// Decodes one raw slot recorded by this thread's ring; `None` for a slot
+/// whose kind word is unrecognized (possible only if a ring was drained
+/// while its owner thread still recorded, which the recorder contract
+/// forbids).
+pub(crate) fn decode(raw: &RawEvent, host: u32, tid: u32) -> Option<Event> {
+    let ts_ns = raw[1];
+    let kind = match raw[0] {
+        // SAFETY: words 2/3 hold the pointer/length of a `&'static str`
+        // stored by the raw_* constructors above.
+        KIND_SPAN_BEGIN => EventKind::SpanBegin {
+            name: unsafe { name_back(raw[2], raw[3]) },
+            arg: raw[4],
+        },
+        KIND_SPAN_END => EventKind::SpanEnd {
+            name: unsafe { name_back(raw[2], raw[3]) },
+        },
+        KIND_INSTANT => EventKind::Instant {
+            name: unsafe { name_back(raw[2], raw[3]) },
+            arg: raw[4],
+        },
+        KIND_COUNTER => EventKind::Counter {
+            name: unsafe { name_back(raw[2], raw[3]) },
+            value: raw[4],
+        },
+        KIND_MSG_SEND => EventKind::MsgSend {
+            dst: raw[2] as u32,
+            tag: (raw[3] & 0xff) as u8,
+            seq: raw[4],
+            bytes: raw[5],
+            remote: (raw[3] >> 8) & 1 == 1,
+        },
+        KIND_MSG_RECV => EventKind::MsgRecv {
+            src: raw[2] as u32,
+            tag: (raw[3] & 0xff) as u8,
+            seq: raw[4],
+            bytes: raw[5],
+        },
+        _ => return None,
+    };
+    Some(Event { host, tid, ts_ns, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let cases = [
+            raw_span_begin(10, "phase", 3),
+            raw_span_end(11, "phase"),
+            raw_instant(12, "steal", 2),
+            raw_counter(13, "bytes", 99),
+            raw_msg_send(14, 7, 3, 41, 1024, true),
+            raw_msg_recv(15, 2, 3, 41, 1024),
+        ];
+        let decoded: Vec<Event> = cases.iter().map(|r| decode(r, 5, 1).unwrap()).collect();
+        assert_eq!(
+            decoded[0].kind,
+            EventKind::SpanBegin { name: "phase", arg: 3 }
+        );
+        assert_eq!(decoded[1].kind, EventKind::SpanEnd { name: "phase" });
+        assert_eq!(decoded[2].kind, EventKind::Instant { name: "steal", arg: 2 });
+        assert_eq!(decoded[3].kind, EventKind::Counter { name: "bytes", value: 99 });
+        assert_eq!(
+            decoded[4].kind,
+            EventKind::MsgSend { dst: 7, tag: 3, seq: 41, bytes: 1024, remote: true }
+        );
+        assert_eq!(
+            decoded[5].kind,
+            EventKind::MsgRecv { src: 2, tag: 3, seq: 41, bytes: 1024 }
+        );
+        assert!(decoded.iter().all(|e| e.host == 5 && e.tid == 1));
+        assert_eq!(decoded[0].ts_ns, 10);
+    }
+
+    #[test]
+    fn self_send_not_remote() {
+        let e = decode(&raw_msg_send(0, 0, 0, 0, 8, false), 0, 0).unwrap();
+        assert_eq!(
+            e.kind,
+            EventKind::MsgSend { dst: 0, tag: 0, seq: 0, bytes: 8, remote: false }
+        );
+    }
+
+    #[test]
+    fn unknown_kind_skipped() {
+        assert!(decode(&[99, 0, 0, 0, 0, 0, 0, 0], 0, 0).is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! `cusp-obs`: cross-host tracing and metrics for the CuSP reproduction.
+//!
+//! The partitioner's evaluation is an attribution exercise — which phase,
+//! which host, compute or network — so the stack needs observability that
+//! is structural (every run traced the same way) and cheap enough to leave
+//! compiled in. This crate provides it in three layers:
+//!
+//! 1. **Recording** ([`Recorder`], the `span_*`/`instant`/`counter`/
+//!    `msg_*` free functions): per-thread lock-free ring buffers of
+//!    fixed-size (64 B) events. A thread records only while *attached*;
+//!    detached, every recording call is one thread-local load and a null
+//!    check — no allocation, no atomics, no locks. Worker threads inherit
+//!    the spawner's attachment via [`current`]/[`Attachment`], so `galois`
+//!    pool tasks land in the right host's trace.
+//! 2. **Export** ([`export_chrome_trace`], [`validate_trace_json`]):
+//!    Chrome trace-event JSON, one process per simulated host, spans,
+//!    counters, and flow arrows connecting each message send to its
+//!    delivery via the network envelope's `(src, dst, tag, seq)` key. The
+//!    validator (backed by a small built-in JSON parser) is what CI runs
+//!    against emitted traces.
+//! 3. **Analysis** ([`summarize`]/[`render`], [`Structure`]): a per-phase
+//!    critical-path table folding measured compute spans with measured
+//!    traffic under an α–β cost model, and a scheduling-independent
+//!    structural digest used by determinism tests.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod recorder;
+mod ring;
+mod structure;
+mod summary;
+
+pub use chrome::{export_chrome_trace, validate_trace_json, TraceCheck};
+pub use event::{Event, EventKind, EVENT_WORDS};
+pub use recorder::{
+    counter, current, instant, is_active, msg_recv, msg_send, span, span_begin, span_begin_arg,
+    span_end, AttachGuard, Attachment, Recorder, SpanGuard, ThreadInfo, Trace,
+    DEFAULT_RING_CAPACITY,
+};
+pub use structure::Structure;
+pub use summary::{render, summarize, CostModel, HostCost, HostNet, PhaseNet, PhaseRow};

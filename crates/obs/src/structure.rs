@@ -1,0 +1,127 @@
+//! Structural digest of a trace for determinism testing.
+//!
+//! Two runs of a deterministic pipeline never produce identical traces —
+//! timestamps differ — but their *structure* must not: the same spans open
+//! on the same hosts the same number of times, and the same message counts
+//! flow over each `(src, dst, tag)` channel. [`Structure`] collapses a
+//! [`Trace`] to exactly that, in ordered maps so equality and diffs are
+//! stable, and offers a name filter to exclude intentionally variable
+//! events (chunk spans when comparing chunked vs. monolithic execution,
+//! steal instants which depend on scheduling).
+
+use std::collections::BTreeMap;
+
+use crate::event::EventKind;
+use crate::recorder::Trace;
+
+/// Scheduling-independent shape of a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Structure {
+    /// `(host, span name)` → number of times the span opened.
+    pub span_counts: BTreeMap<(u32, &'static str), u64>,
+    /// `(host, instant name)` → occurrences.
+    pub instant_counts: BTreeMap<(u32, &'static str), u64>,
+    /// `(src, dst, tag)` → messages sent.
+    pub send_counts: BTreeMap<(u32, u32, u8), u64>,
+    /// `(src, dst, tag)` → messages delivered.
+    pub recv_counts: BTreeMap<(u32, u32, u8), u64>,
+}
+
+impl Structure {
+    /// Digests a drained trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut s = Structure::default();
+        for e in &trace.events {
+            match e.kind {
+                EventKind::SpanBegin { name, .. } => {
+                    *s.span_counts.entry((e.host, name)).or_insert(0) += 1;
+                }
+                EventKind::Instant { name, .. } => {
+                    *s.instant_counts.entry((e.host, name)).or_insert(0) += 1;
+                }
+                EventKind::MsgSend { dst, tag, .. } => {
+                    *s.send_counts.entry((e.host, dst, tag)).or_insert(0) += 1;
+                }
+                EventKind::MsgRecv { src, tag, .. } => {
+                    *s.recv_counts.entry((src, e.host, tag)).or_insert(0) += 1;
+                }
+                EventKind::SpanEnd { .. } | EventKind::Counter { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// A copy with the named spans and instants removed — for comparisons
+    /// where some event families legitimately vary (e.g. `"chunk"` spans
+    /// across chunked vs. monolithic runs, `"steal"` instants across any
+    /// two runs with work stealing).
+    pub fn without_names(&self, names: &[&str]) -> Self {
+        let keep = |k: &(u32, &'static str)| !names.contains(&k.1);
+        Structure {
+            span_counts: self
+                .span_counts
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            instant_counts: self
+                .instant_counts
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            send_counts: self.send_counts.clone(),
+            recv_counts: self.recv_counts.clone(),
+        }
+    }
+
+    /// Total messages sent, summed over channels.
+    pub fn total_sends(&self) -> u64 {
+        self.send_counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn record(steals: u64) -> Trace {
+        let rec = Recorder::new();
+        let _g = rec.attach(0, "main");
+        crate::span_begin("read");
+        crate::msg_send(1, 5, 0, 64, true);
+        crate::msg_send(1, 5, 1, 64, true);
+        crate::msg_recv(1, 5, 0, 32);
+        for v in 0..steals {
+            crate::instant("steal", v);
+        }
+        crate::span_end("read");
+        drop(_g);
+        rec.drain()
+    }
+
+    #[test]
+    fn identical_recordings_have_equal_structure() {
+        assert_eq!(Structure::of(&record(2)), Structure::of(&record(2)));
+    }
+
+    #[test]
+    fn counts_are_keyed_by_channel() {
+        let s = Structure::of(&record(0));
+        assert_eq!(s.span_counts.get(&(0, "read")), Some(&1));
+        assert_eq!(s.send_counts.get(&(0, 1, 5)), Some(&2));
+        assert_eq!(s.recv_counts.get(&(1, 0, 5)), Some(&1));
+        assert_eq!(s.total_sends(), 2);
+    }
+
+    #[test]
+    fn without_names_masks_variable_events() {
+        let a = Structure::of(&record(1));
+        let b = Structure::of(&record(5));
+        assert_ne!(a, b);
+        assert_eq!(a.without_names(&["steal"]), b.without_names(&["steal"]));
+        // Message counts survive the filter.
+        assert_eq!(a.without_names(&["steal"]).total_sends(), 2);
+    }
+}

@@ -7,14 +7,20 @@
 //! cusp-part props     G.bgr
 //! cusp-part partition --graph G.bgr --policy EEC|HVC|CVC|FEC|GVC|SVC|CEC|FNC|HDRF|XTRAPULP
 //!                     --hosts K [--out-dir DIR] [--sync-rounds N] [--buffer BYTES]
-//!                     [--threads T] [--csc]
+//!                     [--threads T] [--csc] [--chunk-edges E] [--trace OUT.json]
 //! cusp-part inspect   PART.part [PART.part ...]
 //! cusp-part validate  --graph G.bgr --parts DIR
+//! cusp-part trace-check OUT.json
 //! ```
 //!
 //! `partition` runs the full five-phase pipeline on a simulated K-host
 //! cluster, prints per-phase timings, communication volume, and quality
-//! metrics, and (with `--out-dir`) writes one `.part` file per host.
+//! metrics, and (with `--out-dir`) writes one `.part` file per host. With
+//! `--trace`, the run records spans, counters, and per-message events on
+//! every host, writes a Chrome trace-event JSON (open it at
+//! <https://ui.perfetto.dev>), and prints the per-phase critical-path
+//! summary (measured compute vs. α–β modeled network time per host).
+//! `trace-check` validates such a JSON file (used by the CI smoke job).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -31,7 +37,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E]"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json"
     );
     exit(2)
 }
@@ -86,6 +92,7 @@ fn main() {
         "partition" => cmd_partition(&flags),
         "inspect" => cmd_inspect(&positional),
         "validate" => cmd_validate(&flags),
+        "trace-check" => cmd_trace_check(&positional),
         other => {
             eprintln!("unknown command '{other}'");
             usage()
@@ -211,6 +218,30 @@ fn cmd_validate(flags: &HashMap<String, String>) {
     }
 }
 
+fn cmd_trace_check(positional: &[String]) {
+    let Some(path) = positional.first() else {
+        eprintln!("trace-check needs a trace JSON file");
+        usage()
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: cannot read trace file: {e}");
+            exit(1);
+        }
+    };
+    match cusp_obs::validate_trace_json(&text) {
+        Ok(check) => println!(
+            "{path}: ok — {} events ({} span events, {} flow pairs) across {} host(s)",
+            check.total_events, check.span_events, check.flow_pairs, check.processes
+        ),
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_props(positional: &[String]) {
     let Some(path) = positional.first() else { usage() };
     let graph = read_bgr(&PathBuf::from(path)).expect("cannot read graph");
@@ -245,9 +276,15 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         ..CuspConfig::default()
     };
 
+    let trace_path = flags.get("trace").map(PathBuf::from);
+    let opts = cusp_net::ClusterOptions {
+        trace: trace_path.as_ref().map(|_| cusp_net::TraceConfig::default()),
+        ..cusp_net::ClusterOptions::default()
+    };
+
     let source = GraphSource::File(graph_path.clone());
-    let (parts, times_text, stats) = if policy_name == "XTRAPULP" {
-        let out = Cluster::run(hosts, move |comm| {
+    let (parts, times_text, stats, trace) = if policy_name == "XTRAPULP" {
+        let out = Cluster::run_with(hosts, opts, move |comm| {
             let r = xtrapulp_partition(comm, source.clone(), &XpConfig::default());
             (r.partition.dist_graph, r.partition_time)
         });
@@ -257,6 +294,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             parts,
             format!("partitioning (read + label propagation): {reported:.2?}"),
             out.stats,
+            out.trace,
         )
     } else {
         let Some(kind) = PolicyKind::parse(&policy_name) else {
@@ -264,7 +302,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             usage()
         };
         let cfg2 = cfg.clone();
-        let out = Cluster::run(hosts, move |comm| {
+        let out = Cluster::run_with(hosts, opts, move |comm| {
             let r = partition_with_policy(comm, source.clone(), kind, &cfg2);
             (r.dist_graph, r.times, r.peak_resident_edges)
         });
@@ -283,6 +321,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
                 t.read, t.master, t.edge_assign, t.alloc, t.construct, t.total()
             ),
             out.stats,
+            out.trace,
         )
     };
 
@@ -292,6 +331,24 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         stats.grand_total_bytes() as f64 / 1e6,
         stats.grand_total_messages()
     );
+
+    if let (Some(path), Some(trace)) = (&trace_path, &trace) {
+        let json = cusp_obs::export_chrome_trace(trace);
+        std::fs::write(path, &json).expect("failed to write trace file");
+        println!(
+            "trace: {} events on {} threads -> {} (open in https://ui.perfetto.dev){}",
+            trace.events.len(),
+            trace.threads.len(),
+            path.display(),
+            if trace.dropped_events > 0 {
+                format!(" [{} events dropped: raise ring capacity]", trace.dropped_events)
+            } else {
+                String::new()
+            }
+        );
+        let model = cusp_net::NetworkModel::omni_path();
+        print!("{}", cusp::render_phase_summary(trace, &stats, &model));
+    }
 
     // Validate against the original (in-memory reload) and report quality.
     let original = read_bgr(&graph_path).expect("cannot re-read graph");

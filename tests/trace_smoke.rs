@@ -1,0 +1,54 @@
+//! End-to-end tracing smoke: a traced 4-host partition must export a
+//! Chrome trace that passes the structural validator (the same check CI's
+//! trace-smoke job runs via `cusp-part trace-check`) and fold into a
+//! complete per-phase critical-path summary.
+
+use std::sync::Arc;
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PhaseTimes, PolicyKind};
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_net::{Cluster, ClusterOptions, NetworkModel, TraceConfig};
+
+const HOSTS: usize = 4;
+
+#[test]
+fn traced_partition_exports_valid_chrome_trace() {
+    let graph = Arc::new(erdos_renyi(400, 3200, 5));
+    let opts = ClusterOptions {
+        trace: Some(TraceConfig::default()),
+        ..ClusterOptions::default()
+    };
+    let out = Cluster::run_with(HOSTS, opts, move |comm| {
+        let cfg = CuspConfig::default();
+        partition_with_policy(comm, GraphSource::Memory(graph.clone()), PolicyKind::Cvc, &cfg)
+    });
+    let trace = out.trace.expect("trace requested");
+    assert_eq!(trace.dropped_events, 0);
+
+    // Export → validate: the validator enforces ph/ts/pid/tid on every
+    // event, per-thread timestamp monotonicity, balanced B/E spans, and
+    // paired flow arrows.
+    let json = cusp_obs::export_chrome_trace(&trace);
+    let check = cusp_obs::validate_trace_json(&json)
+        .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
+    assert_eq!(check.processes, HOSTS);
+    assert!(check.span_events > 0);
+    assert!(check.flow_pairs > 0, "CVC construction should produce flows");
+
+    // The critical-path fold covers every pipeline phase on every host.
+    let model = NetworkModel::omni_path();
+    let rows = cusp::phase_summary(&trace, &out.stats, &model);
+    let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, PhaseTimes::NAMES);
+    assert!(rows.iter().all(|r| r.hosts.len() == HOSTS));
+}
+
+#[test]
+fn untraced_partition_carries_no_trace() {
+    let graph = Arc::new(erdos_renyi(150, 900, 3));
+    let out = Cluster::run(2, move |comm| {
+        let cfg = CuspConfig::default();
+        partition_with_policy(comm, GraphSource::Memory(graph.clone()), PolicyKind::Hvc, &cfg)
+    });
+    assert!(out.trace.is_none());
+}
