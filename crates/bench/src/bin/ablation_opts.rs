@@ -9,6 +9,10 @@
 //!   changes);
 //! * chunk streaming — `CuspConfig::chunk_edges` bounds resident edge
 //!   state to O(chunk) at the cost of per-chunk re-reads and flushes;
+//! * phase checkpoints — the "checkpointed" row reruns the baseline with
+//!   `CuspConfig::checkpoint_dir` set, so the delta against "baseline" is
+//!   the crash-free cost of snapshotting recovery state at phase
+//!   boundaries (two small writes per host; target: under 3% wall);
 //! * `cusp-obs` tracing — the "traced" row reruns the baseline with event
 //!   recording on, so the delta against "baseline" is the tracing
 //!   overhead (per-event cost is also micro-benched in `obs_recorder`).
@@ -42,10 +46,19 @@ fn main() {
             "messages",
         ],
     );
+    let ckpt_dir = std::env::temp_dir().join("cusp-ablation-ckpt");
     for input in drilldown_inputs(scale) {
-        let variants: [(&str, CuspConfig, bool); 8] = [
+        let variants: [(&str, CuspConfig, bool); 9] = [
             ("baseline", CuspConfig::default(), false),
             ("traced", CuspConfig::default(), true),
+            (
+                "checkpointed",
+                CuspConfig {
+                    checkpoint_dir: Some(ckpt_dir.clone()),
+                    ..CuspConfig::default()
+                },
+                false,
+            ),
             (
                 "no pure-master elision",
                 CuspConfig {
@@ -128,5 +141,6 @@ fn main() {
             eprintln!("done: {} {}", input.name, name);
         }
     }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     table.emit("ablation_opts");
 }

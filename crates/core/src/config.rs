@@ -72,6 +72,18 @@ pub struct CuspConfig {
     /// its own (the bound is `max(c, d_max)`). Under `deterministic_sync`
     /// the produced partitions are bit-identical for every chunk size.
     pub chunk_edges: Option<u64>,
+    /// Directory for durable phase-boundary checkpoints (host-crash
+    /// recovery). `None` (the default) disables checkpointing: a restarted
+    /// host then re-runs the whole pipeline, which is still correct —
+    /// receivers dedupe its re-sent traffic — just slower. With `Some(dir)`
+    /// each host writes `host-{h}.ckpt` after the master and edge
+    /// assignment phases and, on restart, resumes from the last completed
+    /// phase (corrupt or missing checkpoints silently fall back to the
+    /// full re-run). Meaningful only together with a
+    /// [`cusp_net::CrashPlan`]; recovery relies on the determinism
+    /// contract, so crash runs should also set `deterministic_sync` and
+    /// `threads_per_host: 1`.
+    pub checkpoint_dir: Option<PathBuf>,
     /// Testing switch: make partitioning bitwise reproducible. Replaces the
     /// master phase's asynchronous "drain whatever arrived" rounds
     /// (§IV-D5) with lockstep rounds (every host sends one SYNC to every
@@ -97,6 +109,7 @@ impl Default for CuspConfig {
             force_stored_masters: false,
             scalar_codec: false,
             chunk_edges: None,
+            checkpoint_dir: None,
             deterministic_sync: false,
         }
     }

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod dist_graph;
 pub mod metrics;
@@ -61,6 +62,7 @@ pub mod tags;
 pub mod tracing;
 pub mod verify;
 
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
 pub use dist_graph::{DistGraph, PartitionClass};
 pub use phases::alloc::MasterSpec;
@@ -80,3 +82,41 @@ pub use verify::{
 /// A partition id; CuSP runs with as many hosts as partitions, so this is
 /// interchangeable with `cusp_net::HostId` (which is a `usize`).
 pub type PartId = u32;
+
+/// Terminal partitioning failures a caller can react to (as opposed to
+/// panics, which indicate bugs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A simulated host kept crashing until its restart budget ran out
+    /// (see [`cusp_net::RecoveryOptions::max_restarts`]); the cluster shut
+    /// down cleanly instead of hanging. No partition was produced.
+    HostLost {
+        /// The host that could not be kept alive.
+        host: usize,
+        /// Restart attempts made before giving up.
+        restarts: u32,
+    },
+}
+
+impl From<cusp_net::ClusterError> for PartitionError {
+    fn from(e: cusp_net::ClusterError) -> Self {
+        match e {
+            cusp_net::ClusterError::HostLost { host, restarts } => {
+                PartitionError::HostLost { host, restarts }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::HostLost { host, restarts } => write!(
+                f,
+                "partitioning failed: host {host} lost after {restarts} restart attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}

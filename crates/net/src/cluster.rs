@@ -23,17 +23,39 @@
 //! poison flag; blocking operations (`recv*`, `barrier`) poll it with a
 //! timeout and panic with a descriptive message once poisoned, unwinding the
 //! whole cluster. [`Cluster::run`] then propagates the original panic.
+//!
+//! ## Host-crash recovery
+//!
+//! A seeded [`CrashPlan`] in [`ClusterOptions::crash`] arms a recovery
+//! layer. Planned crashes unwind the victim's thread (silently — they are
+//! simulations, not bugs); the launcher doubles as a **supervisor** that
+//! detects the death by heartbeat staleness, tears the host down (draining
+//! its mailboxes so in-flight messages become *counted* losses instead of
+//! `unconserved_pairs` false positives), re-delivers everything peers ever
+//! sent it from per-destination send logs, and respawns the thread with
+//! exponential backoff. The respawned incarnation re-executes from scratch
+//! — or from a phase checkpoint, if the application restores one via
+//! [`Comm::restore_net`] — regenerating byte-identical sends under the
+//! deterministic-sync contract; the resequencer's sequence numbers dedupe
+//! everything peers already consumed, and high-water marks keep the
+//! re-execution out of [`CommStats`] (it is accounted separately, in
+//! [`CommStats::replayed_bytes`]). A host that keeps dying past its restart
+//! budget aborts the run with a clean [`ClusterError::HostLost`]; blocked
+//! survivors are unwound, never left hanging.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use crate::fault::{FaultPlan, FaultReport, FaultStats};
+use crate::fault::{fnv1a, CrashPlan, FaultPlan, FaultReport, FaultStats};
+use crate::recovery::{
+    ClusterError, CrashSignal, LostSignal, NetCheckpoint, RecoveryOptions, RecoveryReport,
+};
 use crate::stats::{CommStats, StatsCollector};
 
 /// Identifies a host (partition) in the simulated cluster.
@@ -52,6 +74,9 @@ pub const MAX_TAGS: usize = 32;
 /// How often blocked operations re-check the poison flag.
 const POISON_POLL: Duration = Duration::from_millis(50);
 
+/// How often the supervisor wakes to check heartbeat staleness.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
+
 /// One in-flight message: transport metadata plus the payload.
 #[derive(Clone)]
 struct Envelope {
@@ -65,43 +90,56 @@ struct Envelope {
 
 type Mailbox = (Sender<Envelope>, Receiver<Envelope>);
 
-/// A poison-aware reusable barrier (generation counting).
+/// A poison-aware reusable barrier that counts per-host arrivals
+/// **monotonically**: `wait(host, n)` announces the host's `n`-th arrival
+/// and blocks until every host has arrived at least `n` times. A restarted
+/// host re-executing completed phases therefore "re-arrives" at barriers
+/// its previous incarnation already passed and falls straight through,
+/// without desynchronizing survivors parked at a later barrier.
 struct FabricBarrier {
-    state: Mutex<(usize, u64)>, // (arrived, generation)
+    state: Mutex<BarrierState>,
     cv: Condvar,
-    parties: usize,
+}
+
+struct BarrierState {
+    /// Highest arrival number announced per host.
+    arrived: Vec<u64>,
+    /// `min(arrived)` — barriers completed by the whole group.
+    done: u64,
 }
 
 impl FabricBarrier {
     fn new(parties: usize) -> Self {
         FabricBarrier {
-            state: Mutex::new((0, 0)),
+            state: Mutex::new(BarrierState { arrived: vec![0; parties], done: 0 }),
             cv: Condvar::new(),
-            parties,
         }
     }
 
-    fn wait(&self, poisoned: &AtomicBool) {
+    /// Returns `true` once every host has arrived `n` times, `false` if
+    /// `aborted` reported the cluster is going down first.
+    fn wait(&self, host: usize, n: u64, aborted: impl Fn() -> bool) -> bool {
         let mut guard = self.state.lock();
-        let gen = guard.1;
-        guard.0 += 1;
-        if guard.0 == self.parties {
-            guard.0 = 0;
-            guard.1 += 1;
-            self.cv.notify_all();
-            return;
-        }
-        while guard.1 == gen {
-            self.cv.wait_for(&mut guard, POISON_POLL);
-            if poisoned.load(Ordering::Acquire) {
-                drop(guard);
-                panic!("cluster poisoned: a peer host panicked while this host waited at a barrier");
+        if guard.arrived[host] < n {
+            guard.arrived[host] = n;
+            let done = guard.arrived.iter().copied().min().unwrap_or(0);
+            if done > guard.done {
+                guard.done = done;
+                self.cv.notify_all();
             }
         }
+        while guard.done < n {
+            self.cv.wait_for(&mut guard, POISON_POLL);
+            if aborted() {
+                return false;
+            }
+        }
+        true
     }
 
-    /// Wakes all current waiters (used when poisoning).
-    fn poison_wake(&self) {
+    /// Wakes all current waiters (used when poisoning or declaring a host
+    /// lost, so they observe the abort condition).
+    fn wake_all(&self) {
         let _guard = self.state.lock();
         self.cv.notify_all();
     }
@@ -115,6 +153,91 @@ struct FaultLayer {
     holdback: Vec<Mutex<Vec<(Tag, Envelope)>>>,
 }
 
+/// One destination's send log: every remote envelope ever dispatched
+/// toward it, keyed `(tag, src, seq)`.
+type SendLog = Mutex<BTreeMap<(u8, usize, u64), Envelope>>;
+
+/// The crash/restart machinery attached to a fabric when a [`CrashPlan`]
+/// is armed. All state is indexed so a host can die and come back without
+/// any peer's cooperation: heartbeats for detection, per-destination send
+/// logs for replay, and per-channel high-water marks so a restarted host's
+/// re-execution is recognized (and accounted as replay, not new traffic).
+struct RecoveryLayer {
+    plan: CrashPlan,
+    opts: RecoveryOptions,
+    /// Milliseconds since `start` of each host's last sign of life.
+    beats: Vec<AtomicU64>,
+    /// Crash sites `(host, fnv1a(phase))` that already fired, so a
+    /// one-shot plan does not re-kill the respawned incarnation when it
+    /// re-executes the same phase.
+    fired: Mutex<HashSet<(usize, u64)>>,
+    /// `log[dst]` — every remote envelope ever dispatched toward `dst`.
+    /// Re-executed sends carry the same sequence numbers and overwrite
+    /// nothing (`or_insert`); the whole log is re-delivered into `dst`'s
+    /// mailboxes on respawn and the resequencer floors dedupe whatever
+    /// was already consumed.
+    log: Vec<SendLog>,
+    /// Send high-water marks per channel cell (same indexing as
+    /// `Fabric::seqs`): sequences below were already executed and
+    /// accounted by a previous incarnation.
+    send_hw: Vec<AtomicU64>,
+    /// Receive high-water marks per channel cell, same role for
+    /// resequencer deliveries into the ready queue (receive-side
+    /// accounting happens there).
+    recv_hw: Vec<AtomicU64>,
+    /// Application-consumption high-water marks per channel cell: the
+    /// highest sequence actually popped by a `recv*` call. The gap
+    /// between the send log and this floor at death is exactly the set of
+    /// in-flight messages a teardown loses (and replay repairs).
+    consumed_hw: Vec<AtomicU64>,
+    /// Set once a host exhausts its restart budget; aborts the run.
+    lost: AtomicBool,
+    crashes: AtomicU64,
+    restarts: AtomicU64,
+    lost_in_teardown: AtomicU64,
+    start: Instant,
+}
+
+impl RecoveryLayer {
+    fn new(hosts: usize, plan: CrashPlan, opts: RecoveryOptions) -> Self {
+        RecoveryLayer {
+            plan,
+            opts,
+            beats: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            fired: Mutex::new(HashSet::new()),
+            log: (0..hosts).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            send_hw: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
+            recv_hw: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
+            consumed_hw: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
+            lost: AtomicBool::new(false),
+            crashes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            lost_in_teardown: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Marks `host` alive now.
+    fn beat(&self, host: usize) {
+        self.beats[host].store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Whether `host`'s last heartbeat is older than the timeout.
+    fn stale(&self, host: usize) -> bool {
+        let now = self.start.elapsed().as_millis() as u64;
+        now.saturating_sub(self.beats[host].load(Ordering::Relaxed))
+            >= self.opts.heartbeat_timeout.as_millis() as u64
+    }
+
+    fn report(&self) -> RecoveryReport {
+        RecoveryReport {
+            crashes: self.crashes.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            lost_in_teardown: self.lost_in_teardown.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared state between all host threads.
 pub(crate) struct Fabric {
     hosts: usize,
@@ -126,11 +249,12 @@ pub(crate) struct Fabric {
     barrier: FabricBarrier,
     poisoned: AtomicBool,
     fault: Option<FaultLayer>,
+    recovery: Option<RecoveryLayer>,
     pub(crate) stats: StatsCollector,
 }
 
 impl Fabric {
-    fn new(hosts: usize, fault: Option<FaultPlan>) -> Self {
+    fn new(hosts: usize, opts: &ClusterOptions) -> Self {
         let mailboxes = (0..hosts)
             .map(|_| (0..MAX_TAGS).map(|_| unbounded()).collect())
             .collect();
@@ -140,29 +264,87 @@ impl Fabric {
             seqs: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
             barrier: FabricBarrier::new(hosts),
             poisoned: AtomicBool::new(false),
-            fault: fault.map(|plan| FaultLayer {
+            fault: opts.fault.map(|plan| FaultLayer {
                 plan,
                 stats: FaultStats::default(),
                 holdback: (0..hosts).map(|_| Mutex::new(Vec::new())).collect(),
             }),
+            recovery: opts.crash.map(|plan| RecoveryLayer::new(hosts, plan, opts.recovery)),
             stats: StatsCollector::new(hosts),
         }
     }
 
-    fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
-        self.barrier.poison_wake();
+    #[inline]
+    fn cell(&self, src: HostId, dst: HostId, tag: Tag) -> usize {
+        (src * self.hosts + dst) * MAX_TAGS + tag.0 as usize
     }
 
-    fn check_poison(&self) {
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.barrier.wake_all();
+    }
+
+    /// Whether blocked operations should give up (peer panic or host lost).
+    fn should_abort(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+            || self.recovery.as_ref().is_some_and(|r| r.lost.load(Ordering::Acquire))
+    }
+
+    /// Unwinds the calling host when the run is going down: a peer panic
+    /// propagates as a descriptive panic, a lost host as a silent
+    /// [`LostSignal`] (the diagnosis is [`ClusterError::HostLost`]).
+    fn check_abort(&self) {
         if self.poisoned.load(Ordering::Acquire) {
             panic!("cluster poisoned: a peer host panicked");
+        }
+        if let Some(rec) = &self.recovery {
+            if rec.lost.load(Ordering::Acquire) {
+                std::panic::resume_unwind(Box::new(LostSignal));
+            }
+        }
+    }
+
+    /// Declares a host unrecoverable and wakes everyone to notice.
+    fn abort_lost(&self) {
+        if let Some(rec) = &self.recovery {
+            rec.lost.store(true, Ordering::Release);
+            self.barrier.wake_all();
         }
     }
 
     fn next_seq(&self, src: HostId, dst: HostId, tag: Tag) -> u64 {
-        let cell = (src * self.hosts + dst) * MAX_TAGS + tag.0 as usize;
-        self.seqs[cell].fetch_add(1, Ordering::Relaxed)
+        self.seqs[self.cell(src, dst, tag)].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the send high-water mark of channel cell `cell` to cover
+    /// `seq`; returns `true` when this is the sequence's first execution
+    /// (account it as fresh traffic) and `false` when a restarted host is
+    /// re-executing pre-crash work (account it as replay).
+    #[inline]
+    fn note_send(&self, cell: usize, seq: u64) -> bool {
+        match &self.recovery {
+            None => true,
+            Some(rec) => rec.send_hw[cell].fetch_max(seq + 1, Ordering::Relaxed) <= seq,
+        }
+    }
+
+    /// Same as [`Fabric::note_send`] for application-visible deliveries.
+    #[inline]
+    fn note_recv(&self, cell: usize, seq: u64) -> bool {
+        match &self.recovery {
+            None => true,
+            Some(rec) => rec.recv_hw[cell].fetch_max(seq + 1, Ordering::Relaxed) <= seq,
+        }
+    }
+
+    /// Retains a copy of a remote envelope for post-crash re-delivery.
+    fn log_send(&self, dst: HostId, tag: Tag, env: &Envelope) {
+        if let Some(rec) = &self.recovery {
+            rec.log[dst]
+                .lock()
+                .entry((tag.0, env.src, env.seq))
+                .or_insert_with(|| env.clone());
+        }
     }
 
     /// Pushes an envelope straight into the destination mailbox.
@@ -182,7 +364,11 @@ impl Fabric {
         let d = layer.plan.decide(env.src, dst, tag.0, env.seq);
         if d.failed_attempts > 0 {
             // Dropped attempts are repaired by bounded retransmission at the
-            // send site; delivery is guaranteed by the final attempt.
+            // send site; delivery is guaranteed by the final attempt. (If the
+            // receiver dies before consuming it, the recovery teardown
+            // counts the loss and the send log re-delivers — see
+            // `prepare_restart` — so it can never surface as an
+            // `unconserved_pairs` false positive.)
             layer
                 .stats
                 .dropped_attempts
@@ -226,13 +412,58 @@ impl Fabric {
             self.deliver(dst, t, e);
         }
     }
+
+    /// Tears down a dead host's transport and rebuilds its inputs:
+    ///
+    /// 1. stale copies stranded in its mailboxes (and the fault layer's
+    ///    holdback) are physically drained — the dead incarnation's
+    ///    resequencer state died with it, so those copies are unusable;
+    /// 2. its send sequences are reset to zero so the respawned
+    ///    incarnation's re-execution regenerates the same per-channel
+    ///    streams (receivers dedupe by sequence number);
+    /// 3. every envelope peers ever sent it is re-delivered from the send
+    ///    log, accounted as replayed traffic. Entries above the host's
+    ///    receive high-water mark — dispatched but never consumed at the
+    ///    moment of death, whether stranded in the mailbox, the dead
+    ///    resequencer, or the fault layer's holdback — are additionally
+    ///    *counted* as teardown losses.
+    fn prepare_restart(&self, host: HostId) {
+        let Some(rec) = &self.recovery else { return };
+        for tag in 0..MAX_TAGS {
+            while self.mailboxes[host][tag].1.try_recv().is_ok() {}
+        }
+        if let Some(layer) = &self.fault {
+            layer.holdback[host].lock().clear();
+        }
+        for dst in 0..self.hosts {
+            for tag in 0..MAX_TAGS {
+                self.seqs[(host * self.hosts + dst) * MAX_TAGS + tag].store(0, Ordering::Relaxed);
+            }
+        }
+        let entries: Vec<(Tag, Envelope)> = rec.log[host]
+            .lock()
+            .iter()
+            .map(|(&(tag, _, _), env)| (Tag(tag), env.clone()))
+            .collect();
+        let mut lost = 0u64;
+        for (tag, env) in entries {
+            let cell = self.cell(env.src, host, tag);
+            if env.seq >= rec.consumed_hw[cell].load(Ordering::Relaxed) {
+                lost += 1;
+            }
+            self.stats.record_replayed(env.payload.len() as u64);
+            self.deliver(host, tag, env);
+        }
+        rec.lost_in_teardown.fetch_add(lost, Ordering::Relaxed);
+    }
 }
 
 /// Receive-side state: the resequencer plus ready (application-visible)
 /// messages, all per tag.
 struct RecvState {
-    /// Messages in delivery order, ready for the application.
-    ready: Vec<std::collections::VecDeque<(HostId, Bytes)>>,
+    /// Messages in delivery order, ready for the application (the sequence
+    /// number rides along so consumption can be tracked per channel).
+    ready: Vec<std::collections::VecDeque<(HostId, u64, Bytes)>>,
     /// `next[tag][src]` — the next expected sequence number.
     next: Vec<Vec<u64>>,
     /// `stash[tag][src]` — out-of-order envelopes awaiting predecessors.
@@ -249,25 +480,50 @@ impl RecvState {
     }
 }
 
+/// Sentinel meaning "no crash armed for the current phase".
+const NO_CRASH: u64 = u64::MAX;
+
 /// Per-host communicator handle. `send*` methods are thread-safe (pool
 /// workers may send concurrently during parallel serialization); `recv*`
 /// methods are intended for the host's coordinating thread.
 pub struct Comm {
     host: HostId,
+    /// Restart epoch of this incarnation (0 = the first launch).
+    epoch: u64,
     fabric: Arc<Fabric>,
     recv: Mutex<RecvState>,
     /// Index of the currently active accounting phase.
-    phase: std::sync::atomic::AtomicUsize,
+    phase: AtomicUsize,
+    /// Barriers this host has completed (monotone across incarnations once
+    /// fast-forwarded or restored from a checkpoint).
+    barrier_calls: AtomicU64,
+    /// The host's coordinating thread — the only thread a planned crash
+    /// may fire on, so pool workers sending concurrently never unwind the
+    /// host from under its own thread pool.
+    main_thread: std::thread::ThreadId,
+    /// Communication ops performed on the main thread in the current phase
+    /// (op 0 is the phase entry itself).
+    phase_ops: AtomicU64,
+    /// Armed crash threshold for the current phase ([`NO_CRASH`] = none).
+    crash_at: AtomicU64,
+    /// Site key (`fnv1a(phase)`) of the armed crash.
+    crash_site: AtomicU64,
 }
 
 impl Comm {
-    fn new(host: HostId, fabric: Arc<Fabric>) -> Self {
+    fn new(host: HostId, fabric: Arc<Fabric>, epoch: u64) -> Self {
         let hosts = fabric.hosts;
         Comm {
             host,
+            epoch,
             fabric,
             recv: Mutex::new(RecvState::new(hosts)),
-            phase: std::sync::atomic::AtomicUsize::new(0),
+            phase: AtomicUsize::new(0),
+            barrier_calls: AtomicU64::new(0),
+            main_thread: std::thread::current().id(),
+            phase_ops: AtomicU64::new(0),
+            crash_at: AtomicU64::new(NO_CRASH),
+            crash_site: AtomicU64::new(0),
         }
     }
 
@@ -283,11 +539,69 @@ impl Comm {
         self.fabric.hosts
     }
 
+    /// How many times this host has been respawned by the supervisor
+    /// (0 on the first incarnation). An application that persists phase
+    /// checkpoints should attempt a restore when this is non-zero.
+    #[inline]
+    pub fn restart_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Registers (or reuses) an accounting phase and makes it current. All
     /// subsequent traffic from this host is attributed to it.
+    ///
+    /// Phase entry is also the crash-arming point: when a [`CrashPlan`] is
+    /// armed, this consults `plan.decide(host, name)` and schedules a
+    /// planned death after the decided number of communication ops.
     pub fn set_phase(&self, name: &str) {
         let idx = self.fabric.stats.phase_index(name);
         self.phase.store(idx, Ordering::Relaxed);
+        self.arm_crash(name);
+    }
+
+    /// Arms (or disarms) the planned crash for the phase just entered.
+    fn arm_crash(&self, name: &str) {
+        let Some(rec) = &self.fabric.recovery else { return };
+        let site = fnv1a(name);
+        let threshold = rec
+            .plan
+            .decide(self.host, name)
+            .filter(|_| rec.plan.repeat || !rec.fired.lock().contains(&(self.host, site)));
+        self.phase_ops.store(0, Ordering::Relaxed);
+        self.crash_site.store(site, Ordering::Relaxed);
+        self.crash_at.store(threshold.unwrap_or(NO_CRASH), Ordering::Relaxed);
+        // Phase entry is itself op 0, so a threshold of 0 kills the host
+        // before it communicates at all (covers zero-traffic phases).
+        self.note_op();
+    }
+
+    /// Marks this host alive (piggybacked heartbeat).
+    #[inline]
+    fn heartbeat(&self) {
+        if let Some(rec) = &self.fabric.recovery {
+            rec.beat(self.host);
+        }
+    }
+
+    /// Counts one communication op and fires the armed crash once the
+    /// threshold is crossed. Only the host's main thread counts (and dies);
+    /// pool workers merely heartbeat. Called with no locks held.
+    fn note_op(&self) {
+        let Some(rec) = &self.fabric.recovery else { return };
+        rec.beat(self.host);
+        if std::thread::current().id() != self.main_thread {
+            return;
+        }
+        let op = self.phase_ops.fetch_add(1, Ordering::Relaxed);
+        if op >= self.crash_at.load(Ordering::Relaxed) {
+            self.crash_at.store(NO_CRASH, Ordering::Relaxed);
+            rec.fired.lock().insert((self.host, self.crash_site.load(Ordering::Relaxed)));
+            rec.crashes.fetch_add(1, Ordering::Relaxed);
+            cusp_obs::instant("host_crash", op);
+            // A planned death is not a bug: unwind without the panic hook's
+            // stderr report. The launcher recognizes the payload.
+            std::panic::resume_unwind(Box::new(CrashSignal));
+        }
     }
 
     /// Sends `payload` to `dst` under `tag`.
@@ -296,33 +610,49 @@ impl Comm {
     /// *not* counted as network traffic, matching how a real host would keep
     /// local data local. Sends are accounted exactly once, at the
     /// application level — fault-layer duplicates and retransmissions do
-    /// not inflate [`CommStats`].
+    /// not inflate [`CommStats`], and a restarted host's re-execution of
+    /// pre-crash sends is accounted as [`CommStats::replayed_bytes`].
     pub fn send_bytes(&self, dst: HostId, tag: Tag, payload: Bytes) {
         assert!((tag.0 as usize) < MAX_TAGS, "tag out of range");
         assert!(dst < self.fabric.hosts, "destination host out of range");
+        self.note_op();
         let phase = self.phase.load(Ordering::Relaxed);
+        let seq = self.fabric.next_seq(self.host, dst, tag);
+        let cell = self.fabric.cell(self.host, dst, tag);
+        let fresh = self.fabric.note_send(cell, seq);
         if dst != self.host {
-            self.fabric
-                .stats
-                .record(phase, self.host, dst, payload.len() as u64);
+            if fresh {
+                self.fabric
+                    .stats
+                    .record(phase, self.host, dst, payload.len() as u64);
+            } else {
+                self.fabric.stats.record_replayed(payload.len() as u64);
+            }
         }
         let env = Envelope {
             src: self.host,
-            seq: self.fabric.next_seq(self.host, dst, tag),
+            seq,
             phase: phase as u32,
             payload,
         };
-        cusp_obs::msg_send(
-            dst as u32,
-            tag.0,
-            env.seq,
-            env.payload.len() as u64,
-            dst != self.host,
-        );
+        if fresh {
+            // Re-executed sends suppress the trace event: the previous
+            // incarnation's ring already holds the `msg_send` this sequence
+            // number pairs with, and flow ids bind by channel + seq.
+            cusp_obs::msg_send(
+                dst as u32,
+                tag.0,
+                env.seq,
+                env.payload.len() as u64,
+                dst != self.host,
+            );
+        }
         if dst == self.host {
-            // Local data stays local: self-sends bypass the fault layer.
+            // Local data stays local: self-sends bypass the fault layer
+            // (and the send log — a restarted host regenerates them).
             self.fabric.deliver(dst, tag, env);
         } else {
+            self.fabric.log_send(dst, tag, &env);
             self.fabric.dispatch(dst, tag, env);
         }
     }
@@ -348,9 +678,7 @@ impl Comm {
             return;
         }
         st.next[t][src] += 1;
-        self.account_recv(env.phase, src, env.payload.len());
-        cusp_obs::msg_recv(src as u32, tag.0, env.seq, env.payload.len() as u64);
-        st.ready[t].push_back((src, env.payload));
+        self.deliver_up(st, tag, src, env.seq, env.phase, env.payload);
         while let Some(entry) = st.stash[t][src].first_entry() {
             let seq = *entry.key();
             if seq != st.next[t][src] {
@@ -358,17 +686,34 @@ impl Comm {
             }
             let (phase, payload) = entry.remove();
             st.next[t][src] += 1;
-            self.account_recv(phase, src, payload.len());
-            cusp_obs::msg_recv(src as u32, tag.0, seq, payload.len() as u64);
-            st.ready[t].push_back((src, payload));
+            self.deliver_up(st, tag, src, seq, phase, payload);
         }
     }
 
-    fn account_recv(&self, phase: u32, src: HostId, len: usize) {
-        if src != self.host {
-            self.fabric
-                .stats
-                .record_recv(phase as usize, src, self.host, len as u64);
+    /// Hands one in-sequence message to the application, accounting it
+    /// unless a previous incarnation of this host already consumed this
+    /// sequence number (replayed traffic a restart re-delivers is still
+    /// re-consumed by the application, but only counted once).
+    fn deliver_up(&self, st: &mut RecvState, tag: Tag, src: HostId, seq: u64, phase: u32, payload: Bytes) {
+        let cell = self.fabric.cell(src, self.host, tag);
+        if self.fabric.note_recv(cell, seq) {
+            if src != self.host {
+                self.fabric
+                    .stats
+                    .record_recv(phase as usize, src, self.host, payload.len() as u64);
+            }
+            cusp_obs::msg_recv(src as u32, tag.0, seq, payload.len() as u64);
+        }
+        st.ready[tag.0 as usize].push_back((src, seq, payload));
+    }
+
+    /// Records that the application consumed `seq` on `(src, tag)` — the
+    /// teardown-loss floor for crash recovery.
+    #[inline]
+    fn note_consumed(&self, src: HostId, tag: Tag, seq: u64) {
+        if let Some(rec) = &self.fabric.recovery {
+            let cell = self.fabric.cell(src, self.host, tag);
+            rec.consumed_hw[cell].fetch_max(seq + 1, Ordering::Relaxed);
         }
     }
 
@@ -383,11 +728,15 @@ impl Comm {
     /// Receives the next message of `tag` from any source, blocking.
     pub fn recv_any(&self, tag: Tag) -> (HostId, Bytes) {
         loop {
-            {
+            self.heartbeat();
+            let hit = {
                 let mut st = self.recv.lock();
-                if let Some(m) = st.ready[tag.0 as usize].pop_front() {
-                    return m;
-                }
+                st.ready[tag.0 as usize].pop_front()
+            };
+            if let Some((src, seq, payload)) = hit {
+                self.note_consumed(src, tag, seq);
+                self.note_op();
+                return (src, payload);
             }
             self.fabric.flush_holdback(self.host);
             match self.mailbox(tag).recv_timeout(POISON_POLL) {
@@ -396,7 +745,7 @@ impl Comm {
                     self.ingest(&mut st, tag, env);
                     self.drain_channel(&mut st, tag);
                 }
-                Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
+                Err(RecvTimeoutError::Timeout) => self.fabric.check_abort(),
                 Err(RecvTimeoutError::Disconnected) => {
                     panic!("mailbox disconnected")
                 }
@@ -408,12 +757,18 @@ impl Comm {
     /// Messages from other sources that arrive first stay buffered.
     pub fn recv_from(&self, src: HostId, tag: Tag) -> Bytes {
         loop {
-            {
+            self.heartbeat();
+            let hit = {
                 let mut st = self.recv.lock();
                 let q = &mut st.ready[tag.0 as usize];
-                if let Some(pos) = q.iter().position(|(s, _)| *s == src) {
-                    return q.remove(pos).expect("position valid").1;
-                }
+                q.iter()
+                    .position(|(s, _, _)| *s == src)
+                    .map(|pos| q.remove(pos).expect("position valid"))
+            };
+            if let Some((_, seq, payload)) = hit {
+                self.note_consumed(src, tag, seq);
+                self.note_op();
+                return payload;
             }
             self.fabric.flush_holdback(self.host);
             match self.mailbox(tag).recv_timeout(POISON_POLL) {
@@ -422,7 +777,7 @@ impl Comm {
                     self.ingest(&mut st, tag, env);
                     self.drain_channel(&mut st, tag);
                 }
-                Err(RecvTimeoutError::Timeout) => self.fabric.check_poison(),
+                Err(RecvTimeoutError::Timeout) => self.fabric.check_abort(),
                 Err(RecvTimeoutError::Disconnected) => panic!("mailbox disconnected"),
             }
         }
@@ -430,22 +785,113 @@ impl Comm {
 
     /// Non-blocking receive of `tag` from any source.
     pub fn try_recv_any(&self, tag: Tag) -> Option<(HostId, Bytes)> {
-        self.fabric.check_poison();
+        self.fabric.check_abort();
+        self.heartbeat();
         self.fabric.flush_holdback(self.host);
-        let mut st = self.recv.lock();
-        self.drain_channel(&mut st, tag);
-        st.ready[tag.0 as usize].pop_front()
+        let hit = {
+            let mut st = self.recv.lock();
+            self.drain_channel(&mut st, tag);
+            st.ready[tag.0 as usize].pop_front()
+        };
+        hit.map(|(src, seq, payload)| {
+            self.note_consumed(src, tag, seq);
+            self.note_op();
+            (src, payload)
+        })
     }
 
     /// Blocks until all hosts reach the barrier. Any held-back (delayed)
     /// messages are released first so nothing can remain parked across a
     /// phase boundary.
+    ///
+    /// Barrier arrivals are monotone per host: a restarted host re-calling
+    /// barriers its previous incarnation already completed falls straight
+    /// through (see [`FabricBarrier`]).
     pub fn barrier(&self) {
         let _span = cusp_obs::span("barrier");
+        self.note_op();
         for dst in 0..self.fabric.hosts {
             self.fabric.flush_holdback(dst);
         }
-        self.fabric.barrier.wait(&self.fabric.poisoned);
+        let n = self.barrier_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let fabric = &*self.fabric;
+        if !fabric.barrier.wait(self.host, n, || fabric.should_abort()) {
+            fabric.check_abort();
+            unreachable!("barrier aborted without an abort condition");
+        }
+        self.heartbeat();
+    }
+
+    /// Captures this host's transport state for a durable phase
+    /// checkpoint. Must be called at a quiescent phase boundary (right
+    /// after a [`Comm::barrier`], before any next-phase traffic): the
+    /// resequencer has then delivered everything — nothing buffered for
+    /// the application, nothing stashed out of order — so the floors are
+    /// phase-complete by construction.
+    pub fn net_checkpoint(&self) -> NetCheckpoint {
+        let st = self.recv.lock();
+        debug_assert!(
+            st.ready.iter().all(|q| q.is_empty())
+                && st.stash.iter().flatten().all(|m| m.is_empty()),
+            "net_checkpoint must be taken at a quiescent phase boundary"
+        );
+        let hosts = self.fabric.hosts;
+        let mut send_seqs = vec![0u64; hosts * MAX_TAGS];
+        let mut recv_floors = vec![0u64; hosts * MAX_TAGS];
+        for peer in 0..hosts {
+            for tag in 0..MAX_TAGS {
+                send_seqs[peer * MAX_TAGS + tag] = self.fabric.seqs
+                    [(self.host * hosts + peer) * MAX_TAGS + tag]
+                    .load(Ordering::Relaxed);
+                recv_floors[peer * MAX_TAGS + tag] = st.next[tag][peer];
+            }
+        }
+        NetCheckpoint {
+            send_seqs,
+            recv_floors,
+            barrier_calls: self.barrier_calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restores transport state from a phase-boundary checkpoint. Call on
+    /// a restarted host (see [`Comm::restart_epoch`]) once it has re-run
+    /// the non-durable prefix (graph reading) and is about to skip the
+    /// checkpointed phases: send sequences jump forward to their
+    /// checkpointed values so post-checkpoint traffic continues where the
+    /// finished phases left off, receive floors make the resequencer
+    /// discard replayed inbound messages the checkpointed phases already
+    /// consumed, and the barrier count re-aligns this host with survivors
+    /// parked at later barriers.
+    ///
+    /// The restore is *forward-only* and purges as it goes: re-running the
+    /// prefix may already have pulled replayed messages of later phases
+    /// through the resequencer (tags shared across phases, e.g. the
+    /// collective tag), so anything buffered below a checkpointed floor —
+    /// consumed by the previous incarnation before the checkpoint — is
+    /// dropped, while in-flight messages above the floor stay queued for
+    /// the resumed phases to consume.
+    pub fn restore_net(&self, ck: &NetCheckpoint) {
+        let hosts = self.fabric.hosts;
+        assert_eq!(ck.send_seqs.len(), hosts * MAX_TAGS, "checkpoint host count mismatch");
+        assert_eq!(ck.recv_floors.len(), hosts * MAX_TAGS, "checkpoint host count mismatch");
+        let mut st = self.recv.lock();
+        for peer in 0..hosts {
+            for tag in 0..MAX_TAGS {
+                self.fabric.seqs[(self.host * hosts + peer) * MAX_TAGS + tag]
+                    .fetch_max(ck.send_seqs[peer * MAX_TAGS + tag], Ordering::Relaxed);
+                let floor = ck.recv_floors[peer * MAX_TAGS + tag];
+                st.next[tag][peer] = st.next[tag][peer].max(floor);
+            }
+        }
+        for tag in 0..MAX_TAGS {
+            let floors = &ck.recv_floors;
+            st.ready[tag].retain(|(src, seq, _)| *seq >= floors[*src * MAX_TAGS + tag]);
+            for src in 0..hosts {
+                let floor = floors[src * MAX_TAGS + tag];
+                st.stash[tag][src].retain(|&seq, _| seq >= floor);
+            }
+        }
+        self.barrier_calls.fetch_max(ck.barrier_calls, Ordering::Relaxed);
     }
 
     /// Immutable access to the live statistics collector (e.g. to read
@@ -453,6 +899,18 @@ impl Comm {
     pub fn stats(&self) -> &StatsCollector {
         &self.fabric.stats
     }
+}
+
+/// How one host thread ended, reported to the supervisor.
+enum HostExit {
+    /// Returned a result.
+    Done,
+    /// Unwound with a planned [`CrashSignal`] — candidate for restart.
+    Crashed,
+    /// Unwound with [`LostSignal`] after the run was declared lost.
+    Aborted,
+    /// A real panic: poison the fabric and propagate.
+    Panicked(Box<dyn std::any::Any + Send>),
 }
 
 /// Results of a cluster execution.
@@ -463,6 +921,8 @@ pub struct ClusterOutput<R> {
     pub stats: CommStats,
     /// Injected-fault counters, when the run had a [`FaultPlan`].
     pub faults: Option<FaultReport>,
+    /// Crash/restart counters, when the run had a [`CrashPlan`].
+    pub recovery: Option<RecoveryReport>,
     /// Drained event trace, when the run had a [`TraceConfig`].
     pub trace: Option<cusp_obs::Trace>,
 }
@@ -490,6 +950,11 @@ impl Default for TraceConfig {
 pub struct ClusterOptions {
     /// Seeded fault injection; `None` runs a fault-free fabric.
     pub fault: Option<FaultPlan>,
+    /// Seeded host crashes; `None` runs without the recovery layer (and
+    /// without its bookkeeping overhead).
+    pub crash: Option<CrashPlan>,
+    /// Detection and restart knobs, consulted only when `crash` is armed.
+    pub recovery: RecoveryOptions,
     /// Event tracing; `None` leaves every recording call a single
     /// thread-local null check.
     pub trace: Option<TraceConfig>,
@@ -514,79 +979,178 @@ impl Cluster {
     /// Like [`Cluster::run`], with explicit options (e.g. a [`FaultPlan`]).
     ///
     /// # Panics
-    /// Propagates the first host panic after unwinding all hosts.
+    /// Propagates the first host panic after unwinding all hosts, and
+    /// panics with the [`ClusterError`] message if the run ends in
+    /// [`ClusterError::HostLost`] — use [`Cluster::try_run_with`] to handle
+    /// that outcome programmatically.
     pub fn run_with<R, F>(hosts: usize, opts: ClusterOptions, f: F) -> ClusterOutput<R>
     where
         R: Send,
         F: Fn(&Comm) -> R + Sync,
     {
+        match Self::try_run_with(hosts, opts, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `f` on `hosts` threads under a supervisor that restarts
+    /// crashed hosts (when [`ClusterOptions::crash`] arms a plan) and
+    /// returns [`ClusterError::HostLost`] — never hangs — once a host
+    /// exhausts its restart budget.
+    ///
+    /// `f` may be re-invoked on a fresh thread for a restarted host; it
+    /// can distinguish incarnations via [`Comm::restart_epoch`] and resume
+    /// from a checkpoint via [`Comm::restore_net`].
+    ///
+    /// # Panics
+    /// Propagates the first *real* host panic (planned crashes are not
+    /// panics in this sense) after unwinding all hosts.
+    pub fn try_run_with<R, F>(
+        hosts: usize,
+        opts: ClusterOptions,
+        f: F,
+    ) -> Result<ClusterOutput<R>, ClusterError>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
         assert!(hosts > 0, "cluster needs at least one host");
-        let fabric = Arc::new(Fabric::new(hosts, opts.fault));
+        let fabric = Arc::new(Fabric::new(hosts, &opts));
         let recorder = opts
             .trace
             .map(|cfg| cusp_obs::Recorder::with_capacity(cfg.ring_capacity));
-        let mut results: Vec<Option<R>> = (0..hosts).map(|_| None).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..hosts).map(|_| Mutex::new(None)).collect();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut lost: Option<(usize, u32)> = None;
 
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(hosts);
-            for (h, slot) in results.iter_mut().enumerate() {
+            let (tx, rx) = unbounded::<(usize, HostExit)>();
+            let spawn_host = |h: usize, epoch: u64| {
                 let fabric = Arc::clone(&fabric);
                 let recorder = recorder.clone();
                 let f = &f;
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("host-{h}"))
-                        .spawn_scoped(scope, move || {
-                            let _trace_guard =
-                                recorder.as_ref().map(|r| r.attach(h as u32, "main"));
-                            let comm = Comm::new(h, Arc::clone(&fabric));
-                            let out = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| f(&comm)),
-                            );
-                            match out {
-                                Ok(r) => {
-                                    *slot = Some(r);
-                                    Ok(())
-                                }
-                                Err(p) => {
-                                    fabric.poison();
-                                    Err(p)
+                let results = &results;
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("host-{h}"))
+                    .spawn_scoped(scope, move || {
+                        let _trace_guard = recorder.as_ref().map(|r| r.attach(h as u32, "main"));
+                        let comm = Comm::new(h, Arc::clone(&fabric), epoch);
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                        let exit = match out {
+                            Ok(r) => {
+                                *results[h].lock() = Some(r);
+                                HostExit::Done
+                            }
+                            Err(p) if p.is::<CrashSignal>() => HostExit::Crashed,
+                            Err(p) if p.is::<LostSignal>() => HostExit::Aborted,
+                            Err(p) => {
+                                fabric.poison();
+                                HostExit::Panicked(p)
+                            }
+                        };
+                        let _ = tx.send((h, exit));
+                    })
+                    .expect("failed to spawn host thread")
+            };
+
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
+                (0..hosts).map(|h| Some(spawn_host(h, 0))).collect();
+            let mut running = hosts;
+            // Crashed hosts awaiting heartbeat-staleness detection.
+            let mut pending: Vec<usize> = Vec::new();
+            let mut attempts = vec![0u32; hosts];
+
+            while running > 0 || !pending.is_empty() {
+                match rx.recv_timeout(SUPERVISOR_POLL) {
+                    Ok((h, exit)) => {
+                        if let Some(handle) = handles[h].take() {
+                            let _ = handle.join();
+                        }
+                        running -= 1;
+                        match exit {
+                            HostExit::Done | HostExit::Aborted => {}
+                            HostExit::Crashed => pending.push(h),
+                            HostExit::Panicked(p) => {
+                                if first_panic.is_none() {
+                                    first_panic = Some(p);
                                 }
                             }
-                        })
-                        .expect("failed to spawn host thread"),
-                );
-            }
-            for handle in handles {
-                match handle.join() {
-                    Ok(Ok(())) => {}
-                    Ok(Err(p)) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(p);
                         }
                     }
-                    Err(p) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(p);
-                        }
-                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
+                if fabric.poisoned.load(Ordering::Acquire) || lost.is_some() {
+                    // The run is going down; crashed hosts stay down.
+                    pending.clear();
+                    continue;
+                }
+                let Some(rec) = &fabric.recovery else {
+                    pending.clear();
+                    continue;
+                };
+                let mut i = 0;
+                while i < pending.len() {
+                    let h = pending[i];
+                    // The victim's heartbeat froze at death; "detection"
+                    // is that staleness crossing the timeout, exactly as
+                    // it would for a silently hung host.
+                    if !rec.stale(h) {
+                        i += 1;
+                        continue;
+                    }
+                    pending.remove(i);
+                    attempts[h] += 1;
+                    // Supervisor-side events land on the dead host's pid
+                    // under a dedicated "supervisor" thread track.
+                    let _obs = recorder.as_ref().map(|r| r.attach(h as u32, "supervisor"));
+                    cusp_obs::instant("host_detect", attempts[h] as u64);
+                    if attempts[h] > rec.opts.max_restarts {
+                        cusp_obs::instant("host_lost", (attempts[h] - 1) as u64);
+                        lost = Some((h, attempts[h] - 1));
+                        fabric.abort_lost();
+                        continue;
+                    }
+                    let backoff =
+                        rec.opts.restart_backoff * (1u32 << (attempts[h] - 1).min(10));
+                    std::thread::sleep(backoff);
+                    fabric.prepare_restart(h);
+                    rec.restarts.fetch_add(1, Ordering::Relaxed);
+                    // Fresh grace period for the new incarnation.
+                    rec.beat(h);
+                    let epoch = attempts[h] as u64;
+                    cusp_obs::instant("host_restart", epoch);
+                    handles[h] = Some(spawn_host(h, epoch));
+                    running += 1;
+                }
+            }
+            for handle in handles.iter_mut().filter_map(|h| h.take()) {
+                let _ = handle.join();
             }
         });
 
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
+        if let Some((host, restarts)) = lost {
+            return Err(ClusterError::HostLost { host, restarts });
+        }
 
-        ClusterOutput {
-            results: results.into_iter().map(|r| r.expect("host produced no result")).collect(),
+        Ok(ClusterOutput {
+            results: results
+                .into_iter()
+                .map(|m| m.into_inner().expect("host produced no result"))
+                .collect(),
             stats: fabric.stats.snapshot(),
             faults: fabric.fault.as_ref().map(|l| l.stats.report()),
+            recovery: fabric.recovery.as_ref().map(|r| r.report()),
             // All host threads (and any pool workers they owned) have
             // joined, so the rings are quiescent.
             trace: recorder.map(|r| r.drain()),
-        }
+        })
     }
 }
 
@@ -609,6 +1173,8 @@ mod tests {
         });
         assert_eq!(out.results, vec![400, 0, 100, 200, 300]);
         assert!(out.faults.is_none());
+        assert!(out.recovery.is_none());
+        assert_eq!(out.stats.replayed_bytes(), 0);
     }
 
     #[test]
@@ -840,5 +1406,240 @@ mod tests {
             comm.host()
         });
         assert_eq!(out.results, vec![0]);
+    }
+
+    /// Recovery options tuned for fast tests: quick detection, tiny
+    /// backoff.
+    fn test_recovery() -> RecoveryOptions {
+        RecoveryOptions {
+            heartbeat_timeout: Duration::from_millis(20),
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn crashed_host_restarts_and_completes() {
+        // Pick a seed whose crash threshold lets host 1 consume its ring
+        // message *before* dying, so the replay path is deterministically
+        // exercised (the logged message must be re-delivered and
+        // re-consumed by the new incarnation).
+        let seed = (0..200)
+            .find(|&s| CrashPlan::once(s, 1, "work", 4).decide(1, "work") == Some(2))
+            .expect("some seed crashes at op 2");
+        let opts = ClusterOptions {
+            crash: Some(CrashPlan::once(seed, 1, "work", 4)),
+            recovery: test_recovery(),
+            ..ClusterOptions::default()
+        };
+        let out = Cluster::try_run_with(3, opts, |comm| {
+            comm.set_phase("work");
+            let me = comm.host();
+            let k = comm.num_hosts();
+            let mut w = crate::WireWriter::new();
+            w.put_u64(me as u64 + 1);
+            // Ops on host 1: phase entry (0), send (1), recv (2) — the
+            // armed crash fires right after the message is consumed.
+            comm.send_bytes((me + 1) % k, Tag(1), w.finish());
+            let data = comm.recv_from((me + k - 1) % k, Tag(1));
+            comm.barrier();
+            crate::WireReader::new(data).get_u64().unwrap()
+        })
+        .expect("cluster recovers");
+        assert_eq!(out.results, vec![3, 1, 2]);
+        let rec = out.recovery.expect("recovery layer was armed");
+        assert_eq!(rec.crashes, 1);
+        assert_eq!(rec.restarts, 1);
+        // Host 0's logged message was re-delivered at restart, and host 1
+        // re-executed its pre-crash send.
+        assert!(out.stats.replayed_messages() >= 1, "{:?}", out.stats.replayed_messages());
+        // Conservation holds: replay is accounted separately.
+        let p = out.stats.phase("work").unwrap();
+        assert!(p.unconserved_pairs().is_empty());
+        assert_eq!(p.messages_between(0, 1), 1);
+        assert_eq!(p.messages_between(1, 2), 1);
+    }
+
+    #[test]
+    fn restart_exhaustion_yields_host_lost() {
+        let opts = ClusterOptions {
+            crash: Some(CrashPlan::repeating(3, 0, "work")),
+            recovery: RecoveryOptions { max_restarts: 2, ..test_recovery() },
+            ..ClusterOptions::default()
+        };
+        let err = match Cluster::try_run_with(2, opts, |comm| {
+            comm.set_phase("work");
+            comm.barrier();
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("host 0 dies every incarnation; run must not succeed"),
+        };
+        assert_eq!(err, ClusterError::HostLost { host: 0, restarts: 2 });
+    }
+
+    /// Regression test for the bounded-retry teardown interaction: a
+    /// message whose dropped attempts were repaired by the final attempt,
+    /// but whose receiver died before consuming it, is drained at teardown
+    /// as a *counted* loss and re-delivered from the send log — it must
+    /// not surface as an `unconserved_pairs` false positive.
+    #[test]
+    fn teardown_losses_are_counted_not_unconserved() {
+        let seed = (0..200)
+            .find(|&s| {
+                matches!(CrashPlan::once(s, 1, "flood", 8).decide(1, "flood"), Some(op) if op >= 3)
+            })
+            .expect("some seed crashes mid-consumption");
+        let opts = ClusterOptions {
+            fault: Some(FaultPlan::chaos(5)),
+            crash: Some(CrashPlan::once(seed, 1, "flood", 8)),
+            recovery: RecoveryOptions {
+                heartbeat_timeout: Duration::from_millis(25),
+                ..test_recovery()
+            },
+            ..ClusterOptions::default()
+        };
+        const N: u64 = 50;
+        let out = Cluster::try_run_with(2, opts, |comm| {
+            comm.set_phase("flood");
+            if comm.host() == 0 {
+                for i in 0..N {
+                    let mut w = crate::WireWriter::new();
+                    w.put_u64(i);
+                    comm.send_bytes(1, Tag(0), w.finish());
+                }
+                comm.recv_from(1, Tag(2)); // ack
+                0
+            } else {
+                let mut sum = 0u64;
+                for _ in 0..N {
+                    let (_s, b) = comm.recv_any(Tag(0));
+                    sum += crate::WireReader::new(b).get_u64().unwrap();
+                }
+                comm.send_bytes(0, Tag(2), Bytes::from_static(b"ok"));
+                sum
+            }
+        })
+        .expect("cluster recovers");
+        // FIFO re-delivery means the sum is exact despite the crash.
+        assert_eq!(out.results[1], N * (N - 1) / 2);
+        let rec = out.recovery.expect("recovery layer was armed");
+        assert_eq!(rec.crashes, 1);
+        // Host 0 flooded ahead of host 1's consumption, so teardown found
+        // stranded messages; every one of them was replayed.
+        assert!(rec.lost_in_teardown >= 1, "{rec:?}");
+        assert!(out.stats.replayed_messages() >= rec.lost_in_teardown);
+        // The whole point: no conservation false positive.
+        assert!(out.stats.unconserved_phases().is_empty(), "{:?}", out.stats.unconserved_phases());
+        let p = out.stats.phase("flood").unwrap();
+        assert_eq!(p.messages_between(0, 1), N);
+    }
+
+    #[test]
+    fn restart_with_net_checkpoint_fast_forwards() {
+        // Host 1 checkpoints after phase "a", crashes in phase "b", and
+        // its second incarnation restores the checkpoint instead of
+        // re-executing "a". Survivors never notice: barrier arrivals are
+        // restored, re-sends are skipped, and replayed inbound traffic
+        // below the floors is discarded.
+        let ckpt: Mutex<Option<NetCheckpoint>> = Mutex::new(None);
+        let opts = ClusterOptions {
+            crash: Some(CrashPlan::once(1, 1, "b", 1)), // dies entering "b"
+            recovery: test_recovery(),
+            ..ClusterOptions::default()
+        };
+        let out = Cluster::try_run_with(2, opts, |comm| {
+            let me = comm.host();
+            let restored = me == 1 && comm.restart_epoch() > 0 && {
+                let guard = ckpt.lock();
+                if let Some(ck) = guard.as_ref() {
+                    comm.restore_net(ck);
+                    true
+                } else {
+                    false
+                }
+            };
+            if !restored {
+                comm.set_phase("a");
+                let mut w = crate::WireWriter::new();
+                w.put_u64(7 + me as u64);
+                comm.send_bytes(1 - me, Tag(1), w.finish());
+                let got = comm.recv_from(1 - me, Tag(1));
+                assert_eq!(
+                    crate::WireReader::new(got).get_u64().unwrap(),
+                    7 + (1 - me) as u64
+                );
+                comm.barrier();
+                if me == 1 {
+                    *ckpt.lock() = Some(comm.net_checkpoint());
+                }
+            }
+            comm.set_phase("b");
+            let mut w = crate::WireWriter::new();
+            w.put_u64(100 + me as u64);
+            comm.send_bytes(1 - me, Tag(2), w.finish());
+            let got = comm.recv_from(1 - me, Tag(2));
+            comm.barrier();
+            crate::WireReader::new(got).get_u64().unwrap()
+        })
+        .expect("cluster recovers");
+        assert_eq!(out.results, vec![101, 100]);
+        let rec = out.recovery.expect("recovery layer was armed");
+        assert_eq!(rec.crashes, 1);
+        assert_eq!(rec.restarts, 1);
+        // Phase "a" was *not* re-executed: conservation holds per phase
+        // with exactly one message each way in each phase.
+        for name in ["a", "b"] {
+            let p = out.stats.phase(name).unwrap();
+            assert!(p.unconserved_pairs().is_empty(), "phase {name}");
+            assert_eq!(p.messages_between(0, 1), 1, "phase {name}");
+            assert_eq!(p.messages_between(1, 0), 1, "phase {name}");
+        }
+    }
+
+    #[test]
+    fn traced_crash_records_recovery_events() {
+        use cusp_obs::EventKind;
+        let opts = ClusterOptions {
+            crash: Some(CrashPlan::once(9, 1, "work", 1)),
+            recovery: test_recovery(),
+            trace: Some(TraceConfig::default()),
+            ..ClusterOptions::default()
+        };
+        let out = Cluster::try_run_with(2, opts, |comm| {
+            comm.set_phase("work");
+            if comm.host() == 0 {
+                comm.send_bytes(1, Tag(1), Bytes::from_static(b"payload"));
+            } else {
+                comm.recv_any(Tag(1));
+            }
+            comm.barrier();
+        })
+        .expect("cluster recovers");
+        let trace = out.trace.expect("trace requested");
+        let instants: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Instant { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert!(instants.contains(&"host_crash"), "{instants:?}");
+        assert!(instants.contains(&"host_detect"), "{instants:?}");
+        assert!(instants.contains(&"host_restart"), "{instants:?}");
+        // Both incarnations of host 1 plus the supervisor leave distinct
+        // thread tracks on host 1's pid.
+        let h1_threads: HashSet<u32> = trace
+            .events
+            .iter()
+            .filter(|e| e.host == 1)
+            .map(|e| e.tid)
+            .collect();
+        assert!(h1_threads.len() >= 2, "{h1_threads:?}");
+        // The export stays structurally valid (balanced spans, paired
+        // flows) even with a crashed incarnation in the trace.
+        let json = cusp_obs::export_chrome_trace(&trace);
+        let check = cusp_obs::validate_trace_json(&json).expect("valid trace json");
+        assert_eq!(check.processes, 2);
     }
 }

@@ -93,6 +93,88 @@ impl FaultPlan {
 const SALT_DELAY: u64 = 0xd1b5_4a32_d192_ed03;
 const SALT_DUP: u64 = 0xaef1_7502_b3a8_8e0d;
 const SALT_DROP: u64 = 0x94d0_49bb_1331_11eb;
+const SALT_CRASH: u64 = 0x7f4a_7c15_9e37_79b9;
+const SALT_CRASH_OP: u64 = 0x1ce4_e5b9_bf58_476d;
+
+/// Seeded host-crash schedule for the simulated fabric.
+///
+/// Where [`FaultPlan`] attacks individual *messages*, a `CrashPlan` kills
+/// whole *hosts*: at each `(host, phase)` site the plan either does nothing
+/// or unwinds the host's thread after a chosen number of communication
+/// operations (phase entry counts as operation 0, each send/recv as one
+/// more). Like every fault decision in this crate, the choice is a pure
+/// hash of `(seed, host, phase)` — never of wall-clock time or thread
+/// scheduling — so a crash schedule replays exactly and the recovery
+/// oracle can compare against the crash-free run bit for bit.
+///
+/// The supervisor in `cluster.rs` detects the death by heartbeat
+/// staleness, tears the host down, and respawns it (see
+/// [`crate::RecoveryOptions`]). With `repeat: false` (the default) each
+/// site fires at most once across restarts, so the respawned incarnation
+/// runs to completion; `repeat: true` re-fires the same site every
+/// incarnation, which is how restart-budget exhaustion (and the resulting
+/// [`crate::ClusterError::HostLost`]) is exercised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Seed for all per-site decisions.
+    pub seed: u64,
+    /// Probability that a given `(host, phase)` site crashes (ignored for
+    /// the forced `victim` site).
+    pub crash_prob: f64,
+    /// Crash op thresholds are drawn uniformly from `[0, max_ops)`; a
+    /// threshold of 0 kills the host right at phase entry.
+    pub max_ops: u64,
+    /// Forced crash site `(host, phase name)` that fires regardless of
+    /// `crash_prob` — the targeted mode the crash-matrix tests use.
+    pub victim: Option<(usize, &'static str)>,
+    /// Re-fire at the same site after every restart. `false` crashes each
+    /// site at most once (recovery succeeds); `true` crashes the respawned
+    /// incarnation again and again until the restart budget is exhausted.
+    pub repeat: bool,
+}
+
+impl CrashPlan {
+    /// A seeded chaos schedule: every `(host, phase)` site independently
+    /// crashes with moderate probability, early in the phase.
+    pub fn seeded(seed: u64) -> Self {
+        CrashPlan { seed, crash_prob: 0.2, max_ops: 8, victim: None, repeat: false }
+    }
+
+    /// A targeted schedule: exactly one site — `host` during `phase` —
+    /// crashes, at a seed-chosen op below `max_ops`.
+    pub fn once(seed: u64, host: usize, phase: &'static str, max_ops: u64) -> Self {
+        CrashPlan { seed, crash_prob: 0.0, max_ops: max_ops.max(1), victim: Some((host, phase)), repeat: false }
+    }
+
+    /// Like [`CrashPlan::once`], but the site re-fires after every restart
+    /// — the host can never get past it, so the run must end in
+    /// [`crate::ClusterError::HostLost`].
+    pub fn repeating(seed: u64, host: usize, phase: &'static str) -> Self {
+        CrashPlan { repeat: true, ..CrashPlan::once(seed, host, phase, 1) }
+    }
+
+    /// The op threshold at which `host` dies in `phase`, or `None` when
+    /// this site survives. Pure in `(seed, host, phase)`.
+    pub fn decide(&self, host: usize, phase: &str) -> Option<u64> {
+        let key = self.seed ^ mix(((host as u64) << 32) ^ fnv1a(phase));
+        let fire = match self.victim {
+            Some((h, p)) => h == host && p == phase,
+            None => probability_hit(mix(key ^ SALT_CRASH), self.crash_prob),
+        };
+        fire.then(|| mix(key ^ SALT_CRASH_OP) % self.max_ops.max(1))
+    }
+}
+
+/// FNV-1a over a phase name — stable site keying that doesn't depend on
+/// the stats collector's registration order.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// What happens to one message.
 pub(crate) struct Decision {
@@ -232,6 +314,55 @@ mod tests {
         for seq in 0..1000 {
             let d = plan.decide(0, 1, 0, seq);
             assert!(!d.delay && !d.duplicate && d.failed_attempts == 0);
+        }
+    }
+
+    #[test]
+    fn crash_decisions_are_deterministic() {
+        let plan = CrashPlan::seeded(42);
+        for host in 0..8 {
+            for phase in ["read", "master", "edge_assign", "alloc", "construct"] {
+                assert_eq!(plan.decide(host, phase), plan.decide(host, phase));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_decisions_vary_across_seeds_and_sites() {
+        let a = CrashPlan::seeded(1);
+        let b = CrashPlan::seeded(2);
+        let sites: Vec<_> = (0..16)
+            .flat_map(|h| ["read", "master", "construct"].map(|p| (h, p)))
+            .collect();
+        let hits_a: Vec<_> = sites.iter().map(|&(h, p)| a.decide(h, p).is_some()).collect();
+        let hits_b: Vec<_> = sites.iter().map(|&(h, p)| b.decide(h, p).is_some()).collect();
+        assert_ne!(hits_a, hits_b, "different seeds should change the schedule");
+        assert!(hits_a.iter().any(|&x| x), "chaos plan should fire somewhere");
+        assert!(!hits_a.iter().all(|&x| x), "chaos plan should not fire everywhere");
+    }
+
+    #[test]
+    fn targeted_plan_fires_only_at_the_victim() {
+        let plan = CrashPlan::once(7, 2, "master", 4);
+        for host in 0..4 {
+            for phase in ["read", "master", "edge_assign", "alloc", "construct"] {
+                let t = plan.decide(host, phase);
+                if host == 2 && phase == "master" {
+                    let t = t.expect("victim site must fire");
+                    assert!(t < 4, "threshold {t} out of range");
+                } else {
+                    assert_eq!(t, None, "site ({host}, {phase}) must not fire");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_thresholds_stay_below_max_ops() {
+        let plan = CrashPlan { crash_prob: 1.0, ..CrashPlan::seeded(3) };
+        for host in 0..32 {
+            let t = plan.decide(host, "construct").expect("prob 1.0 always fires");
+            assert!(t < plan.max_ops);
         }
     }
 }

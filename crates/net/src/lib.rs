@@ -39,12 +39,14 @@ pub mod cluster;
 pub mod collective;
 pub mod fault;
 pub mod model;
+pub mod recovery;
 pub mod serialize;
 pub mod stats;
 
 pub use buffer::SendBuffers;
 pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, TraceConfig, MAX_TAGS};
-pub use fault::{FaultPlan, FaultReport};
+pub use fault::{CrashPlan, FaultPlan, FaultReport};
+pub use recovery::{ClusterError, NetCheckpoint, RecoveryOptions, RecoveryReport};
 pub use model::NetworkModel;
 pub use serialize::{WireReader, WireWriter};
 pub use stats::{CommStats, PhaseSnapshot};

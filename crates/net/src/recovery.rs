@@ -1,0 +1,198 @@
+//! Host-crash recovery: the public knobs, reports, and the transport
+//! checkpoint a restarted host resumes from.
+//!
+//! The moving parts live in `cluster.rs` (supervisor, send logs, replay)
+//! and `fault.rs` ([`crate::CrashPlan`]); this module holds the types that
+//! cross the crate boundary:
+//!
+//! * [`RecoveryOptions`] — heartbeat timeout, restart budget, backoff;
+//! * [`ClusterError`] — the clean terminal failure (`HostLost`) a cluster
+//!   returns instead of hanging when the budget is exhausted;
+//! * [`RecoveryReport`] — counters proving what the recovery machinery did
+//!   (crashes fired, restarts, traffic drained at teardown);
+//! * [`NetCheckpoint`] — a host's phase-boundary transport state (send
+//!   sequences, receive floors, barrier count). Restoring it aligns a
+//!   respawned host's re-execution with the byte stream its peers already
+//!   consumed: re-sent messages carry the *same* sequence numbers, so the
+//!   receive-side resequencer dedupes them, and replayed inbound traffic
+//!   below the floors is discarded the same way. Without a checkpoint the
+//!   host restarts from zero — still bit-identical under the determinism
+//!   contract, just with more re-execution.
+
+use std::time::Duration;
+
+use crate::serialize::{WireReader, WireWriter};
+use crate::MAX_TAGS;
+
+/// Unwind payload of a planned [`crate::CrashPlan`] crash. Carried via
+/// `resume_unwind` (not `panic!`) so the panic hook stays silent — a
+/// simulated host death is expected, not a bug report.
+pub(crate) struct CrashSignal;
+
+/// Unwind payload used to abort surviving hosts once a peer is declared
+/// lost. Also silent: the real diagnosis is [`ClusterError::HostLost`].
+pub(crate) struct LostSignal;
+
+/// Knobs for heartbeat-driven crash detection and bounded restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// A crashed host is declared dead once its last heartbeat is older
+    /// than this. Heartbeats are piggybacked on every communication
+    /// operation and on blocked-receive poll wakeups, so a healthy host is
+    /// never silent for more than the poll interval.
+    pub heartbeat_timeout: Duration,
+    /// Restart attempts per host before the cluster gives up with
+    /// [`ClusterError::HostLost`].
+    pub max_restarts: u32,
+    /// Base delay before the first respawn; doubles per attempt
+    /// (exponential backoff).
+    pub restart_backoff: Duration,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            heartbeat_timeout: Duration::from_millis(100),
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Terminal cluster failures surfaced by [`crate::Cluster::try_run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A host kept dying until its restart budget ran out. The cluster
+    /// unwound all surviving hosts cleanly — no thread is left blocked.
+    HostLost {
+        /// The host that could not be kept alive.
+        host: usize,
+        /// Restart attempts that were made before giving up.
+        restarts: u32,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::HostLost { host, restarts } => write!(
+                f,
+                "host {host} lost: crashed again after {restarts} restart attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Counters summarizing a run's recovery activity, returned in
+/// [`crate::ClusterOutput::recovery`] when a [`crate::CrashPlan`] was
+/// armed. Replayed *traffic* (bytes/messages retransmitted or re-executed)
+/// is accounted in [`crate::CommStats::replayed_bytes`] instead, next to
+/// the conserved per-phase matrices it is excluded from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Planned crashes that fired.
+    pub crashes: u64,
+    /// Host respawns performed by the supervisor.
+    pub restarts: u64,
+    /// Messages that had been dispatched toward a dead host but never
+    /// consumed at the moment of death — stranded in its mailboxes, its
+    /// dead resequencer, or the fault layer's holdback. These are
+    /// *counted* losses: each one is re-delivered from the send log before
+    /// the respawn, so they never show up as an `unconserved_pairs` false
+    /// positive.
+    pub lost_in_teardown: u64,
+}
+
+/// One host's transport state at a phase boundary, as captured by
+/// [`crate::Comm::net_checkpoint`] and restored by
+/// [`crate::Comm::restore_net`].
+///
+/// Captured *at a barrier*, the state is phase-complete by construction:
+/// receive floors cover exactly the traffic every peer sent this host in
+/// the finished phases (the recv paths drain only the requested tag, and
+/// tags are phase-specific), and no application message is buffered
+/// undelivered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetCheckpoint {
+    /// Next send sequence number per `(dst, tag)`, indexed
+    /// `dst * MAX_TAGS + tag`.
+    pub send_seqs: Vec<u64>,
+    /// Next expected receive sequence number per `(src, tag)`, indexed
+    /// `src * MAX_TAGS + tag`.
+    pub recv_floors: Vec<u64>,
+    /// Barriers this host has completed.
+    pub barrier_calls: u64,
+}
+
+impl NetCheckpoint {
+    /// Serializes into `w` (length-prefixed, fixed-width fields).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64_slice(&self.send_seqs);
+        w.put_u64_slice(&self.recv_floors);
+        w.put_u64(self.barrier_calls);
+    }
+
+    /// Deserializes from `r`; `None` on any truncation or length mismatch
+    /// against `hosts` (corrupt checkpoints are treated as absent).
+    pub fn decode(r: &mut WireReader, hosts: usize) -> Option<Self> {
+        let want = hosts * MAX_TAGS;
+        let send_seqs = r.get_u64_vec().ok()?;
+        let recv_floors = r.get_u64_vec().ok()?;
+        if send_seqs.len() != want || recv_floors.len() != want {
+            return None;
+        }
+        let barrier_calls = r.get_u64().ok()?;
+        Some(NetCheckpoint { send_seqs, recv_floors, barrier_calls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_checkpoint_round_trips() {
+        let hosts = 3;
+        let mut ck = NetCheckpoint {
+            send_seqs: vec![0; hosts * MAX_TAGS],
+            recv_floors: vec![0; hosts * MAX_TAGS],
+            barrier_calls: 5,
+        };
+        ck.send_seqs[7] = 42;
+        ck.recv_floors[2 * MAX_TAGS + 1] = 9;
+        let mut w = WireWriter::new();
+        ck.encode(&mut w);
+        let mut r = WireReader::new(w.finish());
+        let back = NetCheckpoint::decode(&mut r, hosts).expect("decodes");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn net_checkpoint_rejects_wrong_host_count_and_truncation() {
+        let hosts = 2;
+        let ck = NetCheckpoint {
+            send_seqs: vec![1; hosts * MAX_TAGS],
+            recv_floors: vec![2; hosts * MAX_TAGS],
+            barrier_calls: 1,
+        };
+        let mut w = WireWriter::new();
+        ck.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = WireReader::new(bytes.clone());
+        assert!(NetCheckpoint::decode(&mut r, 4).is_none(), "host count mismatch");
+        for cut in [0, 1, 8, bytes.len() - 1] {
+            let mut r = WireReader::new(bytes.slice(..cut));
+            assert!(NetCheckpoint::decode(&mut r, hosts).is_none(), "truncated at {cut}");
+        }
+    }
+
+    #[test]
+    fn host_lost_displays_cleanly() {
+        let e = ClusterError::HostLost { host: 3, restarts: 2 };
+        let s = e.to_string();
+        assert!(s.contains("host 3"), "{s}");
+        assert!(s.contains("2 restart"), "{s}");
+    }
+}

@@ -16,6 +16,13 @@ pub struct StatsCollector {
     names: RwLock<Vec<String>>,
     /// Per-phase matrices, allocated on phase registration.
     phases: RwLock<Vec<PhaseCounters>>,
+    /// Bytes moved again during crash recovery: inbound traffic re-delivered
+    /// from the send log plus re-executed sends below a restarted host's
+    /// high-water mark. Kept outside the per-phase matrices so conservation
+    /// stays checkable and Table V numbers are never silently inflated.
+    replayed_bytes: AtomicU64,
+    /// Message count matching [`StatsCollector::replayed_bytes`].
+    replayed_msgs: AtomicU64,
 }
 
 struct PhaseCounters {
@@ -42,6 +49,8 @@ impl StatsCollector {
             hosts,
             names: RwLock::new(Vec::new()),
             phases: RwLock::new(Vec::new()),
+            replayed_bytes: AtomicU64::new(0),
+            replayed_msgs: AtomicU64::new(0),
         };
         // Phase 0 always exists: traffic before any `set_phase` call.
         collector.phase_index("(untagged)");
@@ -87,6 +96,14 @@ impl StatsCollector {
         counters.recv_msgs[cell].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one replayed message (recovery traffic excluded from the
+    /// per-phase matrices).
+    #[inline]
+    pub(crate) fn record_replayed(&self, bytes: u64) {
+        self.replayed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.replayed_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total bytes recorded so far under `name` (0 if never registered).
     pub fn live_total_bytes(&self, name: &str) -> u64 {
         let names = self.names.read();
@@ -115,6 +132,8 @@ impl StatsCollector {
             hosts: self.hosts,
             names,
             phases: snaps,
+            replayed_bytes: self.replayed_bytes.load(Ordering::Relaxed),
+            replayed_msgs: self.replayed_msgs.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,6 +248,8 @@ pub struct CommStats {
     hosts: usize,
     names: Vec<String>,
     phases: Vec<PhaseSnapshot>,
+    replayed_bytes: u64,
+    replayed_msgs: u64,
 }
 
 impl CommStats {
@@ -277,6 +298,19 @@ impl CommStats {
                 (!pairs.is_empty()).then_some((name, pairs))
             })
             .collect()
+    }
+
+    /// Bytes moved again during crash recovery (log re-delivery plus
+    /// re-executed sends). Zero on a crash-free run. Counted *outside* the
+    /// per-phase matrices: conservation (`unconserved_phases`) holds modulo
+    /// exactly this traffic.
+    pub fn replayed_bytes(&self) -> u64 {
+        self.replayed_bytes
+    }
+
+    /// Message count matching [`CommStats::replayed_bytes`].
+    pub fn replayed_messages(&self) -> u64 {
+        self.replayed_msgs
     }
 
     /// Merges phase totals matching a prefix (e.g. all `"construct:*"`).

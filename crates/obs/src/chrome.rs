@@ -75,9 +75,34 @@ pub fn export_chrome_trace(trace: &Trace) -> String {
         }
     }
 
+    // Open-span tracking: a crashed host's thread dies mid-phase, so its
+    // explicit `span_begin` never sees the matching `span_end`. The export
+    // closes such spans synthetically at the thread's last timestamp (LIFO,
+    // so nesting stays well-formed) — the truncated span then renders as
+    // "cut off at the crash" in Perfetto instead of invalidating the file.
+    let mut open_spans: HashMap<(u32, u32), Vec<&'static str>> = HashMap::new();
+    let mut last_thread_ts: HashMap<(u32, u32), u64> = HashMap::new();
+
     for e in &trace.events {
         let (pid, tid) = (e.host, e.tid);
         let ts = e.ts_ns as f64 / 1000.0;
+        last_thread_ts
+            .entry((pid, tid))
+            .and_modify(|t| *t = (*t).max(e.ts_ns))
+            .or_insert(e.ts_ns);
+        match e.kind {
+            EventKind::SpanBegin { name, .. } => {
+                open_spans.entry((pid, tid)).or_default().push(name);
+            }
+            EventKind::SpanEnd { name } => {
+                if let Some(stack) = open_spans.get_mut(&(pid, tid)) {
+                    if let Some(i) = stack.iter().rposition(|n| *n == name) {
+                        stack.remove(i);
+                    }
+                }
+            }
+            _ => {}
+        }
         match e.kind {
             EventKind::SpanBegin { name, arg } => push(
                 &mut out,
@@ -151,6 +176,21 @@ pub fn export_chrome_trace(trace: &Trace) -> String {
                     );
                 }
             }
+        }
+    }
+
+    // Synthetically close whatever each thread left open, innermost first.
+    for ((pid, tid), stack) in &open_spans {
+        let ts = *last_thread_ts.get(&(*pid, *tid)).unwrap_or(&0) as f64 / 1000.0;
+        for name in stack.iter().rev() {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"E\",\"ts\":{ts:.3},\"pid\":{pid},\
+                     \"tid\":{tid},\"args\":{{\"truncated\":true}}}}",
+                    json_string(name)
+                ),
+            );
         }
     }
 
@@ -435,6 +475,10 @@ pub struct TraceCheck {
     pub flow_pairs: usize,
     /// Distinct `pid`s (simulated hosts).
     pub processes: usize,
+    /// `host_crash` instants — planned host deaths that fired.
+    pub crash_events: usize,
+    /// `host_restart` instants — supervisor respawns.
+    pub restart_events: usize,
 }
 
 /// Checks that `text` is well-formed Chrome trace-event JSON: every event
@@ -505,7 +549,12 @@ pub fn validate_trace_json(text: &str) -> Result<TraceCheck, String> {
                     entry.1 += 1;
                 }
             }
-            "i" | "C" | "M" => {}
+            "i" => match ev.get("name").and_then(Json::as_str) {
+                Some("host_crash") => check.crash_events += 1,
+                Some("host_restart") => check.restart_events += 1,
+                _ => {}
+            },
+            "C" | "M" => {}
             other => return Err(format!("event {i}: unknown ph '{other}'")),
         }
     }
@@ -570,6 +619,34 @@ mod tests {
         let json = export_chrome_trace(&rec.drain());
         let check = validate_trace_json(&json).expect("valid trace");
         assert_eq!(check.flow_pairs, 0);
+    }
+
+    #[test]
+    fn crashed_thread_spans_are_closed_synthetically() {
+        // A thread that dies mid-phase leaves explicit spans open (nested,
+        // to exercise LIFO closing); the export must still validate, and
+        // the crash/restart instants must be counted.
+        let rec = Recorder::new();
+        let g = rec.attach(0, "main");
+        crate::span_begin("master");
+        crate::span_begin("chunk");
+        crate::instant("host_crash", 4);
+        drop(g);
+        let s = rec.attach(0, "supervisor");
+        crate::instant("host_detect", 1);
+        crate::instant("host_restart", 1);
+        drop(s);
+        let g2 = rec.attach(0, "main");
+        crate::span_begin("master");
+        crate::span_end("master");
+        drop(g2);
+        let json = export_chrome_trace(&rec.drain());
+        let check = validate_trace_json(&json).expect("valid trace despite crash");
+        assert_eq!(check.crash_events, 1);
+        assert_eq!(check.restart_events, 1);
+        // 2 dangling begins + 2 synthetic ends + 1 balanced pair.
+        assert_eq!(check.span_events, 6);
+        assert!(json.contains("\"truncated\":true"));
     }
 
     #[test]

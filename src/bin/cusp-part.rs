@@ -8,6 +8,7 @@
 //! cusp-part partition --graph G.bgr --policy EEC|HVC|CVC|FEC|GVC|SVC|CEC|FNC|HDRF|XTRAPULP
 //!                     --hosts K [--out-dir DIR] [--sync-rounds N] [--buffer BYTES]
 //!                     [--threads T] [--csc] [--chunk-edges E] [--trace OUT.json]
+//!                     [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]
 //! cusp-part inspect   PART.part [PART.part ...]
 //! cusp-part validate  --graph G.bgr --parts DIR
 //! cusp-part trace-check OUT.json
@@ -21,6 +22,15 @@
 //! <https://ui.perfetto.dev>), and prints the per-phase critical-path
 //! summary (measured compute vs. α–β modeled network time per host).
 //! `trace-check` validates such a JSON file (used by the CI smoke job).
+//!
+//! With `--crash-seed`, a seeded [`cusp_net::CrashPlan`] kills simulated
+//! hosts mid-phase and the supervisor restarts them (heartbeat detection
+//! tunable via `--heartbeat-ms`); `--checkpoint-dir` lets restarted hosts
+//! resume from the last completed phase instead of re-running everything.
+//! Crash runs force the determinism contract (`deterministic_sync`, one
+//! worker thread) so the recovered partition is bit-identical to a
+//! crash-free run. A host that exhausts its restart budget terminates the
+//! run with a one-line diagnostic and a non-zero exit code.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -37,7 +47,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json"
     );
     exit(2)
 }
@@ -232,8 +242,13 @@ fn cmd_trace_check(positional: &[String]) {
     };
     match cusp_obs::validate_trace_json(&text) {
         Ok(check) => println!(
-            "{path}: ok — {} events ({} span events, {} flow pairs) across {} host(s)",
-            check.total_events, check.span_events, check.flow_pairs, check.processes
+            "{path}: ok — {} events ({} span events, {} flow pairs, {} crash / {} restart marks) across {} host(s)",
+            check.total_events,
+            check.span_events,
+            check.flow_pairs,
+            check.crash_events,
+            check.restart_events,
+            check.processes
         ),
         Err(e) => {
             eprintln!("{path}: INVALID trace: {e}");
@@ -248,11 +263,32 @@ fn cmd_props(positional: &[String]) {
     println!("{}", GraphProps::compute(&graph).row(path));
 }
 
+/// Runs the cluster, turning a lost host into a clean one-line diagnostic
+/// and a non-zero exit instead of a panic.
+fn run_cluster_or_exit<R, F>(
+    hosts: usize,
+    opts: cusp_net::ClusterOptions,
+    f: F,
+) -> cusp_net::ClusterOutput<R>
+where
+    R: Send,
+    F: Fn(&cusp_net::Comm) -> R + Sync,
+{
+    match Cluster::try_run_with(hosts, opts, f) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("cusp-part: {}", cusp::PartitionError::from(e));
+            exit(1);
+        }
+    }
+}
+
 fn cmd_partition(flags: &HashMap<String, String>) {
     let graph_path = PathBuf::from(required(flags, "graph"));
     let policy_name = required(flags, "policy").to_ascii_uppercase();
     let hosts: usize = parse_num(required(flags, "hosts"), "host count");
-    let cfg = CuspConfig {
+    let crash_seed: Option<u64> = flags.get("crash-seed").map(|s| parse_num(s, "crash seed"));
+    let mut cfg = CuspConfig {
         sync_rounds: flags
             .get("sync-rounds")
             .map(|s| parse_num(s, "sync rounds"))
@@ -273,18 +309,32 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         chunk_edges: flags
             .get("chunk-edges")
             .map(|s| parse_num(s, "chunk edges")),
+        checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
         ..CuspConfig::default()
     };
+    if crash_seed.is_some() {
+        // Recovery replays re-executed sends and dedupes them by sequence
+        // number, which requires bit-reproducible re-execution.
+        cfg.deterministic_sync = true;
+        cfg.threads_per_host = 1;
+    }
 
     let trace_path = flags.get("trace").map(PathBuf::from);
+    let mut recovery = cusp_net::RecoveryOptions::default();
+    if let Some(ms) = flags.get("heartbeat-ms") {
+        recovery.heartbeat_timeout =
+            std::time::Duration::from_millis(parse_num(ms, "heartbeat ms"));
+    }
     let opts = cusp_net::ClusterOptions {
         trace: trace_path.as_ref().map(|_| cusp_net::TraceConfig::default()),
+        crash: crash_seed.map(cusp_net::CrashPlan::seeded),
+        recovery,
         ..cusp_net::ClusterOptions::default()
     };
 
     let source = GraphSource::File(graph_path.clone());
-    let (parts, times_text, stats, trace) = if policy_name == "XTRAPULP" {
-        let out = Cluster::run_with(hosts, opts, move |comm| {
+    let (parts, times_text, stats, trace, recovery_report) = if policy_name == "XTRAPULP" {
+        let out = run_cluster_or_exit(hosts, opts, move |comm| {
             let r = xtrapulp_partition(comm, source.clone(), &XpConfig::default());
             (r.partition.dist_graph, r.partition_time)
         });
@@ -295,6 +345,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             format!("partitioning (read + label propagation): {reported:.2?}"),
             out.stats,
             out.trace,
+            out.recovery,
         )
     } else {
         let Some(kind) = PolicyKind::parse(&policy_name) else {
@@ -302,7 +353,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             usage()
         };
         let cfg2 = cfg.clone();
-        let out = Cluster::run_with(hosts, opts, move |comm| {
+        let out = run_cluster_or_exit(hosts, opts, move |comm| {
             let r = partition_with_policy(comm, source.clone(), kind, &cfg2);
             (r.dist_graph, r.times, r.peak_resident_edges)
         });
@@ -322,6 +373,7 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             ),
             out.stats,
             out.trace,
+            out.recovery,
         )
     };
 
@@ -331,6 +383,16 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         stats.grand_total_bytes() as f64 / 1e6,
         stats.grand_total_messages()
     );
+    if let Some(r) = &recovery_report {
+        println!(
+            "recovery: {} crash(es), {} restart(s), {} message(s) lost in teardown; replayed {} bytes in {} messages",
+            r.crashes,
+            r.restarts,
+            r.lost_in_teardown,
+            stats.replayed_bytes(),
+            stats.replayed_messages()
+        );
+    }
 
     if let (Some(path), Some(trace)) = (&trace_path, &trace) {
         let json = cusp_obs::export_chrome_trace(trace);
