@@ -1,0 +1,71 @@
+//! Chunk-streaming throughput of [`ChunkedSlice`] over a File backing:
+//! direct (caller-thread) materialization vs the background prefetch
+//! worker, cold (stream rebuilt per pass, fresh reader and allocations)
+//! vs warm (one stream re-walked, arena and page cache hot).
+//!
+//! On a single-core machine the prefetch variants measure the pure
+//! overhead of shipping materialization to a worker thread — the reason
+//! the core pipeline gates prefetch on `available_parallelism() > 1`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use cusp_graph::gen::powerlaw::{powerlaw, PowerLawConfig};
+use cusp_graph::{write_bgr, ChunkBacking, ChunkedSlice, RangeReader};
+
+const CHUNK_EDGES: u64 = 1024;
+
+/// Builds a File-backed chunked view over the whole node range, the way
+/// the read phase does for one host: offsets resident, payload streamed.
+fn open_chunked(path: &Path, prefetch: bool) -> ChunkedSlice {
+    let mut reader = RangeReader::open(path).expect("open bench graph");
+    let nodes = reader.num_nodes() as u32;
+    let ends = reader.read_end_offsets().expect("read offsets");
+    let mut offsets = Vec::with_capacity(nodes as usize + 1);
+    offsets.push(0);
+    offsets.extend_from_slice(&ends);
+    let mut c = ChunkedSlice::new(ChunkBacking::File(reader), 0, nodes, offsets, 0, CHUNK_EDGES);
+    c.set_prefetch(prefetch);
+    c
+}
+
+/// Materializes every chunk in order, the edge-assignment access pattern.
+fn walk(c: &mut ChunkedSlice) -> u64 {
+    let mut edges = 0u64;
+    for i in 0..c.num_chunks() {
+        edges += c.load_chunk(i).num_edges();
+    }
+    edges
+}
+
+fn bench_chunk_prefetch(c: &mut Criterion) {
+    let g = powerlaw(PowerLawConfig::webcrawl(8_000, 16.0, 42));
+    let mut path: PathBuf = std::env::temp_dir();
+    path.push(format!("cusp-bench-prefetch-{}.bgr", std::process::id()));
+    write_bgr(&path, &g).expect("write bench graph");
+    let edges = g.num_edges();
+
+    let mut group = c.benchmark_group("chunk_prefetch");
+    group.throughput(Throughput::Bytes(edges * 4));
+
+    for (label, prefetch) in [("direct", false), ("prefetch", true)] {
+        group.bench_function(format!("{label}/cold"), |b| {
+            b.iter(|| {
+                let mut stream = open_chunked(&path, prefetch);
+                black_box(walk(&mut stream))
+            });
+        });
+        group.bench_function(format!("{label}/warm"), |b| {
+            let mut stream = open_chunked(&path, prefetch);
+            walk(&mut stream); // prime arena, worker, and page cache
+            b.iter(|| black_box(walk(&mut stream)));
+        });
+    }
+    group.finish();
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_chunk_prefetch);
+criterion_main!(benches);

@@ -98,5 +98,116 @@ fn bench_u32_slice_1k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_u32_slice_1k);
+/// Generates a blocked u32 encoder/decoder pair with a fixed byte stride,
+/// mirroring the shipped codec's block loop so the only variable is the
+/// stride the compiler gets to vectorize over.
+macro_rules! blocked_codec {
+    ($enc:ident, $dec:ident, $bytes:expr) => {
+        fn $enc(src: &[u32], dst: &mut Vec<u8>) {
+            const PER: usize = $bytes / 4;
+            dst.clear();
+            dst.reserve(src.len() * 4);
+            let mut blocks = src.chunks_exact(PER);
+            for block in blocks.by_ref() {
+                let mut out = [0u8; $bytes];
+                for j in 0..PER {
+                    out[j * 4..j * 4 + 4].copy_from_slice(&block[j].to_le_bytes());
+                }
+                dst.extend_from_slice(&out);
+            }
+            for &v in blocks.remainder() {
+                dst.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fn $dec(src: &[u8], out: &mut Vec<u32>) {
+            const PER: usize = $bytes / 4;
+            out.clear();
+            let mut blocks = src.chunks_exact($bytes);
+            for b in blocks.by_ref() {
+                let mut vals = [0u32; PER];
+                for j in 0..PER {
+                    vals[j] = u32::from_le_bytes(b[j * 4..j * 4 + 4].try_into().unwrap());
+                }
+                out.extend_from_slice(&vals);
+            }
+            for b in blocks.remainder().chunks_exact(4) {
+                out.push(u32::from_le_bytes(b.try_into().unwrap()));
+            }
+        }
+    };
+}
+
+blocked_codec!(enc_8b, dec_8b, 8);
+blocked_codec!(enc_16b, dec_16b, 16);
+blocked_codec!(enc_32b, dec_32b, 32);
+blocked_codec!(enc_64b, dec_64b, 64);
+
+/// SIMD-width sweep: the same blocked loop at 8/16/32/64-byte strides,
+/// bracketed by the scalar path and the shipped 32-byte bulk codec. Shows
+/// why `BLOCK_BYTES = 32` (one AVX2 lane / two SSE lanes) was picked — and
+/// whether that choice still holds on the current machine.
+fn bench_simd_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec_simd_width");
+    let n = 65_536usize;
+    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+
+    type Enc = fn(&[u32], &mut Vec<u8>);
+    type Dec = fn(&[u8], &mut Vec<u32>);
+    let widths: [(&str, Enc, Dec); 4] = [
+        ("stride_8b", enc_8b, dec_8b),
+        ("stride_16b", enc_16b, dec_16b),
+        ("stride_32b", enc_32b, dec_32b),
+        ("stride_64b", enc_64b, dec_64b),
+    ];
+    for (name, enc, dec) in widths {
+        group.bench_function(format!("encode/{name}"), |b| {
+            let mut buf = Vec::with_capacity(n * 4);
+            b.iter(|| {
+                enc(black_box(&data), &mut buf);
+                black_box(buf.len())
+            });
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            let mut buf = Vec::with_capacity(n * 4);
+            enc(&data, &mut buf);
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                dec(black_box(&buf), &mut out);
+                black_box(out[n - 1])
+            });
+        });
+    }
+
+    group.bench_function("encode/scalar", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(n * 4);
+            for &v in &data {
+                w.put_u32(v);
+            }
+            black_box(w.finish())
+        });
+    });
+    group.bench_function("encode/shipped_bulk", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(n * 4 + 8);
+            w.put_u32_raw_slice(black_box(&data));
+            black_box(w.finish())
+        });
+    });
+    group.bench_function("decode/shipped_bulk", |b| {
+        let mut w = WireWriter::with_capacity(n * 4 + 8);
+        w.put_u32_raw_slice(&data);
+        let payload = w.finish();
+        let mut out = vec![0u32; n];
+        b.iter(|| {
+            let mut r = WireReader::new(payload.clone());
+            r.get_u32_into(&mut out).unwrap();
+            black_box(out[n - 1])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_u32_slice_1k, bench_simd_width);
 criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Minimal e2e probe used to record the pre-PR baseline in
+//! `results/BENCH_*.json`: best-of-5 reported partition wall on the
+//! File-backed chunked cwx input. Built and run against the previous
+//! commit's tree (see results/README.md). `CUSP_PROBE_CHUNK` and
+//! `CUSP_PROBE_HOSTS` override the default 4096-edge chunks / 4 hosts.
+
+use std::time::Duration;
+
+use cusp::{partition_with_policy, CuspConfig, GraphSource, PolicyKind};
+use cusp_bench::inputs::{standard_inputs, Scale};
+use cusp_net::Cluster;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let chunk = env_u64("CUSP_PROBE_CHUNK", 4096);
+    let hosts = env_u64("CUSP_PROBE_HOSTS", 4) as usize;
+    let input = standard_inputs(Scale::from_env())
+        .into_iter()
+        .find(|i| i.name == "cwx")
+        .expect("cwx input");
+    let src = GraphSource::File(input.path.clone());
+    let cfg = CuspConfig { chunk_edges: Some(chunk), ..CuspConfig::default() };
+    let mut best = Duration::MAX;
+    let mut best_times = None;
+    for _ in 0..5 {
+        let s = src.clone();
+        let c = cfg.clone();
+        let out = Cluster::run(hosts, move |comm| {
+            partition_with_policy(comm, s.clone(), PolicyKind::Cvc, &c).times
+        });
+        let times = out.results.into_iter().max_by_key(|t| t.total()).unwrap();
+        if std::env::var("CUSP_PROBE_VERBOSE").is_ok() {
+            eprintln!("  run: {:.6}", times.total().as_secs_f64());
+        }
+        if times.total() < best {
+            best = times.total();
+            best_times = Some(times);
+        }
+    }
+    println!("chunk {chunk} hosts {hosts}: e2e_secs {:.6}", best.as_secs_f64());
+    if std::env::var("CUSP_PROBE_PHASES").is_ok() {
+        for (name, d, _) in best_times.unwrap().breakdown() {
+            println!("  {name}: {:.6}", d.as_secs_f64());
+        }
+    }
+}

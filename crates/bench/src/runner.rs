@@ -54,6 +54,9 @@ pub struct PartitionRun {
     /// inputs are small enough to live in the page cache, so real disk
     /// time is invisible; the paper's Lustre reads are not).
     pub modeled_disk: f64,
+    /// Max over hosts of the per-host peak resident source edges (the
+    /// whole read slice monolithic, the largest chunk when streaming).
+    pub peak_resident_edges: u64,
 }
 
 impl PartitionRun {
@@ -106,12 +109,14 @@ pub fn run_partition_opts(
             let cfg = cfg.clone();
             let out = Cluster::run_with(k, opts, move |comm| {
                 let r = partition_with_policy(comm, source.clone(), kind, &cfg);
-                (r.dist_graph, r.times)
+                (r.dist_graph, r.times, r.peak_resident_edges)
             });
             let mut times = PhaseTimes::default();
             let mut parts = Vec::new();
-            for (dg, t) in out.results {
+            let mut peak = 0;
+            for (dg, t, p) in out.results {
                 times = times.max(&t);
+                peak = peak.max(p);
                 parts.push(dg);
             }
             let modeled_net = PhaseTimes::NAMES
@@ -130,6 +135,7 @@ pub fn run_partition_opts(
                     stats: out.stats,
                     modeled_net,
                     modeled_disk,
+                    peak_resident_edges: peak,
                 },
                 out.trace,
             )
@@ -138,14 +144,17 @@ pub fn run_partition_opts(
             let xp = XpConfig::default();
             let out = Cluster::run_with(k, opts, move |comm| {
                 let r = xtrapulp_partition(comm, source.clone(), &xp);
-                (r.partition.dist_graph, r.partition.times, r.partition_time)
+                let peak = r.partition.peak_resident_edges;
+                (r.partition.dist_graph, r.partition.times, r.partition_time, peak)
             });
             let mut times = PhaseTimes::default();
             let mut reported = Duration::ZERO;
             let mut parts = Vec::new();
-            for (dg, t, pt) in out.results {
+            let mut peak = 0;
+            for (dg, t, pt, p) in out.results {
                 times = times.max(&t);
                 reported = reported.max(pt);
+                peak = peak.max(p);
                 parts.push(dg);
             }
             let modeled_net = model().time_with_prefix(&out.stats, "xp:");
@@ -160,6 +169,7 @@ pub fn run_partition_opts(
                     stats: out.stats,
                     modeled_net,
                     modeled_disk,
+                    peak_resident_edges: peak,
                 },
                 out.trace,
             )

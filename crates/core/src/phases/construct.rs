@@ -84,14 +84,18 @@ pub fn construct<ER: EdgeRule>(
     );
     let alloc_ref: &AllocOutcome = alloc;
 
-    // Per-thread send buffers and per-destination bucket scratch.
+    // Per-thread send buffers and per-destination bucket scratch,
+    // allocated once for the whole phase (buckets are cleared per node,
+    // buffers retain their capacity across flushes). The flush threshold
+    // comes from the Fig. 7 model when `auto_buffer` is on.
+    let threshold = cfg.effective_buffer_threshold(k, data.num_edges());
     struct ThreadState {
         buffers: SendBuffers,
         buckets: Vec<Vec<Node>>,
         wbuckets: Vec<Vec<u32>>,
     }
     let mut threads: PerThread<ThreadState> = PerThread::new(pool, |_| ThreadState {
-        buffers: SendBuffers::new(k, cfg.buffer_threshold, TAG_EDGES),
+        buffers: SendBuffers::new(k, threshold, TAG_EDGES),
         buckets: vec![Vec::new(); k],
         wbuckets: vec![Vec::new(); k],
     });

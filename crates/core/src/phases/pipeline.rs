@@ -49,8 +49,10 @@ pub enum SliceData {
     /// The whole slice is resident (`CuspConfig::chunk_edges = None`).
     Whole(GraphSlice),
     /// Only the offset array is resident; edge payloads are materialized
-    /// one bounded chunk at a time.
-    Chunked(ChunkedSlice),
+    /// one bounded chunk at a time. Boxed: the stream's bookkeeping
+    /// (arena, prefetch state, resident offsets) dwarfs the `Whole`
+    /// variant, and the enum travels by value between phases.
+    Chunked(Box<ChunkedSlice>),
 }
 
 impl SliceData {
@@ -126,9 +128,11 @@ impl SliceData {
                 for i in first..=last {
                     let (lo, hi) = c.chunk_bounds(i);
                     let sub = nodes.start.max(lo)..nodes.end.min(hi);
+                    // With prefetch on, the load is mostly a wait on the
+                    // background re-read — the span then measures how well
+                    // the overlap hides the I/O, not the I/O itself.
                     cusp_obs::span_begin_arg("chunk", i as u64);
-                    let chunk = c.load_chunk(i);
-                    f(&chunk, sub);
+                    f(c.load_chunk(i), sub);
                     cusp_obs::span_end("chunk");
                 }
             }
@@ -147,6 +151,15 @@ impl SliceData {
         match self {
             SliceData::Whole(s) => s.num_edges(),
             SliceData::Chunked(c) => c.peak_resident_edges(),
+        }
+    }
+
+    /// High-water heap footprint of one chunk-arena buffer — 0 for
+    /// monolithic data, which has no arena.
+    pub fn arena_hw_bytes(&self) -> u64 {
+        match self {
+            SliceData::Whole(_) => 0,
+            SliceData::Chunked(c) => c.arena_hw_bytes(),
         }
     }
 }
@@ -375,7 +388,7 @@ mod tests {
     fn whole_and_chunked(chunk: u64) -> (SliceData, SliceData) {
         let g = Arc::new(erdos_renyi(150, 1100, 13));
         let whole = SliceData::Whole(GraphSlice::from_csr(&g, 10, 140));
-        let chunked = SliceData::Chunked(ChunkedSlice::from_csr(g, None, 10, 140, chunk));
+        let chunked = SliceData::Chunked(Box::new(ChunkedSlice::from_csr(g, None, 10, 140, chunk)));
         (whole, chunked)
     }
 

@@ -45,6 +45,28 @@ fn splits_to_boundaries(splits: &[ReadSplit]) -> Vec<u64> {
     b
 }
 
+/// Whether spawning a background prefetch worker can possibly pay off:
+/// overlap needs a spare hardware thread, otherwise the worker only adds
+/// context switches to every chunk load. `CUSP_FORCE_PREFETCH=1` overrides
+/// the probe (used by tests that must exercise the worker path on
+/// single-core machines). Chunk content is unaffected either way — the
+/// gate changes where materialization runs, never what it produces.
+fn prefetch_worthwhile() -> bool {
+    static WORTH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *WORTH.get_or_init(|| {
+        std::env::var("CUSP_FORCE_PREFETCH").is_ok_and(|v| v == "1")
+            || std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+    })
+}
+
+/// Applies the config's streaming optimizations (background prefetch,
+/// chunk-arena reuse) to a freshly built chunk stream.
+fn configure_chunks(mut c: ChunkedSlice, cfg: &CuspConfig) -> ChunkedSlice {
+    c.set_prefetch(cfg.prefetch && prefetch_worthwhile());
+    c.set_arena_reuse(cfg.arena_reuse);
+    c
+}
+
 /// Rebases the global end-offsets of range `[lo, hi)` into a local offset
 /// array (`hi - lo + 1` entries, first entry 0) plus the range's first
 /// global edge index.
@@ -73,14 +95,17 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
                 None => SliceData::Whole(reader.read_range(my.lo, my.hi)?),
                 Some(c) => {
                     let (offsets, base) = rebase_offsets(&ends, my.lo, my.hi);
-                    SliceData::Chunked(ChunkedSlice::new(
-                        ChunkBacking::File(reader),
-                        my.lo as Node,
-                        my.hi as Node,
-                        offsets,
-                        base,
-                        c,
-                    ))
+                    SliceData::Chunked(Box::new(configure_chunks(
+                        ChunkedSlice::new(
+                            ChunkBacking::File(reader),
+                            my.lo as Node,
+                            my.hi as Node,
+                            offsets,
+                            base,
+                            c,
+                        ),
+                        cfg,
+                    )))
                 }
             };
             Ok(ReadOutcome {
@@ -101,13 +126,10 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
             let my = read_splits[me];
             let data = match cfg.chunk_edges {
                 None => SliceData::Whole(GraphSlice::from_csr(graph, my.lo as u32, my.hi as u32)),
-                Some(c) => SliceData::Chunked(ChunkedSlice::from_csr(
-                    Arc::clone(graph),
-                    None,
-                    my.lo as u32,
-                    my.hi as u32,
-                    c,
-                )),
+                Some(c) => SliceData::Chunked(Box::new(configure_chunks(
+                    ChunkedSlice::from_csr(Arc::clone(graph), None, my.lo as u32, my.hi as u32, c),
+                    cfg,
+                ))),
             };
             Ok(ReadOutcome {
                 data,
@@ -132,13 +154,16 @@ pub fn read_phase(comm: &Comm, source: &GraphSource, cfg: &CuspConfig) -> std::i
                     my.lo as u32,
                     my.hi as u32,
                 )),
-                Some(c) => SliceData::Chunked(ChunkedSlice::from_csr(
-                    Arc::clone(graph),
-                    Some(Arc::clone(weights)),
-                    my.lo as u32,
-                    my.hi as u32,
-                    c,
-                )),
+                Some(c) => SliceData::Chunked(Box::new(configure_chunks(
+                    ChunkedSlice::from_csr(
+                        Arc::clone(graph),
+                        Some(Arc::clone(weights)),
+                        my.lo as u32,
+                        my.hi as u32,
+                        c,
+                    ),
+                    cfg,
+                ))),
             };
             Ok(ReadOutcome {
                 data,

@@ -69,14 +69,23 @@ where
 /// Like [`do_all`] but also passes the worker's thread id, for use with
 /// [`crate::accum::PerThread`] storage.
 ///
-/// Note: unlike `do_all`, this always dispatches to the pool (even for tiny
-/// ranges) so that `tid` is always a genuine worker id in `0..threads`.
+/// Tiny ranges (`n <= grain`) run inline on the calling thread with
+/// `tid = 0` — a valid `PerThread` slot, and never live concurrently with
+/// worker 0 since pool runs block the caller. Small streamed chunks hit
+/// this constantly; waking the pool for a dozen items costs more than the
+/// items themselves.
 pub fn do_all_with_tid<F>(pool: &ThreadPool, n: usize, grain: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
     let grain = grain.max(1);
     if n == 0 {
+        return;
+    }
+    if n <= grain {
+        for i in 0..n {
+            f(0, i);
+        }
         return;
     }
     let cursor = AtomicUsize::new(0);

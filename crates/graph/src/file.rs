@@ -128,9 +128,30 @@ pub struct GraphSlice {
 }
 
 impl GraphSlice {
+    /// An empty slice, used as the seed of buffer-recycling fills
+    /// ([`GraphSlice::fill_from_csr`], [`RangeReader::read_range_into`]).
+    pub fn empty() -> Self {
+        GraphSlice {
+            node_lo: 0,
+            node_hi: 0,
+            offsets: vec![0],
+            dests: Vec::new(),
+            weights: None,
+            first_edge_global: 0,
+        }
+    }
+
     /// Number of nodes in the slice.
     pub fn num_nodes(&self) -> usize {
         (self.node_hi - self.node_lo) as usize
+    }
+
+    /// Heap bytes backing the slice's buffers (capacities, not lengths) —
+    /// what the chunk arena's high-water metric measures.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.offsets.capacity() * 8
+            + self.dests.capacity() * 4
+            + self.weights.as_ref().map_or(0, |w| w.capacity() * 4)) as u64
     }
 
     /// Number of edges in the slice.
@@ -171,32 +192,83 @@ impl GraphSlice {
     /// Builds a slice directly from an in-memory graph (used by tests and
     /// by in-memory partitioning runs that skip the disk).
     pub fn from_csr(graph: &Csr, node_lo: Node, node_hi: Node) -> Self {
-        let base = graph.offsets()[node_lo as usize];
-        let offsets: Vec<EdgeIdx> = graph.offsets()[node_lo as usize..=node_hi as usize]
-            .iter()
-            .map(|&o| o - base)
-            .collect();
-        let end = graph.offsets()[node_hi as usize];
-        GraphSlice {
-            node_lo,
-            node_hi,
-            dests: graph.dests()[base as usize..end as usize].to_vec(),
-            offsets,
-            weights: None,
-            first_edge_global: base,
-        }
+        let mut slice = Self::empty();
+        slice.fill_from_csr(graph, node_lo, node_hi);
+        slice
     }
 
     /// Builds a weighted slice from an in-memory graph plus edge data
     /// (aligned with the graph's CSR edge order).
     pub fn from_csr_weighted(graph: &Csr, weights: &[u32], node_lo: Node, node_hi: Node) -> Self {
-        assert_eq!(weights.len() as u64, graph.num_edges());
-        let base = graph.offsets()[node_lo as usize] as usize;
-        let end = graph.offsets()[node_hi as usize] as usize;
-        let mut slice = Self::from_csr(graph, node_lo, node_hi);
-        slice.weights = Some(weights[base..end].to_vec());
+        let mut slice = Self::empty();
+        slice.fill_from_csr_weighted(graph, weights, node_lo, node_hi);
         slice
     }
+
+    /// Refills `self` with the `[node_lo, node_hi)` window of `graph`,
+    /// reusing the existing buffers. Content is identical to
+    /// [`GraphSlice::from_csr`]; only the allocations are recycled.
+    pub fn fill_from_csr(&mut self, graph: &Csr, node_lo: Node, node_hi: Node) {
+        let base = graph.offsets()[node_lo as usize];
+        let end = graph.offsets()[node_hi as usize];
+        self.offsets.clear();
+        self.offsets.extend(
+            graph.offsets()[node_lo as usize..=node_hi as usize]
+                .iter()
+                .map(|&o| o - base),
+        );
+        self.dests.clear();
+        self.dests
+            .extend_from_slice(&graph.dests()[base as usize..end as usize]);
+        self.weights = None;
+        self.node_lo = node_lo;
+        self.node_hi = node_hi;
+        self.first_edge_global = base;
+    }
+
+    /// Weighted variant of [`GraphSlice::fill_from_csr`]; the recycled
+    /// weights buffer survives the refill.
+    pub fn fill_from_csr_weighted(
+        &mut self,
+        graph: &Csr,
+        weights: &[u32],
+        node_lo: Node,
+        node_hi: Node,
+    ) {
+        assert_eq!(weights.len() as u64, graph.num_edges());
+        let mut wbuf = self.weights.take().unwrap_or_default();
+        self.fill_from_csr(graph, node_lo, node_hi);
+        let base = graph.offsets()[node_lo as usize] as usize;
+        let end = graph.offsets()[node_hi as usize] as usize;
+        wbuf.clear();
+        wbuf.extend_from_slice(&weights[base..end]);
+        self.weights = Some(wbuf);
+    }
+}
+
+/// Decodes little-endian `u32`s from `src` onto the end of `out`, in the
+/// same 32-byte blocks as the wire codec's bulk paths — the inner loop has
+/// no cross-iteration dependency, so it autovectorizes to full-width
+/// copies on little-endian targets.
+fn decode_u32s(src: &[u8], out: &mut Vec<u32>) {
+    const BLOCK: usize = 32;
+    const PER_BLOCK: usize = BLOCK / 4;
+    debug_assert_eq!(src.len() % 4, 0);
+    out.reserve(src.len() / 4);
+    let mut blocks = src.chunks_exact(BLOCK);
+    for blk in &mut blocks {
+        let mut vals = [0u32; PER_BLOCK];
+        for (j, v) in vals.iter_mut().enumerate() {
+            *v = u32::from_le_bytes(blk[j * 4..j * 4 + 4].try_into().unwrap());
+        }
+        out.extend_from_slice(&vals);
+    }
+    out.extend(
+        blocks
+            .remainder()
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+    );
 }
 
 /// Random-access reader over a `.bgr` file.
@@ -205,6 +277,13 @@ pub struct RangeReader {
     nodes: u64,
     edges: u64,
     weighted: bool,
+    /// Logical stream position, tracked so sequential range reads (a chunk
+    /// stream walking the destination array in order) skip the seek — and
+    /// its buffer-discarding syscall — entirely.
+    pos: u64,
+    /// Raw-byte staging buffer reused across range reads, so a chunk
+    /// stream re-reading the same file allocates it once.
+    scratch: Vec<u8>,
 }
 
 impl RangeReader {
@@ -227,7 +306,28 @@ impl RangeReader {
             nodes,
             edges,
             weighted: version == VERSION_WEIGHTED,
+            pos: HEADER_BYTES,
+            scratch: Vec::new(),
         })
+    }
+
+    /// Positions the stream at `target`, as a no-op when already there
+    /// (the common case for in-order chunk streams).
+    fn seek_to(&mut self, target: u64) -> io::Result<()> {
+        if self.pos != target {
+            self.file.seek(SeekFrom::Start(target))?;
+            self.pos = target;
+        }
+        Ok(())
+    }
+
+    /// `read_exact` through the position tracker.
+    fn read_bytes_at(&mut self, target: u64, len: usize) -> io::Result<()> {
+        self.seek_to(target)?;
+        self.scratch.resize(len, 0);
+        self.file.read_exact(&mut self.scratch)?;
+        self.pos += len as u64;
+        Ok(())
     }
 
     /// Whether the file carries per-edge data.
@@ -248,7 +348,7 @@ impl RangeReader {
     /// Reads the full end-offsets array (used once, to compute the
     /// edge-balanced host split).
     pub fn read_end_offsets(&mut self) -> io::Result<Vec<EdgeIdx>> {
-        self.file.seek(SeekFrom::Start(HEADER_BYTES))?;
+        self.seek_to(HEADER_BYTES)?;
         let mut out = Vec::with_capacity(self.nodes as usize);
         let mut buf = vec![0u8; 8 * 4096];
         let mut remaining = self.nodes as usize;
@@ -256,6 +356,7 @@ impl RangeReader {
             let take = remaining.min(4096);
             let bytes = &mut buf[..take * 8];
             self.file.read_exact(bytes)?;
+            self.pos += bytes.len() as u64;
             for c in bytes.chunks_exact(8) {
                 out.push(u64::from_le_bytes(c.try_into().unwrap()));
             }
@@ -266,6 +367,16 @@ impl RangeReader {
 
     /// Reads the slice for nodes `[lo, hi)`.
     pub fn read_range(&mut self, lo: u64, hi: u64) -> io::Result<GraphSlice> {
+        let mut out = GraphSlice::empty();
+        self.read_range_into(lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads the slice for nodes `[lo, hi)` into `out`, recycling `out`'s
+    /// buffers. Content is identical to [`RangeReader::read_range`]; this
+    /// is the allocation-free fill a chunk stream's arena uses when
+    /// re-reading the same file over and over.
+    pub fn read_range_into(&mut self, lo: u64, hi: u64, out: &mut GraphSlice) -> io::Result<()> {
         if lo > hi || hi > self.nodes {
             return Err(bad_data(format!(
                 "range [{lo}, {hi}) out of bounds (nodes = {})",
@@ -276,59 +387,73 @@ impl RangeReader {
         let edge_lo = if lo == 0 {
             0
         } else {
-            self.file
-                .seek(SeekFrom::Start(HEADER_BYTES + (lo - 1) * 8))?;
-            read_u64(&mut self.file)?
+            self.seek_to(HEADER_BYTES + (lo - 1) * 8)?;
+            let v = read_u64(&mut self.file)?;
+            self.pos += 8;
+            v
         };
-        // Read end offsets for [lo, hi).
-        self.file.seek(SeekFrom::Start(HEADER_BYTES + lo * 8))?;
+        // End offsets for [lo, hi), bulk-read and rebased in one pass
+        // (contiguous with the edge_lo read above, so no seek happens).
         let count = (hi - lo) as usize;
-        let mut ends = Vec::with_capacity(count);
-        for _ in 0..count {
-            ends.push(read_u64(&mut self.file)?);
+        self.read_bytes_at(HEADER_BYTES + lo * 8, count * 8)?;
+        out.offsets.clear();
+        out.offsets.reserve(count + 1);
+        out.offsets.push(0);
+        let mut edge_hi = edge_lo;
+        for c in self.scratch.chunks_exact(8) {
+            edge_hi = u64::from_le_bytes(c.try_into().unwrap());
+            // Wrapping: validated right below; a corrupt end < edge_lo is
+            // reported as an error, not an overflow panic.
+            out.offsets.push(edge_hi.wrapping_sub(edge_lo));
         }
-        let edge_hi = ends.last().copied().unwrap_or(edge_lo);
         if edge_hi < edge_lo || edge_hi > self.edges {
             return Err(bad_data(format!(
                 "corrupt offsets: edge range [{edge_lo}, {edge_hi})"
             )));
         }
-        // Rebased offsets.
-        let mut offsets = Vec::with_capacity(count + 1);
-        offsets.push(0);
-        offsets.extend(ends.iter().map(|&e| e - edge_lo));
-        // Destination span.
+        self.read_edge_span_into(edge_lo, edge_hi - edge_lo, out)?;
+        out.node_lo = lo as Node;
+        out.node_hi = hi as Node;
+        out.first_edge_global = edge_lo;
+        Ok(())
+    }
+
+    /// Reads only the destination (and, for weighted files, edge-data)
+    /// span of global edges `[edge_lo, edge_lo + count)` into `out.dests`
+    /// / `out.weights`, recycling the buffers. `out`'s node fields and
+    /// offsets are left untouched — the caller owns them.
+    ///
+    /// This is the chunk stream's fast path: the host's rebased offsets
+    /// stay resident in [`crate::ChunkedSlice`], so per-chunk re-reads
+    /// skip the offsets section entirely, and in-order walks of an
+    /// unweighted file degenerate to pure sequential reads (the position
+    /// tracker elides every seek).
+    pub fn read_edge_span_into(
+        &mut self,
+        edge_lo: u64,
+        count: u64,
+        out: &mut GraphSlice,
+    ) -> io::Result<()> {
+        if edge_lo.checked_add(count).is_none_or(|h| h > self.edges) {
+            return Err(bad_data(format!(
+                "edge span [{edge_lo}, +{count}) out of bounds (edges = {})",
+                self.edges
+            )));
+        }
         let dest_base = HEADER_BYTES + self.nodes * 8;
-        self.file
-            .seek(SeekFrom::Start(dest_base + edge_lo * 4))?;
-        let edge_count = (edge_hi - edge_lo) as usize;
-        let mut raw = vec![0u8; edge_count * 4];
-        self.file.read_exact(&mut raw)?;
-        let dests: Vec<Node> = raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        let weights = if self.weighted {
+        self.read_bytes_at(dest_base + edge_lo * 4, count as usize * 4)?;
+        out.dests.clear();
+        decode_u32s(&self.scratch, &mut out.dests);
+        if self.weighted {
             let data_base = dest_base + self.edges * 4;
-            self.file.seek(SeekFrom::Start(data_base + edge_lo * 4))?;
-            let mut raw = vec![0u8; edge_count * 4];
-            self.file.read_exact(&mut raw)?;
-            Some(
-                raw.chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
-            )
+            self.read_bytes_at(data_base + edge_lo * 4, count as usize * 4)?;
+            let w = out.weights.get_or_insert_with(Vec::new);
+            w.clear();
+            decode_u32s(&self.scratch, w);
         } else {
-            None
-        };
-        Ok(GraphSlice {
-            node_lo: lo as Node,
-            node_hi: hi as Node,
-            offsets,
-            dests,
-            weights,
-            first_edge_global: edge_lo,
-        })
+            out.weights = None;
+        }
+        Ok(())
     }
 }
 
@@ -392,6 +517,45 @@ mod tests {
         let ends = reader.read_end_offsets().unwrap();
         assert_eq!(ends, g.offsets()[1..].to_vec());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_range_into_recycles_buffers() {
+        let g = erdos_renyi(120, 900, 21);
+        let w: Vec<u32> = (0..g.num_edges() as u32).collect();
+        let path = temp_path("recycle.bgr");
+        write_bgr_weighted(&path, &g, &w).unwrap();
+        let mut reader = RangeReader::open(&path).unwrap();
+        let mut out = GraphSlice::empty();
+        for (lo, hi) in [(0u64, 120u64), (10, 50), (50, 120), (0, 120)] {
+            reader.read_range_into(lo, hi, &mut out).unwrap();
+            let fresh = reader.read_range(lo, hi).unwrap();
+            assert_eq!(out.offsets, fresh.offsets, "[{lo},{hi})");
+            assert_eq!(out.dests, fresh.dests, "[{lo},{hi})");
+            assert_eq!(out.weights, fresh.weights, "[{lo},{hi})");
+            assert_eq!(out.first_edge_global, fresh.first_edge_global);
+        }
+        // After the full-range read, smaller refills must not shrink the
+        // retained capacity (that's the arena).
+        let full_bytes = out.heap_bytes();
+        reader.read_range_into(10, 20, &mut out).unwrap();
+        assert_eq!(out.heap_bytes(), full_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fill_from_csr_matches_from_csr() {
+        let g = erdos_renyi(90, 650, 5);
+        let w: Vec<u32> = (0..g.num_edges() as u32).map(|i| i * 3).collect();
+        let mut recycled = GraphSlice::empty();
+        for (lo, hi) in [(0u32, 90u32), (12, 40), (40, 90)] {
+            recycled.fill_from_csr_weighted(&g, &w, lo, hi);
+            let fresh = GraphSlice::from_csr_weighted(&g, &w, lo, hi);
+            assert_eq!(recycled.offsets, fresh.offsets);
+            assert_eq!(recycled.dests, fresh.dests);
+            assert_eq!(recycled.weights, fresh.weights);
+            assert_eq!(recycled.first_edge_global, fresh.first_edge_global);
+        }
     }
 
     #[test]

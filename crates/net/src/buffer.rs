@@ -19,6 +19,15 @@ use crate::serialize::WireWriter;
 pub struct SendBuffers {
     buffers: Vec<WireWriter>,
     threshold: usize,
+    /// Capacity re-reserved in a writer right after each flush. Taking a
+    /// payload hands the writer's allocation to the outgoing message, so
+    /// without this the next record would regrow the buffer from zero
+    /// through the doubling sequence — one allocation per flush instead.
+    /// Capped at `threshold.min(1 << 20)`: threshold-0 runs keep it at 0
+    /// (every record becomes a message and takes the allocation with it,
+    /// so there is nothing worth pre-reserving), and huge thresholds don't
+    /// pin a giant buffer per destination.
+    retain: usize,
     tag: Tag,
     flushes: u64,
     records: u64,
@@ -28,14 +37,14 @@ impl SendBuffers {
     /// Creates buffers for each of `hosts` destinations, flushed at
     /// `threshold` bytes, sent under `tag`.
     pub fn new(hosts: usize, threshold: usize, tag: Tag) -> Self {
+        let retain = threshold.min(1 << 20);
         SendBuffers {
-            buffers: (0..hosts)
-                .map(|_| WireWriter::with_capacity(threshold.min(1 << 20)))
-                .collect(),
+            buffers: (0..hosts).map(|_| WireWriter::with_capacity(retain)).collect(),
             // Normalized once so the per-record hot path is a plain compare:
             // threshold 0 ("send immediately") behaves identically to 1
             // because every non-empty record is at least one byte.
             threshold: threshold.max(1),
+            retain,
             tag,
             flushes: 0,
             records: 0,
@@ -50,6 +59,7 @@ impl SendBuffers {
         self.records += 1;
         if buf.len() >= self.threshold {
             let payload = buf.take();
+            buf.reserve(self.retain);
             self.send(comm, dst, payload);
         }
     }
@@ -66,6 +76,7 @@ impl SendBuffers {
         for dst in 0..self.buffers.len() {
             if !self.buffers[dst].is_empty() {
                 let payload = self.buffers[dst].take();
+                self.buffers[dst].reserve(self.retain);
                 self.send(comm, dst, payload);
             }
         }
@@ -153,6 +164,53 @@ mod tests {
         });
         assert_eq!(out.results, vec![0, 0]);
         assert_eq!(out.stats.phase("idle").unwrap().total_messages(), 0);
+    }
+
+    #[test]
+    fn capacity_is_retained_across_flushes() {
+        let out = Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                let mut bufs = SendBuffers::new(2, 128, Tag(3));
+                for i in 0..200u64 {
+                    bufs.record(comm, 1, |w| w.put_u64(i));
+                }
+                // After at least one flush, the writer must hold its
+                // retained capacity without a record having regrown it.
+                let cap = bufs.buffers[1].capacity();
+                bufs.flush_all(comm);
+                (bufs.flushes(), cap)
+            } else {
+                let mut got = 0u64;
+                while got < 200 {
+                    let (_s, p) = comm.recv_any(Tag(3));
+                    got += p.len() as u64 / 8;
+                }
+                (0, usize::MAX)
+            }
+        });
+        let (flushes, cap) = out.results[0];
+        assert!(flushes > 1);
+        assert!(cap >= 128, "retained capacity {cap} < threshold 128");
+    }
+
+    #[test]
+    fn zero_threshold_retains_nothing() {
+        let out = Cluster::run(2, |comm| {
+            if comm.host() == 0 {
+                let mut bufs = SendBuffers::new(2, 0, Tag(4));
+                for i in 0..5u64 {
+                    bufs.record(comm, 1, |w| w.put_u64(i));
+                }
+                bufs.flush_all(comm);
+                bufs.buffers[1].capacity()
+            } else {
+                for _ in 0..5 {
+                    let _ = comm.recv_any(Tag(4));
+                }
+                usize::MAX
+            }
+        });
+        assert_eq!(out.results[0], 0, "threshold-0 buffers must not pin capacity");
     }
 
     #[test]

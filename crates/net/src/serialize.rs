@@ -8,6 +8,14 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// Stride of the bulk codec loops: one 32-byte block per iteration (a full
+/// AVX2 register / two NEON registers), i.e. 8 `u32`s or 4 `u64`s. The
+/// fixed-count inner loops below compile to straight-line vector code; the
+/// sub-block tail is handled element-wise.
+const BLOCK_BYTES: usize = 32;
+const U32_PER_BLOCK: usize = BLOCK_BYTES / 4;
+const U64_PER_BLOCK: usize = BLOCK_BYTES / 8;
+
 /// Error returned when a reader runs out of bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireError {
@@ -61,6 +69,19 @@ impl WireWriter {
     }
 
     #[inline]
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Ensures capacity for at least `additional` more bytes. Used by
+    /// [`crate::SendBuffers`] to re-arm a writer right after
+    /// [`WireWriter::take`] hands its allocation to the flushed message.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    #[inline]
     /// Appends a `u8`.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
@@ -99,44 +120,52 @@ impl WireWriter {
     /// Appends a `u32` run with **no length prefix**, byte-identical to
     /// calling [`WireWriter::put_u32`] once per element.
     ///
-    /// On little-endian targets the run is a single memcpy; elsewhere it
-    /// falls back to the portable per-element encode.
+    /// The run is encoded straight into the buffer in 32-byte blocks
+    /// (8 elements per iteration); the fixed-count inner loop vectorizes,
+    /// and on little-endian targets reduces to wide copies. Endianness is
+    /// handled per element by `to_le_bytes`, so the encode is portable.
     pub fn put_u32_raw_slice(&mut self, vs: &[u32]) {
-        #[cfg(target_endian = "little")]
-        {
-            // SAFETY: `u32` has no padding; on little-endian targets its
-            // in-memory bytes are exactly the wire encoding.
-            let bytes = unsafe {
-                std::slice::from_raw_parts(vs.as_ptr() as *const u8, std::mem::size_of_val(vs))
-            };
-            self.buf.put_slice(bytes);
-        }
-        #[cfg(not(target_endian = "little"))]
-        {
-            self.buf.reserve(vs.len() * 4);
-            for &v in vs {
-                self.buf.put_u32_le(v);
+        let old = self.buf.len();
+        self.buf.resize(old + vs.len() * 4, 0);
+        let dst = &mut self.buf[old..];
+        let mut blocks = vs.chunks_exact(U32_PER_BLOCK);
+        let mut outs = dst.chunks_exact_mut(BLOCK_BYTES);
+        for (blk, out) in (&mut blocks).zip(&mut outs) {
+            for j in 0..U32_PER_BLOCK {
+                out[j * 4..j * 4 + 4].copy_from_slice(&blk[j].to_le_bytes());
             }
+        }
+        for (&v, out) in blocks
+            .remainder()
+            .iter()
+            .zip(outs.into_remainder().chunks_exact_mut(4))
+        {
+            out.copy_from_slice(&v.to_le_bytes());
         }
     }
 
     /// Appends a `u64` run with **no length prefix**, byte-identical to
     /// calling [`WireWriter::put_u64`] once per element.
+    ///
+    /// Same 32-byte-block scheme as [`WireWriter::put_u32_raw_slice`],
+    /// 4 elements per iteration.
     pub fn put_u64_raw_slice(&mut self, vs: &[u64]) {
-        #[cfg(target_endian = "little")]
-        {
-            // SAFETY: as in `put_u32_raw_slice`.
-            let bytes = unsafe {
-                std::slice::from_raw_parts(vs.as_ptr() as *const u8, std::mem::size_of_val(vs))
-            };
-            self.buf.put_slice(bytes);
-        }
-        #[cfg(not(target_endian = "little"))]
-        {
-            self.buf.reserve(vs.len() * 8);
-            for &v in vs {
-                self.buf.put_u64_le(v);
+        let old = self.buf.len();
+        self.buf.resize(old + vs.len() * 8, 0);
+        let dst = &mut self.buf[old..];
+        let mut blocks = vs.chunks_exact(U64_PER_BLOCK);
+        let mut outs = dst.chunks_exact_mut(BLOCK_BYTES);
+        for (blk, out) in (&mut blocks).zip(&mut outs) {
+            for j in 0..U64_PER_BLOCK {
+                out[j * 8..j * 8 + 8].copy_from_slice(&blk[j].to_le_bytes());
             }
+        }
+        for (&v, out) in blocks
+            .remainder()
+            .iter()
+            .zip(outs.into_remainder().chunks_exact_mut(8))
+        {
+            out.copy_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -232,45 +261,54 @@ impl WireReader {
 
     /// Reads exactly `dst.len()` `u32`s (no length prefix) into `dst`.
     ///
-    /// On little-endian targets the run is a single memcpy out of the
-    /// payload; elsewhere it falls back to the portable per-element decode.
+    /// Decodes straight off the payload in 32-byte blocks (8 elements per
+    /// iteration); the fixed-count inner loop vectorizes, and endianness is
+    /// handled per element by `from_le_bytes`, so the decode is portable.
     pub fn get_u32_into(&mut self, dst: &mut [u32]) -> Result<(), WireError> {
-        let nbytes = std::mem::size_of_val(dst);
+        let nbytes = dst.len() * 4;
         self.check(nbytes)?;
-        #[cfg(target_endian = "little")]
-        {
-            // SAFETY: `u32` has no padding or invalid bit patterns, and the
-            // wire encoding is exactly its little-endian memory layout.
-            let out =
-                unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, nbytes) };
-            self.buf.copy_to_slice(out);
-        }
-        #[cfg(not(target_endian = "little"))]
-        {
-            for v in dst.iter_mut() {
-                *v = self.buf.get_u32_le();
+        let src = &self.buf.chunk()[..nbytes];
+        let mut blocks = src.chunks_exact(BLOCK_BYTES);
+        let mut outs = dst.chunks_exact_mut(U32_PER_BLOCK);
+        for (blk, out) in (&mut blocks).zip(&mut outs) {
+            for j in 0..U32_PER_BLOCK {
+                out[j] = u32::from_le_bytes(blk[j * 4..j * 4 + 4].try_into().unwrap());
             }
         }
+        for (b, v) in blocks
+            .remainder()
+            .chunks_exact(4)
+            .zip(outs.into_remainder().iter_mut())
+        {
+            *v = u32::from_le_bytes(b.try_into().unwrap());
+        }
+        self.buf.advance(nbytes);
         Ok(())
     }
 
     /// Reads exactly `dst.len()` `u64`s (no length prefix) into `dst`.
+    ///
+    /// Same 32-byte-block scheme as [`WireReader::get_u32_into`],
+    /// 4 elements per iteration.
     pub fn get_u64_into(&mut self, dst: &mut [u64]) -> Result<(), WireError> {
-        let nbytes = std::mem::size_of_val(dst);
+        let nbytes = dst.len() * 8;
         self.check(nbytes)?;
-        #[cfg(target_endian = "little")]
-        {
-            // SAFETY: as in `get_u32_into`.
-            let out =
-                unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, nbytes) };
-            self.buf.copy_to_slice(out);
-        }
-        #[cfg(not(target_endian = "little"))]
-        {
-            for v in dst.iter_mut() {
-                *v = self.buf.get_u64_le();
+        let src = &self.buf.chunk()[..nbytes];
+        let mut blocks = src.chunks_exact(BLOCK_BYTES);
+        let mut outs = dst.chunks_exact_mut(U64_PER_BLOCK);
+        for (blk, out) in (&mut blocks).zip(&mut outs) {
+            for j in 0..U64_PER_BLOCK {
+                out[j] = u64::from_le_bytes(blk[j * 8..j * 8 + 8].try_into().unwrap());
             }
         }
+        for (b, v) in blocks
+            .remainder()
+            .chunks_exact(8)
+            .zip(outs.into_remainder().iter_mut())
+        {
+            *v = u64::from_le_bytes(b.try_into().unwrap());
+        }
+        self.buf.advance(nbytes);
         Ok(())
     }
 
@@ -371,6 +409,48 @@ mod tests {
             scalar.put_u64(v);
         }
         assert_eq!(&*bulk.finish(), &*scalar.finish());
+    }
+
+    #[test]
+    fn block_boundary_lengths_round_trip() {
+        // The 32-byte-block codec has three regimes (full blocks, tail,
+        // empty); sweep lengths straddling every boundary and check both
+        // parity with the scalar encoding and the decode round trip.
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100] {
+            let v32: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            let v64: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            let mut bulk = WireWriter::new();
+            bulk.put_u32_raw_slice(&v32);
+            bulk.put_u64_raw_slice(&v64);
+            let mut scalar = WireWriter::new();
+            for &v in &v32 {
+                scalar.put_u32(v);
+            }
+            for &v in &v64 {
+                scalar.put_u64(v);
+            }
+            assert_eq!(&*bulk.buf, &*scalar.buf, "len {n}");
+            let mut r = WireReader::new(bulk.finish());
+            let mut o32 = vec![0u32; n];
+            let mut o64 = vec![0u64; n];
+            r.get_u32_into(&mut o32).unwrap();
+            r.get_u64_into(&mut o64).unwrap();
+            assert_eq!(o32, v32, "len {n}");
+            assert_eq!(o64, v64, "len {n}");
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn reserve_retains_capacity_across_take() {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_u64(1);
+        let _ = w.take();
+        assert_eq!(w.capacity(), 0, "take() hands the allocation to the message");
+        w.reserve(64);
+        assert!(w.capacity() >= 64);
+        w.put_u64(2);
+        assert_eq!(w.take().len(), 8);
     }
 
     #[test]

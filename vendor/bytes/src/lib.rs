@@ -8,7 +8,7 @@
 //! `chunk()`.
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// Read-side cursor over a contiguous byte buffer.
@@ -223,6 +223,12 @@ impl BytesMut {
         self.vec.clear();
     }
 
+    /// Resizes the filled region to `new_len`, filling any newly exposed
+    /// bytes with `value` (same semantics as the real crate).
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
     /// Splits off all filled bytes, leaving `self` empty (capacity is not
     /// preserved, unlike the real crate — callers here don't rely on that).
     pub fn split(&mut self) -> BytesMut {
@@ -238,6 +244,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
     }
 }
 
@@ -282,6 +294,17 @@ mod tests {
         assert!(w.is_empty());
         w.put_slice(b"d");
         assert_eq!(&*w.split().freeze(), b"d");
+    }
+
+    #[test]
+    fn resize_exposes_writable_tail() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_slice(b"ab");
+        w.resize(6, 0);
+        w[2..6].copy_from_slice(b"cdef");
+        assert_eq!(&*w, b"abcdef");
+        w.resize(3, 0);
+        assert_eq!(&*w.split().freeze(), b"abc");
     }
 
     #[test]
