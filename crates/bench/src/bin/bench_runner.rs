@@ -12,6 +12,9 @@
 //! * **Memory**: `peak_resident_edges` and the chunk-arena high-water
 //!   footprint.
 //! * **Obs overhead**: traced vs untraced wall on the same config.
+//! * **Serve round-trip**: cold vs cache-hit latency of one partition
+//!   request against an in-process `cusp-serve` instance over real
+//!   sockets (fingerprints asserted identical).
 //! * **Ablation rows**: one wall-clock row per single-knob variant.
 //!
 //! Usage:
@@ -139,6 +142,14 @@ fn main() {
         ablation_rows.push((*name, secs));
     }
 
+    // Serve round-trip: cold partition request vs cache-hit request
+    // against an in-process server, over real TCP.
+    let (serve_cold, serve_warm) = serve_roundtrip(&input.graph);
+    eprintln!(
+        "serve round-trip: cold {serve_cold:.4}s, cache-hit {serve_warm:.6}s ({:.0}x)",
+        serve_cold / serve_warm
+    );
+
     let json = render_json(
         input.name,
         input.graph.num_nodes() as u64,
@@ -155,6 +166,8 @@ fn main() {
         untraced,
         traced,
         obs_overhead,
+        serve_cold,
+        serve_warm,
         &ablation_rows,
     );
 
@@ -210,6 +223,45 @@ fn best_e2e(
     let v = verify_run(graph, &best);
     assert!(v.is_empty(), "oracle violations: {v:#?}");
     (best.reported.as_secs_f64(), best)
+}
+
+/// Cold vs cache-hit latency of one partition request against an
+/// in-process `cusp-serve`: upload the bench graph, time the first
+/// partition request (runs the pipeline), then the best of three
+/// repeats of the identical request (memory-tier hit). Fingerprints
+/// must match — a serve-layer bug can't post a fast number.
+fn serve_roundtrip(graph: &cusp_graph::Csr) -> (f64, f64) {
+    use cusp_serve::{serve, Client, Response, ServeConfig, ServerState};
+
+    let data_dir =
+        std::env::temp_dir().join(format!("cusp-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let state = ServerState::new(ServeConfig { data_dir: data_dir.clone(), ..Default::default() })
+        .expect("serve state");
+    let mut handle = serve(state, "127.0.0.1:0").expect("bind serve");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    client.upload_graph("bench", "cwx", graph, None).expect("upload");
+
+    let fp_of = |resp: &Response| match resp {
+        Response::Partitioned { fingerprint, .. } => *fingerprint,
+        other => panic!("partition failed: {other:?}"),
+    };
+    let t = Instant::now();
+    let cold = client.partition("bench", "cwx", "CVC", HOSTS as u32, 0).expect("cold");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let cold_fp = fp_of(&cold);
+
+    let mut warm_secs = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let warm = client.partition("bench", "cwx", "CVC", HOSTS as u32, 0).expect("warm");
+        warm_secs = warm_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(fp_of(&warm), cold_fp, "cache hit diverged from cold run");
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    (cold_secs, warm_secs)
 }
 
 struct CodecRow {
@@ -303,6 +355,8 @@ fn render_json(
     untraced: f64,
     traced: f64,
     obs_overhead: f64,
+    serve_cold: f64,
+    serve_warm: f64,
     ablations: &[(&str, f64)],
 ) -> String {
     let mut s = String::new();
@@ -339,6 +393,10 @@ fn render_json(
     s.push_str("},\n");
     s.push_str(&format!(
         "  \"obs\": {{\"untraced_secs\": {untraced:.6}, \"traced_secs\": {traced:.6}, \"overhead_frac\": {obs_overhead:.4}}},\n"
+    ));
+    s.push_str(&format!(
+        "  \"serve\": {{\"cold_secs\": {serve_cold:.6}, \"cache_hit_secs\": {serve_warm:.6}, \"speedup\": {:.1}}},\n",
+        serve_cold / serve_warm
     ));
     s.push_str("  \"ablations\": [\n");
     let ab_rows: Vec<String> = ablations

@@ -76,7 +76,8 @@ pub use state::{LoadState, PartitionState};
 pub use storage::{read_partition, write_partition};
 pub use tracing::{phase_net_rows, phase_summary, render_phase_summary};
 pub use verify::{
-    check_all, check_comm_stats, check_partition, partition_fingerprint, Violation, ViolationKind,
+    check_all, check_comm_stats, check_partition, graph_fingerprint, partition_fingerprint,
+    Violation, ViolationKind,
 };
 
 /// A partition id; CuSP runs with as many hosts as partitions, so this is

@@ -135,6 +135,11 @@ pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
     for _ in 0..=num_local {
         offsets.push(read_u64(&mut r)?);
     }
+    // Validate CSR shape here rather than letting Csr::from_parts assert:
+    // a corrupted body must surface as InvalidData, not a panic.
+    if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("corrupt partition: CSR offsets not monotone from zero".into()));
+    }
     let num_edges = *offsets.last().unwrap_or(&0) as usize;
     let mut dests = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {

@@ -451,6 +451,34 @@ pub fn partition_fingerprint(parts: &[DistGraph]) -> u64 {
     h.finish()
 }
 
+/// FNV-1a fingerprint over every structural byte of an *input* graph
+/// (offsets, destinations, optional per-edge weights). This is the
+/// graph-identity half of a serving-layer cache key: two graphs share a
+/// fingerprint iff their CSR representations are bit-identical, so a
+/// cached partition of one is valid for the other. Complements
+/// [`partition_fingerprint`], which hashes the *output*.
+pub fn graph_fingerprint(graph: &Csr, weights: Option<&[u32]>) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(graph.num_nodes() as u64);
+    h.u64(graph.num_edges());
+    for &o in graph.offsets() {
+        h.u64(o);
+    }
+    for &d in graph.dests() {
+        h.u64(d as u64);
+    }
+    match weights {
+        None => h.u64(0),
+        Some(ws) => {
+            h.u64(1 + ws.len() as u64);
+            for &w in ws {
+                h.u64(w as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
 struct Fnv(u64);
 
 impl Fnv {
@@ -548,6 +576,19 @@ mod tests {
         parts[0].graph = Csr::from_parts(vec![0, 1, 2, 2], vec![1, 7]);
         let v = check_partition(&g, None, &parts);
         assert!(v.iter().any(|v| v.kind == ViolationKind::CsrWellFormed), "{v:?}");
+    }
+
+    #[test]
+    fn graph_fingerprint_tracks_structure_and_weights() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let a = graph_fingerprint(&g, None);
+        assert_eq!(a, graph_fingerprint(&g, None), "not deterministic");
+        let shuffled = Csr::from_edges(4, &[(0, 1), (1, 3), (2, 3)]);
+        assert_ne!(a, graph_fingerprint(&shuffled, None));
+        // Weights change the identity; identical weights agree.
+        let w = vec![5u32, 6, 7];
+        assert_ne!(a, graph_fingerprint(&g, Some(&w)));
+        assert_eq!(graph_fingerprint(&g, Some(&w)), graph_fingerprint(&g, Some(&w)));
     }
 
     #[test]

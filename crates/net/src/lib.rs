@@ -48,7 +48,7 @@ pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, Tra
 pub use fault::{CrashPlan, FaultPlan, FaultReport};
 pub use recovery::{ClusterError, NetCheckpoint, RecoveryOptions, RecoveryReport};
 pub use model::NetworkModel;
-pub use serialize::{WireReader, WireWriter};
+pub use serialize::{WireError, WireReader, WireWriter};
 pub use stats::{CommStats, PhaseSnapshot};
 
 pub use collective::{

@@ -35,8 +35,8 @@ mod summary;
 pub use chrome::{export_chrome_trace, validate_trace_json, TraceCheck};
 pub use event::{Event, EventKind, EVENT_WORDS};
 pub use recorder::{
-    counter, current, instant, is_active, msg_recv, msg_send, span, span_begin, span_begin_arg,
-    span_end, AttachGuard, Attachment, Recorder, SpanGuard, ThreadInfo, Trace,
+    counter, current, instant, is_active, msg_recv, msg_send, span, span_arg, span_begin,
+    span_begin_arg, span_end, AttachGuard, Attachment, Recorder, SpanGuard, ThreadInfo, Trace,
     DEFAULT_RING_CAPACITY,
 };
 pub use structure::Structure;

@@ -270,6 +270,14 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { name }
 }
 
+/// Opens `name` carrying a numeric argument (e.g. a server request tag or
+/// cache-key hash) and returns a guard closing it on drop.
+#[inline]
+pub fn span_arg(name: &'static str, arg: u64) -> SpanGuard {
+    span_begin_arg(name, arg);
+    SpanGuard { name }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         span_end(self.name);

@@ -1,0 +1,389 @@
+//! The partition cache: the amortization engine of the serving layer.
+//!
+//! Completed partitions are kept in memory and on disk, keyed by
+//! `(graph fingerprint, policy, hosts, chunk_edges)` — exactly the inputs
+//! that determine the output under the determinism contract. The on-disk
+//! format is the existing `storage.rs` `.part` framing (one file per
+//! host) plus a CRC-checked `meta` file written last as the commit
+//! marker; a corrupted or torn entry loads as a miss and falls back to
+//! re-partitioning, mirroring the checkpoint store's any-corruption →
+//! full-re-run posture.
+//!
+//! Concurrent requests for the same key coalesce: the first becomes the
+//! runner, later ones block on its result and are counted in
+//! `coalesced` — so a thundering herd of identical requests costs one
+//! partition job, the property the concurrency battery asserts via
+//! [`PartitionCache::jobs_run`].
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use cusp::{metrics::QualityReport, partition_fingerprint, DistGraph, PolicyKind};
+
+use crate::error::ServeError;
+use crate::protocol::{crc32, CacheTier};
+
+/// Everything that determines a partition's bytes, and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `cusp::graph_fingerprint` of the input graph (with weights).
+    pub graph: u64,
+    /// Partitioning policy.
+    pub policy: PolicyKind,
+    /// Host count.
+    pub hosts: u32,
+    /// Reader chunk bound; 0 encodes monolithic.
+    pub chunk_edges: u64,
+}
+
+impl CacheKey {
+    /// Stable directory name for the on-disk entry.
+    pub fn dir_name(&self) -> String {
+        format!(
+            "g{:016x}-{}-h{}-c{}",
+            self.graph,
+            self.policy.name().to_ascii_lowercase(),
+            self.hosts,
+            self.chunk_edges
+        )
+    }
+
+    /// 64-bit mix of the key for obs span args.
+    pub fn hash64(&self) -> u64 {
+        let mut h = self.graph ^ (self.hosts as u64).rotate_left(17) ^ self.chunk_edges;
+        h ^= (self.policy as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+    }
+}
+
+/// A completed, quality-annotated partition set.
+pub struct CachedPartition {
+    /// One [`DistGraph`] per host, in host order.
+    pub parts: Vec<DistGraph>,
+    /// `cusp::partition_fingerprint` over `parts`.
+    pub fingerprint: u64,
+    /// Structural quality of the partition.
+    pub quality: QualityReport,
+}
+
+impl std::fmt::Debug for CachedPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedPartition")
+            .field("hosts", &self.parts.len())
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .finish()
+    }
+}
+
+impl CachedPartition {
+    fn of(parts: Vec<DistGraph>) -> Self {
+        let fingerprint = partition_fingerprint(&parts);
+        let quality = cusp::metrics::quality(&parts);
+        CachedPartition { parts, fingerprint, quality }
+    }
+}
+
+struct Inflight {
+    done: Mutex<Option<Result<Arc<CachedPartition>, ServeError>>>,
+    cv: Condvar,
+}
+
+/// The two-tier (memory + disk) coalescing cache for one namespace.
+pub struct PartitionCache {
+    root: PathBuf,
+    mem: Mutex<HashMap<CacheKey, Arc<CachedPartition>>>,
+    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    /// Partition jobs actually executed (cache+coalesce misses).
+    pub jobs_run: AtomicU64,
+    /// Hits served from memory.
+    pub mem_hits: AtomicU64,
+    /// Hits served by reloading a disk entry.
+    pub disk_hits: AtomicU64,
+    /// Requests that waited on another request's in-flight job.
+    pub coalesced: AtomicU64,
+}
+
+impl PartitionCache {
+    /// A cache persisting under `root` (created on first write).
+    pub fn new(root: PathBuf) -> Self {
+        PartitionCache {
+            root,
+            mem: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            jobs_run: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Directory holding `key`'s entry.
+    pub fn entry_dir(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(key.dir_name())
+    }
+
+    /// Returns the partition for `key`, computing it with `compute` on a
+    /// full miss. Exactly one caller runs `compute` per key at a time;
+    /// the rest coalesce. The returned tier says how this particular call
+    /// was served.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<Vec<DistGraph>, ServeError>,
+    ) -> Result<(Arc<CachedPartition>, CacheTier), ServeError> {
+        // Memory tier.
+        if let Some(hit) = self.mem.lock().unwrap().get(&key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            cusp_obs::instant("serve_cache_mem_hit", key.hash64());
+            return Ok((Arc::clone(hit), CacheTier::Memory));
+        }
+
+        // Join an in-flight job for the key, or become the runner.
+        let job = {
+            let mut inflight = self.inflight.lock().unwrap();
+            // A job may have completed between the mem probe and here.
+            if let Some(hit) = self.mem.lock().unwrap().get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(hit), CacheTier::Memory));
+            }
+            match inflight.get(&key) {
+                Some(job) => {
+                    let job = Arc::clone(job);
+                    drop(inflight);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    cusp_obs::instant("serve_cache_coalesced", key.hash64());
+                    let mut done = job.done.lock().unwrap();
+                    while done.is_none() {
+                        done = job.cv.wait(done).unwrap();
+                    }
+                    return done
+                        .as_ref()
+                        .unwrap()
+                        .clone()
+                        .map(|p| (p, CacheTier::Coalesced));
+                }
+                None => {
+                    let job = Arc::new(Inflight { done: Mutex::new(None), cv: Condvar::new() });
+                    inflight.insert(key, Arc::clone(&job));
+                    job
+                }
+            }
+        };
+
+        // We are the runner: disk tier first, then compute.
+        let result = match self.load_disk(&key) {
+            Some(cached) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                cusp_obs::instant("serve_cache_disk_hit", key.hash64());
+                Ok((Arc::new(cached), CacheTier::Disk))
+            }
+            None => {
+                self.jobs_run.fetch_add(1, Ordering::Relaxed);
+                let _span = cusp_obs::span_arg("serve_partition_job", key.hash64());
+                compute().map(|parts| {
+                    let cached = Arc::new(CachedPartition::of(parts));
+                    if let Err(e) = self.store_disk(&key, &cached) {
+                        // Disk persistence is best-effort; memory still
+                        // serves the result.
+                        eprintln!(
+                            "cusp-serve: cache write failed for {}: {e}",
+                            self.entry_dir(&key).display()
+                        );
+                    }
+                    (cached, CacheTier::Cold)
+                })
+            }
+        };
+
+        // Publish to memory, wake coalesced waiters, retire the job.
+        if let Ok((cached, _)) = &result {
+            self.mem.lock().unwrap().insert(key, Arc::clone(cached));
+        }
+        let shared = result.as_ref().map(|(c, _)| Arc::clone(c)).map_err(Clone::clone);
+        *job.done.lock().unwrap() = Some(shared);
+        job.cv.notify_all();
+        self.inflight.lock().unwrap().remove(&key);
+        result
+    }
+
+    /// Drops the in-memory tier (keeps disk). Exposed so tests and the
+    /// admin surface can force disk-path coverage.
+    pub fn clear_memory(&self) {
+        self.mem.lock().unwrap().clear();
+    }
+
+    /// Loads a committed disk entry, or `None` on any inconsistency:
+    /// missing/corrupt meta, unreadable part file, wrong part count or
+    /// id, or a fingerprint mismatch against the meta record. All of
+    /// those mean "miss", never an error — the fallback is recomputing.
+    fn load_disk(&self, key: &CacheKey) -> Option<CachedPartition> {
+        let dir = self.entry_dir(key);
+        let (fingerprint, hosts) = read_meta(&dir.join("meta"))?;
+        if hosts != key.hosts {
+            return None;
+        }
+        let mut parts = Vec::with_capacity(hosts as usize);
+        for h in 0..hosts {
+            let part = cusp::read_partition(&dir.join(format!("part-{h:04}.part"))).ok()?;
+            if part.part_id != h || part.num_parts != hosts {
+                return None;
+            }
+            parts.push(part);
+        }
+        // Check the store-time fingerprint BEFORE computing quality
+        // metrics: bit rot that survives `read_partition`'s shape checks
+        // must be caught while the data is still untrusted.
+        if cusp::partition_fingerprint(&parts) != fingerprint {
+            return None;
+        }
+        Some(CachedPartition::of(parts))
+    }
+
+    /// Persists an entry: part files first, CRC-checked `meta` last as
+    /// the commit marker (a torn write leaves no meta → clean miss).
+    fn store_disk(&self, key: &CacheKey, cached: &CachedPartition) -> std::io::Result<()> {
+        let dir = self.entry_dir(key);
+        std::fs::create_dir_all(&dir)?;
+        for part in &cached.parts {
+            cusp::write_partition(&dir.join(format!("part-{:04}.part", part.part_id)), part)?;
+        }
+        write_meta(&dir.join("meta"), cached.fingerprint, key.hosts)
+    }
+}
+
+/// Meta file: `fingerprint u64 | hosts u32 | crc32 u32` (LE), CRC over
+/// the first 12 bytes.
+fn write_meta(path: &Path, fingerprint: u64, hosts: u32) -> std::io::Result<()> {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&fingerprint.to_le_bytes());
+    body.extend_from_slice(&hosts.to_le_bytes());
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &body)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn read_meta(path: &Path) -> Option<(u64, u32)> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() != 16 || crc32(&bytes[..12]) != u32::from_le_bytes(bytes[12..16].try_into().ok()?)
+    {
+        return None;
+    }
+    let fingerprint = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+    let hosts = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    Some((fingerprint, hosts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusp_graph::Csr;
+
+    fn tiny_parts(hosts: u32) -> Vec<DistGraph> {
+        // A 2-node ring split "by hand" — enough structure for the cache
+        // plumbing; real partitions are exercised in tests/cache.rs.
+        (0..hosts)
+            .map(|h| DistGraph {
+                part_id: h,
+                num_parts: hosts,
+                global_nodes: 2,
+                global_edges: 2,
+                num_masters: 1,
+                local2global: vec![h, 1 - h],
+                master_of: vec![h, 1 - h],
+                graph: Csr::from_edges(2, &[(0, 1)]),
+                edge_data: None,
+                class: cusp::PartitionClass::GeneralVertexCut,
+            })
+            .collect()
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cusp-serve-cache-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn mem_then_disk_then_recompute() {
+        let root = temp_root("tiers");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = PartitionCache::new(root.clone());
+        let key = CacheKey { graph: 42, policy: PolicyKind::Cvc, hosts: 2, chunk_edges: 0 };
+
+        let (a, tier) = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+        assert_eq!(tier, CacheTier::Cold);
+        let (b, tier) = cache.get_or_compute(key, || panic!("should be cached")).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(a.fingerprint, b.fingerprint);
+
+        // A fresh cache over the same root = server restart: disk tier.
+        let cache2 = PartitionCache::new(root.clone());
+        let (c, tier) = cache2.get_or_compute(key, || panic!("disk should hit")).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(c.fingerprint, a.fingerprint);
+        assert_eq!(cache2.jobs_run.load(Ordering::Relaxed), 0);
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_meta_or_part_falls_back_to_compute() {
+        let root = temp_root("corrupt");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = PartitionCache::new(root.clone());
+        let key = CacheKey { graph: 7, policy: PolicyKind::Eec, hosts: 2, chunk_edges: 16 };
+        cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+
+        // Flip a byte mid-part-file; a restarted cache must recompute.
+        let victim = cache.entry_dir(&key).join("part-0001.part");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let cache2 = PartitionCache::new(root.clone());
+        let (back, tier) = cache2.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+        assert_eq!(tier, CacheTier::Cold, "corrupt entry must not serve");
+        assert_eq!(cache2.jobs_run.load(Ordering::Relaxed), 1);
+        assert_eq!(back.parts.len(), 2);
+
+        // Truncated meta likewise.
+        let meta = cache2.entry_dir(&key).join("meta");
+        std::fs::write(&meta, b"short").unwrap();
+        let cache3 = PartitionCache::new(root.clone());
+        let (_, tier) = cache3.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+        assert_eq!(tier, CacheTier::Cold);
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn compute_error_propagates_and_does_not_poison() {
+        let root = temp_root("err");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = PartitionCache::new(root.clone());
+        let key = CacheKey { graph: 9, policy: PolicyKind::Hvc, hosts: 2, chunk_edges: 0 };
+        let err = cache
+            .get_or_compute(key, || Err(ServeError::JobFailed("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::JobFailed(_)));
+        // The key is not wedged: a later request computes fresh.
+        let (_, tier) = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+        assert_eq!(tier, CacheTier::Cold);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn key_dir_names_are_distinct_and_stable() {
+        let a = CacheKey { graph: 1, policy: PolicyKind::Cvc, hosts: 4, chunk_edges: 0 };
+        let b = CacheKey { chunk_edges: 1024, ..a };
+        let c = CacheKey { policy: PolicyKind::Hdrf, ..a };
+        assert_eq!(a.dir_name(), a.dir_name());
+        assert_ne!(a.dir_name(), b.dir_name());
+        assert_ne!(a.dir_name(), c.dir_name());
+        assert!(a.dir_name().starts_with("g0000000000000001-cvc-h4-c0"));
+    }
+}

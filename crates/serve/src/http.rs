@@ -1,0 +1,374 @@
+//! A deliberately small HTTP/1.1 front end so the server is curl-able
+//! without the framed client. Hand-rolled (no HTTP dependency): one
+//! request per connection, `Connection: close`, JSON bodies rendered by
+//! hand in the same style as `bench_runner --json`.
+//!
+//! Routes (all graph bodies are server-generated — bulk CSR upload
+//! belongs on the framed protocol, not in a query string):
+//!
+//! ```text
+//! GET  /healthz
+//! GET  /stats
+//! GET  /v1/<tenant>/graphs
+//! POST /v1/<tenant>/graphs/<name>/gen?kind=uniform&nodes=1000&degree=8&seed=42
+//! POST /v1/<tenant>/graphs/<name>/partition?policy=hvc&hosts=4&chunk=0
+//! GET  /v1/<tenant>/graphs/<name>/stats
+//! GET  /v1/<tenant>/graphs/<name>/quality?policy=hvc&hosts=4&chunk=0
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cusp_graph::gen::{kronecker, powerlaw, uniform};
+use cusp_graph::Csr;
+
+use crate::protocol::Request;
+use crate::protocol::Response;
+use crate::state::ServerState;
+
+/// A running HTTP listener; same lifecycle contract as the TCP
+/// [`ServerHandle`](crate::server::ServerHandle).
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds the HTTP front end on `addr`.
+pub fn serve_http(state: Arc<ServerState>, addr: &str) -> std::io::Result<HttpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread =
+        std::thread::Builder::new().name("cusp-serve-http".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let state = Arc::clone(&state);
+                let _ = std::thread::Builder::new()
+                    .name("cusp-serve-http-conn".into())
+                    .spawn(move || handle_connection(&state, stream));
+            }
+        })?;
+    Ok(HttpHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers; bodies are unused (everything rides in the query).
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => {
+            let _ = write_http(&mut stream, 400, "{\"error\":\"malformed request line\"}");
+            return;
+        }
+    };
+    let (status, body) = route(state, &method, &target);
+    let _ = write_http(&mut stream, status, &body);
+}
+
+fn write_http(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Splits `target` into decoded path segments and query pairs.
+fn parse_target(target: &str) -> (Vec<&str>, Vec<(&str, &str)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let segs = path.split('/').filter(|s| !s.is_empty()).collect();
+    let params = query
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+        .collect();
+    (segs, params)
+}
+
+fn param<'a>(params: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    params.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+fn param_u64(params: &[(&str, &str)], key: &str, default: u64) -> Result<u64, String> {
+    match param(params, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("parameter '{key}' is not a number: '{v}'")),
+    }
+}
+
+fn route(state: &ServerState, method: &str, target: &str) -> (u16, String) {
+    let (segs, params) = parse_target(target);
+    match (method, segs.as_slice()) {
+        ("GET", ["healthz"]) => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", ["stats"]) => render(state.handle(Request::ServerStats)),
+        ("GET", ["v1", tenant, "graphs"]) => {
+            render(state.handle(Request::ListGraphs { tenant: tenant.to_string() }))
+        }
+        ("POST", ["v1", tenant, "graphs", name, "gen"]) => gen_graph(state, tenant, name, &params),
+        ("POST", ["v1", tenant, "graphs", name, "partition"]) => {
+            match partition_request(tenant, name, &params, false) {
+                Ok(req) => render(state.handle(req)),
+                Err(m) => (400, json_error(6, &m)),
+            }
+        }
+        ("GET", ["v1", tenant, "graphs", name, "quality"]) => {
+            match partition_request(tenant, name, &params, true) {
+                Ok(req) => render(state.handle(req)),
+                Err(m) => (400, json_error(6, &m)),
+            }
+        }
+        ("GET", ["v1", tenant, "graphs", name, "stats"]) => render(state.handle(
+            Request::GraphStats { tenant: tenant.to_string(), graph: name.to_string() },
+        )),
+        ("GET" | "POST", _) => (404, json_error(6, &format!("no route for {method} {target}"))),
+        _ => (405, json_error(6, &format!("method {method} not allowed"))),
+    }
+}
+
+fn partition_request(
+    tenant: &str,
+    graph: &str,
+    params: &[(&str, &str)],
+    quality: bool,
+) -> Result<Request, String> {
+    let policy = param(params, "policy").unwrap_or("hvc").to_string();
+    let hosts = param_u64(params, "hosts", 4)? as u32;
+    let chunk_edges = param_u64(params, "chunk", 0)?;
+    let (tenant, graph) = (tenant.to_string(), graph.to_string());
+    Ok(if quality {
+        Request::Quality { tenant, graph, policy, hosts, chunk_edges }
+    } else {
+        Request::Partition { tenant, graph, policy, hosts, chunk_edges }
+    })
+}
+
+/// Generates a graph server-side and routes it through the same upload
+/// path as the framed protocol (same validation, quotas, fingerprints).
+fn gen_graph(
+    state: &ServerState,
+    tenant: &str,
+    name: &str,
+    params: &[(&str, &str)],
+) -> (u16, String) {
+    let kind = param(params, "kind").unwrap_or("uniform");
+    let nodes = match param_u64(params, "nodes", 1024) {
+        Ok(n) => n as usize,
+        Err(m) => return (400, json_error(6, &m)),
+    };
+    let degree = match param_u64(params, "degree", 8) {
+        Ok(d) => d,
+        Err(m) => return (400, json_error(6, &m)),
+    };
+    let seed = match param_u64(params, "seed", 42) {
+        Ok(s) => s,
+        Err(m) => return (400, json_error(6, &m)),
+    };
+    const MAX_GEN_NODES: usize = 1 << 24;
+    if nodes == 0 || nodes > MAX_GEN_NODES {
+        return (400, json_error(6, &format!("nodes must be in 1..={MAX_GEN_NODES}")));
+    }
+    let graph: Csr = match kind {
+        "uniform" => uniform::erdos_renyi(nodes, nodes * degree as usize, seed),
+        "powerlaw" => {
+            powerlaw::powerlaw(powerlaw::PowerLawConfig::webcrawl(nodes, degree as f64, seed))
+        }
+        "kronecker" => {
+            let scale = (usize::BITS - nodes.leading_zeros() - 1).max(1);
+            kronecker::kronecker(kronecker::KroneckerConfig::graph500(
+                scale,
+                degree.max(1) as u32,
+                seed,
+            ))
+        }
+        other => {
+            return (400, json_error(6, &format!("unknown generator kind '{other}'")));
+        }
+    };
+    let req = Request::UploadGraph {
+        tenant: tenant.to_string(),
+        name: name.to_string(),
+        offsets: graph.offsets().to_vec(),
+        dests: graph.dests().to_vec(),
+        weights: None,
+    };
+    render(state.handle(req))
+}
+
+fn json_error(code: u8, message: &str) -> String {
+    format!("{{\"error\":{{\"code\":{code},\"message\":\"{}\"}}}}", escape(message))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a protocol [`Response`] as `(status, json)`.
+fn render(resp: Response) -> (u16, String) {
+    match resp {
+        Response::GraphUploaded { fingerprint, nodes, edges } => (
+            200,
+            format!(
+                "{{\"fingerprint\":\"{fingerprint:016x}\",\"nodes\":{nodes},\"edges\":{edges}}}"
+            ),
+        ),
+        Response::Partitioned { fingerprint, tier, wall_micros, replication_factor, edge_balance } => (
+            200,
+            format!(
+                "{{\"fingerprint\":\"{fingerprint:016x}\",\"cache\":\"{}\",\"wall_micros\":{wall_micros},\"replication_factor\":{replication_factor:.6},\"edge_balance\":{edge_balance:.6}}}",
+                tier.label()
+            ),
+        ),
+        Response::GraphStatsReport { fingerprint, nodes, edges, max_degree, weighted } => (
+            200,
+            format!(
+                "{{\"fingerprint\":\"{fingerprint:016x}\",\"nodes\":{nodes},\"edges\":{edges},\"max_degree\":{max_degree},\"weighted\":{weighted}}}"
+            ),
+        ),
+        Response::QualityReport {
+            fingerprint,
+            tier,
+            replication_factor,
+            node_balance,
+            edge_balance,
+            total_mirrors,
+        } => (
+            200,
+            format!(
+                "{{\"fingerprint\":\"{fingerprint:016x}\",\"cache\":\"{}\",\"replication_factor\":{replication_factor:.6},\"node_balance\":{node_balance:.6},\"edge_balance\":{edge_balance:.6},\"total_mirrors\":{total_mirrors}}}",
+                tier.label()
+            ),
+        ),
+        Response::Graphs { rows } => {
+            let items: Vec<String> = rows
+                .iter()
+                .map(|(name, nodes, edges)| {
+                    format!(
+                        "{{\"name\":\"{}\",\"nodes\":{nodes},\"edges\":{edges}}}",
+                        escape(name)
+                    )
+                })
+                .collect();
+            (200, format!("{{\"graphs\":[{}]}}", items.join(",")))
+        }
+        Response::ServerStatsReport {
+            requests,
+            jobs_run,
+            mem_hits,
+            disk_hits,
+            coalesced,
+            tenants,
+            graphs,
+        } => (
+            200,
+            format!(
+                "{{\"requests\":{requests},\"jobs_run\":{jobs_run},\"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\"coalesced\":{coalesced},\"tenants\":{tenants},\"graphs\":{graphs}}}"
+            ),
+        ),
+        Response::Error { code, message } => {
+            // Wire error codes map onto the closest HTTP class.
+            let status = match code {
+                3 => 404,
+                4 => 429,
+                7 | 8 => 500,
+                _ => 400,
+            };
+            (status, json_error(code, &message))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_handles_query_and_empty_segments() {
+        let (segs, params) = parse_target("/v1/acme/graphs/g1/partition?policy=hvc&hosts=4");
+        assert_eq!(segs, vec!["v1", "acme", "graphs", "g1", "partition"]);
+        assert_eq!(param(&params, "policy"), Some("hvc"));
+        assert_eq!(param(&params, "hosts"), Some("4"));
+        assert_eq!(param(&params, "missing"), None);
+
+        let (segs, params) = parse_target("/healthz");
+        assert_eq!(segs, vec!["healthz"]);
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,866 @@
+//! The cusp-serve wire protocol: one request (or response) per
+//! length-delimited, CRC-checked frame.
+//!
+//! ```text
+//! frame:
+//!   magic   u32  0x43_53_52_56  ("CSRV" read as LE bytes 'V''R''S''C')
+//!   length  u32  payload byte count (<= the negotiated cap)
+//!   crc32   u32  CRC-32 (IEEE, reflected) of the payload bytes
+//!   payload length bytes
+//!
+//! payload:
+//!   tag     u8   message kind
+//!   body    tag-specific fields via the cusp-net WireWriter primitives
+//!           (LE scalars, u64 length-prefixed slices, u32-length strings)
+//! ```
+//!
+//! The decode path is total: any byte string maps to `Ok(message)` or a
+//! typed [`ProtocolError`] — never a panic, and never an allocation
+//! proportional to an attacker-controlled length prefix (lengths are
+//! validated against both the frame cap and the bytes actually present
+//! before any buffer is sized). The fuzz battery in
+//! `tests/protocol_fuzz.rs` holds the codec to exactly that contract,
+//! mirroring the corrupt-header style of the `storage.rs` tests.
+
+use std::io::{self, Read, Write};
+
+use cusp_net::{WireError, WireReader, WireWriter};
+
+use crate::error::ProtocolError;
+
+/// Frame magic ("CSRV" in the header doc above).
+pub const MAGIC: u32 = 0x4353_5256;
+/// Frame header byte count (magic + length + crc).
+pub const HEADER_BYTES: usize = 12;
+/// Default cap on one frame's payload: large enough for a few hundred
+/// million edges' worth of CSR upload, small enough that a hostile length
+/// prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME: u32 = 256 << 20;
+/// Cap on tenant / graph / policy name fields.
+pub const MAX_NAME: usize = 256;
+/// Cap on error-message strings (responses are server-generated, but the
+/// decoder is shared, so the bound is enforced on read too).
+pub const MAX_MESSAGE: usize = 4096;
+/// Most hosts a partition request may ask for (matches the simulated
+/// cluster's practical ceiling).
+pub const MAX_HOSTS: u32 = 64;
+
+/// CRC-32 (IEEE, reflected — same polynomial as the checkpoint store).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// How a served partition was obtained — travels in the `Partitioned`
+/// response so clients (and the CI smoke job) can see cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Ran the five-phase pipeline.
+    Cold,
+    /// Returned from the in-memory cache.
+    Memory,
+    /// Reloaded from the on-disk `.part` cache.
+    Disk,
+    /// Coalesced onto another request's in-flight job for the same key.
+    Coalesced,
+}
+
+impl CacheTier {
+    fn to_u8(self) -> u8 {
+        match self {
+            CacheTier::Cold => 0,
+            CacheTier::Memory => 1,
+            CacheTier::Disk => 2,
+            CacheTier::Coalesced => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            0 => CacheTier::Cold,
+            1 => CacheTier::Memory,
+            2 => CacheTier::Disk,
+            3 => CacheTier::Coalesced,
+            _ => return Err(ProtocolError::BadValue("cache tier")),
+        })
+    }
+
+    /// Lowercase label used by the client CLI and the HTTP front end.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheTier::Cold => "cold",
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+            CacheTier::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Upload a CSR graph (optionally weighted) under `tenant`/`name`.
+    UploadGraph {
+        /// Tenant namespace.
+        tenant: String,
+        /// Graph name within the tenant.
+        name: String,
+        /// CSR offsets (`nodes + 1` entries).
+        offsets: Vec<u64>,
+        /// CSR destinations.
+        dests: Vec<u32>,
+        /// Per-edge data aligned with `dests`, if weighted.
+        weights: Option<Vec<u32>>,
+    },
+    /// Partition an uploaded graph (served from cache when the key is
+    /// warm).
+    Partition {
+        /// Tenant namespace.
+        tenant: String,
+        /// Graph name within the tenant.
+        graph: String,
+        /// Policy name (as accepted by `PolicyKind::parse`).
+        policy: String,
+        /// Simulated host count (1..=[`MAX_HOSTS`]).
+        hosts: u32,
+        /// Reader chunk bound; 0 = monolithic.
+        chunk_edges: u64,
+    },
+    /// Degree/size statistics of an uploaded graph.
+    GraphStats {
+        /// Tenant namespace.
+        tenant: String,
+        /// Graph name within the tenant.
+        graph: String,
+    },
+    /// Partition-quality analytics for a (possibly cached) partition key.
+    Quality {
+        /// Tenant namespace.
+        tenant: String,
+        /// Graph name within the tenant.
+        graph: String,
+        /// Policy name.
+        policy: String,
+        /// Simulated host count.
+        hosts: u32,
+        /// Reader chunk bound; 0 = monolithic.
+        chunk_edges: u64,
+    },
+    /// Names and sizes of the tenant's resident graphs.
+    ListGraphs {
+        /// Tenant namespace.
+        tenant: String,
+    },
+    /// Server-wide request/cache counters.
+    ServerStats,
+}
+
+const TAG_UPLOAD: u8 = 0x01;
+const TAG_PARTITION: u8 = 0x02;
+const TAG_GRAPH_STATS: u8 = 0x03;
+const TAG_QUALITY: u8 = 0x04;
+const TAG_LIST: u8 = 0x05;
+const TAG_SERVER_STATS: u8 = 0x06;
+
+const TAG_R_UPLOADED: u8 = 0x81;
+const TAG_R_PARTITIONED: u8 = 0x82;
+const TAG_R_GRAPH_STATS: u8 = 0x83;
+const TAG_R_QUALITY: u8 = 0x84;
+const TAG_R_GRAPHS: u8 = 0x85;
+const TAG_R_SERVER_STATS: u8 = 0x86;
+const TAG_R_ERROR: u8 = 0xFF;
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Upload accepted; the fingerprint is the cache-key graph identity.
+    GraphUploaded {
+        /// `cusp::graph_fingerprint` of the stored graph.
+        fingerprint: u64,
+        /// Node count.
+        nodes: u64,
+        /// Edge count.
+        edges: u64,
+    },
+    /// Partition available (freshly computed or cached).
+    Partitioned {
+        /// `cusp::partition_fingerprint` over all host partitions.
+        fingerprint: u64,
+        /// How the result was obtained.
+        tier: CacheTier,
+        /// Server-side wall time for this request, microseconds.
+        wall_micros: u64,
+        /// Replication factor of the partition.
+        replication_factor: f64,
+        /// Edge balance of the partition.
+        edge_balance: f64,
+    },
+    /// Graph statistics.
+    GraphStatsReport {
+        /// `cusp::graph_fingerprint` of the graph.
+        fingerprint: u64,
+        /// Node count.
+        nodes: u64,
+        /// Edge count.
+        edges: u64,
+        /// Maximum out-degree.
+        max_degree: u64,
+        /// Whether per-edge data is attached.
+        weighted: bool,
+    },
+    /// Partition-quality analytics.
+    QualityReport {
+        /// `cusp::partition_fingerprint` of the measured partition.
+        fingerprint: u64,
+        /// How the partition was obtained.
+        tier: CacheTier,
+        /// Replication factor.
+        replication_factor: f64,
+        /// Node balance.
+        node_balance: f64,
+        /// Edge balance.
+        edge_balance: f64,
+        /// Total mirrors across hosts.
+        total_mirrors: u64,
+    },
+    /// The tenant's graphs as `(name, nodes, edges)` rows.
+    Graphs {
+        /// One row per resident graph.
+        rows: Vec<(String, u64, u64)>,
+    },
+    /// Server-wide counters.
+    ServerStatsReport {
+        /// Requests handled (all kinds).
+        requests: u64,
+        /// Partition jobs actually run (cache misses).
+        jobs_run: u64,
+        /// In-memory cache hits.
+        mem_hits: u64,
+        /// On-disk cache hits.
+        disk_hits: u64,
+        /// Requests coalesced onto an in-flight job.
+        coalesced: u64,
+        /// Tenants registered.
+        tenants: u64,
+        /// Graphs resident across tenants.
+        graphs: u64,
+    },
+    /// The request failed; `code` is [`crate::ServeError::code`].
+    Error {
+        /// Stable error-class code.
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn put_str(w: &mut WireWriter, s: &str) {
+    w.put_u32(s.len() as u32);
+    w.put_raw(s.as_bytes());
+}
+
+fn get_str(r: &mut WireReader, cap: usize) -> Result<String, ProtocolError> {
+    let len = r.get_u32()? as usize;
+    if len > cap {
+        return Err(ProtocolError::BadValue("string length"));
+    }
+    if r.remaining() < len {
+        return Err(ProtocolError::Truncated { needed: len, available: r.remaining() });
+    }
+    let mut bytes = vec![0u8; len];
+    for b in bytes.iter_mut() {
+        *b = r.get_u8()?;
+    }
+    String::from_utf8(bytes).map_err(|_| ProtocolError::BadUtf8)
+}
+
+/// Reads a u64-length-prefixed `u32` slice, validating the claimed length
+/// against the bytes actually present *before* allocating.
+fn get_u32_vec_checked(r: &mut WireReader) -> Result<Vec<u32>, ProtocolError> {
+    let n = r.get_u64()? as usize;
+    let needed = n.saturating_mul(4);
+    if r.remaining() < needed {
+        return Err(ProtocolError::Truncated { needed, available: r.remaining() });
+    }
+    let mut out = vec![0u32; n];
+    r.get_u32_into(&mut out).map_err(wire_err)?;
+    Ok(out)
+}
+
+fn get_u64_vec_checked(r: &mut WireReader) -> Result<Vec<u64>, ProtocolError> {
+    let n = r.get_u64()? as usize;
+    let needed = n.saturating_mul(8);
+    if r.remaining() < needed {
+        return Err(ProtocolError::Truncated { needed, available: r.remaining() });
+    }
+    let mut out = vec![0u64; n];
+    r.get_u64_into(&mut out).map_err(wire_err)?;
+    Ok(out)
+}
+
+fn wire_err(e: WireError) -> ProtocolError {
+    ProtocolError::Truncated { needed: e.needed, available: e.available }
+}
+
+impl Request {
+    /// Encodes the request payload (tag + body, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::UploadGraph { tenant, name, offsets, dests, weights } => {
+                w.put_u8(TAG_UPLOAD);
+                put_str(&mut w, tenant);
+                put_str(&mut w, name);
+                w.put_u64_slice(offsets);
+                w.put_u32_slice(dests);
+                match weights {
+                    None => w.put_u8(0),
+                    Some(ws) => {
+                        w.put_u8(1);
+                        w.put_u32_slice(ws);
+                    }
+                }
+            }
+            Request::Partition { tenant, graph, policy, hosts, chunk_edges } => {
+                w.put_u8(TAG_PARTITION);
+                put_str(&mut w, tenant);
+                put_str(&mut w, graph);
+                put_str(&mut w, policy);
+                w.put_u32(*hosts);
+                w.put_u64(*chunk_edges);
+            }
+            Request::GraphStats { tenant, graph } => {
+                w.put_u8(TAG_GRAPH_STATS);
+                put_str(&mut w, tenant);
+                put_str(&mut w, graph);
+            }
+            Request::Quality { tenant, graph, policy, hosts, chunk_edges } => {
+                w.put_u8(TAG_QUALITY);
+                put_str(&mut w, tenant);
+                put_str(&mut w, graph);
+                put_str(&mut w, policy);
+                w.put_u32(*hosts);
+                w.put_u64(*chunk_edges);
+            }
+            Request::ListGraphs { tenant } => {
+                w.put_u8(TAG_LIST);
+                put_str(&mut w, tenant);
+            }
+            Request::ServerStats => w.put_u8(TAG_SERVER_STATS),
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes a request payload. Total: every byte string yields `Ok` or
+    /// a typed error.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = WireReader::new(bytes_of(payload));
+        let tag = r.get_u8()?;
+        let req = match tag {
+            TAG_UPLOAD => {
+                let tenant = get_str(&mut r, MAX_NAME)?;
+                let name = get_str(&mut r, MAX_NAME)?;
+                let offsets = get_u64_vec_checked(&mut r)?;
+                let dests = get_u32_vec_checked(&mut r)?;
+                let weights = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(get_u32_vec_checked(&mut r)?),
+                    _ => return Err(ProtocolError::BadValue("weights flag")),
+                };
+                Request::UploadGraph { tenant, name, offsets, dests, weights }
+            }
+            TAG_PARTITION | TAG_QUALITY => {
+                let tenant = get_str(&mut r, MAX_NAME)?;
+                let graph = get_str(&mut r, MAX_NAME)?;
+                let policy = get_str(&mut r, MAX_NAME)?;
+                let hosts = r.get_u32()?;
+                if hosts == 0 || hosts > MAX_HOSTS {
+                    return Err(ProtocolError::BadValue("hosts"));
+                }
+                let chunk_edges = r.get_u64()?;
+                if tag == TAG_PARTITION {
+                    Request::Partition { tenant, graph, policy, hosts, chunk_edges }
+                } else {
+                    Request::Quality { tenant, graph, policy, hosts, chunk_edges }
+                }
+            }
+            TAG_GRAPH_STATS => Request::GraphStats {
+                tenant: get_str(&mut r, MAX_NAME)?,
+                graph: get_str(&mut r, MAX_NAME)?,
+            },
+            TAG_LIST => Request::ListGraphs { tenant: get_str(&mut r, MAX_NAME)? },
+            TAG_SERVER_STATS => Request::ServerStats,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if !r.is_exhausted() {
+            return Err(ProtocolError::TrailingBytes { remaining: r.remaining() });
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (tag + body, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::GraphUploaded { fingerprint, nodes, edges } => {
+                w.put_u8(TAG_R_UPLOADED);
+                w.put_u64(*fingerprint);
+                w.put_u64(*nodes);
+                w.put_u64(*edges);
+            }
+            Response::Partitioned {
+                fingerprint,
+                tier,
+                wall_micros,
+                replication_factor,
+                edge_balance,
+            } => {
+                w.put_u8(TAG_R_PARTITIONED);
+                w.put_u64(*fingerprint);
+                w.put_u8(tier.to_u8());
+                w.put_u64(*wall_micros);
+                w.put_f64(*replication_factor);
+                w.put_f64(*edge_balance);
+            }
+            Response::GraphStatsReport { fingerprint, nodes, edges, max_degree, weighted } => {
+                w.put_u8(TAG_R_GRAPH_STATS);
+                w.put_u64(*fingerprint);
+                w.put_u64(*nodes);
+                w.put_u64(*edges);
+                w.put_u64(*max_degree);
+                w.put_u8(u8::from(*weighted));
+            }
+            Response::QualityReport {
+                fingerprint,
+                tier,
+                replication_factor,
+                node_balance,
+                edge_balance,
+                total_mirrors,
+            } => {
+                w.put_u8(TAG_R_QUALITY);
+                w.put_u64(*fingerprint);
+                w.put_u8(tier.to_u8());
+                w.put_f64(*replication_factor);
+                w.put_f64(*node_balance);
+                w.put_f64(*edge_balance);
+                w.put_u64(*total_mirrors);
+            }
+            Response::Graphs { rows } => {
+                w.put_u8(TAG_R_GRAPHS);
+                w.put_u64(rows.len() as u64);
+                for (name, nodes, edges) in rows {
+                    put_str(&mut w, name);
+                    w.put_u64(*nodes);
+                    w.put_u64(*edges);
+                }
+            }
+            Response::ServerStatsReport {
+                requests,
+                jobs_run,
+                mem_hits,
+                disk_hits,
+                coalesced,
+                tenants,
+                graphs,
+            } => {
+                w.put_u8(TAG_R_SERVER_STATS);
+                for v in [requests, jobs_run, mem_hits, disk_hits, coalesced, tenants, graphs] {
+                    w.put_u64(*v);
+                }
+            }
+            Response::Error { code, message } => {
+                w.put_u8(TAG_R_ERROR);
+                w.put_u8(*code);
+                put_str(&mut w, message);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = WireReader::new(bytes_of(payload));
+        let tag = r.get_u8()?;
+        let resp = match tag {
+            TAG_R_UPLOADED => Response::GraphUploaded {
+                fingerprint: r.get_u64()?,
+                nodes: r.get_u64()?,
+                edges: r.get_u64()?,
+            },
+            TAG_R_PARTITIONED => Response::Partitioned {
+                fingerprint: r.get_u64()?,
+                tier: CacheTier::from_u8(r.get_u8()?)?,
+                wall_micros: r.get_u64()?,
+                replication_factor: r.get_f64()?,
+                edge_balance: r.get_f64()?,
+            },
+            TAG_R_GRAPH_STATS => Response::GraphStatsReport {
+                fingerprint: r.get_u64()?,
+                nodes: r.get_u64()?,
+                edges: r.get_u64()?,
+                max_degree: r.get_u64()?,
+                weighted: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtocolError::BadValue("weighted flag")),
+                },
+            },
+            TAG_R_QUALITY => Response::QualityReport {
+                fingerprint: r.get_u64()?,
+                tier: CacheTier::from_u8(r.get_u8()?)?,
+                replication_factor: r.get_f64()?,
+                node_balance: r.get_f64()?,
+                edge_balance: r.get_f64()?,
+                total_mirrors: r.get_u64()?,
+            },
+            TAG_R_GRAPHS => {
+                let n = r.get_u64()? as usize;
+                // Each row is at least 4 + 8 + 8 bytes; bound the claimed
+                // count by what could possibly be present.
+                if n > r.remaining() / 20 {
+                    return Err(ProtocolError::Truncated {
+                        needed: n.saturating_mul(20),
+                        available: r.remaining(),
+                    });
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(&mut r, MAX_NAME)?;
+                    let nodes = r.get_u64()?;
+                    let edges = r.get_u64()?;
+                    rows.push((name, nodes, edges));
+                }
+                Response::Graphs { rows }
+            }
+            TAG_R_SERVER_STATS => Response::ServerStatsReport {
+                requests: r.get_u64()?,
+                jobs_run: r.get_u64()?,
+                mem_hits: r.get_u64()?,
+                disk_hits: r.get_u64()?,
+                coalesced: r.get_u64()?,
+                tenants: r.get_u64()?,
+                graphs: r.get_u64()?,
+            },
+            TAG_R_ERROR => Response::Error {
+                code: r.get_u8()?,
+                message: get_str(&mut r, MAX_MESSAGE)?,
+            },
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if !r.is_exhausted() {
+            return Err(ProtocolError::TrailingBytes { remaining: r.remaining() });
+        }
+        Ok(resp)
+    }
+}
+
+fn bytes_of(payload: &[u8]) -> bytes::Bytes {
+    bytes::Bytes::from(payload.to_vec())
+}
+
+/// Wraps a payload in a frame header.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the front of `bytes`, returning the payload and
+/// the total bytes consumed. Pure and total — the in-memory half of the
+/// socket reader, and what the fuzzers drive directly.
+pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<(&[u8], usize), ProtocolError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(ProtocolError::Truncated { needed: HEADER_BYTES, available: bytes.len() });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if len > max_frame {
+        return Err(ProtocolError::Oversize { len, max: max_frame });
+    }
+    let stored = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let total = HEADER_BYTES + len as usize;
+    if bytes.len() < total {
+        return Err(ProtocolError::Truncated { needed: total, available: bytes.len() });
+    }
+    let payload = &bytes[HEADER_BYTES..total];
+    let actual = crc32(payload);
+    if actual != stored {
+        return Err(ProtocolError::CrcMismatch { stored, actual });
+    }
+    Ok((payload, total))
+}
+
+/// What [`read_frame`] can yield besides a payload.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The socket failed (including read timeouts — the connection loop's
+    /// anti-hang backstop).
+    Io(io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Eof => write!(f, "connection closed"),
+            RecvError::Io(e) => write!(f, "socket error: {e}"),
+            RecvError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Reads one frame off a blocking stream. The header is validated before
+/// the payload buffer is allocated, so a hostile length prefix costs
+/// nothing; a read timeout set on the socket bounds how long a silent or
+/// trickling peer can hold the loop.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Vec<u8>, RecvError> {
+    let mut header = [0u8; HEADER_BYTES];
+    // Distinguish clean EOF (no bytes at all) from a truncated header.
+    let mut got = 0;
+    while got < HEADER_BYTES {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Err(RecvError::Eof)
+                } else {
+                    Err(RecvError::Protocol(ProtocolError::Truncated {
+                        needed: HEADER_BYTES,
+                        available: got,
+                    }))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(RecvError::Protocol(ProtocolError::BadMagic(magic)));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > max_frame {
+        return Err(RecvError::Protocol(ProtocolError::Oversize { len, max: max_frame }));
+    }
+    let stored = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return if e.kind() == io::ErrorKind::UnexpectedEof {
+            Err(RecvError::Protocol(ProtocolError::Truncated {
+                needed: HEADER_BYTES + len as usize,
+                available: HEADER_BYTES,
+            }))
+        } else {
+            Err(RecvError::Io(e))
+        };
+    }
+    let actual = crc32(&payload);
+    if actual != stored {
+        return Err(RecvError::Protocol(ProtocolError::CrcMismatch { stored, actual }));
+    }
+    Ok(payload)
+}
+
+/// Writes one framed payload to a blocking stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::UploadGraph {
+                tenant: "acme".into(),
+                name: "web".into(),
+                offsets: vec![0, 2, 3],
+                dests: vec![1, 2, 0],
+                weights: Some(vec![9, 8, 7]),
+            },
+            Request::Partition {
+                tenant: "acme".into(),
+                graph: "web".into(),
+                policy: "CVC".into(),
+                hosts: 4,
+                chunk_edges: 1024,
+            },
+            Request::GraphStats { tenant: "acme".into(), graph: "web".into() },
+            Request::Quality {
+                tenant: "t".into(),
+                graph: "g".into(),
+                policy: "HVC".into(),
+                hosts: 2,
+                chunk_edges: 0,
+            },
+            Request::ListGraphs { tenant: "acme".into() },
+            Request::ServerStats,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let back = Request::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::GraphUploaded { fingerprint: 7, nodes: 10, edges: 20 },
+            Response::Partitioned {
+                fingerprint: u64::MAX,
+                tier: CacheTier::Disk,
+                wall_micros: 1234,
+                replication_factor: 1.5,
+                edge_balance: 1.01,
+            },
+            Response::GraphStatsReport {
+                fingerprint: 1,
+                nodes: 2,
+                edges: 3,
+                max_degree: 4,
+                weighted: true,
+            },
+            Response::QualityReport {
+                fingerprint: 5,
+                tier: CacheTier::Coalesced,
+                replication_factor: 2.0,
+                node_balance: 1.1,
+                edge_balance: 1.2,
+                total_mirrors: 33,
+            },
+            Response::Graphs { rows: vec![("a".into(), 1, 2), ("b".into(), 3, 4)] },
+            Response::ServerStatsReport {
+                requests: 1,
+                jobs_run: 2,
+                mem_hits: 3,
+                disk_hits: 4,
+                coalesced: 5,
+                tenants: 6,
+                graphs: 7,
+            },
+            Response::Error { code: 4, message: "over quota".into() },
+        ];
+        for resp in responses {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = Request::ServerStats.encode();
+        let frame = encode_frame(&payload);
+        let (got, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(got, &payload[..]);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn frame_rejects_corruption_by_field() {
+        let payload = sample_requests()[1].encode();
+        let clean = encode_frame(&payload);
+
+        // Bad magic.
+        let mut bytes = clean.clone();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME),
+            Err(ProtocolError::BadMagic(_))
+        ));
+
+        // Oversize length prefix — rejected before any payload walk.
+        let mut bytes = clean.clone();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME),
+            Err(ProtocolError::Oversize { len: u32::MAX, .. })
+        ));
+
+        // Flipped payload bit — CRC catches it.
+        let mut bytes = clean.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME),
+            Err(ProtocolError::CrcMismatch { .. })
+        ));
+
+        // Truncation at every boundary short of complete.
+        for cut in [0, 1, HEADER_BYTES - 1, HEADER_BYTES, clean.len() - 1] {
+            assert!(
+                matches!(
+                    decode_frame(&clean[..cut], DEFAULT_MAX_FRAME),
+                    Err(ProtocolError::Truncated { .. })
+                ),
+                "cut at {cut} not reported as truncation"
+            );
+        }
+
+        // The untouched frame still decodes.
+        assert!(decode_frame(&clean, DEFAULT_MAX_FRAME).is_ok());
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_typed() {
+        assert_eq!(Request::decode(&[0x7E]), Err(ProtocolError::UnknownTag(0x7E)));
+        let mut payload = Request::ServerStats.encode();
+        payload.push(0xAA);
+        assert_eq!(Request::decode(&payload), Err(ProtocolError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn hostile_string_and_slice_lengths_do_not_allocate() {
+        // A string claiming 4 GiB with 3 bytes behind it.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_LIST);
+        w.put_u32(u32::MAX);
+        w.put_raw(b"abc");
+        let err = Request::decode(&w.finish()).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::BadValue(_) | ProtocolError::Truncated { .. }),
+            "{err:?}"
+        );
+
+        // An upload whose offsets slice claims u64::MAX elements.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_UPLOAD);
+        put_str(&mut w, "t");
+        put_str(&mut w, "g");
+        w.put_u64(u64::MAX);
+        let err = Request::decode(&w.finish()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn crc_is_the_checkpoint_polynomial() {
+        // Same known-answer vector the checkpoint store pins.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cache-correctness battery: what comes off disk must be
+//! indistinguishable from a fresh partition run, and anything less is
+//! treated as a miss, never served.
+//!
+//! - A disk round-trip passes the oracle (`cusp::check_partition`) and
+//!   fingerprints identically to a fresh deterministic run.
+//! - Corrupting any cached artifact (a `.part` file, the meta record, or
+//!   deleting a part outright) silently falls back to re-partitioning —
+//!   and the recomputed result again matches the original fingerprint.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_serve::{CacheTier, Quota, Request, Response, ServeConfig, ServerState};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cusp-serve-cache-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn state_at(dir: &std::path::Path) -> Arc<ServerState> {
+    ServerState::new(ServeConfig {
+        data_dir: dir.to_path_buf(),
+        default_quota: Quota::default(),
+        ..ServeConfig::default()
+    })
+    .expect("state")
+}
+
+fn upload(state: &ServerState, nodes: usize, seed: u64) -> cusp_graph::Csr {
+    let g = erdos_renyi(nodes, nodes * 6, seed);
+    let resp = state.handle(Request::UploadGraph {
+        tenant: "acme".to_string(),
+        name: "g".to_string(),
+        offsets: g.offsets().to_vec(),
+        dests: g.dests().to_vec(),
+        weights: None,
+    });
+    assert!(matches!(resp, Response::GraphUploaded { .. }), "{resp:?}");
+    g
+}
+
+fn partition(state: &ServerState) -> (u64, CacheTier) {
+    match state.handle(Request::Partition {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        policy: "HVC".to_string(),
+        hosts: 4,
+        chunk_edges: 0,
+    }) {
+        Response::Partitioned { fingerprint, tier, .. } => (fingerprint, tier),
+        other => panic!("partition failed: {other:?}"),
+    }
+}
+
+/// The single on-disk cache entry directory for tenant "acme".
+fn cache_entry_dir(dir: &std::path::Path) -> std::path::PathBuf {
+    let cache_root = dir.join("tenants").join("acme").join("cache");
+    let mut entries: Vec<_> = std::fs::read_dir(&cache_root)
+        .expect("cache root exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cache entry in {}", cache_root.display());
+    entries.remove(0)
+}
+
+/// Disk round-trip: a server restart (new state, same data dir) serves
+/// the key from disk; the loaded parts pass the partition oracle
+/// against the original graph and fingerprint-match the fresh run.
+#[test]
+fn disk_roundtrip_passes_oracle_and_matches_fingerprint() {
+    let dir = temp_dir("roundtrip");
+
+    let state = state_at(&dir);
+    let graph = upload(&state, 2000, 21);
+    let (cold_fp, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold);
+    drop(state);
+
+    // "Restart": fresh in-memory state over the same data dir.
+    let state = state_at(&dir);
+    upload(&state, 2000, 21);
+    let (warm_fp, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Disk, "restart must hit the disk tier");
+    assert_eq!(warm_fp, cold_fp, "disk round-trip changed the partition");
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 0);
+
+    // The served-from-disk entry is a *valid* partition of the graph,
+    // not merely byte-stable: run the oracle on the loaded parts.
+    let cache = state.cache_for("acme");
+    let key = cusp_serve::CacheKey {
+        graph: cusp::graph_fingerprint(&graph, None),
+        policy: cusp::PolicyKind::Hvc,
+        hosts: 4,
+        chunk_edges: 0,
+    };
+    let (cached, _) = cache
+        .get_or_compute(key, || panic!("must come from cache") )
+        .expect("cached entry");
+    let violations = cusp::check_partition(&graph, None, &cached.parts);
+    assert!(violations.is_empty(), "oracle violations on disk-loaded parts: {violations:?}");
+    assert_eq!(cusp::partition_fingerprint(&cached.parts), cold_fp);
+}
+
+/// Flipping bytes inside a cached `.part` file makes the disk entry
+/// unloadable; the server recomputes instead of serving the corruption,
+/// and the recomputed fingerprint matches the original run.
+#[test]
+fn corrupt_part_file_falls_back_to_recompute() {
+    let dir = temp_dir("corrupt-part");
+    let state = state_at(&dir);
+    upload(&state, 1800, 22);
+    let (fp, _) = partition(&state);
+
+    // Corrupt one part file mid-body.
+    let entry = cache_entry_dir(&dir);
+    let part = entry.join("part-0000.part");
+    let mut bytes = std::fs::read(&part).expect("part file exists");
+    let mid = bytes.len() / 2;
+    let end = (mid + 64).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&part, &bytes).unwrap();
+
+    let state = state_at(&dir);
+    upload(&state, 1800, 22);
+    let (fp2, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold, "corrupt entry must be treated as a miss");
+    assert_eq!(fp2, fp, "recomputed partition must match the original");
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 1);
+}
+
+/// Same for the meta record (fingerprint + CRC): truncate it and the
+/// entry is a miss.
+#[test]
+fn corrupt_meta_falls_back_to_recompute() {
+    let dir = temp_dir("corrupt-meta");
+    let state = state_at(&dir);
+    upload(&state, 1200, 23);
+    let (fp, _) = partition(&state);
+
+    let meta = cache_entry_dir(&dir).join("meta");
+    let bytes = std::fs::read(&meta).expect("meta exists");
+    std::fs::write(&meta, &bytes[..bytes.len() / 2]).unwrap();
+
+    let state = state_at(&dir);
+    upload(&state, 1200, 23);
+    let (fp2, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold);
+    assert_eq!(fp2, fp);
+}
+
+/// A missing part file (torn write: meta survived, a part vanished) is
+/// a miss, not a short read or a panic.
+#[test]
+fn missing_part_file_falls_back_to_recompute() {
+    let dir = temp_dir("missing-part");
+    let state = state_at(&dir);
+    upload(&state, 1000, 24);
+    let (fp, _) = partition(&state);
+
+    std::fs::remove_file(cache_entry_dir(&dir).join("part-0002.part")).expect("remove part");
+
+    let state = state_at(&dir);
+    upload(&state, 1000, 24);
+    let (fp2, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold);
+    assert_eq!(fp2, fp);
+}
+
+/// Different chunking of the same graph is a different cache key but —
+/// under the determinism contract — the same partition: both entries
+/// live side by side on disk and fingerprint-match each other.
+#[test]
+fn chunked_and_monolithic_entries_coexist() {
+    let dir = temp_dir("chunked");
+    let state = state_at(&dir);
+    upload(&state, 1500, 25);
+
+    let (fp_mono, _) = partition(&state);
+    let resp = state.handle(Request::Partition {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        policy: "HVC".to_string(),
+        hosts: 4,
+        chunk_edges: 1024,
+    });
+    let Response::Partitioned { fingerprint: fp_chunked, .. } = resp else {
+        panic!("chunked partition failed: {resp:?}")
+    };
+    assert_eq!(
+        fp_mono, fp_chunked,
+        "chunked streaming must not change the deterministic partition"
+    );
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 2);
+
+    let cache_root = dir.join("tenants").join("acme").join("cache");
+    let entries = std::fs::read_dir(&cache_root).unwrap().count();
+    assert_eq!(entries, 2, "two keys, two disk entries");
+}

@@ -1,0 +1,247 @@
+//! Concurrency battery: request coalescing and tenant quotas.
+//!
+//! The load-bearing invariant is *exactly one job per cache key*: N
+//! concurrent requests for the same `(graph, policy, hosts, chunk)` run
+//! ONE partition job (asserted via the cache's `jobs_run` counter) and
+//! every caller gets the same fingerprint. Quota tests pin down the
+//! rejection contract — over-limit requests fail immediately with a
+//! typed error; they are never queued behind running work.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_serve::{
+    serve, CacheTier, Client, ClientError, Quota, Request, Response, ServeConfig, ServerState,
+};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cusp-serve-conc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_state(name: &str, quota: Quota) -> Arc<ServerState> {
+    ServerState::new(ServeConfig {
+        data_dir: temp_dir(name),
+        default_quota: quota,
+        ..ServeConfig::default()
+    })
+    .expect("state")
+}
+
+fn upload(state: &ServerState, tenant: &str, name: &str, nodes: usize, seed: u64) {
+    let g = erdos_renyi(nodes, nodes * 6, seed);
+    let resp = state.handle(Request::UploadGraph {
+        tenant: tenant.to_string(),
+        name: name.to_string(),
+        offsets: g.offsets().to_vec(),
+        dests: g.dests().to_vec(),
+        weights: None,
+    });
+    assert!(matches!(resp, Response::GraphUploaded { .. }), "{resp:?}");
+}
+
+fn partition_req(tenant: &str, graph: &str, policy: &str, hosts: u32) -> Request {
+    Request::Partition {
+        tenant: tenant.to_string(),
+        graph: graph.to_string(),
+        policy: policy.to_string(),
+        hosts,
+        chunk_edges: 0,
+    }
+}
+
+/// N threads fire the same partition request through the router at the
+/// same instant: exactly one job runs, every response carries the same
+/// fingerprint, and the non-runners are accounted as coalesced or
+/// memory hits.
+#[test]
+fn same_key_coalesces_to_one_job() {
+    const N: usize = 8;
+    let state = test_state("coalesce", Quota::default());
+    upload(&state, "acme", "g", 3000, 11);
+
+    let barrier = Arc::new(Barrier::new(N));
+    let mut handles = Vec::new();
+    for _ in 0..N {
+        let state = Arc::clone(&state);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            state.handle(partition_req("acme", "g", "HVC", 4))
+        }));
+    }
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut fingerprints = Vec::new();
+    let mut cold = 0usize;
+    for resp in &responses {
+        match resp {
+            Response::Partitioned { fingerprint, tier, .. } => {
+                fingerprints.push(*fingerprint);
+                if *tier == CacheTier::Cold {
+                    cold += 1;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "fingerprints diverged");
+    assert_eq!(cold, 1, "exactly one caller should run the job cold");
+
+    let cache = state.cache_for("acme");
+    assert_eq!(cache.jobs_run.load(Ordering::Relaxed), 1, "one job for N identical requests");
+    let joined = cache.coalesced.load(Ordering::Relaxed) + cache.mem_hits.load(Ordering::Relaxed);
+    assert_eq!(joined as usize, N - 1, "everyone else coalesced or hit memory");
+}
+
+/// Different cache keys (other policy, other host count) do NOT
+/// coalesce: each runs its own job, with distinct fingerprints per key.
+#[test]
+fn different_keys_do_not_coalesce() {
+    let state = test_state("distinct", Quota::default());
+    upload(&state, "acme", "g", 2000, 12);
+
+    let keys = [("HVC", 2u32), ("HVC", 4), ("EEC", 4)];
+    let mut handles = Vec::new();
+    for (policy, hosts) in keys {
+        let state = Arc::clone(&state);
+        handles.push(std::thread::spawn(move || {
+            state.handle(partition_req("acme", "g", policy, hosts))
+        }));
+    }
+    let mut fps = Vec::new();
+    for h in handles {
+        match h.join().unwrap() {
+            Response::Partitioned { fingerprint, .. } => fps.push(fingerprint),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), keys.len() as u64);
+    fps.sort();
+    fps.dedup();
+    assert_eq!(fps.len(), keys.len(), "each key must produce its own partition");
+}
+
+/// Coalesced and cold results are fingerprint-identical to a fresh
+/// deterministic run of the same key on a brand-new server.
+#[test]
+fn coalesced_results_match_fresh_run() {
+    let state_a = test_state("fresh-a", Quota::default());
+    upload(&state_a, "acme", "g", 1500, 13);
+    let Response::Partitioned { fingerprint: fp_a, .. } =
+        state_a.handle(partition_req("acme", "g", "CVC", 4))
+    else {
+        panic!("partition failed")
+    };
+
+    let state_b = test_state("fresh-b", Quota::default());
+    upload(&state_b, "other", "h", 1500, 13);
+    let Response::Partitioned { fingerprint: fp_b, .. } =
+        state_b.handle(partition_req("other", "h", "CVC", 4))
+    else {
+        panic!("partition failed")
+    };
+    assert_eq!(fp_a, fp_b, "same graph bytes + key must fingerprint identically everywhere");
+}
+
+/// Job quota: with max_concurrent_jobs = 0 every partition request is
+/// rejected with the typed quota error — deterministically, no timing.
+#[test]
+fn job_quota_rejects_typed_not_queued() {
+    let state = test_state(
+        "quota-jobs",
+        Quota { max_concurrent_jobs: 0, ..Quota::default() },
+    );
+    upload(&state, "acme", "g", 500, 14);
+
+    match state.handle(partition_req("acme", "g", "HVC", 2)) {
+        Response::Error { code, message } => {
+            assert_eq!(code, 4, "quota error code, got: {message}");
+            assert!(message.contains("jobs"), "should name the jobs limit: {message}");
+        }
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+    // Nothing ran and nothing was queued.
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 0);
+}
+
+/// Graph-count quota over the wire: the over-limit upload is a typed
+/// error response, and the tenant keeps serving within its budget.
+#[test]
+fn graph_quota_over_the_wire() {
+    let state = test_state("quota-graphs", Quota { max_graphs: 1, ..Quota::default() });
+    let mut handle = serve(Arc::clone(&state), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr().to_string();
+
+    let g = erdos_renyi(400, 1600, 15);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.upload_graph("acme", "first", &g, None).expect("first upload fits");
+    match client.upload_graph("acme", "second", &g, None) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, 4),
+        other => panic!("expected typed quota rejection, got {other:?}"),
+    }
+    // The tenant still works: re-uploading the existing name is allowed.
+    client.upload_graph("acme", "first", &g, None).expect("replacement upload");
+    handle.shutdown();
+}
+
+/// Quotas are per tenant: one tenant at its job ceiling does not block
+/// another tenant's requests.
+#[test]
+fn quotas_isolate_tenants() {
+    let state = test_state("quota-isolate", Quota::default());
+    // Tenant "full" gets a zero-job quota before first use; "free" gets
+    // the default.
+    state
+        .registry()
+        .get_or_create_with("full", Quota { max_concurrent_jobs: 0, ..Quota::default() })
+        .expect("tenant");
+    upload(&state, "full", "g", 500, 16);
+    upload(&state, "free", "g", 500, 16);
+
+    assert!(matches!(
+        state.handle(partition_req("full", "g", "HVC", 2)),
+        Response::Error { code: 4, .. }
+    ));
+    assert!(matches!(
+        state.handle(partition_req("free", "g", "HVC", 2)),
+        Response::Partitioned { .. }
+    ));
+}
+
+/// The same coalescing invariant holds over real sockets: N client
+/// connections, one job.
+#[test]
+fn socket_clients_coalesce_too() {
+    const N: usize = 4;
+    let state = test_state("socket-coalesce", Quota::default());
+    upload(&state, "acme", "g", 2500, 17);
+    let mut handle = serve(Arc::clone(&state), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(N));
+    let mut threads = Vec::new();
+    for _ in 0..N {
+        let addr = addr.clone();
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect_with_timeout(&addr, Duration::from_secs(60)).expect("connect");
+            barrier.wait();
+            client.partition("acme", "g", "HVC", 4, 0).expect("partition")
+        }));
+    }
+    let mut fps = Vec::new();
+    for t in threads {
+        match t.join().unwrap() {
+            Response::Partitioned { fingerprint, .. } => fps.push(fingerprint),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(fps.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}

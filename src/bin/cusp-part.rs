@@ -12,6 +12,7 @@
 //! cusp-part inspect   PART.part [PART.part ...]
 //! cusp-part validate  --graph G.bgr --parts DIR
 //! cusp-part trace-check OUT.json
+//! cusp-part client    upload|partition|quality|stats|list|server-stats ...
 //! ```
 //!
 //! `partition` runs the full five-phase pipeline on a simulated K-host
@@ -31,6 +32,13 @@
 //! worker thread) so the recovered partition is bit-identical to a
 //! crash-free run. A host that exhausts its restart budget terminates the
 //! run with a one-line diagnostic and a non-zero exit code.
+//!
+//! `client` speaks the framed `cusp-serve` protocol (default server
+//! `127.0.0.1:7421`): upload a `.bgr` graph into a tenant namespace,
+//! request partitions/quality (the server caches and coalesces them),
+//! and read graph or server statistics. `client partition` prints the
+//! cache tier (`cache: cold|memory|disk|coalesced`) so scripts can
+//! assert hit/miss behaviour.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -47,7 +55,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
     );
     exit(2)
 }
@@ -103,6 +111,7 @@ fn main() {
         "inspect" => cmd_inspect(&positional),
         "validate" => cmd_validate(&flags),
         "trace-check" => cmd_trace_check(&positional),
+        "client" => cmd_client(&positional, &flags),
         other => {
             eprintln!("unknown command '{other}'");
             usage()
@@ -441,5 +450,143 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             write_partition(&path, p).expect("failed to write partition");
         }
         println!("wrote {} partition files to {}", parts.len(), dir.display());
+    }
+}
+
+fn cmd_client(positional: &[String], flags: &HashMap<String, String>) {
+    use cusp_serve::{Client, Response};
+
+    let Some(verb) = positional.first() else {
+        eprintln!("client needs a verb: upload|partition|quality|stats|list|server-stats");
+        usage()
+    };
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7421");
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to cusp-serve at {addr}: {e}");
+        exit(1)
+    });
+    let fail = |e: cusp_serve::ClientError| -> ! {
+        eprintln!("request failed: {e}");
+        exit(1)
+    };
+
+    match verb.as_str() {
+        "upload" => {
+            let tenant = required(flags, "tenant");
+            let name = required(flags, "name");
+            let path = PathBuf::from(required(flags, "graph"));
+            // Weighted .bgr files carry their weights along; plain ones
+            // upload structure only.
+            let (graph, weights) = match cusp_graph::read_bgr_weighted(&path) {
+                Ok((g, w)) => (g, Some(w)),
+                Err(_) => (read_bgr(&path).expect("cannot read graph"), None),
+            };
+            let (fp, nodes, edges) = client
+                .upload_graph(tenant, name, &graph, weights.as_deref())
+                .unwrap_or_else(|e| fail(e));
+            println!("uploaded {tenant}/{name}: {nodes} nodes, {edges} edges");
+            println!("graph fingerprint: {fp:016x}");
+        }
+        "partition" => {
+            let resp = client
+                .partition(
+                    required(flags, "tenant"),
+                    required(flags, "name"),
+                    required(flags, "policy"),
+                    parse_num(flags.get("hosts").map(String::as_str).unwrap_or("4"), "hosts"),
+                    flags.get("chunk-edges").map(|s| parse_num(s, "chunk size")).unwrap_or(0),
+                )
+                .unwrap_or_else(|e| fail(e));
+            let Response::Partitioned {
+                fingerprint,
+                tier,
+                wall_micros,
+                replication_factor,
+                edge_balance,
+            } = resp
+            else {
+                unreachable!("client.partition returns Partitioned")
+            };
+            println!("partition fingerprint: {fingerprint:016x}");
+            println!("cache: {}", tier.label());
+            println!(
+                "wall: {:.3} ms, replication factor {replication_factor:.3}, edge balance {edge_balance:.3}",
+                wall_micros as f64 / 1000.0
+            );
+        }
+        "quality" => {
+            let resp = client
+                .quality(
+                    required(flags, "tenant"),
+                    required(flags, "name"),
+                    required(flags, "policy"),
+                    parse_num(flags.get("hosts").map(String::as_str).unwrap_or("4"), "hosts"),
+                    flags.get("chunk-edges").map(|s| parse_num(s, "chunk size")).unwrap_or(0),
+                )
+                .unwrap_or_else(|e| fail(e));
+            let Response::QualityReport {
+                fingerprint,
+                tier,
+                replication_factor,
+                node_balance,
+                edge_balance,
+                total_mirrors,
+            } = resp
+            else {
+                unreachable!("client.quality returns QualityReport")
+            };
+            println!("partition fingerprint: {fingerprint:016x}");
+            println!("cache: {}", tier.label());
+            println!(
+                "replication factor {replication_factor:.3}, node balance {node_balance:.3}, edge balance {edge_balance:.3}, {total_mirrors} mirrors"
+            );
+        }
+        "stats" => {
+            let resp = client
+                .graph_stats(required(flags, "tenant"), required(flags, "name"))
+                .unwrap_or_else(|e| fail(e));
+            let Response::GraphStatsReport { fingerprint, nodes, edges, max_degree, weighted } =
+                resp
+            else {
+                unreachable!("client.graph_stats returns GraphStatsReport")
+            };
+            println!(
+                "{nodes} nodes, {edges} edges, max out-degree {max_degree}{}",
+                if weighted { ", weighted" } else { "" }
+            );
+            println!("graph fingerprint: {fingerprint:016x}");
+        }
+        "list" => {
+            let rows = client.list_graphs(required(flags, "tenant")).unwrap_or_else(|e| fail(e));
+            if rows.is_empty() {
+                println!("no graphs");
+            }
+            for (name, nodes, edges) in rows {
+                println!("{name}: {nodes} nodes, {edges} edges");
+            }
+        }
+        "server-stats" => {
+            let resp = client.server_stats().unwrap_or_else(|e| fail(e));
+            let Response::ServerStatsReport {
+                requests,
+                jobs_run,
+                mem_hits,
+                disk_hits,
+                coalesced,
+                tenants,
+                graphs,
+            } = resp
+            else {
+                unreachable!("client.server_stats returns ServerStatsReport")
+            };
+            println!("requests: {requests}");
+            println!("jobs run: {jobs_run}");
+            println!("cache hits: {mem_hits} memory, {disk_hits} disk, {coalesced} coalesced");
+            println!("tenants: {tenants}, resident graphs: {graphs}");
+        }
+        other => {
+            eprintln!("unknown client verb '{other}'");
+            usage()
+        }
     }
 }
