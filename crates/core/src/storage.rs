@@ -99,9 +99,20 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(b))
 }
 
+/// Fixed header size: magic + version + part_id + num_parts +
+/// global_nodes + global_edges + num_masters + num_local + 2 tag bytes.
+const HEADER_BYTES: u64 = 8 + 8 + 4 + 4 + 8 + 8 + 8 + 8 + 2;
+
 /// Reads a partition written by [`write_partition`].
+///
+/// Claimed element counts are bounded against the file's actual size
+/// *before* any allocation: a corrupt-but-plausible header must surface
+/// as `InvalidData` (so cache loads fall back to recompute), never as an
+/// allocation-failure abort.
 pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     if read_u64(&mut r)? != MAGIC {
         return Err(bad("bad partition magic".into()));
@@ -114,8 +125,8 @@ pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
     let num_parts = read_u32(&mut r)?;
     let global_nodes = read_u64(&mut r)?;
     let global_edges = read_u64(&mut r)?;
-    let num_masters = read_u64(&mut r)? as usize;
-    let num_local = read_u64(&mut r)? as usize;
+    let num_masters = read_u64(&mut r)?;
+    let num_local = read_u64(&mut r)?;
     let mut tag = [0u8; 2];
     r.read_exact(&mut tag)?;
     let class = class_from(tag[0])?;
@@ -123,6 +134,19 @@ pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
     if num_masters > num_local {
         return Err(bad("num_masters exceeds num_local".into()));
     }
+    // Each local node costs 4 (local2global) + 4 (master_of) + 8
+    // (offset) = 16 bytes, plus one trailing 8-byte offset.
+    let body_bytes = file_len.saturating_sub(HEADER_BYTES);
+    let node_bytes = match num_local.checked_mul(16).and_then(|b| b.checked_add(8)) {
+        Some(b) if b <= body_bytes => b,
+        _ => {
+            return Err(bad(format!(
+                "corrupt partition: {num_local} local nodes cannot fit in {file_len}-byte file"
+            )))
+        }
+    };
+    let num_masters = num_masters as usize;
+    let num_local = num_local as usize;
     let mut local2global = Vec::with_capacity(num_local);
     for _ in 0..num_local {
         local2global.push(read_u32(&mut r)?);
@@ -140,7 +164,19 @@ pub fn read_partition(path: &Path) -> io::Result<DistGraph> {
     if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(bad("corrupt partition: CSR offsets not monotone from zero".into()));
     }
-    let num_edges = *offsets.last().unwrap_or(&0) as usize;
+    let num_edges = *offsets.last().unwrap_or(&0);
+    // Monotone-but-huge edge counts must also be bounded by the bytes
+    // that actually remain after the per-node arrays.
+    let per_edge: u64 = if weighted { 8 } else { 4 };
+    match num_edges.checked_mul(per_edge) {
+        Some(b) if b <= body_bytes - node_bytes => {}
+        _ => {
+            return Err(bad(format!(
+                "corrupt partition: {num_edges} edges cannot fit in {file_len}-byte file"
+            )))
+        }
+    }
+    let num_edges = num_edges as usize;
     let mut dests = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {
         dests.push(read_u32(&mut r)?);
@@ -259,6 +295,43 @@ mod tests {
                 .unwrap_or_else(|| panic!("corrupt {what} accepted"));
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "corrupt {what}");
         }
+        // The untouched copy still reads back fine.
+        std::fs::write(&path, &clean).unwrap();
+        assert!(read_partition(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A header claiming element counts far beyond the file's actual
+    /// size must come back as `InvalidData` — not drive a giant
+    /// `Vec::with_capacity` that aborts the process on allocation
+    /// failure. That contract is what lets the serve cache treat any
+    /// load failure as "recompute".
+    #[test]
+    fn rejects_absurd_counts_without_allocating() {
+        let dg = sample();
+        let path = temp("absurd.part");
+        write_partition(&path, &dg).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // num_local lives at byte 48 (see the format doc). Claim 2^60
+        // local nodes in a ~150-byte file.
+        let mut bytes = clean.clone();
+        bytes[48..56].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err =
+            read_partition(&path).err().unwrap_or_else(|| panic!("huge num_local accepted"));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "huge num_local");
+
+        // The final CSR offset (num_edges) lives at byte
+        // 58 + 4*4 + 4*4 + 4*8 = 122 for the 4-node sample. 2^60 is
+        // monotone w.r.t. the earlier offsets but cannot fit.
+        let mut bytes = clean.clone();
+        bytes[122..130].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err =
+            read_partition(&path).err().unwrap_or_else(|| panic!("huge num_edges accepted"));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "huge num_edges");
+
         // The untouched copy still reads back fine.
         std::fs::write(&path, &clean).unwrap();
         assert!(read_partition(&path).is_ok());

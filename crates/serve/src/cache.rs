@@ -16,6 +16,7 @@
 //! [`PartitionCache::jobs_run`].
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -89,6 +90,14 @@ impl CachedPartition {
 struct Inflight {
     done: Mutex<Option<Result<Arc<CachedPartition>, ServeError>>>,
     cv: Condvar,
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "partition cache runner panicked".into())
 }
 
 /// The two-tier (memory + disk) coalescing cache for one namespace.
@@ -173,35 +182,45 @@ impl PartitionCache {
             }
         };
 
-        // We are the runner: disk tier first, then compute.
-        let result = match self.load_disk(&key) {
-            Some(cached) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                cusp_obs::instant("serve_cache_disk_hit", key.hash64());
-                Ok((Arc::new(cached), CacheTier::Disk))
+        // We are the runner: disk tier first, then compute. The whole
+        // production path — disk probe, compute, fingerprint + quality,
+        // disk store, memory publish — runs behind catch_unwind: a panic
+        // anywhere here must still become a published error below, or
+        // the Inflight entry stays with done=None forever and every
+        // coalesced waiter blocks on the condvar while the key is
+        // permanently wedged.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let result = match self.load_disk(&key) {
+                Some(cached) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    cusp_obs::instant("serve_cache_disk_hit", key.hash64());
+                    Ok((Arc::new(cached), CacheTier::Disk))
+                }
+                None => {
+                    self.jobs_run.fetch_add(1, Ordering::Relaxed);
+                    let _span = cusp_obs::span_arg("serve_partition_job", key.hash64());
+                    compute().map(|parts| {
+                        let cached = Arc::new(CachedPartition::of(parts));
+                        if let Err(e) = self.store_disk(&key, &cached) {
+                            // Disk persistence is best-effort; memory
+                            // still serves the result.
+                            eprintln!(
+                                "cusp-serve: cache write failed for {}: {e}",
+                                self.entry_dir(&key).display()
+                            );
+                        }
+                        (cached, CacheTier::Cold)
+                    })
+                }
+            };
+            if let Ok((cached, _)) = &result {
+                self.mem.lock().unwrap().insert(key, Arc::clone(cached));
             }
-            None => {
-                self.jobs_run.fetch_add(1, Ordering::Relaxed);
-                let _span = cusp_obs::span_arg("serve_partition_job", key.hash64());
-                compute().map(|parts| {
-                    let cached = Arc::new(CachedPartition::of(parts));
-                    if let Err(e) = self.store_disk(&key, &cached) {
-                        // Disk persistence is best-effort; memory still
-                        // serves the result.
-                        eprintln!(
-                            "cusp-serve: cache write failed for {}: {e}",
-                            self.entry_dir(&key).display()
-                        );
-                    }
-                    (cached, CacheTier::Cold)
-                })
-            }
-        };
+            result
+        }))
+        .unwrap_or_else(|p| Err(ServeError::JobFailed(panic_message(&*p))));
 
-        // Publish to memory, wake coalesced waiters, retire the job.
-        if let Ok((cached, _)) = &result {
-            self.mem.lock().unwrap().insert(key, Arc::clone(cached));
-        }
+        // Wake coalesced waiters and retire the job.
         let shared = result.as_ref().map(|(c, _)| Arc::clone(c)).map_err(Clone::clone);
         *job.done.lock().unwrap() = Some(shared);
         job.cv.notify_all();
@@ -370,6 +389,41 @@ mod tests {
             .get_or_compute(key, || Err(ServeError::JobFailed("boom".into())))
             .unwrap_err();
         assert!(matches!(err, ServeError::JobFailed(_)));
+        // The key is not wedged: a later request computes fresh.
+        let (_, tier) = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
+        assert_eq!(tier, CacheTier::Cold);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn panicking_compute_publishes_error_and_does_not_wedge() {
+        let root = temp_root("panic");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = Arc::new(PartitionCache::new(root.clone()));
+        let key = CacheKey { graph: 11, policy: PolicyKind::Hvc, hosts: 2, chunk_edges: 0 };
+
+        // A coalesced waiter must see the runner's panic as a typed
+        // error, not block forever on the condvar. The channel proves
+        // the panicking thread owns the inflight entry before the waiter
+        // calls in.
+        let (claimed_tx, claimed_rx) = std::sync::mpsc::channel();
+        let runner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(key, || -> Result<Vec<DistGraph>, ServeError> {
+                    claimed_tx.send(()).unwrap();
+                    // Hold the job long enough for the waiter to coalesce.
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    panic!("runner blew up")
+                })
+            })
+        };
+        claimed_rx.recv().unwrap();
+        let err = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap_err();
+        assert!(matches!(err, ServeError::JobFailed(ref m) if m.contains("blew up")), "{err}");
+        let runner_err = runner.join().unwrap().unwrap_err();
+        assert!(matches!(runner_err, ServeError::JobFailed(_)), "{runner_err}");
+
         // The key is not wedged: a later request computes fresh.
         let (_, tier) = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
         assert_eq!(tier, CacheTier::Cold);

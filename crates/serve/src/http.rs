@@ -16,9 +16,9 @@
 //! GET  /v1/<tenant>/graphs/<name>/quality?policy=hvc&hosts=4&chunk=0
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -59,11 +59,13 @@ impl Drop for HttpHandle {
     }
 }
 
-/// Binds the HTTP front end on `addr`.
+/// Binds the HTTP front end on `addr`. Connections are bounded by the
+/// same `max_connections` budget as the framed transport.
 pub fn serve_http(state: Arc<ServerState>, addr: &str) -> std::io::Result<HttpHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let live = Arc::new(AtomicUsize::new(0));
     let accept_stop = Arc::clone(&stop);
     let accept_thread =
         std::thread::Builder::new().name("cusp-serve-http".into()).spawn(move || {
@@ -71,27 +73,67 @@ pub fn serve_http(state: Arc<ServerState>, addr: &str) -> std::io::Result<HttpHa
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
+                let Ok(mut stream) = conn else { continue };
+                if live.load(Ordering::SeqCst) >= state.config.max_connections {
+                    let _ = write_http(
+                        &mut stream,
+                        429,
+                        &json_error(
+                            4,
+                            &format!(
+                                "connection limit {} reached",
+                                state.config.max_connections
+                            ),
+                        ),
+                    );
+                    continue;
+                }
+                live.fetch_add(1, Ordering::SeqCst);
                 let state = Arc::clone(&state);
-                let _ = std::thread::Builder::new()
+                let conn_live = Arc::clone(&live);
+                let spawned = std::thread::Builder::new()
                     .name("cusp-serve-http-conn".into())
-                    .spawn(move || handle_connection(&state, stream));
+                    .spawn(move || {
+                        handle_connection(&state, stream);
+                        conn_live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
             }
         })?;
     Ok(HttpHandle { addr, stop, accept_thread: Some(accept_thread) })
 }
 
+/// Longest accepted request line; anything bigger is hostile or broken.
+const MAX_REQUEST_LINE: u64 = 8 * 1024;
+/// Total header bytes drained per request — an endless header stream
+/// cannot grow memory past this.
+const MAX_HEADER_BYTES: u64 = 64 * 1024;
+
 fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
+    let mut reader = reader.take(MAX_REQUEST_LINE);
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
+    match reader.read_line(&mut request_line) {
+        Ok(0) | Err(_) => return,
+        // No newline within the cap means the line was truncated by the
+        // limit (or the peer hung up mid-line): reject, don't parse.
+        Ok(_) if !request_line.ends_with('\n') => {
+            let _ = write_http(&mut stream, 400, &json_error(6, "request line too long"));
+            return;
+        }
+        Ok(_) => {}
     }
     // Drain headers; bodies are unused (everything rides in the query).
+    // The `take` bounds total header bytes — past it read_line returns
+    // Ok(0) and we stop draining, having already buffered at most the
+    // cap.
+    let mut reader = reader.into_inner().take(MAX_HEADER_BYTES);
     loop {
         let mut line = String::new();
         match reader.read_line(&mut line) {
@@ -192,7 +234,11 @@ fn partition_request(
     quality: bool,
 ) -> Result<Request, String> {
     let policy = param(params, "policy").unwrap_or("hvc").to_string();
-    let hosts = param_u64(params, "hosts", 4)? as u32;
+    let hosts = param_u64(params, "hosts", 4)?;
+    // Range (1..=MAX_HOSTS) is enforced in ServerState::partition for
+    // every transport; here we only refuse the silent mod-2^32 wrap.
+    let hosts = u32::try_from(hosts)
+        .map_err(|_| format!("parameter 'hosts' out of range: {hosts}"))?;
     let chunk_edges = param_u64(params, "chunk", 0)?;
     let (tenant, graph) = (tenant.to_string(), graph.to_string());
     Ok(if quality {
@@ -200,6 +246,27 @@ fn partition_request(
     } else {
         Request::Partition { tenant, graph, policy, hosts, chunk_edges }
     })
+}
+
+/// Most nodes a server-side generation request may ask for.
+const MAX_GEN_NODES: u64 = 1 << 24;
+/// Most edges (`nodes * degree`) a generation request may materialize —
+/// the generator allocates proportionally, and an allocation failure
+/// aborts the process rather than unwinding, so this is a hard cap.
+const MAX_GEN_EDGES: u64 = 1 << 27;
+
+/// Bounds a generation request: node count capped, and the edge budget
+/// `nodes * degree` computed with overflow treated as over-cap.
+fn gen_size(nodes: u64, degree: u64) -> Result<(usize, usize), String> {
+    if nodes == 0 || nodes > MAX_GEN_NODES {
+        return Err(format!("nodes must be in 1..={MAX_GEN_NODES}"));
+    }
+    match nodes.checked_mul(degree) {
+        Some(edges) if edges <= MAX_GEN_EDGES => Ok((nodes as usize, edges as usize)),
+        _ => Err(format!(
+            "nodes*degree must be <= {MAX_GEN_EDGES} (got nodes={nodes}, degree={degree})"
+        )),
+    }
 }
 
 /// Generates a graph server-side and routes it through the same upload
@@ -212,7 +279,7 @@ fn gen_graph(
 ) -> (u16, String) {
     let kind = param(params, "kind").unwrap_or("uniform");
     let nodes = match param_u64(params, "nodes", 1024) {
-        Ok(n) => n as usize,
+        Ok(n) => n,
         Err(m) => return (400, json_error(6, &m)),
     };
     let degree = match param_u64(params, "degree", 8) {
@@ -223,12 +290,12 @@ fn gen_graph(
         Ok(s) => s,
         Err(m) => return (400, json_error(6, &m)),
     };
-    const MAX_GEN_NODES: usize = 1 << 24;
-    if nodes == 0 || nodes > MAX_GEN_NODES {
-        return (400, json_error(6, &format!("nodes must be in 1..={MAX_GEN_NODES}")));
-    }
+    let (nodes, edges) = match gen_size(nodes, degree) {
+        Ok(v) => v,
+        Err(m) => return (400, json_error(6, &m)),
+    };
     let graph: Csr = match kind {
-        "uniform" => uniform::erdos_renyi(nodes, nodes * degree as usize, seed),
+        "uniform" => uniform::erdos_renyi(nodes, edges, seed),
         "powerlaw" => {
             powerlaw::powerlaw(powerlaw::PowerLawConfig::webcrawl(nodes, degree as f64, seed))
         }
@@ -370,5 +437,30 @@ mod tests {
     fn json_escape_controls() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn gen_size_bounds_nodes_degree_and_product() {
+        assert_eq!(gen_size(1000, 8), Ok((1000, 8000)));
+        assert!(gen_size(0, 8).is_err());
+        assert!(gen_size(MAX_GEN_NODES + 1, 1).is_err());
+        // A modest node count with an absurd degree must be refused, not
+        // allocated.
+        assert!(gen_size(1 << 10, 1_000_000_000).is_err());
+        // nodes * degree overflowing u64 is over-cap, not a wrap.
+        assert!(gen_size(1 << 24, u64::MAX).is_err());
+        // The cap itself is accepted.
+        assert!(gen_size(1 << 20, MAX_GEN_EDGES >> 20).is_ok());
+    }
+
+    #[test]
+    fn partition_request_rejects_u32_overflowing_hosts() {
+        // 2^32 + 4 used to silently truncate to hosts=4.
+        let params = [("hosts", "4294967300")];
+        let err = partition_request("t", "g", &params, false).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // In-range values still parse.
+        let params = [("hosts", "4")];
+        assert!(partition_request("t", "g", &params, false).is_ok());
     }
 }

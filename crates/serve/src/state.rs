@@ -20,7 +20,7 @@ use cusp_net::Cluster;
 
 use crate::cache::{CacheKey, CachedPartition, PartitionCache};
 use crate::error::ServeError;
-use crate::protocol::{CacheTier, Request, Response, DEFAULT_MAX_FRAME};
+use crate::protocol::{CacheTier, Request, Response, DEFAULT_MAX_FRAME, MAX_HOSTS};
 use crate::tenant::{GraphEntry, Quota, TenantRegistry};
 
 /// Server-wide knobs.
@@ -280,6 +280,12 @@ impl ServerState {
 
     /// The shared partition path: resolve tenant + graph, claim a job
     /// permit, then let the cache serve or coalesce or compute.
+    ///
+    /// `hosts` is validated here — not only at frame decode — so every
+    /// transport (framed, HTTP, tests driving the router directly)
+    /// inherits the bound; each host becomes an OS thread in the
+    /// simulated cluster, so an unchecked value is a resource-exhaustion
+    /// vector.
     fn partition(
         &self,
         tenant: &str,
@@ -288,6 +294,11 @@ impl ServerState {
         hosts: u32,
         chunk_edges: u64,
     ) -> Result<(Arc<CachedPartition>, CacheTier), ServeError> {
+        if hosts == 0 || hosts > MAX_HOSTS {
+            return Err(ServeError::BadRequest(format!(
+                "hosts must be in 1..={MAX_HOSTS} (got {hosts})"
+            )));
+        }
         let t = self.registry.get_or_create(tenant)?;
         let entry = t.graph(graph)?;
         let Some(kind) = PolicyKind::parse(&policy.to_ascii_uppercase()) else {

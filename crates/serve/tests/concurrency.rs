@@ -245,3 +245,31 @@ fn socket_clients_coalesce_too() {
     assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 1);
     handle.shutdown();
 }
+
+/// The hosts bound holds at the router, not just at frame decode: a
+/// transport that builds `Request::Partition` directly (the HTTP front
+/// end, or a buggy client) cannot spawn an unbounded thread count. The
+/// rejection is typed (BadRequest, code 6) and runs zero jobs.
+#[test]
+fn out_of_range_hosts_rejected_at_router() {
+    let state = test_state("hosts-bound", Quota::default());
+    upload(&state, "acme", "g", 500, 3);
+
+    for hosts in [0u32, 65, 100_000] {
+        match state.handle(partition_req("acme", "g", "HVC", hosts)) {
+            Response::Error { code, message } => {
+                assert_eq!(code, 6, "hosts={hosts}: {message}");
+                assert!(message.contains("hosts"), "hosts={hosts}: {message}");
+            }
+            other => panic!("hosts={hosts} accepted: {other:?}"),
+        }
+    }
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), 0);
+
+    // The boundary value itself still works (64 hosts is a lot of
+    // threads, so use a tiny graph and the cheapest path: hosts=1).
+    match state.handle(partition_req("acme", "g", "HVC", 1)) {
+        Response::Partitioned { .. } => {}
+        other => panic!("hosts=1 rejected: {other:?}"),
+    }
+}
