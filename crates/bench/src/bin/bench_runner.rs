@@ -15,6 +15,9 @@
 //! * **Serve round-trip**: cold vs cache-hit latency of one partition
 //!   request against an in-process `cusp-serve` instance over real
 //!   sockets (fingerprints asserted identical).
+//! * **Delta repartition**: full re-partition vs the incremental
+//!   `partition_delta` path on a ≤1% mutation batch (fingerprints
+//!   asserted identical under the determinism contract).
 //! * **Ablation rows**: one wall-clock row per single-knob variant.
 //!
 //! Usage:
@@ -150,6 +153,19 @@ fn main() {
         serve_cold / serve_warm
     );
 
+    // Delta repartition vs full re-partition on a small mutation batch.
+    let delta = delta_bench(&input.graph);
+    eprintln!(
+        "delta repartition: full {:.3}s vs delta {:.3}s ({:.2}x) on {} events ({:.3}% of edges), {} dirty, {} edges reused",
+        delta.full_secs,
+        delta.delta_secs,
+        delta.full_secs / delta.delta_secs,
+        delta.events,
+        delta.batch_frac * 100.0,
+        delta.dirty,
+        delta.reused
+    );
+
     let json = render_json(
         input.name,
         input.graph.num_nodes() as u64,
@@ -168,6 +184,7 @@ fn main() {
         obs_overhead,
         serve_cold,
         serve_warm,
+        &delta,
         &ablation_rows,
     );
 
@@ -264,6 +281,90 @@ fn serve_roundtrip(graph: &cusp_graph::Csr) -> (f64, f64) {
     (cold_secs, warm_secs)
 }
 
+struct DeltaBench {
+    events: usize,
+    batch_frac: f64,
+    full_secs: f64,
+    delta_secs: f64,
+    dirty: u64,
+    reused: u64,
+}
+
+/// Full re-partition vs `partition_delta` on a seeded ≤1% mutation
+/// batch, best-of-repeats, same config and in-memory source for both.
+/// Under `deterministic_sync` the two results must be bit-identical —
+/// the assert means a wrong delta can't post a fast number.
+fn delta_bench(graph: &cusp_graph::Csr) -> DeltaBench {
+    use std::sync::Arc;
+
+    // ~0.5% of edges, comfortably under the 1% incremental regime.
+    let events = (graph.num_edges() / 200).max(16) as usize;
+    let batch = cusp_graph::wal::seeded_batch(graph, false, 0xD317A, events);
+    let applied = graph.apply_batch(None, &batch).expect("bench batch applies");
+    let mutated = Arc::new(applied.graph);
+    let base_src = GraphSource::Memory(Arc::new(graph.clone()));
+    let msrc = GraphSource::Memory(Arc::clone(&mutated));
+    let cfg = CuspConfig { deterministic_sync: true, ..CuspConfig::default() };
+
+    // The previous generation's partition — the delta path's input, not
+    // part of either measurement.
+    let prevs = cusp_net::Cluster::run(HOSTS, |comm| {
+        cusp::partition_with_policy(comm, base_src.clone(), PolicyKind::Cvc, &cfg)
+    })
+    .results;
+
+    let wall_of = |outs: &[cusp::PartitionOutput]| {
+        outs.iter().map(|o| o.times.total()).max().unwrap().as_secs_f64()
+    };
+    let fp_of = |outs: Vec<cusp::PartitionOutput>| {
+        let parts: Vec<_> = outs.into_iter().map(|o| o.dist_graph).collect();
+        cusp::partition_fingerprint(&parts)
+    };
+
+    let mut full_secs = f64::MAX;
+    let mut full_fp = 0;
+    for _ in 0..e2e_repeats() {
+        let outs = cusp_net::Cluster::run(HOSTS, |comm| {
+            cusp::partition_with_policy(comm, msrc.clone(), PolicyKind::Cvc, &cfg)
+        })
+        .results;
+        full_secs = full_secs.min(wall_of(&outs));
+        full_fp = fp_of(outs);
+    }
+
+    let mut delta_secs = f64::MAX;
+    let mut dirty = 0;
+    let mut reused = 0;
+    let mut delta_fp = 0;
+    for _ in 0..e2e_repeats() {
+        let outs = cusp_net::Cluster::run(HOSTS, |comm| {
+            cusp::partition_delta_with_policy(
+                comm,
+                msrc.clone(),
+                PolicyKind::Cvc,
+                &cfg,
+                &prevs[comm.host()],
+                &batch,
+            )
+        })
+        .results;
+        delta_secs = delta_secs.min(wall_of(&outs));
+        dirty = outs[0].dirty_vertices;
+        reused = outs.iter().map(|o| o.reused_edges).sum();
+        delta_fp = fp_of(outs);
+    }
+    assert_eq!(delta_fp, full_fp, "delta repartition diverged from full");
+
+    DeltaBench {
+        events,
+        batch_frac: events as f64 / graph.num_edges() as f64,
+        full_secs,
+        delta_secs,
+        dirty,
+        reused,
+    }
+}
+
 struct CodecRow {
     name: &'static str,
     mbps: f64,
@@ -357,6 +458,7 @@ fn render_json(
     obs_overhead: f64,
     serve_cold: f64,
     serve_warm: f64,
+    delta: &DeltaBench,
     ablations: &[(&str, f64)],
 ) -> String {
     let mut s = String::new();
@@ -397,6 +499,16 @@ fn render_json(
     s.push_str(&format!(
         "  \"serve\": {{\"cold_secs\": {serve_cold:.6}, \"cache_hit_secs\": {serve_warm:.6}, \"speedup\": {:.1}}},\n",
         serve_cold / serve_warm
+    ));
+    s.push_str(&format!(
+        "  \"delta\": {{\"events\": {}, \"batch_frac\": {:.6}, \"full_secs\": {:.6}, \"delta_secs\": {:.6}, \"speedup\": {:.2}, \"dirty_vertices\": {}, \"reused_edges\": {}}},\n",
+        delta.events,
+        delta.batch_frac,
+        delta.full_secs,
+        delta.delta_secs,
+        delta.full_secs / delta.delta_secs,
+        delta.dirty,
+        delta.reused
     ));
     s.push_str("  \"ablations\": [\n");
     let ab_rows: Vec<String> = ablations

@@ -23,6 +23,7 @@ pub enum PartitionClass {
 ///
 /// Local ids are assigned deterministically: masters first (ascending
 /// global id), then mirrors (ascending global id).
+#[derive(Clone)]
 pub struct DistGraph {
     /// This partition's id (== the host id that built it).
     pub part_id: PartId,

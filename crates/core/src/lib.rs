@@ -66,9 +66,10 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::{CuspConfig, GraphSource, OutputFormat, PhaseTimes};
 pub use dist_graph::{DistGraph, PartitionClass};
 pub use phases::alloc::MasterSpec;
+pub use phases::delta::{partition_delta, DirtySet};
 pub use phases::driver::{partition, PartitionOutput};
 pub use phases::pipeline::{Phase, PhaseCtx, ReplayReady, SliceData};
-pub use policies::catalog::{partition_with_policy, PolicyKind};
+pub use policies::catalog::{partition_delta_with_policy, partition_with_policy, PolicyKind};
 pub use orientation::{partition_with_policy_oriented, Orientation};
 pub use policy::{EdgeRule, MasterRule, MasterView, Setup};
 pub use props::LocalProps;
@@ -76,8 +77,8 @@ pub use state::{LoadState, PartitionState};
 pub use storage::{read_partition, write_partition};
 pub use tracing::{phase_net_rows, phase_summary, render_phase_summary};
 pub use verify::{
-    check_all, check_comm_stats, check_partition, graph_fingerprint, partition_fingerprint,
-    Violation, ViolationKind,
+    check_all, check_comm_stats, check_delta_equivalence, check_partition, graph_fingerprint,
+    partition_fingerprint, Violation, ViolationKind,
 };
 
 /// A partition id; CuSP runs with as many hosts as partitions, so this is

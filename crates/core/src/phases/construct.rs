@@ -34,23 +34,23 @@ use crate::tags::TAG_EDGES;
 
 /// A raw-pointer window over the destination buffer so pool workers can
 /// fill disjoint slot ranges concurrently.
-struct DestPtr(*mut Node);
+pub(crate) struct DestPtr(pub(crate) *mut Node);
 unsafe impl Send for DestPtr {}
 unsafe impl Sync for DestPtr {}
 impl DestPtr {
     #[inline]
-    fn get(&self) -> *mut Node {
+    pub(crate) fn get(&self) -> *mut Node {
         self.0
     }
 }
 
 /// Same, for the optional per-edge data buffer (null when unweighted).
-struct DataPtr(*mut u32);
+pub(crate) struct DataPtr(pub(crate) *mut u32);
 unsafe impl Send for DataPtr {}
 unsafe impl Sync for DataPtr {}
 impl DataPtr {
     #[inline]
-    fn get(&self) -> *mut u32 {
+    pub(crate) fn get(&self) -> *mut u32 {
         self.0
     }
 }
@@ -260,7 +260,7 @@ pub fn construct<ER: EdgeRule>(
 
 /// Sorts each node's adjacency slice (keeping per-edge data aligned) into
 /// (destination, weight) order.
-fn sort_adjacency(offsets: &[u64], dests: &mut [Node], mut data: Option<&mut [u32]>) {
+pub(crate) fn sort_adjacency(offsets: &[u64], dests: &mut [Node], mut data: Option<&mut [u32]>) {
     for l in 0..offsets.len() - 1 {
         let (s, e) = (offsets[l] as usize, offsets[l + 1] as usize);
         match data.as_deref_mut() {
@@ -281,7 +281,7 @@ fn sort_adjacency(offsets: &[u64], dests: &mut [Node], mut data: Option<&mut [u3
 /// Reserves `cnt` contiguous CSR slots for a record of `src` and returns
 /// the first slot index.
 #[inline]
-fn reserve_slots(alloc: &AllocOutcome, src: Node, cnt: usize) -> usize {
+pub(crate) fn reserve_slots(alloc: &AllocOutcome, src: Node, cnt: usize) -> usize {
     let ls = alloc.local_of(src) as usize;
     let slot = alloc.cursors[ls].fetch_add(cnt as u64, Ordering::Relaxed);
     assert!(
@@ -294,7 +294,7 @@ fn reserve_slots(alloc: &AllocOutcome, src: Node, cnt: usize) -> usize {
 /// Inserts one record's destinations (and optional per-edge data) into the
 /// preallocated CSR, converting global destination ids to local ids.
 #[inline]
-fn insert_record(
+pub(crate) fn insert_record(
     alloc: &AllocOutcome,
     dest_ptr: &DestPtr,
     data_ptr: &DataPtr,
@@ -327,7 +327,7 @@ fn insert_record(
 /// Bulk mode skip-scans the record headers — O(records), not O(edges) —
 /// since the run lengths alone determine the total. Scalar mode decodes
 /// every element (the pre-bulk behavior, kept for the ablation).
-fn count_edges_in(payload: &bytes::Bytes, weighted: bool, scalar: bool) -> u64 {
+pub(crate) fn count_edges_in(payload: &bytes::Bytes, weighted: bool, scalar: bool) -> u64 {
     let mut r = WireReader::new(payload.clone());
     let per_edge = if weighted { 2 } else { 1 };
     let mut total = 0u64;
@@ -352,7 +352,7 @@ fn count_edges_in(payload: &bytes::Bytes, weighted: bool, scalar: bool) -> u64 {
 /// the payload directly into its reserved CSR slots and localized in place,
 /// and the weight run is a straight memcpy into the edge-data slots — no
 /// intermediate `Vec` is materialized.
-fn insert_message(
+pub(crate) fn insert_message(
     alloc: &AllocOutcome,
     dest_ptr: &DestPtr,
     data_ptr: &DataPtr,

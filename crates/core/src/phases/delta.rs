@@ -1,0 +1,902 @@
+//! Incremental (delta) repartitioning: maintain a partition under a
+//! mutation batch instead of rebuilding it from scratch.
+//!
+//! A partition produced by [`partition`] is a pure function of the input
+//! graph and the policy. When the graph mutates (a [`GraphEvent`] batch
+//! from the WAL), most of that function's inputs are unchanged: a vertex
+//! whose out-edges, master, and weights did not move keeps exactly the
+//! partition-side state it had. [`partition_delta`] exploits this by
+//! re-running only master re-resolution, edge assignment, and construction
+//! for the *dirty* vertices, while every clean vertex keeps its master,
+//! its mirrors, and its CSR slots — clean edges are copied out of the
+//! previous partition instead of being re-decided and re-shipped.
+//!
+//! # Dirty-set rules
+//!
+//! A vertex is dirty when any of its partitioning inputs changed:
+//!
+//! * it is the **source of a batch event** (its out-degree or out-edge
+//!   payload changed, so degree-sensitive rules like `Hybrid` may re-decide
+//!   *all* of its edges);
+//! * it is a **new vertex** (`old_n..new_n` — it had no master before);
+//! * its **pure master moved** (edge-balanced boundaries shift with the
+//!   edge distribution, so a mutation can re-home vertices far from the
+//!   batch).
+//!
+//! An *edge* is dirty iff either endpoint is dirty. This is sound because
+//! every stateless edge rule in the catalog is a function of
+//! `(out_degree(src), src_master, dst_master, parts)` only — all four are
+//! unchanged for a clean edge, so its owner (and the mirrors it induces)
+//! cannot move.
+//!
+//! # Scope
+//!
+//! The delta path requires a **pure master rule** (re-resolution is
+//! replicated computation, §IV-D5) and a **stateless edge rule** (per-edge
+//! decisions independent of history). Stateful policies (HDRF, LDG,
+//! Fennel-family masters) fall back to a full re-partition — still
+//! correct, and under `deterministic_sync` still fingerprint-identical,
+//! just not incremental.
+//!
+//! Under `CuspConfig::deterministic_sync` the delta result is
+//! bit-identical to a full re-partition of the mutated graph: the per-host
+//! per-source edge multiset is reproduced exactly (kept edges keep their
+//! owners, dirty edges are re-decided with the same inputs a full run
+//! would use), allocation assigns local ids deterministically from that
+//! multiset, and the canonical adjacency sort erases insertion order.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use cusp_galois::{do_all_items, do_all_with_tid, PerThread, DEFAULT_GRAIN};
+use cusp_graph::{Csr, GraphEvent, Node};
+use cusp_net::{Comm, SendBuffers, WireReader, WireWriter};
+
+use crate::config::OutputFormat;
+use crate::dist_graph::{DistGraph, PartitionClass};
+use crate::phases::alloc::MasterSpec;
+use crate::phases::construct::{
+    count_edges_in, insert_message, insert_record, sort_adjacency, DataPtr, DestPtr,
+};
+use crate::phases::driver::{partition, PartitionOutput};
+use crate::phases::edge_assign::EdgeAssignOutcome;
+use crate::phases::master::{pure_masters, ResolvedMasters};
+use crate::phases::pipeline::{AllocPhase, Phase, PhaseCtx, ReadPhase, SliceData};
+use crate::policy::{EdgeRule, MasterRule, Setup};
+use crate::props::LocalProps;
+use crate::state::PartitionState;
+use crate::tags::{META_EMPTY, META_FULL, TAG_EDGE_META, TAG_EDGES};
+use crate::{CuspConfig, GraphSource, PartId};
+
+/// Dense bitset over global vertex ids marking the dirty set.
+pub struct DirtySet {
+    bits: Vec<u64>,
+    count: u64,
+}
+
+impl DirtySet {
+    fn new(n: u64) -> Self {
+        DirtySet { bits: vec![0u64; (n as usize).div_ceil(64)], count: 0 }
+    }
+
+    fn insert(&mut self, v: Node) {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        if self.bits[w] & (1 << b) == 0 {
+            self.bits[w] |= 1 << b;
+            self.count += 1;
+        }
+    }
+
+    fn insert_range(&mut self, r: std::ops::Range<Node>) {
+        for v in r {
+            self.insert(v);
+        }
+    }
+
+    /// Is global vertex `v` dirty?
+    #[inline]
+    pub fn contains(&self, v: Node) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        w < self.bits.len() && self.bits[w] & (1 << b) != 0
+    }
+
+    /// Number of dirty vertices.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no vertex is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Computes the dirty set for `batch` against the old/new pure master
+/// rules (see the module docs for the three dirty-set rules). Every host
+/// computes an identical set — the inputs are all replicated.
+pub fn dirty_set<MR: MasterRule>(
+    old_rule: &MR,
+    new_rule: &MR,
+    old_n: u64,
+    new_n: u64,
+    parts: PartId,
+    batch: &[GraphEvent],
+) -> DirtySet {
+    debug_assert!(new_n >= old_n, "graphs never shrink under a WAL batch");
+    let mut dirty = DirtySet::new(new_n);
+    for ev in batch {
+        dirty.insert(ev.src());
+    }
+    dirty.insert_range(old_n as Node..new_n as Node);
+    // Master shifts: a vertex whose new owner differs from its old owner.
+    // Both rules assign contiguous per-part ranges, so the shifted vertices
+    // are interval differences — `new_range(p) \ old_range(p)` per part
+    // covers every shifted vertex exactly once (each vertex has one new
+    // owner). Vertices beyond `old_n` are already dirty via the range rule.
+    for p in 0..parts {
+        let old_r = old_rule.pure_owned_range(p);
+        let new_r = new_rule.pure_owned_range(p);
+        if old_r == new_r {
+            continue;
+        }
+        dirty.insert_range(new_r.start..new_r.end.min(old_r.start.max(new_r.start)));
+        dirty.insert_range(old_r.end.max(new_r.start).min(new_r.end)..new_r.end);
+    }
+    dirty
+}
+
+/// Output of the delta edge-assignment phase: the synthesized
+/// [`EdgeAssignOutcome`] plus the number of clean edges this host reuses
+/// from its previous partition.
+struct DeltaAssignOutcome {
+    ea: EdgeAssignOutcome,
+    reused_edges: u64,
+}
+
+/// Delta edge assignment: tallies kept (clean) edges from the previous
+/// partition locally and exchanges only the dirty-edge metadata — sparse
+/// `(src, count)` pairs instead of the full positional count vectors.
+struct DeltaAssignPhase<'a, ER: EdgeRule> {
+    setup: &'a Setup,
+    masters: &'a ResolvedMasters,
+    rule: &'a ER,
+    estate: &'a ER::State,
+    prev: &'a DistGraph,
+    prev_csc: bool,
+    dirty: &'a DirtySet,
+}
+
+impl<'a, ER: EdgeRule> Phase for DeltaAssignPhase<'a, ER> {
+    const NAME: &'static str = "edge_assign";
+    type Input = &'a mut SliceData;
+    type Output = DeltaAssignOutcome;
+
+    fn run(self, ctx: &mut PhaseCtx<'_>, data: &'a mut SliceData) -> DeltaAssignOutcome {
+        let comm = ctx.comm;
+        let me = comm.host();
+        let k = comm.num_hosts();
+        let lo = data.node_lo();
+        let local_n = data.num_nodes();
+        let masters = self.masters;
+        let dirty = self.dirty;
+
+        // --- Kept (clean) edges from the previous partition. -------------
+        // Both endpoints clean ⇒ the edge's owner is unchanged ⇒ it stays
+        // on this host. Positional tallies sized by the (replicated) global
+        // node count keep the walk a lock-free parallel pass: `incoming[v]`
+        // counts kept edges sourced at `v`, `mirror_bits` marks proxies
+        // mastered elsewhere (deduplication by construction — no sort).
+        let n_glob = self.setup.num_nodes as usize;
+        let incoming: Vec<AtomicU32> = (0..n_glob).map(|_| AtomicU32::new(0)).collect();
+        let mirror_bits: Vec<AtomicU64> =
+            (0..n_glob.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        let mark_mirror = |v: Node| {
+            mirror_bits[v as usize / 64].fetch_or(1 << (v % 64), Ordering::Relaxed);
+        };
+        let prev = self.prev;
+        let csc = self.prev_csc;
+        let reused_total = AtomicU64::new(0);
+        do_all_with_tid(&ctx.pool, prev.num_local(), DEFAULT_GRAIN, |_tid, row| {
+            let edges = prev.graph.edges(row as Node);
+            if edges.is_empty() {
+                return;
+            }
+            let g_row = prev.local2global[row];
+            if dirty.contains(g_row) {
+                return; // every edge of a dirty row has a dirty endpoint
+            }
+            let mut kept = 0u32;
+            if !csc {
+                // Row is the source: one tally update covers the whole run.
+                for &other in edges {
+                    let g_other = prev.local2global[other as usize];
+                    if dirty.contains(g_other) {
+                        continue;
+                    }
+                    kept += 1;
+                    if masters.of(g_other) as usize != me {
+                        mark_mirror(g_other);
+                    }
+                }
+                if kept > 0 {
+                    incoming[g_row as usize].fetch_add(kept, Ordering::Relaxed);
+                }
+            } else {
+                // Row is the destination: tally each stored source; the
+                // mirror check applies to the row itself, once.
+                for &other in edges {
+                    let g_other = prev.local2global[other as usize];
+                    if dirty.contains(g_other) {
+                        continue;
+                    }
+                    kept += 1;
+                    incoming[g_other as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                if kept > 0 && masters.of(g_row) as usize != me {
+                    mark_mirror(g_row);
+                }
+            }
+            if kept > 0 {
+                reused_total.fetch_add(kept as u64, Ordering::Relaxed);
+            }
+        });
+        let reused_edges = reused_total.load(Ordering::Relaxed);
+
+        // --- Dirty edges from the mutated slice (local tally). ------------
+        // Same positional tally as the full phase, but only edges with a
+        // dirty endpoint are decided; clean edges are skipped unseen.
+        let counts: Vec<AtomicU32> = (0..k * local_n).map(|_| AtomicU32::new(0)).collect();
+        let mirror_lists: PerThread<Vec<(PartId, Node)>> =
+            PerThread::new(&ctx.pool, |_| Vec::new());
+        data.for_each_chunk(|chunk| {
+            let prop = LocalProps::new(
+                self.setup.num_nodes,
+                self.setup.num_edges,
+                self.setup.parts,
+                chunk,
+            );
+            let base = (chunk.node_lo - lo) as usize;
+            do_all_with_tid(&ctx.pool, chunk.num_nodes(), DEFAULT_GRAIN, |tid, j| {
+                let s = chunk.node_lo + j as Node;
+                let edges = chunk.edges(s);
+                if edges.is_empty() {
+                    return;
+                }
+                let s_dirty = dirty.contains(s);
+                let sm = masters.of(s);
+                mirror_lists.with(tid, |out| {
+                    for &d in edges {
+                        if !s_dirty && !dirty.contains(d) {
+                            continue;
+                        }
+                        let dm = masters.of(d);
+                        let h = self.rule.get_edge_owner(&prop, s, d, sm, dm, self.estate);
+                        debug_assert!(h < self.setup.parts);
+                        counts[h as usize * local_n + base + j].fetch_add(1, Ordering::Relaxed);
+                        if h != dm {
+                            out.push((h, d));
+                        }
+                    }
+                });
+            });
+        });
+        let mut flat: Vec<(PartId, Node)> =
+            mirror_lists.into_inner().into_iter().flatten().collect();
+        flat.sort_unstable();
+        flat.dedup();
+        let mut mirrors_for: Vec<Vec<Node>> = vec![Vec::new(); k];
+        for (h, d) in flat {
+            mirrors_for[h as usize].push(d);
+        }
+
+        // --- Exchange dirty-edge metadata (sparse pairs + mirror ids). ----
+        // Masters are pure, so receivers recompute them; only ids travel.
+        for peer in 0..k {
+            if peer == me {
+                continue;
+            }
+            let count_slice = &counts[peer * local_n..(peer + 1) * local_n];
+            let mut pairs: Vec<u32> = Vec::new();
+            for (i, c) in count_slice.iter().enumerate() {
+                let c = c.load(Ordering::Relaxed);
+                if c > 0 {
+                    pairs.push(lo + i as Node);
+                    pairs.push(c);
+                }
+            }
+            if pairs.is_empty() && mirrors_for[peer].is_empty() {
+                let mut w = WireWriter::with_capacity(1);
+                w.put_u8(META_EMPTY);
+                comm.send_bytes(peer, TAG_EDGE_META, w.finish());
+                continue;
+            }
+            let mut w = WireWriter::with_capacity(pairs.len() * 4 + mirrors_for[peer].len() * 4 + 32);
+            w.put_u8(META_FULL);
+            w.put_u64((pairs.len() / 2) as u64);
+            w.put_u32_raw_slice(&pairs);
+            w.put_u64(mirrors_for[peer].len() as u64);
+            w.put_u32_raw_slice(&mirrors_for[peer]);
+            comm.send_bytes(peer, TAG_EDGE_META, w.finish());
+        }
+
+        // --- Local dirty contributions (h == me). -------------------------
+        let my_counts = &counts[me * local_n..(me + 1) * local_n];
+        for (i, c) in my_counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c > 0 {
+                incoming[(lo + i as Node) as usize].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        for &d in &mirrors_for[me] {
+            mark_mirror(d);
+        }
+
+        // --- Receive peer dirty metadata. ---------------------------------
+        let mut to_receive = 0u64;
+        for _ in 0..k.saturating_sub(1) {
+            let (_src, payload) = comm.recv_any(TAG_EDGE_META);
+            let mut r = WireReader::new(payload);
+            let kind = r.get_u8().expect("empty delta metadata message");
+            if kind == META_EMPTY {
+                continue;
+            }
+            let np = r.get_u64().expect("malformed delta pair count") as usize;
+            let mut pairs = vec![0u32; np * 2];
+            r.get_u32_into(&mut pairs).expect("malformed delta pairs");
+            for pair in pairs.chunks_exact(2) {
+                let (s, c) = (pair[0], pair[1]);
+                incoming[s as usize].fetch_add(c, Ordering::Relaxed);
+                to_receive += c as u64;
+            }
+            let nm = r.get_u64().expect("malformed delta mirror count") as usize;
+            let mut run = vec![0u32; nm];
+            r.get_u32_into(&mut run).expect("malformed delta mirrors");
+            for d in run {
+                mark_mirror(d);
+            }
+        }
+
+        // --- Synthesize the outcome allocation consumes. ------------------
+        // Both tallies are positional, so scanning them yields the sorted
+        // vectors directly — no hash drain, no sort, no dedup.
+        let mut incoming_srcs: Vec<(Node, u32, PartId)> = Vec::new();
+        for (v, c) in incoming.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c > 0 {
+                incoming_srcs.push((v as Node, c, masters.of(v as Node)));
+            }
+        }
+        let mut mirrors: Vec<(Node, PartId)> = Vec::new();
+        for (w, bits) in mirror_bits.iter().enumerate() {
+            let mut b = bits.load(Ordering::Relaxed);
+            while b != 0 {
+                let v = (w * 64 + b.trailing_zeros() as usize) as Node;
+                b &= b - 1;
+                mirrors.push((v, masters.of(v)));
+            }
+        }
+
+        DeltaAssignOutcome {
+            ea: EdgeAssignOutcome {
+                incoming_srcs,
+                mirrors,
+                my_master_nodes: None,
+                to_receive,
+            },
+            reused_edges,
+        }
+    }
+}
+
+/// Invokes `f(src, dst, edge_index)` (global ids, previous-partition edge
+/// index) for every edge of `prev` whose endpoints are both clean.
+///
+/// `csc` says the previous partition stores in-edges (the
+/// `OutputFormat::Csc` transpose), in which case each row is the edge's
+/// *destination* and each stored id its source.
+fn for_each_kept_edge(
+    prev: &DistGraph,
+    csc: bool,
+    dirty: &DirtySet,
+    mut f: impl FnMut(Node, Node, usize),
+) {
+    for row in 0..prev.num_local() {
+        let edges = prev.graph.edges(row as Node);
+        if edges.is_empty() {
+            continue;
+        }
+        let g_row = prev.local2global[row];
+        if dirty.contains(g_row) {
+            continue; // every edge of a dirty row has a dirty endpoint
+        }
+        let e0 = prev.graph.first_edge(row as Node) as usize;
+        for (i, &other) in edges.iter().enumerate() {
+            let g_other = prev.local2global[other as usize];
+            if dirty.contains(g_other) {
+                continue;
+            }
+            let (src, dst) = if csc { (g_other, g_row) } else { (g_row, g_other) };
+            f(src, dst, e0 + i);
+        }
+    }
+}
+
+/// Delta construction: copies kept edges out of the previous partition
+/// (no decision, no communication) and streams only dirty edges through
+/// the wire protocol — byte-identical record format to the full phase.
+struct DeltaConstructPhase<'a, ER: EdgeRule> {
+    setup: &'a Setup,
+    masters: &'a ResolvedMasters,
+    rule: &'a ER,
+    estate: &'a ER::State,
+    prev: &'a DistGraph,
+    prev_csc: bool,
+    dirty: &'a DirtySet,
+    to_receive: u64,
+}
+
+impl<'a, ER: EdgeRule> Phase for DeltaConstructPhase<'a, ER> {
+    const NAME: &'static str = "construct";
+    type Input = (&'a mut SliceData, &'a mut crate::phases::alloc::AllocOutcome);
+    type Output = (Csr, Option<Vec<u32>>);
+
+    fn run(self, ctx: &mut PhaseCtx<'_>, (data, alloc): Self::Input) -> Self::Output {
+        let comm = ctx.comm;
+        let me = comm.host();
+        let k = comm.num_hosts();
+        let weighted = data.weighted();
+        let scalar = ctx.cfg.scalar_codec;
+        let dirty = self.dirty;
+        let masters = self.masters;
+        debug_assert_eq!(weighted, alloc.edge_data.is_some());
+        debug_assert_eq!(weighted, self.prev.edge_data.is_some());
+
+        let dest_ptr = DestPtr(alloc.dests.as_mut_ptr());
+        let data_ptr = DataPtr(
+            alloc
+                .edge_data
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |d| d.as_mut_ptr()),
+        );
+        let alloc_ref: &crate::phases::alloc::AllocOutcome = alloc;
+
+        // --- 1. Copy kept edges from the previous partition. --------------
+        // Pure memory movement: globalize the destination, carry the weight,
+        // insert into the freshly reserved slots. No rule, no wire.
+        if !self.prev_csc {
+            // Rows are sources: each clean row's kept run is one record,
+            // and the atomic cursors make the inserts safe to parallelize.
+            let prev = self.prev;
+            let scratch: PerThread<(Vec<Node>, Vec<u32>)> =
+                PerThread::new(&ctx.pool, |_| (Vec::new(), Vec::new()));
+            do_all_with_tid(&ctx.pool, prev.num_local(), DEFAULT_GRAIN, |tid, row| {
+                let edges = prev.graph.edges(row as Node);
+                if edges.is_empty() {
+                    return;
+                }
+                let g_row = prev.local2global[row];
+                if dirty.contains(g_row) {
+                    return;
+                }
+                let e0 = prev.graph.first_edge(row as Node) as usize;
+                scratch.with(tid, |(dsts, ws)| {
+                    dsts.clear();
+                    ws.clear();
+                    for (i, &other) in edges.iter().enumerate() {
+                        let g_other = prev.local2global[other as usize];
+                        if dirty.contains(g_other) {
+                            continue;
+                        }
+                        dsts.push(g_other);
+                        if let Some(d) = &prev.edge_data {
+                            ws.push(d[e0 + i]);
+                        }
+                    }
+                    if !dsts.is_empty() {
+                        insert_record(
+                            alloc_ref,
+                            &dest_ptr,
+                            &data_ptr,
+                            g_row,
+                            dsts,
+                            weighted.then_some(ws.as_slice()),
+                        );
+                    }
+                });
+            });
+        } else {
+            // CSC rows are destinations, so sources vary within a row —
+            // keep the grouped sequential walk (runs are consecutive
+            // same-source spans of the transposed adjacency).
+            let mut dsts: Vec<Node> = Vec::new();
+            let mut ws: Vec<u32> = Vec::new();
+            let mut run_src: Option<Node> = None;
+            let flush =
+                |src: Option<Node>, dsts: &mut Vec<Node>, ws: &mut Vec<u32>| {
+                    if let Some(s) = src {
+                        if !dsts.is_empty() {
+                            insert_record(
+                                alloc_ref,
+                                &dest_ptr,
+                                &data_ptr,
+                                s,
+                                dsts,
+                                weighted.then_some(ws.as_slice()),
+                            );
+                        }
+                    }
+                    dsts.clear();
+                    ws.clear();
+                };
+            for_each_kept_edge(self.prev, self.prev_csc, dirty, |src, dst, e| {
+                if run_src != Some(src) {
+                    flush(run_src, &mut dsts, &mut ws);
+                    run_src = Some(src);
+                }
+                dsts.push(dst);
+                if let Some(d) = &self.prev.edge_data {
+                    ws.push(d[e]);
+                }
+            });
+            flush(run_src, &mut dsts, &mut ws);
+        }
+
+        // --- 2. Re-decide and route dirty edges only. ----------------------
+        let threshold = ctx.cfg.effective_buffer_threshold(k, data.num_edges());
+        struct ThreadState {
+            buffers: SendBuffers,
+            buckets: Vec<Vec<Node>>,
+            wbuckets: Vec<Vec<u32>>,
+        }
+        let mut threads: PerThread<ThreadState> = PerThread::new(&ctx.pool, |_| ThreadState {
+            buffers: SendBuffers::new(k, threshold, TAG_EDGES),
+            buckets: vec![Vec::new(); k],
+            wbuckets: vec![Vec::new(); k],
+        });
+        let mut received = 0u64;
+        let mut batch: Vec<bytes::Bytes> = Vec::new();
+        data.for_each_chunk(|chunk| {
+            let prop = LocalProps::new(
+                self.setup.num_nodes,
+                self.setup.num_edges,
+                self.setup.parts,
+                chunk,
+            );
+            do_all_with_tid(&ctx.pool, chunk.num_nodes(), DEFAULT_GRAIN, |tid, j| {
+                let s = chunk.node_lo + j as Node;
+                let edges = chunk.edges(s);
+                if edges.is_empty() {
+                    return;
+                }
+                let s_dirty = dirty.contains(s);
+                let sm = masters.of(s);
+                let edge_data = chunk.edge_data(s);
+                threads.with(tid, |ts| {
+                    for b in ts.buckets.iter_mut() {
+                        b.clear();
+                    }
+                    for b in ts.wbuckets.iter_mut() {
+                        b.clear();
+                    }
+                    for (i, &d) in edges.iter().enumerate() {
+                        if !s_dirty && !dirty.contains(d) {
+                            continue;
+                        }
+                        let dm = masters.of(d);
+                        let h = self.rule.get_edge_owner(&prop, s, d, sm, dm, self.estate);
+                        ts.buckets[h as usize].push(d);
+                        if let Some(data) = edge_data {
+                            ts.wbuckets[h as usize].push(data[i]);
+                        }
+                    }
+                    for (h, bucket) in ts.buckets.iter().enumerate() {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let wbucket = weighted.then(|| ts.wbuckets[h].as_slice());
+                        if h == me {
+                            insert_record(alloc_ref, &dest_ptr, &data_ptr, s, bucket, wbucket);
+                        } else {
+                            ts.buffers.record(comm, h, |w| {
+                                w.put_u32(s);
+                                w.put_u32(bucket.len() as u32);
+                                if scalar {
+                                    for &d in bucket {
+                                        w.put_u32(d);
+                                    }
+                                    if let Some(ws) = wbucket {
+                                        for &x in ws {
+                                            w.put_u32(x);
+                                        }
+                                    }
+                                } else {
+                                    w.put_u32_raw_slice(bucket);
+                                    if let Some(ws) = wbucket {
+                                        w.put_u32_raw_slice(ws);
+                                    }
+                                }
+                            });
+                        }
+                    }
+                });
+            });
+            for ts in threads.iter_mut() {
+                ts.buffers.flush_all(comm);
+            }
+            while received < self.to_receive {
+                match comm.try_recv_any(TAG_EDGES) {
+                    Some((_s, p)) => {
+                        received += count_edges_in(&p, weighted, scalar);
+                        batch.push(p);
+                    }
+                    None => break,
+                }
+            }
+            if !batch.is_empty() {
+                do_all_items(&ctx.pool, &batch, 1, |payload| {
+                    insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted, scalar);
+                });
+                batch.clear();
+            }
+        });
+        drop(threads);
+
+        // --- 3. Drain the remaining dirty-edge records. --------------------
+        while received < self.to_receive {
+            let (_src, payload) = comm.recv_any(TAG_EDGES);
+            received += count_edges_in(&payload, weighted, scalar);
+            batch.push(payload);
+            while received < self.to_receive {
+                match comm.try_recv_any(TAG_EDGES) {
+                    Some((_s, p)) => {
+                        received += count_edges_in(&p, weighted, scalar);
+                        batch.push(p);
+                    }
+                    None => break,
+                }
+            }
+            do_all_items(&ctx.pool, &batch, 1, |payload| {
+                insert_message(alloc_ref, &dest_ptr, &data_ptr, payload.clone(), weighted, scalar);
+            });
+            batch.clear();
+        }
+        assert_eq!(received, self.to_receive, "received more edges than expected");
+
+        for (l, cursor) in alloc.cursors.iter().enumerate() {
+            assert_eq!(
+                cursor.load(Ordering::Relaxed),
+                alloc.offsets[l + 1],
+                "node with local id {l} is missing edges after delta construction"
+            );
+        }
+
+        let mut dests = std::mem::take(&mut alloc.dests);
+        let mut edge_data = alloc.edge_data.take();
+        if ctx.cfg.deterministic_sync {
+            sort_adjacency(&alloc.offsets, &mut dests, edge_data.as_deref_mut());
+        }
+        let csr = Csr::from_parts(alloc.offsets.clone(), dests);
+        match (ctx.cfg.output, edge_data) {
+            (OutputFormat::Csr, edge_data) => (csr, edge_data),
+            (OutputFormat::Csc, None) => (csr.transpose(), None),
+            (OutputFormat::Csc, Some(d)) => {
+                let (t, td) = csr.transpose_with_data(&d);
+                (t, Some(td))
+            }
+        }
+    }
+}
+
+/// Incrementally repartitions a mutated graph against the previous run.
+///
+/// `source` must be the **mutated** graph (the previous input with `batch`
+/// applied, e.g. via [`cusp_graph::Csr::apply_batch`]); `prev` is this
+/// host's output from the previous [`partition`] (or `partition_delta`)
+/// run over the pre-mutation graph, and `batch` the applied events —
+/// identical on every host. `build` must be the same deterministic policy
+/// constructor the previous run used; it is evaluated against both the old
+/// and the new [`Setup`].
+///
+/// Policies with a stateful edge rule or a non-pure master rule (and runs
+/// with `force_stored_masters`) fall back to a full re-partition; the
+/// returned accounting (`dirty_vertices == num_nodes`,
+/// `reused_edges == 0`) makes the fallback observable.
+///
+/// Under `deterministic_sync` the result is bit-identical (same
+/// [`crate::verify::partition_fingerprint`]) to a full re-partition of the
+/// mutated graph.
+pub fn partition_delta<MR, ER>(
+    comm: &Comm,
+    source: GraphSource,
+    cfg: &CuspConfig,
+    class: PartitionClass,
+    build: impl Fn(&Setup) -> (MR, ER),
+    prev: &PartitionOutput,
+    batch: &[GraphEvent],
+) -> PartitionOutput
+where
+    MR: MasterRule + Clone + 'static,
+    ER: EdgeRule,
+{
+    // Delta needs pure masters (re-resolution is replicated computation)
+    // and a stateless edge rule (decisions independent of history). The
+    // probe runs against the old setup — identical on every host, so all
+    // hosts take the same branch.
+    let (old_rule, _) = build(&prev.setup);
+    if !<ER as EdgeRule>::State::STATELESS || !old_rule.is_pure() || cfg.force_stored_masters {
+        return partition(comm, source, cfg, class, build);
+    }
+
+    let me = comm.host();
+    let mut ctx = PhaseCtx::new(comm, cfg);
+
+    // Phase 1: re-read the mutated graph (the slice is process memory, not
+    // durable state — reading always re-runs, exactly as in the full driver).
+    let read = ctx.run_phase(ReadPhase { source: &source }, ());
+    let setup = read.setup;
+    let mut data = read.data;
+    debug_assert_eq!(setup.parts, prev.setup.parts, "host count changed between runs");
+
+    // Phase 2 (master re-resolution) is free: the rule is pure, so the new
+    // assignment is replicated computation — no protocol, no barrier.
+    let (master_rule, edge_rule) = build(&setup);
+    debug_assert!(master_rule.is_pure(), "policy purity changed between runs");
+    let masters = pure_masters(&master_rule);
+
+    let dirty = dirty_set(
+        &old_rule,
+        &master_rule,
+        prev.setup.num_nodes,
+        setup.num_nodes,
+        setup.parts,
+        batch,
+    );
+    let dirty_vertices = dirty.len();
+    let prev_csc = cfg.output == OutputFormat::Csc;
+
+    let estate = <ER as EdgeRule>::State::new(setup.parts);
+
+    // Phase 3: delta edge assignment (dirty edges decided, clean tallied).
+    let d = ctx.run_phase(
+        DeltaAssignPhase {
+            setup: &setup,
+            masters: &masters,
+            rule: &edge_rule,
+            estate: &estate,
+            prev: &prev.dist_graph,
+            prev_csc,
+            dirty: &dirty,
+        },
+        &mut data,
+    );
+
+    // Phase 4: allocation — unchanged; the synthesized outcome feeds the
+    // exact same deterministic local-id layout a full run would compute.
+    let spec = MasterSpec::PureRange(master_rule.pure_owned_range(me as PartId));
+    let mut alloc = ctx.run_phase(AllocPhase { spec, weighted: data.weighted() }, &d.ea);
+
+    // Phase 5: delta construction (kept edges copied, dirty edges shipped).
+    let (graph, edge_data) = ctx.run_phase(
+        DeltaConstructPhase {
+            setup: &setup,
+            masters: &masters,
+            rule: &edge_rule,
+            estate: &estate,
+            prev: &prev.dist_graph,
+            prev_csc,
+            dirty: &dirty,
+            to_receive: d.ea.to_receive,
+        },
+        (&mut data, &mut alloc),
+    );
+
+    ctx.times.arena_hw_bytes = data.arena_hw_bytes();
+
+    PartitionOutput {
+        dist_graph: DistGraph {
+            part_id: me as PartId,
+            num_parts: setup.parts,
+            global_nodes: setup.num_nodes,
+            global_edges: setup.num_edges,
+            num_masters: alloc.num_masters,
+            local2global: alloc.local2global,
+            master_of: alloc.master_of,
+            graph,
+            edge_data,
+            class,
+        },
+        times: ctx.times,
+        peak_resident_edges: data.peak_resident_edges(),
+        setup,
+        dirty_vertices,
+        reused_edges: d.reused_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::masters::Contiguous;
+    use cusp_graph::ReadSplit;
+    use std::sync::Arc;
+
+    fn setup(n: u64, parts: PartId) -> Setup {
+        Setup {
+            num_nodes: n,
+            num_edges: 10 * n,
+            parts,
+            eb_boundaries: Arc::new(
+                (0..=parts as u64).map(|p| p * n / parts as u64).collect(),
+            ),
+            read_splits: Arc::new(vec![ReadSplit { lo: 0, hi: n }]),
+        }
+    }
+
+    #[test]
+    fn dirty_set_marks_sources_growth_and_shifts() {
+        let old = Contiguous::new(&setup(100, 4)); // blocks of 25
+        let new = Contiguous::new(&setup(110, 4)); // blocks of 28
+        let batch = [
+            GraphEvent::AddEdge { src: 3, dst: 7, weight: None },
+            GraphEvent::RemoveEdge { src: 90, dst: 1 },
+        ];
+        let d = dirty_set(&old, &new, 100, 110, 4, &batch);
+        // Event sources.
+        assert!(d.contains(3) && d.contains(90));
+        // Grown range.
+        for v in 100..110 {
+            assert!(d.contains(v), "grown node {v} must be dirty");
+        }
+        // Shifted masters: old blocks 25, new blocks 28 → e.g. node 25
+        // moved from part 1 to part 0; node 26 likewise.
+        assert_eq!(old.pure_master(25), 1);
+        assert_eq!(new.pure_master(25), 0);
+        assert!(d.contains(25));
+        // A node with unchanged inputs stays clean: node 5 is in part 0
+        // both before and after and is not an event source.
+        assert_eq!(old.pure_master(5), new.pure_master(5));
+        assert!(!d.contains(5));
+        assert!(d.len() >= 12);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn dirty_set_is_empty_for_identity() {
+        let rule = Contiguous::new(&setup(64, 4));
+        let d = dirty_set(&rule, &rule, 64, 64, 4, &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        for v in 0..64 {
+            assert!(!d.contains(v));
+        }
+    }
+
+    #[test]
+    fn kept_edge_walk_respects_orientation() {
+        use crate::dist_graph::PartitionClass;
+        // Partition over globals {2, 5, 9}: edges 2->5, 2->9, 5->9.
+        let graph = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let prev = DistGraph {
+            part_id: 0,
+            num_parts: 1,
+            global_nodes: 10,
+            global_edges: 3,
+            num_masters: 3,
+            local2global: vec![2, 5, 9],
+            master_of: vec![0, 0, 0],
+            graph,
+            edge_data: Some(vec![20, 21, 22]),
+            class: PartitionClass::OutEdgeCut,
+        };
+        let mut dirty = DirtySet::new(10);
+        dirty.insert(5);
+        // CSR orientation: rows are sources; only 2->9 survives (5 dirty).
+        let mut seen = Vec::new();
+        for_each_kept_edge(&prev, false, &dirty, |s, d, e| seen.push((s, d, e)));
+        assert_eq!(seen, vec![(2, 9, 1)]);
+        // CSC orientation: rows are destinations, so the same stored edges
+        // read as 5->2, 9->2, 9->5; with 5 dirty the kept set is {9->2}.
+        let mut seen = Vec::new();
+        for_each_kept_edge(&prev, true, &dirty, |s, d, e| seen.push((s, d, e)));
+        assert_eq!(seen, vec![(9, 2, 1)]);
+    }
+}

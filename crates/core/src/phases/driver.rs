@@ -56,6 +56,17 @@ pub struct PartitionOutput {
     /// whole read slice for monolithic runs, the largest materialized chunk
     /// when `CuspConfig::chunk_edges` streams the slice.
     pub peak_resident_edges: u64,
+    /// The replicated [`Setup`] this partition was computed against —
+    /// retained so [`crate::phases::delta::partition_delta`] can rebuild
+    /// the previous run's rules and detect master shifts.
+    pub setup: Setup,
+    /// Number of vertices whose partition state was recomputed. A full run
+    /// recomputes everything (`== setup.num_nodes`); a delta run recomputes
+    /// only the dirty set.
+    pub dirty_vertices: u64,
+    /// Number of edges this host carried over from the previous partition
+    /// without re-deciding or re-shipping them (0 for a full run).
+    pub reused_edges: u64,
 }
 
 /// Partitions the input graph with a user-supplied policy.
@@ -205,5 +216,8 @@ where
         },
         times: ctx.times,
         peak_resident_edges: data.peak_resident_edges(),
+        dirty_vertices: setup.num_nodes,
+        reused_edges: 0,
+        setup,
     }
 }

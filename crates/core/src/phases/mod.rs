@@ -4,6 +4,7 @@
 
 pub mod alloc;
 pub mod construct;
+pub mod delta;
 pub mod driver;
 pub mod edge_assign;
 pub mod master;

@@ -17,8 +17,11 @@
 
 use cusp_net::Comm;
 
+use cusp_graph::GraphEvent;
+
 use crate::config::{CuspConfig, GraphSource};
 use crate::dist_graph::PartitionClass;
+use crate::phases::delta::partition_delta;
 use crate::phases::driver::{partition, PartitionOutput};
 use crate::policies::edges::{CartesianEdge, CheckerboardEdge, HybridEdge, JaggedEdge, SourceEdge};
 use crate::policies::extensions::{HdrfEdge, Ldg};
@@ -182,6 +185,64 @@ pub fn partition_with_policy(
         PolicyKind::Jvc => partition(comm, source, cfg, class, |s| {
             (ContiguousEB::new(s), JaggedEdge::new(s))
         }),
+    }
+}
+
+/// Incrementally repartitions with one of the named policies — the
+/// delta analogue of [`partition_with_policy`].
+///
+/// `source` is the **mutated** graph, `prev` this host's output from the
+/// previous run of the same policy/config over the pre-mutation graph, and
+/// `batch` the applied [`GraphEvent`]s. Policies whose edge rule is
+/// stateful (HDRF) or whose master rule is streaming (Fennel-family, LDG)
+/// fall back to a full re-partition inside
+/// [`partition_delta`][crate::phases::delta::partition_delta].
+pub fn partition_delta_with_policy(
+    comm: &Comm,
+    source: GraphSource,
+    kind: PolicyKind,
+    cfg: &CuspConfig,
+    prev: &PartitionOutput,
+    batch: &[GraphEvent],
+) -> PartitionOutput {
+    let class = kind.class();
+    match kind {
+        PolicyKind::Eec => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), SourceEdge)
+        }, prev, batch),
+        PolicyKind::Hvc => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), HybridEdge::paper_default())
+        }, prev, batch),
+        PolicyKind::Cvc => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), CartesianEdge::new(s))
+        }, prev, batch),
+        PolicyKind::Fec => partition_delta(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), SourceEdge)
+        }, prev, batch),
+        PolicyKind::Gvc => partition_delta(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), HybridEdge::paper_default())
+        }, prev, batch),
+        PolicyKind::Svc => partition_delta(comm, source, cfg, class, |s| {
+            (FennelEB::new(s), CartesianEdge::new(s))
+        }, prev, batch),
+        PolicyKind::Cec => partition_delta(comm, source, cfg, class, |s| {
+            (Contiguous::new(s), SourceEdge)
+        }, prev, batch),
+        PolicyKind::Fnc => partition_delta(comm, source, cfg, class, |s| {
+            (Fennel::new(s), SourceEdge)
+        }, prev, batch),
+        PolicyKind::Hdrf => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), HdrfEdge::new(s))
+        }, prev, batch),
+        PolicyKind::Ldg => {
+            partition_delta(comm, source, cfg, class, |s| (Ldg::new(s), SourceEdge), prev, batch)
+        }
+        PolicyKind::Bvc => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), CheckerboardEdge::new(s))
+        }, prev, batch),
+        PolicyKind::Jvc => partition_delta(comm, source, cfg, class, |s| {
+            (ContiguousEB::new(s), JaggedEdge::new(s))
+        }, prev, batch),
     }
 }
 

@@ -49,6 +49,9 @@ pub enum ViolationKind {
     /// A phase sent bytes/messages that were never received (or vice
     /// versa).
     CommConservation,
+    /// An incremental (delta) repartition diverged from the full
+    /// re-partition of the same mutated graph.
+    DeltaDivergence,
 }
 
 /// One concrete invariant violation.
@@ -409,6 +412,53 @@ pub fn check_all(
 ) -> Vec<Violation> {
     let mut out = check_partition(original, original_data, parts);
     out.extend(check_comm_stats(stats));
+    out
+}
+
+/// Incremental-equivalence oracle for `partition_delta` (ISSUE 8, paper
+/// §V's determinism argument extended to mutation batches).
+///
+/// Asserts the delta-maintained partitions are (a) invariant-clean against
+/// the **mutated** graph via [`check_partition`], and (b) when
+/// `deterministic` is set (the run used `CuspConfig::deterministic_sync`),
+/// [`partition_fingerprint`]-identical to `full_parts`, a from-scratch
+/// re-partition of the same mutated graph under the same policy and
+/// config. Divergence is reported as [`ViolationKind::DeltaDivergence`]
+/// with both fingerprints in the detail.
+pub fn check_delta_equivalence(
+    mutated: &Csr,
+    mutated_data: Option<&[u32]>,
+    delta_parts: &[DistGraph],
+    full_parts: &[DistGraph],
+    deterministic: bool,
+) -> Vec<Violation> {
+    let mut out = check_partition(mutated, mutated_data, delta_parts);
+    if delta_parts.len() != full_parts.len() {
+        out.push(Violation {
+            kind: ViolationKind::DeltaDivergence,
+            part: None,
+            detail: format!(
+                "delta produced {} partitions, full re-partition {}",
+                delta_parts.len(),
+                full_parts.len()
+            ),
+        });
+        return out;
+    }
+    if deterministic {
+        let d = partition_fingerprint(delta_parts);
+        let f = partition_fingerprint(full_parts);
+        if d != f {
+            out.push(Violation {
+                kind: ViolationKind::DeltaDivergence,
+                part: None,
+                detail: format!(
+                    "delta fingerprint {d:#018x} != full re-partition fingerprint {f:#018x} \
+                     under deterministic_sync"
+                ),
+            });
+        }
+    }
     out
 }
 

@@ -15,11 +15,13 @@
 use std::sync::Arc;
 
 use cusp::{
-    check_comm_stats, check_partition, partition_fingerprint, partition_with_policy, CuspConfig,
-    DistGraph, GraphSource, PolicyKind, ViolationKind,
+    check_comm_stats, check_delta_equivalence, check_partition, partition_delta_with_policy,
+    partition_fingerprint, partition_with_policy, CuspConfig, DistGraph, GraphSource,
+    PartitionOutput, PolicyKind, ViolationKind,
 };
 use cusp_graph::gen::uniform::erdos_renyi;
-use cusp_graph::Csr;
+use cusp_graph::wal::seeded_batch;
+use cusp_graph::{Csr, GraphEvent, Wal};
 use cusp_net::{Cluster, ClusterOptions, CommStats, FaultPlan, FaultReport, Tag};
 
 const HOSTS: [usize; 4] = [1, 2, 4, 8];
@@ -188,6 +190,185 @@ fn weighted_pipeline_preserves_edge_data() {
         assert!(v.is_empty(), "weighted violations: {v:#?}");
         assert!(check_comm_stats(&stats).is_empty());
     }
+}
+
+// --- Mutation-equivalence rows: delta repartition vs full re-partition ---
+// of the same mutated graph (ISSUE 8 acceptance criterion).
+
+/// Like [`run`], but keeps the whole [`PartitionOutput`] (delta needs the
+/// retained `Setup` and reports its accounting through it).
+fn run_full(
+    hosts: usize,
+    kind: PolicyKind,
+    source: GraphSource,
+) -> (Vec<PartitionOutput>, CommStats) {
+    let out = Cluster::run(hosts, move |comm| {
+        partition_with_policy(comm, source.clone(), kind, &det_cfg())
+    });
+    (out.results, out.stats)
+}
+
+/// One mutation-equivalence row: partition the base graph, push a seeded
+/// batch through a WAL round-trip, apply it, then check the delta
+/// repartition against a from-scratch re-partition of the mutated graph —
+/// invariant-clean and fingerprint-identical, faults on and off.
+fn delta_matrix(kind: PolicyKind, seed: u64) {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, seed));
+    let src = GraphSource::Memory(graph.clone());
+
+    // The batch every host replays: WAL write → load round-trip, so the
+    // durable byte path is on the oracle's critical path (the CI chaos job
+    // re-runs this very test with a date-derived CUSP_FAULT_SEED).
+    let wal_path = std::env::temp_dir().join(format!(
+        "cusp-oracle-wal-{kind:?}-{seed}-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+    let wal = Wal::new(&wal_path);
+    let batch = seeded_batch(&graph, false, seed ^ 0xD1517, 24);
+    wal.append(&batch).expect("WAL append");
+    let replayed: Vec<GraphEvent> = wal
+        .load()
+        .expect("WAL load")
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(replayed, batch, "WAL round-trip changed the batch");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let applied = graph.apply_batch(None, &batch).expect("batch applies");
+    let mutated = Arc::new(applied.graph);
+    let mutated_src = GraphSource::Memory(mutated.clone());
+
+    for &hosts in &HOSTS {
+        let label = format!("{kind:?} delta hosts {hosts} seed {seed}");
+        let (prevs, _) = run_full(hosts, kind, src.clone());
+        let (full, _, _) = run(hosts, kind, mutated_src.clone(), None);
+
+        for fault in [None, Some(FaultPlan::chaos(env_seed() ^ seed ^ hosts as u64))] {
+            let faulty = fault.is_some();
+            let out = Cluster::run_with(
+                hosts,
+                ClusterOptions { fault: fault.clone(), ..ClusterOptions::default() },
+                |comm| {
+                    partition_delta_with_policy(
+                        comm,
+                        mutated_src.clone(),
+                        kind,
+                        &det_cfg(),
+                        &prevs[comm.host()],
+                        &batch,
+                    )
+                },
+            );
+            let delta_outs = out.results;
+            let delta_parts: Vec<DistGraph> =
+                delta_outs.iter().map(|r| r.dist_graph.clone()).collect();
+            let v = check_delta_equivalence(&mutated, None, &delta_parts, &full, true);
+            assert!(v.is_empty(), "{label} faults={faulty}: {v:#?}");
+
+            // Accounting: a truly incremental run recomputes fewer
+            // vertices than a full one and reuses edges somewhere
+            // (hosts > 1 can leave one host with nothing to keep);
+            // a fallback run reports full-recompute accounting.
+            let n = mutated.num_nodes() as u64;
+            let dirty = delta_outs[0].dirty_vertices;
+            let reused: u64 = delta_outs.iter().map(|r| r.reused_edges).sum();
+            if kind.has_streaming_masters() || kind == PolicyKind::Hdrf {
+                assert_eq!(dirty, n, "{label}: fallback must report a full recompute");
+                assert_eq!(reused, 0, "{label}: fallback reuses nothing");
+            } else {
+                assert!(dirty < n, "{label}: dirty set {dirty} not smaller than {n}");
+                assert!(reused > 0, "{label}: no edges reused");
+            }
+        }
+    }
+}
+
+macro_rules! delta_oracle {
+    ($($name:ident => ($kind:ident, $seed:expr)),* $(,)?) => {$(
+        #[test]
+        fn $name() { delta_matrix(PolicyKind::$kind, $seed); }
+    )*};
+}
+
+// ≥3 policies spanning the three partition classes (edge-cut, 2D,
+// general vertex-cut) plus a streaming-masters policy exercising the
+// full-repartition fallback.
+delta_oracle! {
+    delta_oracle_eec => (Eec, 11),
+    delta_oracle_hvc => (Hvc, 29),
+    delta_oracle_cvc => (Cvc, 47),
+    delta_oracle_jvc => (Jvc, 11),
+    delta_oracle_fec_fallback => (Fec, 29),
+}
+
+/// Weighted delta row: AddEdge-with-weight, RemoveEdge, and SetWeight
+/// events, delta vs full, weights preserved bit-for-bit.
+#[test]
+fn delta_weighted_matches_full() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 59));
+    let data: Arc<Vec<u32>> = Arc::new(
+        (0..graph.num_edges())
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761))
+            .collect(),
+    );
+    let src = GraphSource::MemoryWeighted(graph.clone(), data.clone());
+    let batch = seeded_batch(&graph, true, 0xBEEF, 24);
+    let applied = graph.apply_batch(Some(&data), &batch).expect("batch applies");
+    let mutated = Arc::new(applied.graph);
+    let mutated_w = Arc::new(applied.weights.expect("weighted output"));
+    let mutated_src = GraphSource::MemoryWeighted(mutated.clone(), mutated_w.clone());
+
+    for hosts in [1, 4] {
+        let kind = PolicyKind::Hvc;
+        let (prevs, _) = run_full(hosts, kind, src.clone());
+        let (full, _, _) = run(hosts, kind, mutated_src.clone(), None);
+        let out = Cluster::run(hosts, |comm| {
+            partition_delta_with_policy(
+                comm,
+                mutated_src.clone(),
+                kind,
+                &det_cfg(),
+                &prevs[comm.host()],
+                &batch,
+            )
+        });
+        let delta_parts: Vec<DistGraph> =
+            out.results.into_iter().map(|r| r.dist_graph).collect();
+        let v = check_delta_equivalence(&mutated, Some(&mutated_w), &delta_parts, &full, true);
+        assert!(v.is_empty(), "weighted delta hosts {hosts}: {v:#?}");
+    }
+}
+
+/// An empty batch is the degenerate delta: nothing dirty, everything
+/// reused, fingerprint unchanged from the previous partition.
+#[test]
+fn delta_empty_batch_is_identity() {
+    let graph = Arc::new(erdos_renyi(NODES, EDGES, 23));
+    let src = GraphSource::Memory(graph.clone());
+    let (prevs, _) = run_full(4, PolicyKind::Cvc, src.clone());
+    let prev_fp =
+        partition_fingerprint(&prevs.iter().map(|r| r.dist_graph.clone()).collect::<Vec<_>>());
+    let out = Cluster::run(4, |comm| {
+        partition_delta_with_policy(
+            comm,
+            src.clone(),
+            PolicyKind::Cvc,
+            &det_cfg(),
+            &prevs[comm.host()],
+            &[],
+        )
+    });
+    let outs = out.results;
+    assert_eq!(outs[0].dirty_vertices, 0, "empty batch dirtied vertices");
+    assert_eq!(
+        outs.iter().map(|r| r.reused_edges).sum::<u64>(),
+        graph.num_edges(),
+        "empty batch must reuse every edge"
+    );
+    let delta_parts: Vec<DistGraph> = outs.into_iter().map(|r| r.dist_graph).collect();
+    assert_eq!(partition_fingerprint(&delta_parts), prev_fp, "identity delta diverged");
 }
 
 // --- Mutation tests: corrupt one invariant class of a *real* partition ---

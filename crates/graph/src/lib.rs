@@ -28,12 +28,14 @@ pub mod file;
 pub mod gen;
 pub mod metis;
 pub mod props;
+pub mod wal;
 
 pub use chunk::{chunk_boundaries, ChunkBacking, ChunkedSlice};
 pub use csr::{Csr, CsrBuilder};
 pub use dist::{reading_split, ReadSplit};
 pub use file::{read_bgr, read_bgr_weighted, write_bgr, write_bgr_weighted, RangeReader};
 pub use props::GraphProps;
+pub use wal::{ApplyError, BatchApplied, GraphEvent, Wal, WalError};
 
 /// A vertex id in the *global* graph. `u32` supports graphs up to ~4.3 B
 /// vertices, matching the paper's largest input (wdc12: 3.5 B vertices)

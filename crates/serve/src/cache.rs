@@ -234,6 +234,38 @@ impl PartitionCache {
         self.mem.lock().unwrap().clear();
     }
 
+    /// Evicts every entry — memory and disk — keyed by graph fingerprint
+    /// `graph`. Called when an `apply` retires that fingerprint, so a
+    /// stale generation can never be served for the mutated graph (the
+    /// new fingerprint keys fresh entries) and its bytes are reclaimed.
+    ///
+    /// In-flight jobs for the old fingerprint are left to complete: their
+    /// callers asked for the pre-mutation graph and get exactly that,
+    /// under a key no future lookup of the mutated graph can reach.
+    /// Returns `(memory_entries, disk_entries)` evicted.
+    pub fn invalidate_graph(&self, graph: u64) -> (usize, usize) {
+        let mem_evicted = {
+            let mut mem = self.mem.lock().unwrap();
+            let before = mem.len();
+            mem.retain(|k, _| k.graph != graph);
+            before - mem.len()
+        };
+        let mut disk_evicted = 0;
+        let prefix = format!("g{graph:016x}-");
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with(&prefix)
+                    && std::fs::remove_dir_all(entry.path()).is_ok()
+                {
+                    disk_evicted += 1;
+                }
+            }
+        }
+        cusp_obs::instant("serve_cache_invalidate", graph);
+        (mem_evicted, disk_evicted)
+    }
+
     /// Loads a committed disk entry, or `None` on any inconsistency:
     /// missing/corrupt meta, unreadable part file, wrong part count or
     /// id, or a fingerprint mismatch against the meta record. All of

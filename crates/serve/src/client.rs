@@ -186,6 +186,25 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Applies a mutation batch to a resident graph; returns the full
+    /// `Applied` response (old/new fingerprint, dirty count, new shape).
+    pub fn apply(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        batch: &[cusp_graph::GraphEvent],
+    ) -> Result<Response, ClientError> {
+        let req = Request::Apply {
+            tenant: tenant.to_string(),
+            graph: graph.to_string(),
+            batch: batch.to_vec(),
+        };
+        match self.request(&req)? {
+            resp @ Response::Applied { .. } => Ok(resp),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &Response) -> ClientError {
@@ -196,6 +215,7 @@ fn unexpected(resp: &Response) -> ClientError {
         Response::QualityReport { .. } => "unexpected QualityReport response",
         Response::Graphs { .. } => "unexpected Graphs response",
         Response::ServerStatsReport { .. } => "unexpected ServerStatsReport response",
+        Response::Applied { .. } => "unexpected Applied response",
         Response::Error { .. } => "unexpected Error response",
     }))
 }

@@ -403,6 +403,12 @@ fn render(resp: Response) -> (u16, String) {
                 "{{\"requests\":{requests},\"jobs_run\":{jobs_run},\"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\"coalesced\":{coalesced},\"tenants\":{tenants},\"graphs\":{graphs}}}"
             ),
         ),
+        Response::Applied { old_fingerprint, new_fingerprint, dirty_vertices, nodes, edges } => (
+            200,
+            format!(
+                "{{\"old_fingerprint\":\"{old_fingerprint:016x}\",\"new_fingerprint\":\"{new_fingerprint:016x}\",\"dirty_vertices\":{dirty_vertices},\"nodes\":{nodes},\"edges\":{edges}}}"
+            ),
+        ),
         Response::Error { code, message } => {
             // Wire error codes map onto the closest HTTP class.
             let status = match code {

@@ -44,6 +44,9 @@ pub const MAX_MESSAGE: usize = 4096;
 /// Most hosts a partition request may ask for (matches the simulated
 /// cluster's practical ceiling).
 pub const MAX_HOSTS: u32 = 64;
+/// Most events one `apply` batch may carry. Bounds both the decode-side
+/// allocation and the per-request mutation work a tenant can demand.
+pub const MAX_BATCH_EVENTS: usize = 1 << 20;
 
 /// CRC-32 (IEEE, reflected — same polynomial as the checkpoint store).
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -160,6 +163,18 @@ pub enum Request {
     },
     /// Server-wide request/cache counters.
     ServerStats,
+    /// Apply a mutation batch to an uploaded graph: the events are
+    /// journaled to the tenant's WAL, the stored graph advances to the
+    /// mutated fingerprint, and every cache entry keyed by the old
+    /// fingerprint becomes unreachable.
+    Apply {
+        /// Tenant namespace.
+        tenant: String,
+        /// Graph name within the tenant.
+        graph: String,
+        /// The mutation events, applied in order (all-or-nothing).
+        batch: Vec<cusp_graph::GraphEvent>,
+    },
 }
 
 const TAG_UPLOAD: u8 = 0x01;
@@ -168,6 +183,7 @@ const TAG_GRAPH_STATS: u8 = 0x03;
 const TAG_QUALITY: u8 = 0x04;
 const TAG_LIST: u8 = 0x05;
 const TAG_SERVER_STATS: u8 = 0x06;
+const TAG_APPLY: u8 = 0x07;
 
 const TAG_R_UPLOADED: u8 = 0x81;
 const TAG_R_PARTITIONED: u8 = 0x82;
@@ -175,7 +191,14 @@ const TAG_R_GRAPH_STATS: u8 = 0x83;
 const TAG_R_QUALITY: u8 = 0x84;
 const TAG_R_GRAPHS: u8 = 0x85;
 const TAG_R_SERVER_STATS: u8 = 0x86;
+const TAG_R_APPLIED: u8 = 0x87;
 const TAG_R_ERROR: u8 = 0xFF;
+
+// Event kinds inside an `Apply` body.
+const EV_ADD: u8 = 0;
+const EV_ADD_WEIGHTED: u8 = 1;
+const EV_REMOVE: u8 = 2;
+const EV_SET_WEIGHT: u8 = 3;
 
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq)]
@@ -251,6 +274,20 @@ pub enum Response {
         tenants: u64,
         /// Graphs resident across tenants.
         graphs: u64,
+    },
+    /// Mutation batch applied; the graph now answers to `new_fingerprint`.
+    Applied {
+        /// Graph fingerprint before the batch (now invalidated).
+        old_fingerprint: u64,
+        /// Graph fingerprint after the batch (the new cache-key identity).
+        new_fingerprint: u64,
+        /// Graph-level dirty vertices (event sources + newly materialized
+        /// ids; the partition-level dirty set is computed per delta run).
+        dirty_vertices: u64,
+        /// Node count after the batch.
+        nodes: u64,
+        /// Edge count after the batch.
+        edges: u64,
     },
     /// The request failed; `code` is [`crate::ServeError::code`].
     Error {
@@ -354,6 +391,38 @@ impl Request {
                 put_str(&mut w, tenant);
             }
             Request::ServerStats => w.put_u8(TAG_SERVER_STATS),
+            Request::Apply { tenant, graph, batch } => {
+                w.put_u8(TAG_APPLY);
+                put_str(&mut w, tenant);
+                put_str(&mut w, graph);
+                w.put_u64(batch.len() as u64);
+                for ev in batch {
+                    match *ev {
+                        cusp_graph::GraphEvent::AddEdge { src, dst, weight: None } => {
+                            w.put_u8(EV_ADD);
+                            w.put_u32(src);
+                            w.put_u32(dst);
+                        }
+                        cusp_graph::GraphEvent::AddEdge { src, dst, weight: Some(wt) } => {
+                            w.put_u8(EV_ADD_WEIGHTED);
+                            w.put_u32(src);
+                            w.put_u32(dst);
+                            w.put_u32(wt);
+                        }
+                        cusp_graph::GraphEvent::RemoveEdge { src, dst } => {
+                            w.put_u8(EV_REMOVE);
+                            w.put_u32(src);
+                            w.put_u32(dst);
+                        }
+                        cusp_graph::GraphEvent::SetWeight { src, dst, weight } => {
+                            w.put_u8(EV_SET_WEIGHT);
+                            w.put_u32(src);
+                            w.put_u32(dst);
+                            w.put_u32(weight);
+                        }
+                    }
+                }
+            }
         }
         w.finish().to_vec()
     }
@@ -397,6 +466,44 @@ impl Request {
             },
             TAG_LIST => Request::ListGraphs { tenant: get_str(&mut r, MAX_NAME)? },
             TAG_SERVER_STATS => Request::ServerStats,
+            TAG_APPLY => {
+                let tenant = get_str(&mut r, MAX_NAME)?;
+                let graph = get_str(&mut r, MAX_NAME)?;
+                let n = r.get_u64()? as usize;
+                if n > MAX_BATCH_EVENTS {
+                    return Err(ProtocolError::BadValue("batch event count"));
+                }
+                // Each event is at least 9 bytes; bound the claimed count
+                // by what could possibly be present before allocating.
+                if n > r.remaining() / 9 {
+                    return Err(ProtocolError::Truncated {
+                        needed: n.saturating_mul(9),
+                        available: r.remaining(),
+                    });
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = r.get_u8()?;
+                    let src = r.get_u32()?;
+                    let dst = r.get_u32()?;
+                    batch.push(match kind {
+                        EV_ADD => cusp_graph::GraphEvent::AddEdge { src, dst, weight: None },
+                        EV_ADD_WEIGHTED => cusp_graph::GraphEvent::AddEdge {
+                            src,
+                            dst,
+                            weight: Some(r.get_u32()?),
+                        },
+                        EV_REMOVE => cusp_graph::GraphEvent::RemoveEdge { src, dst },
+                        EV_SET_WEIGHT => cusp_graph::GraphEvent::SetWeight {
+                            src,
+                            dst,
+                            weight: r.get_u32()?,
+                        },
+                        _ => return Err(ProtocolError::BadValue("event kind")),
+                    });
+                }
+                Request::Apply { tenant, graph, batch }
+            }
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         if !r.is_exhausted() {
@@ -478,6 +585,18 @@ impl Response {
                     w.put_u64(*v);
                 }
             }
+            Response::Applied {
+                old_fingerprint,
+                new_fingerprint,
+                dirty_vertices,
+                nodes,
+                edges,
+            } => {
+                w.put_u8(TAG_R_APPLIED);
+                for v in [old_fingerprint, new_fingerprint, dirty_vertices, nodes, edges] {
+                    w.put_u64(*v);
+                }
+            }
             Response::Error { code, message } => {
                 w.put_u8(TAG_R_ERROR);
                 w.put_u8(*code);
@@ -550,6 +669,13 @@ impl Response {
                 coalesced: r.get_u64()?,
                 tenants: r.get_u64()?,
                 graphs: r.get_u64()?,
+            },
+            TAG_R_APPLIED => Response::Applied {
+                old_fingerprint: r.get_u64()?,
+                new_fingerprint: r.get_u64()?,
+                dirty_vertices: r.get_u64()?,
+                nodes: r.get_u64()?,
+                edges: r.get_u64()?,
             },
             TAG_R_ERROR => Response::Error {
                 code: r.get_u8()?,
@@ -718,6 +844,16 @@ mod tests {
             },
             Request::ListGraphs { tenant: "acme".into() },
             Request::ServerStats,
+            Request::Apply {
+                tenant: "acme".into(),
+                graph: "web".into(),
+                batch: vec![
+                    cusp_graph::GraphEvent::AddEdge { src: 0, dst: 9, weight: None },
+                    cusp_graph::GraphEvent::AddEdge { src: 1, dst: 2, weight: Some(7) },
+                    cusp_graph::GraphEvent::RemoveEdge { src: 2, dst: 0 },
+                    cusp_graph::GraphEvent::SetWeight { src: 1, dst: 2, weight: 50 },
+                ],
+            },
         ]
     }
 
@@ -856,6 +992,50 @@ mod tests {
         w.put_u64(u64::MAX);
         let err = Request::decode(&w.finish()).unwrap_err();
         assert!(matches!(err, ProtocolError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn hostile_apply_batches_are_typed() {
+        // A batch claiming 2^40 events with a few bytes behind it.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_APPLY);
+        put_str(&mut w, "t");
+        put_str(&mut w, "g");
+        w.put_u64(1 << 40);
+        w.put_raw(&[0u8; 18]);
+        let err = Request::decode(&w.finish()).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::BadValue(_) | ProtocolError::Truncated { .. }),
+            "{err:?}"
+        );
+
+        // An unknown event kind.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_APPLY);
+        put_str(&mut w, "t");
+        put_str(&mut w, "g");
+        w.put_u64(1);
+        w.put_u8(9); // no such kind
+        w.put_u32(0);
+        w.put_u32(1);
+        assert_eq!(
+            Request::decode(&w.finish()),
+            Err(ProtocolError::BadValue("event kind"))
+        );
+
+        // A weighted add cut off before its weight.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_APPLY);
+        put_str(&mut w, "t");
+        put_str(&mut w, "g");
+        w.put_u64(1);
+        w.put_u8(EV_ADD_WEIGHTED);
+        w.put_u32(0);
+        w.put_u32(1);
+        assert!(matches!(
+            Request::decode(&w.finish()),
+            Err(ProtocolError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cusp::{partition_with_policy, CuspConfig, DistGraph, GraphSource, PolicyKind};
-use cusp_graph::Csr;
+use cusp_graph::{Csr, GraphEvent, Wal};
 use cusp_net::Cluster;
 
 use crate::cache::{CacheKey, CachedPartition, PartitionCache};
@@ -201,6 +201,7 @@ impl ServerState {
                 let t = self.registry.get_or_create(&tenant)?;
                 Ok(Response::Graphs { rows: t.list_graphs() })
             }
+            Request::Apply { tenant, graph, batch } => self.apply(&tenant, &graph, &batch),
             Request::ServerStats => {
                 let c = self.counters();
                 Ok(Response::ServerStatsReport {
@@ -275,6 +276,83 @@ impl ServerState {
             fingerprint: entry.fingerprint,
             nodes: entry.graph.num_nodes() as u64,
             edges: entry.graph.num_edges(),
+        })
+    }
+
+    /// Path of the per-tenant, per-graph mutation WAL.
+    fn wal_path(&self, tenant: &str, graph: &str) -> PathBuf {
+        self.config
+            .data_dir
+            .join("tenants")
+            .join(tenant)
+            .join("wal")
+            .join(format!("{graph}.wal"))
+    }
+
+    /// Applies a mutation batch to a resident graph: validate + apply in
+    /// memory, journal to the tenant's WAL, publish the mutated graph
+    /// under its new fingerprint, and retire every cache entry keyed by
+    /// the old one. Ordering matters: the WAL append is durable *before*
+    /// the registry swap (a crash replays, never loses, an acknowledged
+    /// batch), and the swap lands before invalidation (a request racing
+    /// the apply resolves either generation's fingerprint, both of which
+    /// serve correct bytes for their graph).
+    fn apply(
+        &self,
+        tenant: &str,
+        graph: &str,
+        batch: &[GraphEvent],
+    ) -> Result<Response, ServeError> {
+        let t = self.registry.get_or_create(tenant)?;
+        let entry = t.graph(graph)?;
+        let applied = entry
+            .graph
+            .apply_batch(entry.weights.as_ref().map(|w| &w[..]), batch)
+            .map_err(|e| ServeError::BadRequest(format!("batch rejected: {e}")))?;
+
+        let wal_path = self.wal_path(&t.name, graph);
+        if let Some(dir) = wal_path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let wal = Wal::new(&wal_path);
+        let prior_batches = wal.load().map_err(|e| ServeError::Io(e.to_string()))?;
+        wal.append(batch).map_err(|e| ServeError::Io(e.to_string()))?;
+
+        let new_graph = Arc::new(applied.graph);
+        let new_weights = applied.weights.map(Arc::new);
+        let new_fp =
+            cusp::graph_fingerprint(&new_graph, new_weights.as_ref().map(|w| &w[..]));
+        let heap_bytes = ((new_graph.num_nodes() + 1) * 8
+            + new_graph.num_edges() as usize * 4
+            + new_weights.as_ref().map_or(0, |w| w.len() * 4)) as u64;
+        let old_fp = entry.fingerprint;
+        let nodes = new_graph.num_nodes() as u64;
+        let edges = new_graph.num_edges();
+
+        let inserted = t.insert_graph(GraphEntry {
+            name: graph.to_string(),
+            graph: new_graph,
+            weights: new_weights,
+            fingerprint: new_fp,
+            heap_bytes,
+        });
+        if let Err(e) = inserted {
+            // Quota rejection after the append: roll the WAL back to the
+            // prior batches so the journal never claims an unpublished
+            // mutation.
+            let _ = wal.write_all(&prior_batches);
+            return Err(e);
+        }
+
+        self.cache_for(&t.name).invalidate_graph(old_fp);
+        cusp_obs::instant("serve_apply", new_fp);
+
+        Ok(Response::Applied {
+            old_fingerprint: old_fp,
+            new_fingerprint: new_fp,
+            dirty_vertices: applied.dirty.len() as u64,
+            nodes,
+            edges,
         })
     }
 

@@ -12,6 +12,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::GraphEvent;
 use cusp_serve::{CacheTier, Quota, Request, Response, ServeConfig, ServerState};
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
@@ -202,4 +203,170 @@ fn chunked_and_monolithic_entries_coexist() {
     let cache_root = dir.join("tenants").join("acme").join("cache");
     let entries = std::fs::read_dir(&cache_root).unwrap().count();
     assert_eq!(entries, 2, "two keys, two disk entries");
+}
+
+/// First present edge of `g`, for building removal events.
+fn first_edge(g: &cusp_graph::Csr) -> (u32, u32) {
+    let offsets = g.offsets();
+    for s in 0..g.num_nodes() {
+        if offsets[s + 1] > offsets[s] {
+            return (s as u32, g.dests()[offsets[s] as usize]);
+        }
+    }
+    panic!("graph has no edges");
+}
+
+/// Applying a mutation batch retires the old generation from *both*
+/// cache tiers — not merely makes it unreachable. Re-uploading the
+/// original bytes (same fingerprint) must recompute from scratch, and
+/// the mutated graph's partition keys on the new fingerprint.
+#[test]
+fn apply_retires_old_generation_everywhere() {
+    let dir = temp_dir("apply-invalidate");
+    let state = state_at(&dir);
+    let graph = upload(&state, 1600, 26);
+    let gfp_old = cusp::graph_fingerprint(&graph, None);
+
+    // Warm both tiers under the old generation.
+    let (fp_old, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold);
+    let (fp_mem, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Memory);
+    assert_eq!(fp_mem, fp_old);
+
+    let (s0, d0) = first_edge(&graph);
+    let batch = vec![
+        GraphEvent::AddEdge { src: 3, dst: 5, weight: None },
+        GraphEvent::RemoveEdge { src: s0, dst: d0 },
+    ];
+    let resp = state.handle(Request::Apply {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        batch: batch.clone(),
+    });
+    let Response::Applied { old_fingerprint, new_fingerprint, dirty_vertices, .. } = resp
+    else {
+        panic!("apply failed: {resp:?}")
+    };
+    assert_eq!(old_fingerprint, gfp_old);
+    assert_ne!(new_fingerprint, gfp_old);
+    assert!(dirty_vertices > 0);
+
+    // The server's resident graph now fingerprints as the locally
+    // replayed mutation.
+    let applied = graph.apply_batch(None, &batch).expect("batch applies locally");
+    assert_eq!(cusp::graph_fingerprint(&applied.graph, None), new_fingerprint);
+
+    // Disk: no entry directory keyed by the retired fingerprint remains.
+    let cache_root = dir.join("tenants").join("acme").join("cache");
+    let prefix = format!("g{gfp_old:016x}-");
+    let stale = std::fs::read_dir(&cache_root)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+        .count();
+    assert_eq!(stale, 0, "old-generation disk entries must be evicted");
+
+    // The WAL journals exactly the acknowledged batch.
+    let wal =
+        cusp_graph::Wal::new(dir.join("tenants").join("acme").join("wal").join("g.wal"));
+    assert_eq!(wal.load().expect("wal loads"), vec![batch.clone()]);
+
+    // Partitioning the mutated graph is a fresh cold run under the new
+    // fingerprint — the old entries cannot satisfy it.
+    let (_, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold);
+
+    // Memory: restore the *original* bytes (same old fingerprint) —
+    // still cold, proving the memory entry was evicted rather than
+    // merely shadowed by the new fingerprint.
+    upload(&state, 1600, 26);
+    let jobs_before = state.cache_for("acme").jobs_run.load(Ordering::Relaxed);
+    let (fp_again, tier) = partition(&state);
+    assert_eq!(tier, CacheTier::Cold, "old-generation memory entry must be evicted");
+    assert_eq!(fp_again, fp_old, "determinism: same bytes, same partition");
+    assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), jobs_before + 1);
+}
+
+/// A partition job in flight when the mutation lands completes under
+/// its own (old-fingerprint) key: its caller asked for the
+/// pre-mutation graph and gets a valid partition of exactly that,
+/// while requests against the mutated graph key on the new fingerprint
+/// and never see the stale entry.
+#[test]
+fn inflight_pre_mutation_job_completes_under_own_key() {
+    use std::sync::mpsc;
+
+    let dir = temp_dir("apply-inflight");
+    let state = state_at(&dir);
+    let graph = upload(&state, 1000, 27);
+    let gfp_old = cusp::graph_fingerprint(&graph, None);
+    let key = cusp_serve::CacheKey {
+        graph: gfp_old,
+        policy: cusp::PolicyKind::Hvc,
+        hosts: 2,
+        chunk_edges: 0,
+    };
+
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let runner = {
+        let state = Arc::clone(&state);
+        let graph = Arc::new(graph.clone());
+        std::thread::spawn(move || {
+            state.cache_for("acme").get_or_compute(key, move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                let src = cusp::GraphSource::Memory(Arc::clone(&graph));
+                let cfg = cusp::CuspConfig {
+                    deterministic_sync: true,
+                    ..cusp::CuspConfig::default()
+                };
+                let out = cusp_net::Cluster::run(2, move |comm| {
+                    cusp::partition_with_policy(
+                        comm,
+                        src.clone(),
+                        cusp::PolicyKind::Hvc,
+                        &cfg,
+                    )
+                    .dist_graph
+                });
+                Ok(out.results)
+            })
+        })
+    };
+    started_rx.recv().expect("job starts");
+
+    // The mutation lands while the old-generation job is running.
+    let resp = state.handle(Request::Apply {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        batch: vec![GraphEvent::AddEdge { src: 1, dst: 2, weight: None }],
+    });
+    assert!(matches!(resp, Response::Applied { .. }), "{resp:?}");
+
+    release_tx.send(()).unwrap();
+    let (cached, tier) = runner
+        .join()
+        .expect("runner thread")
+        .expect("in-flight job must complete despite the invalidation");
+    assert_eq!(tier, CacheTier::Cold);
+    let violations = cusp::check_partition(&graph, None, &cached.parts);
+    assert!(violations.is_empty(), "in-flight result must be valid: {violations:?}");
+
+    // The mutated graph's partition keys on the new fingerprint: a
+    // request through the server recomputes rather than serving the
+    // just-completed pre-mutation entry.
+    let resp = state.handle(Request::Partition {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        policy: "HVC".to_string(),
+        hosts: 2,
+        chunk_edges: 0,
+    });
+    let Response::Partitioned { fingerprint, tier, .. } = resp else {
+        panic!("partition failed: {resp:?}")
+    };
+    assert_eq!(tier, CacheTier::Cold, "stale in-flight entry must not satisfy the new graph");
+    assert_ne!(fingerprint, cached.fingerprint, "the mutated graph partitions differently");
 }

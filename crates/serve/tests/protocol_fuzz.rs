@@ -104,7 +104,7 @@ proptest! {
     /// A well-framed payload with an unassigned tag is a typed
     /// UnknownTag from both body decoders.
     #[test]
-    fn garbage_tag_is_typed(tag in 0x07u8..0x81, body in proptest::collection::vec(any::<u8>(), 0..32)) {
+    fn garbage_tag_is_typed(tag in 0x08u8..0x81, body in proptest::collection::vec(any::<u8>(), 0..32)) {
         let mut payload = vec![tag];
         payload.extend_from_slice(&body);
         let frame = encode_frame(&payload);

@@ -12,7 +12,11 @@
 //! cusp-part inspect   PART.part [PART.part ...]
 //! cusp-part validate  --graph G.bgr --parts DIR
 //! cusp-part trace-check OUT.json
-//! cusp-part client    upload|partition|quality|stats|list|server-stats ...
+//! cusp-part apply     --graph G.bgr (--batch B.txt | --events N [--seed S])
+//!                     [--out G2.bgr] [--wal W.wal]
+//! cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr]
+//!                     [--policy NAME --hosts K]
+//! cusp-part client    upload|partition|quality|apply|stats|list|server-stats ...
 //! ```
 //!
 //! `partition` runs the full five-phase pipeline on a simulated K-host
@@ -33,6 +37,17 @@
 //! crash-free run. A host that exhausts its restart budget terminates the
 //! run with a one-line diagnostic and a non-zero exit code.
 //!
+//! `apply` mutates a graph with a batch of edge events — from a text
+//! file (`add src dst [w]` / `remove src dst` / `setw src dst w`, one
+//! per line, `#` comments) or a seeded generator — prints the dirty
+//! vertex count and the old → new graph fingerprint, and optionally
+//! journals the batch to a CRC-framed WAL (`--wal`) and writes the
+//! mutated graph (`--out`). `wal-replay` re-applies every batch in a
+//! WAL in append order; with `--policy`/`--hosts` it additionally runs
+//! the *delta* repartition path against the previous generation's
+//! partition after each batch and checks it fingerprint-matches a full
+//! from-scratch run (the incremental-equivalence oracle).
+//!
 //! `client` speaks the framed `cusp-serve` protocol (default server
 //! `127.0.0.1:7421`): upload a `.bgr` graph into a tenant namespace,
 //! request partitions/quality (the server caches and coalesces them),
@@ -41,7 +56,7 @@
 //! assert hit/miss behaviour.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use cusp::{
@@ -55,7 +70,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part apply --graph G.bgr (--batch B.txt | --events N [--seed S]) [--out G2.bgr] [--wal W.wal]\n  cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr] [--policy NAME --hosts K]\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client apply --tenant T --name N --batch B.txt [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
     );
     exit(2)
 }
@@ -111,6 +126,8 @@ fn main() {
         "inspect" => cmd_inspect(&positional),
         "validate" => cmd_validate(&flags),
         "trace-check" => cmd_trace_check(&positional),
+        "apply" => cmd_apply(&flags),
+        "wal-replay" => cmd_wal_replay(&flags),
         "client" => cmd_client(&positional, &flags),
         other => {
             eprintln!("unknown command '{other}'");
@@ -453,11 +470,253 @@ fn cmd_partition(flags: &HashMap<String, String>) {
     }
 }
 
+/// Reads a `.bgr` graph, picking up per-edge weights when present.
+fn read_graph_any(path: &Path) -> (cusp_graph::Csr, Option<Vec<u32>>) {
+    match cusp_graph::read_bgr_weighted(path) {
+        Ok((g, w)) => (g, Some(w)),
+        Err(_) => (read_bgr(path).expect("cannot read graph"), None),
+    }
+}
+
+/// Parses the text batch format: one event per line, `#` comments.
+///
+/// ```text
+/// add 3 17        # unweighted edge 3 -> 17
+/// add 3 17 9      # weighted edge (weighted graphs only)
+/// remove 5 2
+/// setw 3 17 12
+/// ```
+fn parse_batch_text(text: &str) -> Vec<cusp_graph::GraphEvent> {
+    use cusp_graph::GraphEvent;
+    let mut events = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let ev = match toks.as_slice() {
+            ["add", s, d] => GraphEvent::AddEdge {
+                src: parse_num(s, "src"),
+                dst: parse_num(d, "dst"),
+                weight: None,
+            },
+            ["add", s, d, w] => GraphEvent::AddEdge {
+                src: parse_num(s, "src"),
+                dst: parse_num(d, "dst"),
+                weight: Some(parse_num(w, "weight")),
+            },
+            ["remove", s, d] => GraphEvent::RemoveEdge {
+                src: parse_num(s, "src"),
+                dst: parse_num(d, "dst"),
+            },
+            ["setw", s, d, w] => GraphEvent::SetWeight {
+                src: parse_num(s, "src"),
+                dst: parse_num(d, "dst"),
+                weight: parse_num(w, "weight"),
+            },
+            _ => {
+                eprintln!("batch line {}: cannot parse '{}'", no + 1, raw.trim());
+                exit(2)
+            }
+        };
+        events.push(ev);
+    }
+    events
+}
+
+/// A mutation batch from `--batch FILE` or the seeded generator
+/// (`--events N [--seed S]`).
+fn batch_from_flags(
+    flags: &HashMap<String, String>,
+    graph: &cusp_graph::Csr,
+    weighted: bool,
+) -> Vec<cusp_graph::GraphEvent> {
+    if let Some(path) = flags.get("batch") {
+        let text = std::fs::read_to_string(path).expect("cannot read batch file");
+        parse_batch_text(&text)
+    } else if let Some(n) = flags.get("events") {
+        let seed: u64 = flags.get("seed").map(|s| parse_num(s, "seed")).unwrap_or(42);
+        cusp_graph::wal::seeded_batch(graph, weighted, seed, parse_num(n, "event count"))
+    } else {
+        eprintln!("apply needs --batch FILE or --events N");
+        usage()
+    }
+}
+
+fn cmd_apply(flags: &HashMap<String, String>) {
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let (graph, weights) = read_graph_any(&graph_path);
+    let batch = batch_from_flags(flags, &graph, weights.is_some());
+    if batch.is_empty() {
+        println!("empty batch: nothing to do");
+        return;
+    }
+    let old_fp = cusp::graph_fingerprint(&graph, weights.as_deref());
+    let applied = graph.apply_batch(weights.as_deref(), &batch).unwrap_or_else(|e| {
+        eprintln!("batch rejected: {e}");
+        exit(1)
+    });
+    let new_fp = cusp::graph_fingerprint(&applied.graph, applied.weights.as_deref());
+    println!(
+        "applied {} event(s): {} edge(s) added, {} removed, {} reweighted",
+        batch.len(),
+        applied.added,
+        applied.removed,
+        applied.reweighted
+    );
+    println!("dirty vertices: {}", applied.dirty.len());
+    println!(
+        "graph: {} -> {} nodes, {} -> {} edges",
+        graph.num_nodes(),
+        applied.graph.num_nodes(),
+        graph.num_edges(),
+        applied.graph.num_edges()
+    );
+    println!("graph fingerprint: {old_fp:016x} -> {new_fp:016x}");
+    if let Some(wal_path) = flags.get("wal") {
+        let wal = cusp_graph::Wal::new(PathBuf::from(wal_path));
+        wal.append(&batch).expect("failed to append batch to WAL");
+        let total = wal.load().map(|b| b.len()).unwrap_or(0);
+        println!("journaled to {wal_path} ({total} batch(es) total)");
+    }
+    if let Some(out) = flags.get("out") {
+        let out = PathBuf::from(out);
+        match &applied.weights {
+            Some(w) => cusp_graph::write_bgr_weighted(&out, &applied.graph, w),
+            None => write_bgr(&out, &applied.graph),
+        }
+        .expect("failed to write mutated graph");
+        println!("wrote mutated graph to {}", out.display());
+    }
+}
+
+fn cmd_wal_replay(flags: &HashMap<String, String>) {
+    use std::sync::Arc;
+
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let wal_path = required(flags, "wal");
+    let (mut graph, mut weights) = read_graph_any(&graph_path);
+    let wal = cusp_graph::Wal::new(PathBuf::from(wal_path));
+    let batches = wal.load().unwrap_or_else(|e| {
+        eprintln!("cannot load WAL {wal_path}: {e}");
+        exit(1)
+    });
+    println!("{}: {} batch(es)", wal_path, batches.len());
+
+    let checker = flags.get("policy").map(|p| {
+        let name = p.to_ascii_uppercase();
+        let Some(kind) = PolicyKind::parse(&name) else {
+            eprintln!("unknown policy '{name}'");
+            usage()
+        };
+        let hosts: usize =
+            parse_num(flags.get("hosts").map(String::as_str).unwrap_or("4"), "host count");
+        (kind, hosts)
+    });
+    // The delta/full equivalence check rides on the determinism contract.
+    let cfg = CuspConfig {
+        deterministic_sync: true,
+        threads_per_host: 1,
+        ..CuspConfig::default()
+    };
+    let source_of = |g: &cusp_graph::Csr, w: &Option<Vec<u32>>| match w {
+        Some(w) => GraphSource::MemoryWeighted(Arc::new(g.clone()), Arc::new(w.clone())),
+        None => GraphSource::Memory(Arc::new(g.clone())),
+    };
+    let mut prevs = checker.map(|(kind, hosts)| {
+        let src = source_of(&graph, &weights);
+        let cfg = cfg.clone();
+        Cluster::run(hosts, move |comm| partition_with_policy(comm, src.clone(), kind, &cfg))
+            .results
+    });
+
+    for (i, batch) in batches.iter().enumerate() {
+        let applied = graph.apply_batch(weights.as_deref(), batch).unwrap_or_else(|e| {
+            eprintln!("batch {i} rejected: {e}");
+            exit(1)
+        });
+        println!(
+            "batch {i}: {} event(s), {} dirty vertice(s), {} -> {} edges",
+            batch.len(),
+            applied.dirty.len(),
+            graph.num_edges(),
+            applied.graph.num_edges()
+        );
+        if let (Some(prev), Some((kind, hosts))) = (&prevs, checker) {
+            let src = source_of(&applied.graph, &applied.weights);
+            let delta = {
+                let (src, cfg) = (src.clone(), cfg.clone());
+                Cluster::run(hosts, move |comm| {
+                    cusp::partition_delta_with_policy(
+                        comm,
+                        src.clone(),
+                        kind,
+                        &cfg,
+                        &prev[comm.host()],
+                        batch,
+                    )
+                })
+                .results
+            };
+            let full = {
+                let cfg = cfg.clone();
+                Cluster::run(hosts, move |comm| {
+                    partition_with_policy(comm, src.clone(), kind, &cfg)
+                })
+                .results
+            };
+            let delta_parts: Vec<_> = delta.iter().map(|o| o.dist_graph.clone()).collect();
+            let full_parts: Vec<_> = full.iter().map(|o| o.dist_graph.clone()).collect();
+            let violations = cusp::check_delta_equivalence(
+                &applied.graph,
+                applied.weights.as_deref(),
+                &delta_parts,
+                &full_parts,
+                true,
+            );
+            if !violations.is_empty() {
+                eprintln!("batch {i}: delta/full DIVERGENCE:");
+                for v in &violations {
+                    eprintln!("  {v:?}");
+                }
+                exit(1);
+            }
+            let reused: u64 = delta.iter().map(|o| o.reused_edges).sum();
+            println!(
+                "  delta == full (fingerprint {:016x}); {} dirty, {} edge(s) reused",
+                cusp::partition_fingerprint(&delta_parts),
+                delta[0].dirty_vertices,
+                reused
+            );
+            prevs = Some(full);
+        }
+        graph = applied.graph;
+        weights = applied.weights;
+    }
+
+    println!(
+        "final graph: {} nodes, {} edges, fingerprint {:016x}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        cusp::graph_fingerprint(&graph, weights.as_deref())
+    );
+    if let Some(out) = flags.get("out") {
+        let out = PathBuf::from(out);
+        match &weights {
+            Some(w) => cusp_graph::write_bgr_weighted(&out, &graph, w),
+            None => write_bgr(&out, &graph),
+        }
+        .expect("failed to write replayed graph");
+        println!("wrote replayed graph to {}", out.display());
+    }
+}
+
 fn cmd_client(positional: &[String], flags: &HashMap<String, String>) {
     use cusp_serve::{Client, Response};
 
     let Some(verb) = positional.first() else {
-        eprintln!("client needs a verb: upload|partition|quality|stats|list|server-stats");
+        eprintln!("client needs a verb: upload|partition|quality|apply|stats|list|server-stats");
         usage()
     };
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7421");
@@ -540,6 +799,27 @@ fn cmd_client(positional: &[String], flags: &HashMap<String, String>) {
             println!(
                 "replication factor {replication_factor:.3}, node balance {node_balance:.3}, edge balance {edge_balance:.3}, {total_mirrors} mirrors"
             );
+        }
+        "apply" => {
+            let text = std::fs::read_to_string(required(flags, "batch"))
+                .expect("cannot read batch file");
+            let batch = parse_batch_text(&text);
+            let resp = client
+                .apply(required(flags, "tenant"), required(flags, "name"), &batch)
+                .unwrap_or_else(|e| fail(e));
+            let Response::Applied {
+                old_fingerprint,
+                new_fingerprint,
+                dirty_vertices,
+                nodes,
+                edges,
+            } = resp
+            else {
+                unreachable!("client.apply returns Applied")
+            };
+            println!("applied {} event(s); {dirty_vertices} dirty vertice(s)", batch.len());
+            println!("graph fingerprint: {old_fingerprint:016x} -> {new_fingerprint:016x}");
+            println!("now {nodes} nodes, {edges} edges");
         }
         "stats" => {
             let resp = client
