@@ -20,12 +20,16 @@
 //!          SetWeight: weight u32
 //! ```
 //!
-//! Commits are whole-file `tmp` + `rename`, mirroring the checkpoint
-//! store: a crash mid-append leaves either the old log or the new one,
-//! never a torn tail. Decoding is *total*: truncation, bit flips, torn
-//! records, and version skew all map to a typed [`WalError`], never a
-//! panic — the same discipline as `cusp::checkpoint` and the
-//! `cusp-serve` frame codec.
+//! Appends are true appends: one framed record is written at the tail
+//! and fsynced before the call returns, so the cost of an append is the
+//! size of the *batch*, not the log, and an `Ok` means the batch is
+//! durable. A crash mid-append can leave a torn final record — which by
+//! construction was never acknowledged — and [`Wal::recover`] repairs
+//! exactly that by truncating back to the longest valid prefix.
+//! Decoding is *total*: truncation, bit flips, torn records, and
+//! version skew all map to a typed [`WalError`], never a panic — the
+//! same discipline as `cusp::checkpoint` and the `cusp-serve` frame
+//! codec.
 
 use std::path::{Path, PathBuf};
 
@@ -267,9 +271,9 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Vec<GraphEvent>, &'static str> {
     Ok(out)
 }
 
-/// A mutation log on disk. Each [`append`](Wal::append) commits one batch
-/// atomically (whole-file rewrite to `<path>.tmp`, then rename), and
-/// [`load`](Wal::load) replays every committed batch in order.
+/// A mutation log on disk. Each [`append`](Wal::append) writes one
+/// framed record at the tail and fsyncs, and [`load`](Wal::load)
+/// replays every committed batch in order.
 #[derive(Debug, Clone)]
 pub struct Wal {
     path: PathBuf,
@@ -297,13 +301,95 @@ impl Wal {
         decode_wal(&bytes)
     }
 
-    /// Appends one batch and commits. The existing log is fully validated
-    /// first, so corruption is surfaced at the next write instead of
-    /// being buried under fresh records.
-    pub fn append(&self, batch: &[GraphEvent]) -> Result<(), WalError> {
-        let mut batches = self.load()?;
-        batches.push(batch.to_vec());
-        self.write_all(&batches)
+    /// Appends one batch as a single framed record at the tail, creating
+    /// the file (and its header) on first use, and fsyncs before
+    /// returning — an `Ok` means the batch is durable. O(batch), not
+    /// O(log): existing records are not re-read; only the header is
+    /// sanity-checked, full validation being [`load`](Wal::load)'s job.
+    ///
+    /// Returns the byte length the log had before this append; pass it
+    /// to [`truncate_to`](Wal::truncate_to) to roll the append back if
+    /// the caller cannot honor the batch after journaling it.
+    pub fn append(&self, batch: &[GraphEvent]) -> Result<u64, WalError> {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        let len = f.metadata()?.len();
+        let prior = if len == 0 {
+            let mut header = Vec::with_capacity(WAL_HEADER_BYTES);
+            header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            f.write_all(&header)?;
+            WAL_HEADER_BYTES as u64
+        } else {
+            if len < WAL_HEADER_BYTES as u64 {
+                return Err(WalError::Truncated {
+                    needed: WAL_HEADER_BYTES,
+                    available: len as usize,
+                });
+            }
+            let mut header = [0u8; WAL_HEADER_BYTES];
+            f.seek(SeekFrom::Start(0))?;
+            f.read_exact(&mut header)?;
+            let magic = u64::from_le_bytes(header[0..8].try_into().unwrap());
+            if magic != WAL_MAGIC {
+                return Err(WalError::BadMagic(magic));
+            }
+            let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+            if version != WAL_VERSION {
+                return Err(WalError::BadVersion(version));
+            }
+            len
+        };
+        let payload = encode_batch(batch);
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        f.write_all(&rec)?;
+        f.sync_data()?;
+        Ok(prior)
+    }
+
+    /// Rolls the log back to a byte length previously returned by
+    /// [`append`](Wal::append) — the undo half of a journal write whose
+    /// batch the caller ultimately rejected. Truncating to a record
+    /// boundary keeps the log loadable.
+    pub fn truncate_to(&self, len: u64) -> Result<(), WalError> {
+        let f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(len)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    /// Loads the longest valid record prefix, repairing tail damage: a
+    /// crash mid-append can leave a torn or corrupt *final* record,
+    /// which was by construction never acknowledged (append fsyncs
+    /// before returning), so truncating it away loses nothing. The file
+    /// is rewritten to end at the valid prefix. Header-level damage
+    /// (bad magic/version, short header) is still a hard error — that
+    /// is not a torn append. Returns the batches plus whether a repair
+    /// truncation happened.
+    pub fn recover(&self) -> Result<(Vec<Vec<GraphEvent>>, bool), WalError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        validate_header(&bytes)?;
+        let (batches, valid_len, err) = decode_records(&bytes);
+        if err.is_some() {
+            self.truncate_to(valid_len as u64)?;
+        }
+        Ok((batches, err.is_some()))
     }
 
     /// Replaces the log's contents with exactly `batches` (used by
@@ -341,6 +427,16 @@ impl Wal {
 
 /// Decodes a whole WAL file image. Exposed for tests and tooling.
 pub fn decode_wal(bytes: &[u8]) -> Result<Vec<Vec<GraphEvent>>, WalError> {
+    validate_header(bytes)?;
+    let (batches, _, err) = decode_records(bytes);
+    match err {
+        Some(e) => Err(e),
+        None => Ok(batches),
+    }
+}
+
+/// Checks magic + version, the part of the file an append can't tear.
+fn validate_header(bytes: &[u8]) -> Result<(), WalError> {
     if bytes.len() < WAL_HEADER_BYTES {
         return Err(WalError::Truncated { needed: WAL_HEADER_BYTES, available: bytes.len() });
     }
@@ -352,31 +448,41 @@ pub fn decode_wal(bytes: &[u8]) -> Result<Vec<Vec<GraphEvent>>, WalError> {
     if version != WAL_VERSION {
         return Err(WalError::BadVersion(version));
     }
+    Ok(())
+}
+
+/// Decodes records after an already-validated header, returning the
+/// batches decoded, the byte offset of the first undecodable record (==
+/// file length when everything decoded), and the error that stopped
+/// decoding, if any. [`decode_wal`] turns the error into a hard
+/// failure; [`Wal::recover`] truncates at the offset instead.
+fn decode_records(bytes: &[u8]) -> (Vec<Vec<GraphEvent>>, usize, Option<WalError>) {
     let mut batches = Vec::new();
     let mut pos = WAL_HEADER_BYTES;
     let mut record = 0usize;
     while pos < bytes.len() {
         if bytes.len() - pos < 8 {
-            return Err(WalError::TornTail { offset: pos });
+            return (batches, pos, Some(WalError::TornTail { offset: pos }));
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         let stored = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
         // Bound the claimed length by the bytes actually present before
         // touching the payload — a hostile prefix costs nothing.
         if len > bytes.len() - pos - 8 {
-            return Err(WalError::TornTail { offset: pos });
+            return (batches, pos, Some(WalError::TornTail { offset: pos }));
         }
         let payload = &bytes[pos + 8..pos + 8 + len];
         if crc32(payload) != stored {
-            return Err(WalError::Corrupt { record });
+            return (batches, pos, Some(WalError::Corrupt { record }));
         }
-        let batch =
-            decode_batch(payload).map_err(|what| WalError::BadEvent { record, what })?;
-        batches.push(batch);
+        match decode_batch(payload) {
+            Ok(batch) => batches.push(batch),
+            Err(what) => return (batches, pos, Some(WalError::BadEvent { record, what })),
+        }
         pos += 8 + len;
         record += 1;
     }
-    Ok(batches)
+    (batches, pos, None)
 }
 
 /// What a batch can reject over. These are *request* errors — the graph
@@ -757,17 +863,89 @@ mod tests {
         bytes.extend_from_slice(&[0xAB; 5]);
         assert!(matches!(decode_wal(&bytes), Err(WalError::TornTail { .. })));
 
-        // The untouched file still loads, and append refuses to bury a
-        // corrupt log under fresh records.
+        // The untouched file still loads, and append refuses to extend
+        // something that is not a WAL (header damage is checked on every
+        // append even though record bodies are load's job).
         assert_eq!(decode_wal(&clean).unwrap().len(), 3);
         let mut bytes = clean;
-        bytes[WAL_HEADER_BYTES + 8] ^= 0x10;
+        bytes[0] ^= 0xFF;
         std::fs::write(wal.path(), &bytes).unwrap();
-        assert!(matches!(
-            wal.append(&sample_batches()[0]),
-            Err(WalError::Corrupt { record: 0 })
-        ));
+        assert!(matches!(wal.append(&sample_batches()[0]), Err(WalError::BadMagic(_))));
+        bytes[0] ^= 0xFF;
+        bytes[8..12].copy_from_slice(&(WAL_VERSION + 1).to_le_bytes());
+        std::fs::write(wal.path(), &bytes).unwrap();
+        assert!(matches!(wal.append(&sample_batches()[0]), Err(WalError::BadVersion(_))));
+        std::fs::write(wal.path(), &bytes[..WAL_HEADER_BYTES - 2]).unwrap();
+        assert!(matches!(wal.append(&sample_batches()[0]), Err(WalError::Truncated { .. })));
         wal.clear().unwrap();
+    }
+
+    #[test]
+    fn append_returns_rollback_offset_and_truncate_rolls_back() {
+        let wal = temp_wal("rollback");
+        wal.clear().unwrap();
+        let batches = sample_batches();
+        let first_prior = wal.append(&batches[0]).unwrap();
+        assert_eq!(first_prior, WAL_HEADER_BYTES as u64, "fresh log starts after the header");
+        let second_prior = wal.append(&batches[2]).unwrap();
+        assert!(second_prior > first_prior);
+
+        // Rolling back the second append leaves exactly the first batch,
+        // and the log stays appendable afterwards.
+        wal.truncate_to(second_prior).unwrap();
+        assert_eq!(wal.load().unwrap(), vec![batches[0].clone()]);
+        wal.append(&batches[1]).unwrap();
+        assert_eq!(wal.load().unwrap(), vec![batches[0].clone(), batches[1].clone()]);
+        wal.clear().unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_torn_or_corrupt_tail() {
+        let wal = temp_wal("recover");
+        wal.clear().unwrap();
+        let batches = sample_batches();
+        for b in &batches {
+            wal.append(b).unwrap();
+        }
+        let clean = std::fs::read(wal.path()).unwrap();
+
+        // Torn tail (crash mid-append): recover keeps the acknowledged
+        // prefix, truncates the tail, and the repaired file loads clean.
+        std::fs::write(wal.path(), &clean[..clean.len() - 3]).unwrap();
+        assert!(matches!(wal.load(), Err(WalError::TornTail { .. })));
+        let (got, repaired) = wal.recover().unwrap();
+        assert!(repaired);
+        assert_eq!(got, batches[..2].to_vec());
+        assert_eq!(wal.load().unwrap(), batches[..2].to_vec());
+
+        // A corrupt final record (partially persisted pages) is likewise
+        // dropped; earlier records survive.
+        std::fs::write(wal.path(), &clean).unwrap();
+        let mut bytes = clean.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(wal.path(), &bytes).unwrap();
+        let (got, repaired) = wal.recover().unwrap();
+        assert!(repaired);
+        assert_eq!(got, batches[..2].to_vec());
+
+        // An intact log recovers without touching the file.
+        std::fs::write(wal.path(), &clean).unwrap();
+        let (got, repaired) = wal.recover().unwrap();
+        assert!(!repaired);
+        assert_eq!(got, batches);
+        assert_eq!(std::fs::read(wal.path()).unwrap(), clean);
+
+        // Header damage is not a torn append: recover refuses.
+        let mut bytes = clean.clone();
+        bytes[0] ^= 0xFF;
+        std::fs::write(wal.path(), &bytes).unwrap();
+        assert!(matches!(wal.recover(), Err(WalError::BadMagic(_))));
+
+        // A missing file is an empty, unrepaired log.
+        wal.clear().unwrap();
+        let (got, repaired) = wal.recover().unwrap();
+        assert!(got.is_empty() && !repaired);
     }
 
     #[test]

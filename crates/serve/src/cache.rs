@@ -15,7 +15,7 @@
 //! partition job, the property the concurrency battery asserts via
 //! [`PartitionCache::jobs_run`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,6 +105,12 @@ pub struct PartitionCache {
     root: PathBuf,
     mem: Mutex<HashMap<CacheKey, Arc<CachedPartition>>>,
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    /// Graph fingerprints retired by [`invalidate_graph`]
+    /// (`PartitionCache::invalidate_graph`): a job that finishes after
+    /// its generation was invalidated consults this and unpublishes its
+    /// own entry, so late completions never leak disk bytes. Grows 8
+    /// bytes per apply for the cache's lifetime — negligible.
+    retired: Mutex<HashSet<u64>>,
     /// Partition jobs actually executed (cache+coalesce misses).
     pub jobs_run: AtomicU64,
     /// Hits served from memory.
@@ -122,6 +128,7 @@ impl PartitionCache {
             root,
             mem: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
+            retired: Mutex::new(HashSet::new()),
             jobs_run: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -215,6 +222,18 @@ impl PartitionCache {
             };
             if let Ok((cached, _)) = &result {
                 self.mem.lock().unwrap().insert(key, Arc::clone(cached));
+                // An apply may have retired this graph generation while
+                // the job ran. The ordering makes cleanup race-free:
+                // invalidation records the fingerprint *before* its
+                // sweep, and this check runs *after* our publication —
+                // so either the sweep saw our entry, or we see the
+                // retired mark and unpublish it ourselves. The caller
+                // (and coalesced waiters) still get the result: they
+                // asked for the pre-mutation graph and got exactly that.
+                if self.retired.lock().unwrap().contains(&key.graph) {
+                    self.mem.lock().unwrap().remove(&key);
+                    let _ = std::fs::remove_dir_all(self.entry_dir(&key));
+                }
             }
             result
         }))
@@ -241,9 +260,13 @@ impl PartitionCache {
     ///
     /// In-flight jobs for the old fingerprint are left to complete: their
     /// callers asked for the pre-mutation graph and get exactly that,
-    /// under a key no future lookup of the mutated graph can reach.
+    /// under a key no future lookup of the mutated graph can reach. The
+    /// fingerprint is recorded as retired *before* the sweep, so a job
+    /// that publishes after this call sees the mark and removes its own
+    /// entry — late completions cannot leak memory or disk bytes.
     /// Returns `(memory_entries, disk_entries)` evicted.
     pub fn invalidate_graph(&self, graph: u64) -> (usize, usize) {
+        self.retired.lock().unwrap().insert(graph);
         let mem_evicted = {
             let mut mem = self.mem.lock().unwrap();
             let before = mem.len();
@@ -459,6 +482,41 @@ mod tests {
         // The key is not wedged: a later request computes fresh.
         let (_, tier) = cache.get_or_compute(key, || Ok(tiny_parts(2))).unwrap();
         assert_eq!(tier, CacheTier::Cold);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn job_finishing_after_invalidation_unpublishes_itself() {
+        let root = temp_root("retired");
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = Arc::new(PartitionCache::new(root.clone()));
+        let key = CacheKey { graph: 13, policy: PolicyKind::Cvc, hosts: 2, chunk_edges: 0 };
+
+        // Invalidate the graph while its job is in flight; when the job
+        // completes it must clean up its own memory + disk publication.
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let runner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(key, || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Ok(tiny_parts(2))
+                })
+            })
+        };
+        started_rx.recv().unwrap();
+        cache.invalidate_graph(key.graph);
+        release_tx.send(()).unwrap();
+        let (_, tier) = runner.join().unwrap().expect("late job still serves its caller");
+        assert_eq!(tier, CacheTier::Cold);
+
+        assert!(
+            !cache.entry_dir(&key).exists(),
+            "late disk write for a retired generation must be reclaimed"
+        );
+        assert!(cache.mem.lock().unwrap().is_empty(), "late memory publish must be removed");
         std::fs::remove_dir_all(&root).ok();
     }
 

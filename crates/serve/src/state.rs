@@ -264,6 +264,12 @@ impl ServerState {
         let graph = Arc::new(Csr::from_parts(offsets, dests));
         let weights = weights.map(Arc::new);
         let fingerprint = cusp::graph_fingerprint(&graph, weights.as_ref().map(|w| &w[..]));
+        // The per-graph write lock serializes this upload against applies
+        // (and other uploads) of the same name — without it a concurrent
+        // apply could snapshot the graph being replaced and re-publish it
+        // over this upload.
+        let lock = t.graph_lock(name);
+        let _write = lock.lock().unwrap();
         let entry = t.insert_graph(GraphEntry {
             name: name.to_string(),
             graph,
@@ -271,6 +277,12 @@ impl ServerState {
             fingerprint,
             heap_bytes,
         })?;
+        // This upload is a new base graph: any WAL recorded against a
+        // previous graph of the same name no longer replays over it, so
+        // the journal must not survive the replacement.
+        Wal::new(self.wal_path(&t.name, name))
+            .clear()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
         cusp_obs::instant("serve_upload", fingerprint);
         Ok(Response::GraphUploaded {
             fingerprint: entry.fingerprint,
@@ -296,7 +308,11 @@ impl ServerState {
     /// the registry swap (a crash replays, never loses, an acknowledged
     /// batch), and the swap lands before invalidation (a request racing
     /// the apply resolves either generation's fingerprint, both of which
-    /// serve correct bytes for their graph).
+    /// serve correct bytes for their graph). The whole sequence runs
+    /// under the per-graph write lock: concurrent applies to one graph
+    /// serialize, so each sees the other's mutations instead of both
+    /// snapshotting the same base and the last insert silently dropping
+    /// the other acknowledged batch.
     fn apply(
         &self,
         tenant: &str,
@@ -304,19 +320,16 @@ impl ServerState {
         batch: &[GraphEvent],
     ) -> Result<Response, ServeError> {
         let t = self.registry.get_or_create(tenant)?;
+        let lock = t.graph_lock(graph);
+        let _write = lock.lock().unwrap();
         let entry = t.graph(graph)?;
         let applied = entry
             .graph
             .apply_batch(entry.weights.as_ref().map(|w| &w[..]), batch)
             .map_err(|e| ServeError::BadRequest(format!("batch rejected: {e}")))?;
 
-        let wal_path = self.wal_path(&t.name, graph);
-        if let Some(dir) = wal_path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let wal = Wal::new(&wal_path);
-        let prior_batches = wal.load().map_err(|e| ServeError::Io(e.to_string()))?;
-        wal.append(batch).map_err(|e| ServeError::Io(e.to_string()))?;
+        let wal = Wal::new(self.wal_path(&t.name, graph));
+        let prior_len = wal.append(batch).map_err(|e| ServeError::Io(e.to_string()))?;
 
         let new_graph = Arc::new(applied.graph);
         let new_weights = applied.weights.map(Arc::new);
@@ -337,10 +350,10 @@ impl ServerState {
             heap_bytes,
         });
         if let Err(e) = inserted {
-            // Quota rejection after the append: roll the WAL back to the
-            // prior batches so the journal never claims an unpublished
-            // mutation.
-            let _ = wal.write_all(&prior_batches);
+            // Quota rejection after the append: truncate the WAL back to
+            // its pre-append length so the journal never claims an
+            // unpublished mutation.
+            let _ = wal.truncate_to(prior_len);
             return Err(e);
         }
 

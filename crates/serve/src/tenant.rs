@@ -63,6 +63,7 @@ pub struct Tenant {
     pub name: String,
     quota: Quota,
     graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    graph_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     bytes: AtomicU64,
     active_jobs: AtomicU32,
 }
@@ -73,9 +74,21 @@ impl Tenant {
             name,
             quota,
             graphs: Mutex::new(HashMap::new()),
+            graph_locks: Mutex::new(HashMap::new()),
             bytes: AtomicU64::new(0),
             active_jobs: AtomicU32::new(0),
         }
+    }
+
+    /// The per-graph write lock. Every mutation of a named graph —
+    /// `apply`'s snapshot → WAL append → publish sequence, and uploads
+    /// that replace an existing name — must hold this across the whole
+    /// read-modify-write, so two concurrent mutations serialize instead
+    /// of last-insert-wins silently discarding an acknowledged batch.
+    /// Reads (`graph`, partition jobs) stay lock-free with respect to it.
+    pub fn graph_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut locks = self.graph_locks.lock().unwrap();
+        Arc::clone(locks.entry(name.to_string()).or_default())
     }
 
     /// Registers (or replaces) a graph, enforcing the graph-count and

@@ -288,6 +288,52 @@ fn apply_retires_old_generation_everywhere() {
     assert_eq!(state.cache_for("acme").jobs_run.load(Ordering::Relaxed), jobs_before + 1);
 }
 
+/// Re-uploading a graph name establishes a new base graph, so the WAL
+/// recorded against the old base must not survive: replaying a stale
+/// journal over the new bytes would produce a wrong graph. After a
+/// re-upload the log is empty, and the next apply journals only its own
+/// batch.
+#[test]
+fn reupload_resets_wal() {
+    let dir = temp_dir("reupload-wal");
+    let state = state_at(&dir);
+    upload(&state, 1400, 28);
+
+    let first = vec![GraphEvent::AddEdge { src: 2, dst: 9, weight: None }];
+    let resp = state.handle(Request::Apply {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        batch: first.clone(),
+    });
+    assert!(matches!(resp, Response::Applied { .. }), "{resp:?}");
+    let wal =
+        cusp_graph::Wal::new(dir.join("tenants").join("acme").join("wal").join("g.wal"));
+    assert_eq!(wal.load().expect("wal loads"), vec![first]);
+
+    // Replace the graph under the same name: the stale journal is gone.
+    let replacement = upload(&state, 900, 29);
+    assert!(wal.load().expect("wal loads").is_empty(), "stale WAL survived a re-upload");
+
+    // A fresh apply journals exactly its own batch, and replaying that
+    // log over the *new* base reproduces the resident graph.
+    let second = vec![GraphEvent::AddEdge { src: 7, dst: 3, weight: None }];
+    let resp = state.handle(Request::Apply {
+        tenant: "acme".to_string(),
+        graph: "g".to_string(),
+        batch: second.clone(),
+    });
+    let Response::Applied { new_fingerprint, .. } = resp else {
+        panic!("apply failed: {resp:?}")
+    };
+    let batches = wal.load().expect("wal loads");
+    assert_eq!(batches, vec![second]);
+    let mut replayed = replacement;
+    for b in &batches {
+        replayed = replayed.apply_batch(None, b).expect("replay applies").graph;
+    }
+    assert_eq!(cusp::graph_fingerprint(&replayed, None), new_fingerprint);
+}
+
 /// A partition job in flight when the mutation lands completes under
 /// its own (old-fingerprint) key: its caller asked for the
 /// pre-mutation graph and gets a valid partition of exactly that,
@@ -353,6 +399,19 @@ fn inflight_pre_mutation_job_completes_under_own_key() {
     assert_eq!(tier, CacheTier::Cold);
     let violations = cusp::check_partition(&graph, None, &cached.parts);
     assert!(violations.is_empty(), "in-flight result must be valid: {violations:?}");
+
+    // The late completion must not leak: its generation was retired
+    // while it ran, so its disk entry (written after the invalidation
+    // sweep) is cleaned up by the job itself on publication.
+    let cache_root = dir.join("tenants").join("acme").join("cache");
+    let prefix = format!("g{gfp_old:016x}-");
+    let stale = std::fs::read_dir(&cache_root)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+        .count();
+    assert_eq!(stale, 0, "late disk write for the retired generation leaked");
 
     // The mutated graph's partition keys on the new fingerprint: a
     // request through the server recomputes rather than serving the
