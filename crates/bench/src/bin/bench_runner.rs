@@ -18,6 +18,10 @@
 //! * **Delta repartition**: full re-partition vs the incremental
 //!   `partition_delta` path on a ≤1% mutation batch (fingerprints
 //!   asserted identical under the determinism contract).
+//! * **TCP transport**: the same partition over a loopback
+//!   `TcpTransport` mesh vs the in-process simulator, fingerprints
+//!   asserted identical — the real-socket overhead of the transport
+//!   layer, isolated from process-spawn cost.
 //! * **Ablation rows**: one wall-clock row per single-knob variant.
 //!
 //! Usage:
@@ -153,6 +157,13 @@ fn main() {
         serve_cold / serve_warm
     );
 
+    // Same partition over real sockets vs the simulator.
+    let (tcp_secs, tcp_sim_secs) = tcp_local_bench(&src, &optimized);
+    eprintln!(
+        "tcp transport: {tcp_secs:.3}s over loopback TCP vs {tcp_sim_secs:.3}s simulated ({:+.1}% overhead)",
+        (tcp_secs / tcp_sim_secs - 1.0) * 100.0
+    );
+
     // Delta repartition vs full re-partition on a small mutation batch.
     let delta = delta_bench(&input.graph);
     eprintln!(
@@ -184,6 +195,8 @@ fn main() {
         obs_overhead,
         serve_cold,
         serve_warm,
+        tcp_secs,
+        tcp_sim_secs,
         &delta,
         &ablation_rows,
     );
@@ -279,6 +292,70 @@ fn serve_roundtrip(graph: &cusp_graph::Csr) -> (f64, f64) {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&data_dir);
     (cold_secs, warm_secs)
+}
+
+/// The same partition over a loopback `TcpTransport` mesh (every host a
+/// thread of this process owning real sockets, exactly the worker-process
+/// data path minus fork/exec) vs the in-process simulator, both pinned to
+/// the determinism contract so the fingerprints can be asserted
+/// identical. Best-of-repeats wall for each; the pair isolates what the
+/// real transport costs relative to shared-memory channels.
+fn tcp_local_bench(src: &GraphSource, cfg: &CuspConfig) -> (f64, f64) {
+    use cusp_net::{TcpOptions, TcpTransport};
+    use std::net::TcpListener;
+
+    let cfg = cusp::deterministic_for_comparison(cfg.clone());
+    let wall_of = |times: &[PhaseTimes]| {
+        times.iter().map(PhaseTimes::total).max().unwrap().as_secs_f64()
+    };
+
+    let mut tcp_secs = f64::MAX;
+    let mut tcp_fp = 0;
+    for rep in 0..e2e_repeats() {
+        let listeners: Vec<TcpListener> = (0..HOSTS)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        let peers: Vec<String> =
+            listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(h, l)| {
+                let peers = peers.clone();
+                let src = src.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let t = TcpTransport::establish(h, l, &peers, 0xBE7C + rep as u64, TcpOptions::default())
+                        .expect("establish mesh");
+                    cusp::partition_with_policy_tcp(t, src, PolicyKind::Cvc, &cfg)
+                        .expect("tcp partition")
+                        .result
+                })
+            })
+            .collect();
+        let outs: Vec<cusp::PartitionOutput> =
+            handles.into_iter().map(|h| h.join().expect("host thread")).collect();
+        let times: Vec<PhaseTimes> = outs.iter().map(|o| o.times).collect();
+        tcp_secs = tcp_secs.min(wall_of(&times));
+        let parts: Vec<_> = outs.into_iter().map(|o| o.dist_graph).collect();
+        tcp_fp = cusp::partition_fingerprint(&parts);
+    }
+
+    let mut sim_secs = f64::MAX;
+    let mut sim_fp = 0;
+    for _ in 0..e2e_repeats() {
+        let src = src.clone();
+        let cfg2 = cfg.clone();
+        let out = cusp_net::Cluster::run(HOSTS, move |comm| {
+            cusp::partition_with_policy(comm, src.clone(), PolicyKind::Cvc, &cfg2)
+        });
+        let times: Vec<PhaseTimes> = out.results.iter().map(|o| o.times).collect();
+        sim_secs = sim_secs.min(wall_of(&times));
+        let parts: Vec<_> = out.results.into_iter().map(|o| o.dist_graph).collect();
+        sim_fp = cusp::partition_fingerprint(&parts);
+    }
+    assert_eq!(tcp_fp, sim_fp, "TCP partition diverged from simulator");
+    (tcp_secs, sim_secs)
 }
 
 struct DeltaBench {
@@ -458,6 +535,8 @@ fn render_json(
     obs_overhead: f64,
     serve_cold: f64,
     serve_warm: f64,
+    tcp_secs: f64,
+    tcp_sim_secs: f64,
     delta: &DeltaBench,
     ablations: &[(&str, f64)],
 ) -> String {
@@ -499,6 +578,10 @@ fn render_json(
     s.push_str(&format!(
         "  \"serve\": {{\"cold_secs\": {serve_cold:.6}, \"cache_hit_secs\": {serve_warm:.6}, \"speedup\": {:.1}}},\n",
         serve_cold / serve_warm
+    ));
+    s.push_str(&format!(
+        "  \"tcp_local\": {{\"tcp_secs\": {tcp_secs:.6}, \"sim_secs\": {tcp_sim_secs:.6}, \"overhead_frac\": {:.4}}},\n",
+        tcp_secs / tcp_sim_secs - 1.0
     ));
     s.push_str(&format!(
         "  \"delta\": {{\"events\": {}, \"batch_frac\": {:.6}, \"full_secs\": {:.6}, \"delta_secs\": {:.6}, \"speedup\": {:.2}, \"dirty_vertices\": {}, \"reused_edges\": {}}},\n",

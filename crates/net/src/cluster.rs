@@ -56,7 +56,9 @@ use crate::fault::{fnv1a, CrashPlan, FaultPlan, FaultReport, FaultStats};
 use crate::recovery::{
     ClusterError, CrashSignal, LostSignal, NetCheckpoint, RecoveryOptions, RecoveryReport,
 };
+use crate::serialize::{decode_envelope, encode_envelope};
 use crate::stats::{CommStats, StatsCollector};
+use crate::transport::{LocalTransport, TcpTransport, Transport};
 
 /// Identifies a host (partition) in the simulated cluster.
 pub type HostId = usize;
@@ -79,13 +81,13 @@ const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
 
 /// One in-flight message: transport metadata plus the payload.
 #[derive(Clone)]
-struct Envelope {
-    src: HostId,
+pub(crate) struct Envelope {
+    pub(crate) src: HostId,
     /// Position in the per-(src, dst, tag) send sequence.
-    seq: u64,
+    pub(crate) seq: u64,
     /// The sender's accounting phase at send time.
-    phase: u32,
-    payload: Bytes,
+    pub(crate) phase: u32,
+    pub(crate) payload: Bytes,
 }
 
 type Mailbox = (Sender<Envelope>, Receiver<Envelope>);
@@ -96,7 +98,7 @@ type Mailbox = (Sender<Envelope>, Receiver<Envelope>);
 /// host re-executing completed phases therefore "re-arrives" at barriers
 /// its previous incarnation already passed and falls straight through,
 /// without desynchronizing survivors parked at a later barrier.
-struct FabricBarrier {
+pub(crate) struct FabricBarrier {
     state: Mutex<BarrierState>,
     cv: Condvar,
 }
@@ -116,18 +118,31 @@ impl FabricBarrier {
         }
     }
 
-    /// Returns `true` once every host has arrived `n` times, `false` if
-    /// `aborted` reported the cluster is going down first.
-    fn wait(&self, host: usize, n: u64, aborted: impl Fn() -> bool) -> bool {
+    /// Records that `host` has arrived `n` times without blocking. Local
+    /// arrivals go through [`FabricBarrier::wait`]; this entry point exists
+    /// for transports that learn about *remote* arrivals asynchronously
+    /// (a TCP reader thread decoding a BARRIER frame).
+    pub(crate) fn announce(&self, host: usize, n: u64) {
         let mut guard = self.state.lock();
+        Self::announce_locked(&mut guard, host, n, &self.cv);
+    }
+
+    fn announce_locked(guard: &mut BarrierState, host: usize, n: u64, cv: &Condvar) {
         if guard.arrived[host] < n {
             guard.arrived[host] = n;
             let done = guard.arrived.iter().copied().min().unwrap_or(0);
             if done > guard.done {
                 guard.done = done;
-                self.cv.notify_all();
+                cv.notify_all();
             }
         }
+    }
+
+    /// Returns `true` once every host has arrived `n` times, `false` if
+    /// `aborted` reported the cluster is going down first.
+    pub(crate) fn wait(&self, host: usize, n: u64, aborted: impl Fn() -> bool) -> bool {
+        let mut guard = self.state.lock();
+        Self::announce_locked(&mut guard, host, n, &self.cv);
         while guard.done < n {
             self.cv.wait_for(&mut guard, POISON_POLL);
             if aborted() {
@@ -139,7 +154,7 @@ impl FabricBarrier {
 
     /// Wakes all current waiters (used when poisoning or declaring a host
     /// lost, so they observe the abort condition).
-    fn wake_all(&self) {
+    pub(crate) fn wake_all(&self) {
         let _guard = self.state.lock();
         self.cv.notify_all();
     }
@@ -238,32 +253,47 @@ impl RecoveryLayer {
     }
 }
 
+/// Sentinel for [`Fabric::remote_lost`] meaning "no peer lost".
+const NO_PEER_LOST: usize = usize::MAX;
+
 /// Shared state between all host threads.
 pub(crate) struct Fabric {
     hosts: usize,
+    /// How envelopes move between hosts: the in-process [`LocalTransport`]
+    /// (all hosts share this one fabric) or a [`TcpTransport`] (this
+    /// fabric belongs to a single host process; remote mailboxes exist but
+    /// only `me`'s is consumed, fed by reader threads).
+    transport: Box<dyn Transport>,
     /// `mailboxes[dst][tag]` — MPMC channel of envelopes.
     mailboxes: Vec<Vec<Mailbox>>,
     /// `seqs[(src * hosts + dst) * MAX_TAGS + tag]` — next send sequence
     /// number for that channel.
     seqs: Vec<AtomicU64>,
-    barrier: FabricBarrier,
+    pub(crate) barrier: FabricBarrier,
     poisoned: AtomicBool,
+    /// First remote host declared dead by the transport
+    /// ([`NO_PEER_LOST`] = none). Only a real transport ever sets this;
+    /// the in-process simulator expresses host loss through the recovery
+    /// layer instead.
+    remote_lost: AtomicUsize,
     fault: Option<FaultLayer>,
     recovery: Option<RecoveryLayer>,
     pub(crate) stats: StatsCollector,
 }
 
 impl Fabric {
-    fn new(hosts: usize, opts: &ClusterOptions) -> Self {
+    fn new(hosts: usize, opts: &ClusterOptions, transport: Box<dyn Transport>) -> Self {
         let mailboxes = (0..hosts)
             .map(|_| (0..MAX_TAGS).map(|_| unbounded()).collect())
             .collect();
         Fabric {
             hosts,
+            transport,
             mailboxes,
             seqs: (0..hosts * hosts * MAX_TAGS).map(|_| AtomicU64::new(0)).collect(),
             barrier: FabricBarrier::new(hosts),
             poisoned: AtomicBool::new(false),
+            remote_lost: AtomicUsize::new(NO_PEER_LOST),
             fault: opts.fault.map(|plan| FaultLayer {
                 plan,
                 stats: FaultStats::default(),
@@ -285,8 +315,9 @@ impl Fabric {
     }
 
     /// Whether blocked operations should give up (peer panic or host lost).
-    fn should_abort(&self) -> bool {
+    pub(crate) fn should_abort(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
+            || self.remote_lost.load(Ordering::Acquire) != NO_PEER_LOST
             || self.recovery.as_ref().is_some_and(|r| r.lost.load(Ordering::Acquire))
     }
 
@@ -297,11 +328,35 @@ impl Fabric {
         if self.poisoned.load(Ordering::Acquire) {
             panic!("cluster poisoned: a peer host panicked");
         }
+        if self.remote_lost.load(Ordering::Acquire) != NO_PEER_LOST {
+            std::panic::resume_unwind(Box::new(LostSignal));
+        }
         if let Some(rec) = &self.recovery {
             if rec.lost.load(Ordering::Acquire) {
                 std::panic::resume_unwind(Box::new(LostSignal));
             }
         }
+    }
+
+    /// Declares remote host `peer` dead (transport-level detection: EOF
+    /// without FIN, torn frame, heartbeat silence) and wakes every blocked
+    /// operation so the host unwinds with a typed [`ClusterError::HostLost`]
+    /// instead of hanging. First caller wins; later detections of the same
+    /// collapse are redundant.
+    pub(crate) fn mark_remote_lost(&self, peer: HostId) {
+        let _ = self.remote_lost.compare_exchange(
+            NO_PEER_LOST,
+            peer,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.barrier.wake_all();
+    }
+
+    /// The peer recorded by [`Fabric::mark_remote_lost`], if any.
+    fn lost_peer(&self) -> Option<HostId> {
+        let v = self.remote_lost.load(Ordering::Acquire);
+        (v != NO_PEER_LOST).then_some(v)
     }
 
     /// Declares a host unrecoverable and wakes everyone to notice.
@@ -355,8 +410,13 @@ impl Fabric {
             .expect("mailbox closed");
     }
 
-    /// Routes a remote send through the fault layer (if any).
-    fn dispatch(&self, dst: HostId, tag: Tag, env: Envelope) {
+    /// Routes a remote send through the fault layer (if any). Over the
+    /// in-process transport this is the send path; over TCP it is invoked
+    /// by the *receiving* side's reader threads with `dst` = the local
+    /// host — [`FaultPlan::decide`] is a pure function of
+    /// `(seed, src, dst, tag, seq)`, so the decisions are identical no
+    /// matter which side of the wire evaluates them.
+    pub(crate) fn dispatch(&self, dst: HostId, tag: Tag, env: Envelope) {
         let Some(layer) = &self.fault else {
             self.deliver(dst, tag, env);
             return;
@@ -649,11 +709,26 @@ impl Comm {
         }
         if dst == self.host {
             // Local data stays local: self-sends bypass the fault layer
-            // (and the send log — a restarted host regenerates them).
-            self.fabric.deliver(dst, tag, env);
+            // (and the send log — a restarted host regenerates them), but
+            // they DO take the same encode/decode round-trip as the wire,
+            // so a payload that would not survive the codec fails
+            // identically on both transports and the CommStats matrices
+            // stay conserved the same way everywhere.
+            let frame = encode_envelope(tag.0, env.src as u64, env.phase, env.seq, &env.payload);
+            let we = decode_envelope(frame).expect("loopback envelope survives the wire codec");
+            self.fabric.deliver(
+                dst,
+                tag,
+                Envelope {
+                    src: we.src as HostId,
+                    seq: we.seq,
+                    phase: we.phase,
+                    payload: we.payload,
+                },
+            );
         } else {
             self.fabric.log_send(dst, tag, &env);
-            self.fabric.dispatch(dst, tag, env);
+            self.fabric.transport.ship(&self.fabric, dst, tag, env);
         }
     }
 
@@ -815,7 +890,7 @@ impl Comm {
         }
         let n = self.barrier_calls.fetch_add(1, Ordering::Relaxed) + 1;
         let fabric = &*self.fabric;
-        if !fabric.barrier.wait(self.host, n, || fabric.should_abort()) {
+        if !fabric.transport.barrier_wait(fabric, self.host, n) {
             fabric.check_abort();
             unreachable!("barrier aborted without an abort condition");
         }
@@ -1016,7 +1091,7 @@ impl Cluster {
         F: Fn(&Comm) -> R + Sync,
     {
         assert!(hosts > 0, "cluster needs at least one host");
-        let fabric = Arc::new(Fabric::new(hosts, &opts));
+        let fabric = Arc::new(Fabric::new(hosts, &opts, Box::new(LocalTransport)));
         let recorder = opts
             .trace
             .map(|cfg| cusp_obs::Recorder::with_capacity(cfg.ring_capacity));
@@ -1152,6 +1227,93 @@ impl Cluster {
             trace: recorder.map(|r| r.drain()),
         })
     }
+
+    /// Runs `f` as **one host of a multi-process cluster** over an
+    /// established [`TcpTransport`]: the peers are other OS processes,
+    /// each executing the same SPMD function over their own transport.
+    ///
+    /// Everything above the transport — sequence numbering, the
+    /// resequencer and its dedup floors, fault injection, per-phase
+    /// [`CommStats`] accounting — is the exact code the in-process
+    /// simulator runs; only envelope movement differs. If a peer process
+    /// dies mid-run (EOF without FIN, torn frame, prolonged silence) every
+    /// blocked operation unwinds and the run returns
+    /// [`ClusterError::HostLost`] with `restarts: 0` — never a hang.
+    ///
+    /// Crash *recovery* ([`ClusterOptions::crash`]) is a simulator-only
+    /// feature (the supervisor owns all host threads, which has no
+    /// cross-process analogue) and is rejected by assertion.
+    ///
+    /// # Panics
+    /// Propagates `f`'s own panic after tearing the transport down
+    /// abruptly, so peers detect the death instead of waiting forever.
+    pub fn try_run_tcp<R, F>(
+        transport: TcpTransport,
+        opts: ClusterOptions,
+        f: F,
+    ) -> Result<TcpRunOutput<R>, ClusterError>
+    where
+        F: FnOnce(&Comm) -> R,
+    {
+        assert!(
+            opts.crash.is_none(),
+            "crash recovery is not supported over the TCP transport"
+        );
+        let me = transport.host();
+        let hosts = transport.num_hosts();
+        let fabric = Arc::new(Fabric::new(hosts, &opts, Box::new(transport)));
+        fabric.transport.start(&fabric);
+        let recorder = opts
+            .trace
+            .map(|cfg| cusp_obs::Recorder::with_capacity(cfg.ring_capacity));
+        let guard = recorder.as_ref().map(|r| r.attach(me as u32, "main"));
+        let comm = Comm::new(me, Arc::clone(&fabric), 0);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+        let clean = out.is_ok();
+        // Tear the transport down before reporting anything: a clean host
+        // FINs and drains, a panicked one drops its sockets so peers see
+        // the death. Either way all transport threads are joined here.
+        fabric.transport.finish(&fabric, clean);
+        drop(guard);
+        match out {
+            Ok(result) => {
+                if let Some(peer) = fabric.lost_peer() {
+                    return Err(ClusterError::HostLost { host: peer, restarts: 0 });
+                }
+                Ok(TcpRunOutput {
+                    result,
+                    stats: fabric.stats.snapshot(),
+                    faults: fabric.fault.as_ref().map(|l| l.stats.report()),
+                    trace: recorder.map(|r| r.drain()),
+                })
+            }
+            Err(p) if p.is::<LostSignal>() => {
+                let peer = fabric.lost_peer().unwrap_or(me);
+                Err(ClusterError::HostLost { host: peer, restarts: 0 })
+            }
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+/// Results of one host's [`Cluster::try_run_tcp`] execution. Unlike
+/// [`ClusterOutput`], this covers a *single* host: each process of the
+/// cluster produces its own, and cross-host exhibits (merged partitions,
+/// conservation checks) are assembled by the orchestrator from all of
+/// them.
+pub struct TcpRunOutput<R> {
+    /// This host's return value.
+    pub result: R,
+    /// This host's view of the communication statistics: its send matrix
+    /// rows and its receive matrix rows are authoritative; other cells are
+    /// zero (they live in the peers' outputs).
+    pub stats: CommStats,
+    /// Injected-fault counters observed at this host's receive side, when
+    /// the run had a [`FaultPlan`].
+    pub faults: Option<FaultReport>,
+    /// Drained event trace of this host, when the run had a
+    /// [`TraceConfig`].
+    pub trace: Option<cusp_obs::Trace>,
 }
 
 #[cfg(test)]

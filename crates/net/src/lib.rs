@@ -42,14 +42,21 @@ pub mod model;
 pub mod recovery;
 pub mod serialize;
 pub mod stats;
+pub mod transport;
 
 pub use buffer::SendBuffers;
-pub use cluster::{Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, TraceConfig, MAX_TAGS};
+pub use cluster::{
+    Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, TcpRunOutput, TraceConfig, MAX_TAGS,
+};
 pub use fault::{CrashPlan, FaultPlan, FaultReport};
 pub use recovery::{ClusterError, NetCheckpoint, RecoveryOptions, RecoveryReport};
 pub use model::NetworkModel;
-pub use serialize::{WireError, WireReader, WireWriter};
+pub use serialize::{
+    decode_envelope, encode_envelope, EnvelopeError, WireEnvelope, WireError, WireReader,
+    WireWriter, ENVELOPE_VERSION,
+};
 pub use stats::{CommStats, PhaseSnapshot};
+pub use transport::{RejectReason, TcpOptions, TcpTransport, TransportError, TCP_PROTOCOL_VERSION};
 
 pub use collective::{
     all_gather_bytes, all_reduce_sum_f64, all_reduce_u64, all_reduce_vec_u64, broadcast_u64,

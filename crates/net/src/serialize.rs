@@ -331,6 +331,143 @@ impl WireReader {
     }
 }
 
+/// Version byte of the envelope header format below. Bumped whenever the
+/// header layout changes; [`decode_envelope`] rejects anything else, so a
+/// TCP peer built from different sources fails the frame decode instead of
+/// silently misparsing traffic.
+pub const ENVELOPE_VERSION: u8 = 1;
+
+/// Size in bytes of the fixed envelope header that precedes the payload.
+pub const ENVELOPE_HEADER_BYTES: usize = 28;
+
+/// A decoded transport envelope: the per-message routing/resequencing
+/// metadata plus the payload.
+///
+/// This is the unit both transports move between hosts. The wire layout is
+/// **explicitly little-endian and versioned** (nothing about it depends on
+/// the host's native byte order), so the same encoding works in-process
+/// and across machines:
+///
+/// ```text
+/// offset  size  field
+///      0     1  version      (= ENVELOPE_VERSION)
+///      1     1  tag          (mailbox tag, < MAX_TAGS)
+///      2     2  reserved     (must be 0)
+///      4     4  src          (sending host id, u32 LE)
+///      8     4  phase        (sender's accounting phase, u32 LE)
+///     12     8  seq          (per-(src, dst, tag) sequence number, u64 LE)
+///     20     8  payload_len  (u64 LE)
+///     28     …  payload      (exactly payload_len bytes)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEnvelope {
+    /// Mailbox tag the payload is addressed to.
+    pub tag: u8,
+    /// Sending host.
+    pub src: u64,
+    /// Sender's accounting phase at send time.
+    pub phase: u32,
+    /// Position in the per-(src, dst, tag) send sequence.
+    pub seq: u64,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+/// Why an envelope failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The buffer ran out before the header or payload was complete — a
+    /// torn frame.
+    Truncated(WireError),
+    /// The version byte is not [`ENVELOPE_VERSION`].
+    Version {
+        /// The version byte that was found.
+        got: u8,
+    },
+    /// The reserved header bytes were non-zero.
+    Reserved,
+    /// The header claimed more payload bytes than the frame carries (or
+    /// the frame has trailing garbage after the payload).
+    Length {
+        /// Payload bytes the header claimed.
+        claimed: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated(e) => write!(f, "torn envelope: {e}"),
+            EnvelopeError::Version { got } => {
+                write!(f, "envelope version {got} (expected {ENVELOPE_VERSION})")
+            }
+            EnvelopeError::Reserved => write!(f, "non-zero reserved envelope header bytes"),
+            EnvelopeError::Length { claimed, actual } => {
+                write!(f, "envelope length mismatch: header claims {claimed} payload bytes, frame carries {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+impl From<WireError> for EnvelopeError {
+    fn from(e: WireError) -> Self {
+        EnvelopeError::Truncated(e)
+    }
+}
+
+/// Encodes one envelope (header + payload) into a single contiguous
+/// buffer, byte-identical on every platform.
+pub fn encode_envelope(tag: u8, src: u64, phase: u32, seq: u64, payload: &[u8]) -> Bytes {
+    let mut w = WireWriter::with_capacity(ENVELOPE_HEADER_BYTES + payload.len());
+    w.put_u8(ENVELOPE_VERSION);
+    w.put_u8(tag);
+    w.put_u8(0);
+    w.put_u8(0);
+    w.put_u32(src as u32);
+    w.put_u32(phase);
+    w.put_u64(seq);
+    w.put_u64(payload.len() as u64);
+    w.put_raw(payload);
+    w.finish()
+}
+
+/// Decodes an envelope produced by [`encode_envelope`]. The payload is
+/// sliced out of `frame` without copying. Every malformed input — torn
+/// header, wrong version, non-zero reserved bytes, payload length that
+/// disagrees with the frame — is a typed error, never a panic.
+pub fn decode_envelope(frame: Bytes) -> Result<WireEnvelope, EnvelopeError> {
+    let mut r = WireReader::new(frame.clone());
+    let version = r.get_u8()?;
+    if version != ENVELOPE_VERSION {
+        return Err(EnvelopeError::Version { got: version });
+    }
+    let tag = r.get_u8()?;
+    let r0 = r.get_u8()?;
+    let r1 = r.get_u8()?;
+    if r0 != 0 || r1 != 0 {
+        return Err(EnvelopeError::Reserved);
+    }
+    let src = r.get_u32()? as u64;
+    let phase = r.get_u32()?;
+    let seq = r.get_u64()?;
+    let claimed = r.get_u64()?;
+    let actual = r.remaining() as u64;
+    if claimed != actual {
+        return Err(EnvelopeError::Length { claimed, actual });
+    }
+    Ok(WireEnvelope {
+        tag,
+        src,
+        phase,
+        seq,
+        payload: frame.slice(ENVELOPE_HEADER_BYTES..),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +688,92 @@ mod tests {
         let mut dst = vec![0u32; 2];
         let err = r.get_u32_into(&mut dst).unwrap_err();
         assert_eq!(err, WireError { needed: 8, available: 5 });
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let payload = b"partition payload bytes".as_slice();
+        let frame = encode_envelope(7, 3, 2, 41, payload);
+        assert_eq!(frame.len(), ENVELOPE_HEADER_BYTES + payload.len());
+        let env = decode_envelope(frame).unwrap();
+        assert_eq!(env.tag, 7);
+        assert_eq!(env.src, 3);
+        assert_eq!(env.phase, 2);
+        assert_eq!(env.seq, 41);
+        assert_eq!(&*env.payload, payload);
+    }
+
+    #[test]
+    fn envelope_empty_payload_round_trip() {
+        let frame = encode_envelope(0, 0, 0, 0, &[]);
+        assert_eq!(frame.len(), ENVELOPE_HEADER_BYTES);
+        let env = decode_envelope(frame).unwrap();
+        assert!(env.payload.is_empty());
+        assert_eq!(env.seq, 0);
+    }
+
+    #[test]
+    fn envelope_layout_is_pinned() {
+        // The TCP wire format is a contract: version byte first, then tag,
+        // two zero reserved bytes, src/phase as u32 LE, seq and payload_len
+        // as u64 LE. Pin every byte so an accidental layout change fails
+        // loudly instead of breaking cross-version interop silently.
+        let frame = encode_envelope(5, 0x0102_0304, 0x0A0B_0C0D, 0x1122_3344_5566_7788, b"xy");
+        let expect: &[u8] = &[
+            ENVELOPE_VERSION,
+            5,
+            0,
+            0,
+            0x04, 0x03, 0x02, 0x01, // src u32 LE
+            0x0D, 0x0C, 0x0B, 0x0A, // phase u32 LE
+            0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // seq u64 LE
+            2, 0, 0, 0, 0, 0, 0, 0, // payload_len u64 LE
+            b'x', b'y',
+        ];
+        assert_eq!(&*frame, expect);
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_version() {
+        let frame = encode_envelope(1, 2, 3, 4, b"p");
+        let mut bad = frame.to_vec();
+        bad[0] = ENVELOPE_VERSION + 1;
+        let err = decode_envelope(Bytes::from(bad)).unwrap_err();
+        assert_eq!(err, EnvelopeError::Version { got: ENVELOPE_VERSION + 1 });
+    }
+
+    #[test]
+    fn envelope_rejects_nonzero_reserved() {
+        let frame = encode_envelope(1, 2, 3, 4, b"p");
+        let mut bad = frame.to_vec();
+        bad[2] = 0xFF;
+        assert_eq!(decode_envelope(Bytes::from(bad)).unwrap_err(), EnvelopeError::Reserved);
+    }
+
+    #[test]
+    fn envelope_rejects_torn_and_mismatched_frames() {
+        let frame = encode_envelope(1, 2, 3, 4, b"payload");
+        // Torn inside the header.
+        for cut in [0, 1, 4, ENVELOPE_HEADER_BYTES - 1] {
+            let torn = frame.slice(0..cut);
+            assert!(
+                matches!(decode_envelope(torn).unwrap_err(), EnvelopeError::Truncated(_)),
+                "cut at {cut}"
+            );
+        }
+        // Header intact but payload short.
+        let short = frame.slice(0..frame.len() - 2);
+        assert_eq!(
+            decode_envelope(short).unwrap_err(),
+            EnvelopeError::Length { claimed: 7, actual: 5 }
+        );
+        // Trailing garbage after the payload.
+        let mut long = frame.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_envelope(Bytes::from(long)).unwrap_err(),
+            EnvelopeError::Length { claimed: 7, actual: 8 }
+        );
     }
 
     #[test]

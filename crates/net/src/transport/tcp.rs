@@ -1,0 +1,962 @@
+//! The length-delimited TCP transport: one OS process per host.
+//!
+//! ## Wire format
+//!
+//! Every frame is `len: u32 LE | kind: u8 | body`, where `len` counts the
+//! kind byte plus the body. Kinds:
+//!
+//! | kind | name      | body                                             |
+//! |------|-----------|--------------------------------------------------|
+//! | 1    | HELLO     | `magic u32, version u8, host_id u32, hosts u32, run_nonce u64` |
+//! | 2    | ACCEPT    | empty                                            |
+//! | 3    | REJECT    | `reason u8` (see [`RejectReason`])               |
+//! | 4    | ENVELOPE  | a versioned envelope ([`encode_envelope`])       |
+//! | 5    | BARRIER   | `arrival u64` — the sender's barrier arrival count |
+//! | 6    | HEARTBEAT | empty                                            |
+//! | 7    | FIN       | empty — the sender has completed cleanly         |
+//!
+//! ## Topology and threading
+//!
+//! The mesh is built from **simplex** connections: host `i` dials every
+//! peer's listener (with bounded-backoff retries, since workers start at
+//! different times) and uses those sockets only for *sending*; it accepts
+//! `hosts - 1` inbound connections and uses those only for *reading*. Per
+//! outbound socket a **writer thread** drains a frame queue (heartbeating
+//! when idle); per inbound socket a **reader thread** decodes frames and
+//! feeds the same dispatch → fault-layer → resequencer path the in-process
+//! simulator uses. A **monitor thread** declares a peer lost when it goes
+//! silent past [`TcpOptions::peer_timeout`] without having sent FIN.
+//!
+//! ## Failure semantics
+//!
+//! A peer that closes its connection (or tears a frame) without FIN is
+//! declared lost immediately; the fabric unwinds every blocked operation
+//! and the run ends in a typed [`ClusterError::HostLost`] — never a hang.
+//! A host that panics aborts its writers *without* FIN, so peers detect
+//! the death by EOF. Fault injection ([`crate::FaultPlan`]) is applied at
+//! the receiving end of the wire — `decide` is a pure function of
+//! `(seed, src, dst, tag, seq)`, so the decisions are identical to the
+//! simulator's regardless of which side of the socket evaluates them.
+//!
+//! [`ClusterError::HostLost`]: crate::ClusterError
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use super::{RejectReason, Transport, TransportError};
+use crate::cluster::{Envelope, Fabric, HostId, Tag, MAX_TAGS};
+use crate::serialize::{decode_envelope, encode_envelope, WireReader, WireWriter};
+
+/// "CUSP" in ASCII — the handshake magic.
+const MAGIC: u32 = 0x4355_5350;
+
+/// Version of the TCP framing + handshake protocol.
+pub const TCP_PROTOCOL_VERSION: u8 = 1;
+
+const FRAME_HELLO: u8 = 1;
+const FRAME_ACCEPT: u8 = 2;
+const FRAME_REJECT: u8 = 3;
+const FRAME_ENVELOPE: u8 = 4;
+const FRAME_BARRIER: u8 = 5;
+const FRAME_HEARTBEAT: u8 = 6;
+const FRAME_FIN: u8 = 7;
+
+/// Upper bound on a data frame; anything larger is a corrupt length
+/// prefix, not a message.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// Handshake frames are tiny; a "HELLO" claiming more is garbage.
+const MAX_HANDSHAKE_FRAME: u32 = 256;
+
+/// How often reader threads come up for air to check shutdown/abort flags
+/// while blocked on a socket.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Monitor thread wake interval.
+const MONITOR_POLL: Duration = Duration::from_millis(50);
+
+/// Knobs of the TCP transport. Defaults are deliberately generous: a
+/// loaded CI machine must never produce spurious `HostLost`s.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// How long to keep redialing an unreachable peer before giving up.
+    pub dial_timeout: Duration,
+    /// Initial redial backoff (doubles per attempt, capped at 500ms).
+    pub dial_backoff: Duration,
+    /// How long to wait for all `hosts - 1` inbound peers to connect.
+    pub accept_timeout: Duration,
+    /// Per-socket timeout for one handshake exchange.
+    pub handshake_timeout: Duration,
+    /// Idle writers emit a heartbeat frame this often.
+    pub heartbeat_interval: Duration,
+    /// A peer silent this long (without FIN) is declared lost.
+    pub peer_timeout: Duration,
+    /// How long a cleanly finished host waits for peer FINs before
+    /// tearing its readers down anyway.
+    pub fin_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            dial_timeout: Duration::from_secs(15),
+            dial_backoff: Duration::from_millis(20),
+            accept_timeout: Duration::from_secs(15),
+            handshake_timeout: Duration::from_secs(3),
+            heartbeat_interval: Duration::from_millis(500),
+            peer_timeout: Duration::from_secs(10),
+            fin_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What ship/barrier enqueue toward a peer's writer thread.
+enum Out {
+    /// An encoded envelope frame body.
+    Env(Bytes),
+    /// A barrier arrival announcement.
+    Barrier(u64),
+    /// Clean completion: write FIN, flush, close the write half.
+    Fin,
+    /// Unclean teardown: close without FIN so the peer detects the loss.
+    Abort,
+}
+
+/// State shared between the transport handle and its threads.
+struct TcpShared {
+    start: Instant,
+    /// Milliseconds since `start` of the last frame from each peer.
+    last_heard: Vec<AtomicU64>,
+    /// Set once a peer's FIN arrives — silence is then expected.
+    fin_received: Vec<AtomicBool>,
+    /// Set by `finish` so readers and the monitor stand down.
+    shutting_down: AtomicBool,
+}
+
+impl TcpShared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn heard(&self, peer: HostId) {
+        self.last_heard[peer].store(self.now_ms(), Ordering::Release);
+    }
+}
+
+/// Connected-but-not-yet-running sockets, parked between
+/// [`TcpTransport::establish`] and [`Transport::start`].
+struct Pending {
+    /// `(peer, socket)` — inbound simplex connections we read from.
+    inbound: Vec<(HostId, TcpStream)>,
+    /// `(peer, socket, queue)` — outbound simplex connections we write to.
+    writers: Vec<(HostId, TcpStream, Receiver<Out>)>,
+}
+
+/// The established TCP transport for one host process. Created by
+/// [`TcpTransport::establish`] once the full mesh has handshaken; handed
+/// to [`crate::Cluster::try_run_tcp`] to run the partition over it.
+pub struct TcpTransport {
+    me: HostId,
+    hosts: usize,
+    opts: TcpOptions,
+    /// Outbound frame queues, one per peer (`None` at `me`).
+    outbound: Vec<Option<Sender<Out>>>,
+    pending: Mutex<Option<Pending>>,
+    shared: Arc<TcpShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// This host's id.
+    pub fn host(&self) -> HostId {
+        self.me
+    }
+
+    /// Total number of hosts in the cluster.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Builds the full connection mesh for host `me` of `peers.len()`
+    /// hosts: dials every peer's listener (retrying with backoff until
+    /// [`TcpOptions::dial_timeout`]) while concurrently accepting the
+    /// `hosts - 1` inbound connections on `listener`, validating every
+    /// handshake against `{magic, version, host_id, hosts, run_nonce}`.
+    ///
+    /// `peers[i]` is host `i`'s listen address; `peers[me]` is this host's
+    /// own (used only for arity). Returns a typed [`TransportError`] on
+    /// any bind/dial/handshake failure — never hangs past its timeouts.
+    pub fn establish(
+        me: HostId,
+        listener: TcpListener,
+        peers: &[String],
+        run_nonce: u64,
+        opts: TcpOptions,
+    ) -> Result<Self, TransportError> {
+        let hosts = peers.len();
+        if hosts == 0 {
+            return Err(TransportError::Config("empty peer list".into()));
+        }
+        if me >= hosts {
+            return Err(TransportError::Config(format!(
+                "host id {me} out of range for {hosts} host(s)"
+            )));
+        }
+
+        let shared = Arc::new(TcpShared {
+            start: Instant::now(),
+            last_heard: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            fin_received: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        // Accept concurrently with our own dials: every worker is doing
+        // both at once, so neither side can afford to serialize them.
+        let acceptor = std::thread::Builder::new()
+            .name("tcp-accept".into())
+            .spawn(move || accept_peers(listener, me, hosts, run_nonce, &opts))
+            .expect("failed to spawn acceptor thread");
+
+        let mut outbound: Vec<Option<Sender<Out>>> = (0..hosts).map(|_| None).collect();
+        let mut writers = Vec::with_capacity(hosts.saturating_sub(1));
+        let mut dial_err = None;
+        for (peer, addr) in peers.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            match dial(me, peer, addr, hosts, run_nonce, &opts) {
+                Ok(stream) => {
+                    let (tx, rx) = unbounded();
+                    outbound[peer] = Some(tx);
+                    writers.push((peer, stream, rx));
+                }
+                Err(e) => {
+                    dial_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Join the acceptor even on a dial error: it owns the listener and
+        // terminates at accept_timeout at the latest.
+        let accepted = acceptor.join().expect("acceptor thread panicked");
+        if let Some(e) = dial_err {
+            return Err(e);
+        }
+        let inbound = accepted?;
+
+        // Peers proved alive during the handshake just now.
+        for peer in 0..hosts {
+            shared.heard(peer);
+        }
+
+        Ok(TcpTransport {
+            me,
+            hosts,
+            opts,
+            outbound,
+            pending: Mutex::new(Some(Pending { inbound, writers })),
+            shared,
+            threads: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn start(&self, fabric: &Arc<Fabric>) {
+        let Some(pending) = self.pending.lock().take() else {
+            return;
+        };
+        let mut threads = self.threads.lock();
+        for (peer, stream, rx) in pending.writers {
+            let interval = self.opts.heartbeat_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-send-{peer}"))
+                    .spawn(move || writer_loop(stream, rx, interval))
+                    .expect("failed to spawn writer thread"),
+            );
+        }
+        for (peer, stream) in pending.inbound {
+            let fabric = Arc::clone(fabric);
+            let shared = Arc::clone(&self.shared);
+            let me = self.me;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-recv-{peer}"))
+                    .spawn(move || reader_loop(stream, peer, me, fabric, shared))
+                    .expect("failed to spawn reader thread"),
+            );
+        }
+        if self.hosts > 1 {
+            let fabric = Arc::clone(fabric);
+            let shared = Arc::clone(&self.shared);
+            let (me, hosts, timeout) = (self.me, self.hosts, self.opts.peer_timeout);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tcp-monitor".into())
+                    .spawn(move || monitor_loop(fabric, shared, me, hosts, timeout))
+                    .expect("failed to spawn monitor thread"),
+            );
+        }
+    }
+
+    fn ship(&self, _fabric: &Fabric, dst: HostId, tag: Tag, env: Envelope) {
+        let frame = encode_envelope(tag.0, env.src as u64, env.phase, env.seq, &env.payload);
+        if let Some(tx) = &self.outbound[dst] {
+            // A closed queue means the writer died with its peer; the run
+            // is already being torn down and check_abort will surface it.
+            let _ = tx.send(Out::Env(frame));
+        }
+    }
+
+    fn barrier_wait(&self, fabric: &Fabric, host: HostId, n: u64) -> bool {
+        // Announce over every connection *before* blocking. Queues are
+        // FIFO per peer, so a peer observes all our pre-barrier envelopes
+        // before our arrival — exactly the simulator's guarantee that
+        // barrier release implies all prior traffic is in the mailboxes.
+        for tx in self.outbound.iter().flatten() {
+            let _ = tx.send(Out::Barrier(n));
+        }
+        fabric.barrier.wait(host, n, || fabric.should_abort())
+    }
+
+    fn finish(&self, fabric: &Fabric, clean: bool) {
+        for tx in self.outbound.iter().flatten() {
+            let _ = tx.send(if clean { Out::Fin } else { Out::Abort });
+        }
+        if clean {
+            // Drain window: keep readers alive until every peer has FINed
+            // (or died, or overstayed the timeout), so slower peers can
+            // still pull our already-queued frames and barriers.
+            let deadline = Instant::now() + self.opts.fin_timeout;
+            while Instant::now() < deadline && !fabric.should_abort() {
+                let all = (0..self.hosts)
+                    .filter(|&p| p != self.me)
+                    .all(|p| self.shared.fin_received[p].load(Ordering::Acquire));
+                if all {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        self.shared.shutting_down.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O helpers
+// ---------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, kind: u8, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(1 + body.len() as u32).to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(body)
+}
+
+/// Blocking read of one small frame during the handshake (the socket has a
+/// read timeout set, so this is bounded).
+fn read_handshake_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_HANDSHAKE_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("handshake frame length {len}"),
+        ));
+    }
+    let mut frame = vec![0u8; len as usize];
+    stream.read_exact(&mut frame)?;
+    Ok((frame[0], frame[1..].to_vec()))
+}
+
+/// Outcome of a flag-aware socket read.
+enum ReadOutcome {
+    /// Buffer filled.
+    Ok,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// The stop flag fired while blocked.
+    Stopped,
+    /// I/O error or EOF mid-buffer (a torn frame).
+    Failed,
+}
+
+/// Fills `buf` from `r`, surfacing read timeouts as chances to observe
+/// `stop` instead of data loss (unlike `read_exact`, which corrupts its
+/// position on timeout).
+fn read_full(r: &mut impl Read, buf: &mut [u8], stop: &impl Fn() -> bool) -> ReadOutcome {
+    let mut off = 0;
+    while off < buf.len() {
+        match r.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if off == 0 { ReadOutcome::Eof } else { ReadOutcome::Failed };
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop() {
+                    return ReadOutcome::Stopped;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+fn hello_body(me: HostId, hosts: usize, run_nonce: u64) -> Bytes {
+    let mut w = WireWriter::with_capacity(21);
+    w.put_u32(MAGIC);
+    w.put_u8(TCP_PROTOCOL_VERSION);
+    w.put_u32(me as u32);
+    w.put_u32(hosts as u32);
+    w.put_u64(run_nonce);
+    w.finish()
+}
+
+/// Dials `addr` until the peer answers (or the timeout), then runs the
+/// HELLO/ACCEPT exchange.
+fn dial(
+    me: HostId,
+    peer: HostId,
+    addr: &str,
+    hosts: usize,
+    run_nonce: u64,
+    opts: &TcpOptions,
+) -> Result<TcpStream, TransportError> {
+    let deadline = Instant::now() + opts.dial_timeout;
+    let mut backoff = opts.dial_backoff;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(opts.handshake_timeout));
+                let hs = |detail: String| TransportError::Handshake { peer, detail };
+                write_frame(&mut stream, FRAME_HELLO, &hello_body(me, hosts, run_nonce))
+                    .map_err(|e| hs(format!("cannot send HELLO: {e}")))?;
+                let (kind, body) = read_handshake_frame(&mut stream)
+                    .map_err(|e| hs(format!("no handshake reply: {e}")))?;
+                return match kind {
+                    FRAME_ACCEPT => {
+                        let _ = stream.set_read_timeout(None);
+                        Ok(stream)
+                    }
+                    FRAME_REJECT => {
+                        let reason = body
+                            .first()
+                            .and_then(|&b| RejectReason::from_u8(b))
+                            .unwrap_or(RejectReason::BadMagic);
+                        Err(TransportError::Rejected { peer, reason })
+                    }
+                    other => Err(hs(format!("unexpected handshake frame kind {other}"))),
+                };
+            }
+            Err(_) => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::DialTimeout { peer, addr: addr.to_string() });
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+/// Validates one inbound HELLO. `Ok(peer)` accepts the connection;
+/// `Err(reason)` is sent back in a REJECT frame.
+fn validate_hello(
+    body: &[u8],
+    me: HostId,
+    hosts: usize,
+    run_nonce: u64,
+    taken: &[bool],
+) -> Result<HostId, RejectReason> {
+    let mut r = WireReader::new(Bytes::from(body.to_vec()));
+    let magic = r.get_u32().map_err(|_| RejectReason::BadMagic)?;
+    if magic != MAGIC {
+        return Err(RejectReason::BadMagic);
+    }
+    let version = r.get_u8().map_err(|_| RejectReason::BadVersion)?;
+    if version != TCP_PROTOCOL_VERSION {
+        return Err(RejectReason::BadVersion);
+    }
+    let host_id = r.get_u32().map_err(|_| RejectReason::BadHostId)? as usize;
+    let their_hosts = r.get_u32().map_err(|_| RejectReason::BadHosts)? as usize;
+    let nonce = r.get_u64().map_err(|_| RejectReason::BadNonce)?;
+    if their_hosts != hosts {
+        return Err(RejectReason::BadHosts);
+    }
+    if nonce != run_nonce {
+        return Err(RejectReason::BadNonce);
+    }
+    if host_id >= hosts || host_id == me || taken[host_id] {
+        return Err(RejectReason::BadHostId);
+    }
+    Ok(host_id)
+}
+
+/// Accept loop: collects `hosts - 1` validated peer connections.
+/// Connections failing validation get a REJECT and are dropped without
+/// consuming a slot; random strangers (port scans, stale workers) are
+/// simply ignored.
+fn accept_peers(
+    listener: TcpListener,
+    me: HostId,
+    hosts: usize,
+    run_nonce: u64,
+    opts: &TcpOptions,
+) -> Result<Vec<(HostId, TcpStream)>, TransportError> {
+    let mut taken = vec![false; hosts];
+    let mut inbound = Vec::with_capacity(hosts.saturating_sub(1));
+    listener
+        .set_nonblocking(true)
+        .map_err(TransportError::Bind)?;
+    let deadline = Instant::now() + opts.accept_timeout;
+    while inbound.len() < hosts - 1 {
+        if Instant::now() >= deadline {
+            return Err(TransportError::AcceptTimeout {
+                missing: hosts - 1 - inbound.len(),
+            });
+        }
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        // The accepted socket may inherit the listener's non-blocking
+        // mode; the reader threads want plain blocking-with-timeout.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(opts.handshake_timeout));
+        let Ok((kind, body)) = read_handshake_frame(&mut stream) else {
+            continue; // not a worker; drop silently
+        };
+        if kind != FRAME_HELLO {
+            continue;
+        }
+        match validate_hello(&body, me, hosts, run_nonce, &taken) {
+            Ok(peer) => {
+                if write_frame(&mut stream, FRAME_ACCEPT, &[]).is_err() {
+                    continue;
+                }
+                taken[peer] = true;
+                inbound.push((peer, stream));
+            }
+            Err(reason) => {
+                let _ = write_frame(&mut stream, FRAME_REJECT, &[reason as u8]);
+                // Dropped: the dialer sees the REJECT and errors out.
+            }
+        }
+    }
+    Ok(inbound)
+}
+
+// ---------------------------------------------------------------------------
+// Runtime threads
+// ---------------------------------------------------------------------------
+
+/// Drains one peer's outbound queue onto its socket, heartbeating when
+/// idle. Exits on FIN (clean), Abort (unclean, no FIN), queue closure, or
+/// write error (the peer is gone; its reader/monitor handles diagnosis).
+fn writer_loop(stream: TcpStream, rx: Receiver<Out>, heartbeat: Duration) {
+    let mut w = BufWriter::with_capacity(64 << 10, stream);
+    loop {
+        match rx.recv_timeout(heartbeat) {
+            Ok(Out::Env(frame)) => {
+                if write_frame(&mut w, FRAME_ENVELOPE, &frame).is_err() {
+                    return;
+                }
+                if rx.is_empty() && w.flush().is_err() {
+                    return;
+                }
+            }
+            Ok(Out::Barrier(n)) => {
+                if write_frame(&mut w, FRAME_BARRIER, &n.to_le_bytes()).is_err()
+                    || w.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Out::Fin) => {
+                let _ = write_frame(&mut w, FRAME_FIN, &[]);
+                let _ = w.flush();
+                let _ = w.get_ref().shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(Out::Abort) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                if write_frame(&mut w, FRAME_HEARTBEAT, &[]).is_err() || w.flush().is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Decodes frames from one peer and feeds them to the fabric: envelopes
+/// go through the regular dispatch (fault layer included), barrier
+/// announcements into the shared arrival table. Any protocol violation —
+/// torn frame, corrupt envelope, absurd length, EOF without FIN — tears
+/// the connection down and declares the peer lost.
+fn reader_loop(
+    stream: TcpStream,
+    peer: HostId,
+    me: HostId,
+    fabric: Arc<Fabric>,
+    shared: Arc<TcpShared>,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut r = BufReader::with_capacity(64 << 10, stream);
+    let stop =
+        || shared.shutting_down.load(Ordering::Acquire) || fabric.should_abort();
+    let finned = || shared.fin_received[peer].load(Ordering::Acquire);
+    let mut len_buf = [0u8; 4];
+    loop {
+        match read_full(&mut r, &mut len_buf, &stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Stopped => return,
+            ReadOutcome::Eof | ReadOutcome::Failed => {
+                if !finned() && !stop() {
+                    fabric.mark_remote_lost(peer);
+                }
+                return;
+            }
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len == 0 || len > MAX_FRAME {
+            fabric.mark_remote_lost(peer);
+            return;
+        }
+        let mut frame = vec![0u8; len as usize];
+        match read_full(&mut r, &mut frame, &stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Stopped => return,
+            ReadOutcome::Eof | ReadOutcome::Failed => {
+                // A frame torn mid-body is never clean, FIN or not.
+                if !stop() {
+                    fabric.mark_remote_lost(peer);
+                }
+                return;
+            }
+        }
+        shared.heard(peer);
+        let kind = frame[0];
+        match kind {
+            FRAME_ENVELOPE => {
+                let body = Bytes::from(frame).slice(1..);
+                match decode_envelope(body) {
+                    Ok(we) if (we.tag as usize) < MAX_TAGS && we.src as usize == peer => {
+                        fabric.dispatch(
+                            me,
+                            Tag(we.tag),
+                            Envelope {
+                                src: peer,
+                                seq: we.seq,
+                                phase: we.phase,
+                                payload: we.payload,
+                            },
+                        );
+                    }
+                    _ => {
+                        fabric.mark_remote_lost(peer);
+                        return;
+                    }
+                }
+            }
+            FRAME_BARRIER => {
+                if frame.len() != 9 {
+                    fabric.mark_remote_lost(peer);
+                    return;
+                }
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&frame[1..9]);
+                fabric.barrier.announce(peer, u64::from_le_bytes(arr));
+            }
+            FRAME_HEARTBEAT => {}
+            FRAME_FIN => {
+                shared.fin_received[peer].store(true, Ordering::Release);
+            }
+            _ => {
+                fabric.mark_remote_lost(peer);
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a peer lost when it goes silent past the timeout without
+/// having FINed. Socket-level failures are caught faster by the readers;
+/// this net catches peers that hang without dying.
+fn monitor_loop(
+    fabric: Arc<Fabric>,
+    shared: Arc<TcpShared>,
+    me: HostId,
+    hosts: usize,
+    timeout: Duration,
+) {
+    let timeout_ms = timeout.as_millis() as u64;
+    loop {
+        std::thread::sleep(MONITOR_POLL);
+        if shared.shutting_down.load(Ordering::Acquire) || fabric.should_abort() {
+            return;
+        }
+        let now = shared.now_ms();
+        let mut all_fin = true;
+        for peer in (0..hosts).filter(|&p| p != me) {
+            if shared.fin_received[peer].load(Ordering::Acquire) {
+                continue;
+            }
+            all_fin = false;
+            if now.saturating_sub(shared.last_heard[peer].load(Ordering::Acquire)) > timeout_ms {
+                fabric.mark_remote_lost(peer);
+                return;
+            }
+        }
+        if all_fin {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterOptions};
+    use crate::recovery::ClusterError;
+
+    /// Options tuned so a failed establish errors out in test time rather
+    /// than wall-clock seconds.
+    fn fast_opts() -> TcpOptions {
+        TcpOptions {
+            dial_timeout: Duration::from_secs(2),
+            accept_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            ..TcpOptions::default()
+        }
+    }
+
+    fn bind() -> (TcpListener, String) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("local addr").to_string();
+        (l, addr)
+    }
+
+    /// Starts `TcpTransport::establish` for host 0 of a 2-host cluster in
+    /// a background thread and returns its listen address plus the join
+    /// handle, so a raw scripted "host 1" can talk to it.
+    fn establish_host0(
+        nonce: u64,
+    ) -> (String, std::thread::JoinHandle<Result<TcpTransport, TransportError>>, String) {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        drop(l1); // host 1 is played by the raw script, not a transport
+        let peers = vec![a0.clone(), a1.clone()];
+        let h = std::thread::spawn(move || {
+            TcpTransport::establish(0, l0, &peers, nonce, fast_opts())
+        });
+        (a0, h, a1)
+    }
+
+    /// Raw host-1 side of the handshake: dial host 0 with a HELLO built by
+    /// `mutate` and return the reply frame kind + body.
+    fn dial_raw(addr: &str, mutate: impl FnOnce(&mut Vec<u8>)) -> (u8, Vec<u8>) {
+        let mut s = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut hello = hello_body(1, 2, 77).to_vec();
+        mutate(&mut hello);
+        write_frame(&mut s, FRAME_HELLO, &hello).unwrap();
+        let (kind, body) = read_handshake_frame(&mut s).expect("handshake reply");
+        (kind, body)
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_version_then_accepts_a_valid_peer() {
+        let (a0, h, _a1) = establish_host0(77);
+        // Bad protocol version → REJECT(BadVersion), and the slot is not
+        // consumed: a follow-up valid HELLO still completes the mesh.
+        let (kind, body) = dial_raw(&a0, |hello| hello[4] = TCP_PROTOCOL_VERSION + 1);
+        assert_eq!(kind, FRAME_REJECT);
+        assert_eq!(RejectReason::from_u8(body[0]), Some(RejectReason::BadVersion));
+        let (kind, _) = dial_raw(&a0, |_| {});
+        assert_eq!(kind, FRAME_ACCEPT);
+        // Host 0 still needs its own outbound dial to succeed; play the
+        // accepting side for it.
+        let t = h.join().unwrap();
+        match t {
+            Err(TransportError::DialTimeout { peer: 1, .. }) => {}
+            Err(e) => panic!("unexpected establish error: {e}"),
+            Ok(_) => panic!("establish cannot succeed: nobody listened for host 0's dial"),
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_nonce_and_magic() {
+        let (a0, h, _a1) = establish_host0(77);
+        let (kind, body) = dial_raw(&a0, |hello| hello[13] ^= 0xFF); // nonce byte
+        assert_eq!(kind, FRAME_REJECT);
+        assert_eq!(RejectReason::from_u8(body[0]), Some(RejectReason::BadNonce));
+        let (kind, body) = dial_raw(&a0, |hello| hello[0] ^= 0xFF); // magic byte
+        assert_eq!(kind, FRAME_REJECT);
+        assert_eq!(RejectReason::from_u8(body[0]), Some(RejectReason::BadMagic));
+        let (kind, body) = dial_raw(&a0, |hello| hello[9] = 3); // hosts = 3, not 2
+        assert_eq!(kind, FRAME_REJECT);
+        assert_eq!(RejectReason::from_u8(body[0]), Some(RejectReason::BadHosts));
+        let (kind, body) = dial_raw(&a0, |hello| hello[5] = 0); // host id = ours
+        assert_eq!(kind, FRAME_REJECT);
+        assert_eq!(RejectReason::from_u8(body[0]), Some(RejectReason::BadHostId));
+        drop(h.join().unwrap()); // DialTimeout; nothing listened for host 0
+    }
+
+    #[test]
+    fn dialer_surfaces_nonce_rejection_as_typed_error() {
+        // A real host 0 dialing a "cluster" whose host 1 runs a different
+        // nonce must get TransportError::Rejected, not a hang.
+        let (l1, a1) = bind();
+        let (l0, a0) = bind();
+        let peers = vec![a0, a1];
+        let acceptor = std::thread::spawn(move || {
+            accept_peers(l1, 1, 2, 9999, &fast_opts()) // nonce 9999 ≠ 77
+        });
+        let got = TcpTransport::establish(0, l0, &peers, 77, fast_opts());
+        match got {
+            Err(TransportError::Rejected { peer: 1, reason: RejectReason::BadNonce }) => {}
+            Err(e) => panic!("wanted Rejected(BadNonce), got: {e}"),
+            Ok(_) => panic!("establish must fail across a nonce mismatch"),
+        }
+        // The scripted acceptor times out (host 0 gave up after the
+        // rejection and never retried with the right nonce).
+        assert!(matches!(acceptor.join().unwrap(), Err(TransportError::AcceptTimeout { .. })));
+    }
+
+    /// Full raw "host 1": completes both handshake directions against a
+    /// real host 0, then runs `script` on the connection host 0 reads
+    /// from. Returns the socket host 0 writes to (kept open so host 0's
+    /// writer does not error early).
+    fn raw_peer(
+        l1: TcpListener,
+        a0: String,
+        script: impl FnOnce(&mut TcpStream) + Send + 'static,
+    ) -> std::thread::JoinHandle<TcpStream> {
+        std::thread::spawn(move || {
+            // Accept host 0's outbound dial and ACCEPT its HELLO.
+            let (mut from0, _) = l1.accept().expect("host 0 dials us");
+            from0.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let (kind, _) = read_handshake_frame(&mut from0).unwrap();
+            assert_eq!(kind, FRAME_HELLO);
+            write_frame(&mut from0, FRAME_ACCEPT, &[]).unwrap();
+            // Dial host 0 with our own valid HELLO.
+            let mut to0 = TcpStream::connect(&a0).expect("dial host 0");
+            to0.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            write_frame(&mut to0, FRAME_HELLO, &hello_body(1, 2, 77)).unwrap();
+            let (kind, _) = read_handshake_frame(&mut to0).unwrap();
+            assert_eq!(kind, FRAME_ACCEPT);
+            script(&mut to0);
+            from0
+        })
+    }
+
+    #[test]
+    fn torn_frame_tears_the_connection_down_with_floor_intact() {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        let peers = vec![a0.clone(), a1];
+        let peer = raw_peer(l1, a0, |s| {
+            // One valid envelope (seq 0), then a frame whose length prefix
+            // claims 100 bytes but whose body is cut off mid-way.
+            let env = encode_envelope(0, 1, 0, 0, b"before the tear");
+            write_frame(s, FRAME_ENVELOPE, &env).unwrap();
+            s.write_all(&100u32.to_le_bytes()).unwrap();
+            s.write_all(&[FRAME_ENVELOPE, 0, 0, 0]).unwrap();
+            s.flush().unwrap();
+            let _ = s.shutdown(Shutdown::Write);
+        });
+        let transport =
+            TcpTransport::establish(0, l0, &peers, 77, fast_opts()).expect("mesh up");
+        let got = Cluster::try_run_tcp(transport, ClusterOptions::default(), |comm| {
+            // The message in front of the tear is delivered in sequence...
+            let (src, payload) = comm.recv_any(Tag(0));
+            assert_eq!((src, &payload[..]), (1, &b"before the tear"[..]));
+            // ...and the next receive unwinds with a typed loss instead of
+            // hanging on the dead connection.
+            comm.recv_any(Tag(0))
+        });
+        match got {
+            Err(ClusterError::HostLost { host: 1, restarts: 0 }) => {}
+            Err(e) => panic!("wanted HostLost for host 1, got: {e}"),
+            Ok(_) => panic!("run must not complete past a torn frame"),
+        }
+        let _ = peer.join();
+    }
+
+    #[test]
+    fn peer_death_without_fin_is_host_lost_not_a_hang() {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        let peers = vec![a0.clone(), a1];
+        let peer = raw_peer(l1, a0, |s| {
+            // Die abruptly: close with no FIN frame, mid-phase.
+            let _ = s.shutdown(Shutdown::Both);
+        });
+        let transport =
+            TcpTransport::establish(0, l0, &peers, 77, fast_opts()).expect("mesh up");
+        let got = Cluster::try_run_tcp(transport, ClusterOptions::default(), |comm| {
+            comm.recv_any(Tag(0)) // would block forever on a hanging transport
+        });
+        assert!(matches!(got, Err(ClusterError::HostLost { host: 1, restarts: 0 })), "typed loss");
+        let _ = peer.join();
+    }
+
+    #[test]
+    fn corrupt_envelope_version_is_a_protocol_error() {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        let peers = vec![a0.clone(), a1];
+        let peer = raw_peer(l1, a0, |s| {
+            let mut env = encode_envelope(0, 1, 0, 0, b"x").to_vec();
+            env[0] = 42; // not ENVELOPE_VERSION
+            write_frame(s, FRAME_ENVELOPE, &env).unwrap();
+            s.flush().unwrap();
+        });
+        let transport =
+            TcpTransport::establish(0, l0, &peers, 77, fast_opts()).expect("mesh up");
+        let got = Cluster::try_run_tcp(transport, ClusterOptions::default(), |comm| {
+            comm.recv_any(Tag(0))
+        });
+        assert!(matches!(got, Err(ClusterError::HostLost { host: 1, restarts: 0 })));
+        let _ = peer.join();
+    }
+}

@@ -9,6 +9,10 @@
 //!                     --hosts K [--out-dir DIR] [--sync-rounds N] [--buffer BYTES]
 //!                     [--threads T] [--csc] [--chunk-edges E] [--trace OUT.json]
 //!                     [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]
+//! cusp-part launch    --hosts K --graph G.bgr --policy NAME [--out-dir DIR]
+//!                     [--sync-rounds N] [--buffer BYTES] [--chunk-edges E] [--csc]
+//! cusp-part worker    --host-id H --hosts K --graph G.bgr --policy NAME
+//!                     --nonce N --out-dir DIR [--det] [tuning flags as above]
 //! cusp-part inspect   PART.part [PART.part ...]
 //! cusp-part validate  --graph G.bgr --parts DIR
 //! cusp-part trace-check OUT.json
@@ -48,6 +52,24 @@
 //! partition after each batch and checks it fingerprint-matches a full
 //! from-scratch run (the incremental-equivalence oracle).
 //!
+//! `launch` runs the same five-phase pipeline across **real OS
+//! processes**: it forks `--hosts` copies of this binary as `worker`
+//! subprocesses, hands each the full list of peer listen addresses, and
+//! the workers mesh up over loopback TCP (`cusp_net::TcpTransport`) and
+//! partition cooperatively, each writing its own `part-XXXX.part`. The
+//! launcher then (i) joins every worker's send rows against the
+//! receivers' recv rows — a cross-process conservation check no single
+//! process could fake — and (ii) re-runs the identical configuration on
+//! the in-process simulator and asserts the merged
+//! [`cusp::partition_fingerprint`]s are bit-identical (workers are forced
+//! onto the determinism contract via `--det`). Exit status is non-zero on
+//! any worker failure, conservation violation, or fingerprint mismatch;
+//! the final line `fingerprint tcp=... sim=... MATCH` is the CI grep
+//! target. `worker` is the per-host half of that protocol and is also
+//! usable standalone for multi-machine experiments: it prints
+//! `CUSP-WORKER-LISTEN <addr>`, waits for `PEERS a,b,...` on stdin, and
+//! reports `CUSP-WORKER-SENT/RECV/DONE` lines when finished.
+//!
 //! `client` speaks the framed `cusp-serve` protocol (default server
 //! `127.0.0.1:7421`): upload a `.bgr` graph into a tenant namespace,
 //! request partitions/quality (the server caches and coalesces them),
@@ -70,7 +92,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part apply --graph G.bgr (--batch B.txt | --events N [--seed S]) [--out G2.bgr] [--wal W.wal]\n  cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr] [--policy NAME --hosts K]\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client apply --tenant T --name N --batch B.txt [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part launch --hosts K --graph G.bgr --policy NAME [--out-dir DIR]\n                   [--sync-rounds N] [--buffer BYTES] [--chunk-edges E] [--csc]\n  cusp-part worker --host-id H --hosts K --graph G.bgr --policy NAME --nonce N --out-dir DIR [--det]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part apply --graph G.bgr (--batch B.txt | --events N [--seed S]) [--out G2.bgr] [--wal W.wal]\n  cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr] [--policy NAME --hosts K]\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client apply --tenant T --name N --batch B.txt [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
     );
     exit(2)
 }
@@ -82,7 +104,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "csc" {
+            if name == "csc" || name == "det" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -123,6 +145,8 @@ fn main() {
         "convert" => cmd_convert(&flags),
         "props" => cmd_props(&positional),
         "partition" => cmd_partition(&flags),
+        "worker" => cmd_worker(&flags),
+        "launch" => cmd_launch(&flags),
         "inspect" => cmd_inspect(&positional),
         "validate" => cmd_validate(&flags),
         "trace-check" => cmd_trace_check(&positional),
@@ -309,11 +333,10 @@ where
     }
 }
 
-fn cmd_partition(flags: &HashMap<String, String>) {
-    let graph_path = PathBuf::from(required(flags, "graph"));
-    let policy_name = required(flags, "policy").to_ascii_uppercase();
-    let hosts: usize = parse_num(required(flags, "hosts"), "host count");
-    let crash_seed: Option<u64> = flags.get("crash-seed").map(|s| parse_num(s, "crash seed"));
+/// Builds the pipeline configuration from the shared tuning flags
+/// (`partition`, `worker`, and `launch` all accept the same set, so a
+/// launched worker and the comparison simulator run identical configs).
+fn cusp_cfg_from_flags(flags: &HashMap<String, String>) -> CuspConfig {
     let mut cfg = CuspConfig {
         sync_rounds: flags
             .get("sync-rounds")
@@ -338,6 +361,18 @@ fn cmd_partition(flags: &HashMap<String, String>) {
         checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
         ..CuspConfig::default()
     };
+    if flags.contains_key("det") {
+        cfg = cusp::deterministic_for_comparison(cfg);
+    }
+    cfg
+}
+
+fn cmd_partition(flags: &HashMap<String, String>) {
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let policy_name = required(flags, "policy").to_ascii_uppercase();
+    let hosts: usize = parse_num(required(flags, "hosts"), "host count");
+    let crash_seed: Option<u64> = flags.get("crash-seed").map(|s| parse_num(s, "crash seed"));
+    let mut cfg = cusp_cfg_from_flags(flags);
     if crash_seed.is_some() {
         // Recovery replays re-executed sends and dedupes them by sequence
         // number, which requires bit-reproducible re-execution.
@@ -467,6 +502,276 @@ fn cmd_partition(flags: &HashMap<String, String>) {
             write_partition(&path, p).expect("failed to write partition");
         }
         println!("wrote {} partition files to {}", parts.len(), dir.display());
+    }
+}
+
+/// One host of a multi-process TCP partition run, spawned by
+/// `cusp-part launch` (or any orchestrator speaking the same two-line
+/// protocol: the worker prints `CUSP-WORKER-LISTEN <addr>` on stdout,
+/// then reads `PEERS <addr0>,<addr1>,...` from stdin before building the
+/// mesh). Writes `part-XXXX.part` into `--out-dir` and reports its
+/// per-peer send/recv totals so the launcher can check conservation
+/// across processes.
+fn cmd_worker(flags: &HashMap<String, String>) {
+    use std::io::{BufRead, Write};
+    let host: usize = parse_num(required(flags, "host-id"), "host id");
+    let hosts: usize = parse_num(required(flags, "hosts"), "host count");
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let policy_name = required(flags, "policy").to_ascii_uppercase();
+    let Some(kind) = PolicyKind::parse(&policy_name) else {
+        eprintln!("unknown policy '{policy_name}'");
+        usage()
+    };
+    let nonce: u64 = parse_num(required(flags, "nonce"), "run nonce");
+    let out_dir = PathBuf::from(required(flags, "out-dir"));
+    let cfg = cusp_cfg_from_flags(flags);
+
+    // Bind an ephemeral port first and announce it: the orchestrator
+    // gathers every worker's address before any dial happens, so there is
+    // no port race and no config file.
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").expect("cannot bind worker listener");
+    let addr = listener.local_addr().expect("listener has no local addr");
+    println!("CUSP-WORKER-LISTEN {addr}");
+    std::io::stdout().flush().expect("cannot flush stdout");
+
+    let mut line = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut line)
+        .expect("cannot read PEERS line from stdin");
+    let Some(list) = line.trim().strip_prefix("PEERS ") else {
+        eprintln!("worker {host}: expected 'PEERS a,b,...' on stdin, got '{}'", line.trim());
+        exit(2);
+    };
+    let peers: Vec<String> = list.split(',').map(str::to_string).collect();
+    if peers.len() != hosts || host >= hosts {
+        eprintln!(
+            "worker {host}: got {} peer address(es) for a {hosts}-host cluster",
+            peers.len()
+        );
+        exit(2);
+    }
+
+    let transport = match cusp_net::TcpTransport::establish(
+        host,
+        listener,
+        &peers,
+        nonce,
+        cusp_net::TcpOptions::default(),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("worker {host}: transport establish failed: {e}");
+            exit(1);
+        }
+    };
+
+    let source = GraphSource::File(graph_path);
+    let out = match cusp::partition_with_policy_tcp(transport, source, kind, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("worker {host}: {e}");
+            exit(1);
+        }
+    };
+
+    std::fs::create_dir_all(&out_dir).expect("cannot create out dir");
+    let dg = out.result.dist_graph;
+    let path = out_dir.join(format!("part-{:04}.part", dg.part_id));
+    write_partition(&path, &dg).expect("failed to write partition");
+
+    // Per-pair totals summed over phases. The launcher joins this host's
+    // SENT row with each receiver's RECV row: over TCP the two sides are
+    // counted by different processes, so equality is a real end-to-end
+    // conservation check, not bookkeeping tautology.
+    for peer in (0..hosts).filter(|&p| p != host) {
+        let (mut sb, mut sm, mut rb, mut rm) = (0u64, 0u64, 0u64, 0u64);
+        for (_name, ph) in out.stats.iter() {
+            sb += ph.bytes_between(host, peer);
+            sm += ph.messages_between(host, peer);
+            rb += ph.recv_bytes_between(peer, host);
+            rm += ph.recv_messages_between(peer, host);
+        }
+        println!("CUSP-WORKER-SENT {peer} {sb} {sm}");
+        println!("CUSP-WORKER-RECV {peer} {rb} {rm}");
+    }
+    println!("CUSP-WORKER-DONE {host}");
+}
+
+/// Orchestrates a real multi-process partition run: forks `--hosts`
+/// worker processes of this same binary, wires their TCP mesh, merges
+/// the partitions they write, checks cross-process conservation, and
+/// compares the merged `partition_fingerprint` against an in-process
+/// simulated run of the identical configuration. The comparison pins the
+/// determinism contract (`deterministic_sync`, one worker thread), under
+/// which the two transports must be bit-identical.
+fn cmd_launch(flags: &HashMap<String, String>) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+    let hosts: usize = parse_num(required(flags, "hosts"), "host count");
+    let graph_path = PathBuf::from(required(flags, "graph"));
+    let policy_name = required(flags, "policy").to_ascii_uppercase();
+    let Some(kind) = PolicyKind::parse(&policy_name) else {
+        eprintln!("unknown policy '{policy_name}'");
+        usage()
+    };
+    if hosts == 0 {
+        eprintln!("launch needs at least one host");
+        exit(2);
+    }
+    let out_dir = flags
+        .get("out-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("cusp-launch-{}", std::process::id())));
+    std::fs::create_dir_all(&out_dir).expect("cannot create out dir");
+
+    // A fresh nonce per launch: stale workers from a previous run (or a
+    // concurrent launch on the same machine) fail the handshake instead
+    // of corrupting the mesh.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before epoch")
+        .as_nanos() as u64
+        ^ ((std::process::id() as u64) << 32);
+
+    let exe = std::env::current_exe().expect("cannot locate own executable");
+    let mut children = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--host-id")
+            .arg(h.to_string())
+            .arg("--hosts")
+            .arg(hosts.to_string())
+            .arg("--graph")
+            .arg(&graph_path)
+            .arg("--policy")
+            .arg(&policy_name)
+            .arg("--nonce")
+            .arg(nonce.to_string())
+            .arg("--out-dir")
+            .arg(&out_dir)
+            .arg("--det");
+        for key in ["sync-rounds", "buffer", "chunk-edges"] {
+            if let Some(v) = flags.get(key) {
+                cmd.arg(format!("--{key}")).arg(v);
+            }
+        }
+        if flags.contains_key("csc") {
+            cmd.arg("--csc");
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        children.push(cmd.spawn().expect("cannot spawn worker process"));
+    }
+
+    // Gather every worker's listen address, then broadcast the full list.
+    let mut addrs = Vec::with_capacity(hosts);
+    let mut stdouts = Vec::with_capacity(hosts);
+    for (h, child) in children.iter_mut().enumerate() {
+        let mut rdr = BufReader::new(child.stdout.take().expect("worker stdout piped"));
+        let mut line = String::new();
+        rdr.read_line(&mut line).expect("cannot read worker listen line");
+        let Some(addr) = line.trim().strip_prefix("CUSP-WORKER-LISTEN ") else {
+            eprintln!("worker {h}: bad listen line '{}'", line.trim());
+            exit(1);
+        };
+        addrs.push(addr.to_string());
+        stdouts.push(rdr);
+    }
+    let peers_line = format!("PEERS {}\n", addrs.join(","));
+    for child in children.iter_mut() {
+        child
+            .stdin
+            .take()
+            .expect("worker stdin piped")
+            .write_all(peers_line.as_bytes())
+            .expect("cannot send peer list to worker");
+        // Dropping the handle closes the pipe; the worker needs nothing
+        // further from us.
+    }
+
+    // Collect reports and exits. sent[h][peer] / recv[h][peer] in bytes
+    // and messages; conservation joins them across processes below.
+    let mut sent = vec![vec![(0u64, 0u64); hosts]; hosts];
+    let mut recv = vec![vec![(0u64, 0u64); hosts]; hosts];
+    let mut failed = false;
+    for (h, (child, rdr)) in children.into_iter().zip(stdouts).enumerate() {
+        let mut done = false;
+        for line in rdr.lines() {
+            let line = line.expect("worker stdout");
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.as_slice() {
+                ["CUSP-WORKER-SENT", peer, bytes, msgs] => {
+                    sent[h][parse_num::<usize>(peer, "peer")] =
+                        (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
+                }
+                ["CUSP-WORKER-RECV", peer, bytes, msgs] => {
+                    recv[h][parse_num::<usize>(peer, "peer")] =
+                        (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
+                }
+                ["CUSP-WORKER-DONE", _] => done = true,
+                _ => {}
+            }
+        }
+        let status = { child }.wait().expect("cannot wait for worker");
+        if !status.success() || !done {
+            eprintln!("worker {h} failed (exit {status:?}, done={done})");
+            failed = true;
+        }
+    }
+    if failed {
+        exit(1);
+    }
+    let mut conserved = true;
+    for s in 0..hosts {
+        for d in (0..hosts).filter(|&d| d != s) {
+            if sent[s][d] != recv[d][s] {
+                eprintln!(
+                    "conservation violated {s}->{d}: sent {:?} != received {:?}",
+                    sent[s][d], recv[d][s]
+                );
+                conserved = false;
+            }
+        }
+    }
+    let wire_bytes: u64 = sent.iter().flatten().map(|&(b, _)| b).sum();
+    let wire_msgs: u64 = sent.iter().flatten().map(|&(_, m)| m).sum();
+    println!(
+        "cross-process conservation: {} ({:.2} MB in {} messages over TCP)",
+        if conserved { "ok" } else { "VIOLATED" },
+        wire_bytes as f64 / 1e6,
+        wire_msgs
+    );
+
+    // Merge the partitions the workers wrote and fingerprint them.
+    let mut parts = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let path = out_dir.join(format!("part-{h:04}.part"));
+        parts.push(cusp::read_partition(&path).expect("cannot read worker partition"));
+    }
+    let tcp_fp = cusp::partition_fingerprint(&parts);
+
+    // The oracle: the in-process simulator over the identical config.
+    let cfg = cusp::deterministic_for_comparison(cusp_cfg_from_flags(flags));
+    let source = GraphSource::File(graph_path.clone());
+    let cfg2 = cfg.clone();
+    let sim = run_cluster_or_exit(hosts, cusp_net::ClusterOptions::default(), move |comm| {
+        partition_with_policy(comm, source.clone(), kind, &cfg2).dist_graph
+    });
+    let sim_fp = cusp::partition_fingerprint(&sim.results);
+
+    if cfg.output == OutputFormat::Csr {
+        let original = read_bgr(&graph_path).expect("cannot re-read graph");
+        metrics::validate_partitioning(&original, &parts).expect("partitioning INVALID");
+        println!("validation: ok");
+    }
+    println!(
+        "fingerprint tcp=0x{tcp_fp:016x} sim=0x{sim_fp:016x} {}",
+        if tcp_fp == sim_fp { "MATCH" } else { "MISMATCH" }
+    );
+    if tcp_fp != sim_fp || !conserved {
+        exit(1);
     }
 }
 

@@ -1,0 +1,141 @@
+//! Cross-process oracle battery: `cusp-part launch` forks real worker
+//! processes, meshes them over loopback TCP, and compares the merged
+//! partition against the in-process simulator. Each case asserts the
+//! launcher's own end-to-end checks pass — per-pair byte/message
+//! conservation joined *across* processes, and bit-identical
+//! `partition_fingerprint` between the TCP run and the simulated run
+//! under the determinism contract.
+//!
+//! These tests exercise the entire stack at once: CLI arg plumbing →
+//! worker handshake protocol (listen line / PEERS line) → TcpTransport
+//! mesh establishment → five-phase pipeline over real sockets → FIN
+//! teardown → `.part` serialization → merge + fingerprint.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::OnceLock;
+
+use cusp_graph::gen::uniform::erdos_renyi;
+use cusp_graph::write_bgr;
+
+/// The shared input graph, generated once per test binary run. Big enough
+/// that every phase moves real traffic (multiple buffer flushes per
+/// peer), small enough that a 4-process run plus its simulator oracle
+/// finishes in seconds.
+fn graph_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("cusp-xproc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create graph dir");
+        let path = dir.join("input.bgr");
+        let graph = erdos_renyi(1500, 12_000, 20260808);
+        write_bgr(&path, &graph).expect("write input graph");
+        path
+    })
+}
+
+/// Runs `cusp-part launch` for one (policy, hosts) cell and asserts the
+/// MATCH line and a zero exit. stdout/stderr are attached to the panic
+/// message so a failing cell is diagnosable from the test log alone.
+fn launch(policy: &str, hosts: usize) {
+    let out_dir = std::env::temp_dir().join(format!(
+        "cusp-xproc-{}-{}-{}",
+        std::process::id(),
+        policy,
+        hosts
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_cusp-part"))
+        .arg("launch")
+        .arg("--hosts")
+        .arg(hosts.to_string())
+        .arg("--graph")
+        .arg(graph_path())
+        .arg("--policy")
+        .arg(policy)
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .output()
+        .expect("spawn cusp-part launch");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "launch {policy} x{hosts} failed ({:?})\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        output.status
+    );
+    assert!(
+        stdout.contains("cross-process conservation: ok"),
+        "launch {policy} x{hosts}: conservation line missing\n{stdout}"
+    );
+    let fp_line = stdout
+        .lines()
+        .find(|l| l.starts_with("fingerprint "))
+        .unwrap_or_else(|| panic!("launch {policy} x{hosts}: no fingerprint line\n{stdout}"));
+    assert!(
+        fp_line.ends_with("MATCH"),
+        "launch {policy} x{hosts}: TCP and simulator partitions diverge: {fp_line}"
+    );
+    // The workers really did write one partition per host.
+    for h in 0..hosts {
+        let part = out_dir.join(format!("part-{h:04}.part"));
+        assert!(part.is_file(), "worker {h} left no partition at {}", part.display());
+    }
+}
+
+// The policy x hosts matrix. One #[test] per cell so the harness runs
+// them concurrently and reports failures per cell. CVC/HVC/EEC cover the
+// three structurally distinct policy classes (2D cartesian blocks,
+// source-hashed edges, contiguous edge ranges), each with genuinely
+// different communication patterns over the wire.
+
+#[test]
+fn cvc_2_hosts_matches_simulator() {
+    launch("CVC", 2);
+}
+
+#[test]
+fn cvc_4_hosts_matches_simulator() {
+    launch("CVC", 4);
+}
+
+#[test]
+fn hvc_2_hosts_matches_simulator() {
+    launch("HVC", 2);
+}
+
+#[test]
+fn hvc_4_hosts_matches_simulator() {
+    launch("HVC", 4);
+}
+
+#[test]
+fn eec_2_hosts_matches_simulator() {
+    launch("EEC", 2);
+}
+
+#[test]
+fn eec_4_hosts_matches_simulator() {
+    launch("EEC", 4);
+}
+
+#[test]
+fn launch_surfaces_worker_failure_as_nonzero_exit() {
+    // Workers that cannot even read the input die before meshing; the
+    // launcher must report the failure and exit non-zero rather than
+    // printing a bogus MATCH or hanging on half a mesh.
+    let output = Command::new(env!("CARGO_BIN_EXE_cusp-part"))
+        .arg("launch")
+        .arg("--hosts")
+        .arg("2")
+        .arg("--graph")
+        .arg("/nonexistent/definitely-missing.bgr")
+        .arg("--policy")
+        .arg("CVC")
+        .arg("--out-dir")
+        .arg(std::env::temp_dir().join(format!("cusp-xproc-{}-fail", std::process::id())))
+        .output()
+        .expect("spawn cusp-part launch");
+    assert!(!output.status.success(), "launch must fail when workers cannot start");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.contains("MATCH"), "no MATCH line on a failed run\n{stdout}");
+}
