@@ -47,8 +47,11 @@ use crate::PartId;
 
 /// File magic: `CUSPCK\0\0`, little-endian.
 const MAGIC: u64 = 0x0000_4B43_5053_5543;
-/// Format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// Format version; bump on any layout change. v2 added the per-phase
+/// traffic rows to the embedded `NetCheckpoint` (process-level recovery
+/// restores Table V accounting from them); v1 files decode as absent and
+/// force a safe full re-run.
+const VERSION: u32 = 2;
 
 /// Which phase boundary a checkpoint captures. The discriminants match the
 /// pipeline's barrier numbers (read = 1, master = 2, edge assignment = 3),
@@ -386,6 +389,13 @@ mod tests {
             send_seqs: vec![0; hosts * MAX_TAGS],
             recv_floors: vec![0; hosts * MAX_TAGS],
             barrier_calls: stage.code() as u64,
+            stats: vec![cusp_net::PhaseTraffic {
+                name: "read".to_string(),
+                sent_bytes: vec![0; hosts],
+                sent_msgs: vec![0; hosts],
+                recv_bytes: vec![7; hosts],
+                recv_msgs: vec![1; hosts],
+            }],
         };
         net.send_seqs[5] = 17;
         net.recv_floors[2 * MAX_TAGS + 1] = 4;

@@ -114,6 +114,11 @@ pub struct CuspConfig {
     /// lockstep sacrifices the asynchrony the paper's streaming design is
     /// built around.
     pub deterministic_sync: bool,
+    /// Print `CUSP-WORKER-PHASE <name>` on stdout as each pipeline phase
+    /// begins. Used by the `cusp-part launch` supervisor to drive seeded
+    /// process-kill injection at deterministic phase points (`--kill-seed`).
+    /// Off by default — a library embedding should not chat on stdout.
+    pub announce_phases: bool,
 }
 
 impl Default for CuspConfig {
@@ -133,6 +138,7 @@ impl Default for CuspConfig {
             arena_reuse: true,
             auto_buffer: false,
             deterministic_sync: false,
+            announce_phases: false,
         }
     }
 }

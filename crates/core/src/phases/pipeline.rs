@@ -194,6 +194,12 @@ impl<'a> PhaseCtx<'a> {
     /// the clock so the per-phase times attribute cleanly across hosts.
     pub fn run_phase<P: Phase>(&mut self, phase: P, input: P::Input) -> P::Output {
         self.comm.set_phase(P::NAME);
+        if self.cfg.announce_phases {
+            // Line-buffered stdout flushes on the newline, so the launch
+            // supervisor sees the marker before any phase work begins —
+            // the anchor `--kill-seed` injection is timed against.
+            println!("CUSP-WORKER-PHASE {}", P::NAME);
+        }
         cusp_obs::span_begin(P::NAME);
         let t = Instant::now();
         let out = phase.run(self, input);

@@ -152,6 +152,14 @@ impl FabricBarrier {
         true
     }
 
+    /// The highest arrival number announced by `host` so far. A rejoin
+    /// handshake re-announces this single value to a reconnected peer:
+    /// arrivals are monotone, so the latest count subsumes every barrier
+    /// frame that died with the old connection.
+    pub(crate) fn arrived(&self, host: usize) -> u64 {
+        self.state.lock().arrived[host]
+    }
+
     /// Wakes all current waiters (used when poisoning or declaring a host
     /// lost, so they observe the abort condition).
     pub(crate) fn wake_all(&self) {
@@ -925,6 +933,7 @@ impl Comm {
             send_seqs,
             recv_floors,
             barrier_calls: self.barrier_calls.load(Ordering::Relaxed),
+            stats: self.fabric.stats.host_traffic(self.host),
         }
     }
 
@@ -967,6 +976,11 @@ impl Comm {
             }
         }
         self.barrier_calls.fetch_max(ck.barrier_calls, Ordering::Relaxed);
+        drop(st);
+        // In-process restarts share the collector, so this max-restore is a
+        // no-op there; a respawned *process* starts with empty counters and
+        // gets its pre-crash accounting rows back here.
+        self.fabric.stats.restore_host_traffic(self.host, &ck.stats);
     }
 
     /// Immutable access to the live statistics collector (e.g. to read
@@ -1261,13 +1275,26 @@ impl Cluster {
         );
         let me = transport.host();
         let hosts = transport.num_hosts();
+        let incarnation = transport.incarnation();
         let fabric = Arc::new(Fabric::new(hosts, &opts, Box::new(transport)));
-        fabric.transport.start(&fabric);
         let recorder = opts
             .trace
             .map(|cfg| cusp_obs::Recorder::with_capacity(cfg.ring_capacity));
+        // Attach before starting the transport: `start` snapshots this
+        // thread's attachment so its I/O threads record `peer_down` /
+        // `peer_rejoin` instants into the same trace.
         let guard = recorder.as_ref().map(|r| r.attach(me as u32, "main"));
-        let comm = Comm::new(me, Arc::clone(&fabric), 0);
+        fabric.transport.start(&fabric);
+        // A respawned process (incarnation > 0) runs at that restart
+        // epoch, so checkpoint-aware callers resume instead of starting
+        // over — the cross-process analogue of the supervisor respawning a
+        // host thread at epoch `attempts`. The same `host_restart` instant
+        // the in-process supervisor emits marks the restart in this
+        // process's trace.
+        if incarnation > 0 {
+            cusp_obs::instant("host_restart", incarnation as u64);
+        }
+        let comm = Comm::new(me, Arc::clone(&fabric), incarnation as u64);
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
         let clean = out.is_ok();
         // Tear the transport down before reporting anything: a clean host
@@ -1285,6 +1312,7 @@ impl Cluster {
                     stats: fabric.stats.snapshot(),
                     faults: fabric.fault.as_ref().map(|l| l.stats.report()),
                     trace: recorder.map(|r| r.drain()),
+                    rejoins: fabric.transport.rejoin_count(),
                 })
             }
             Err(p) if p.is::<LostSignal>() => {
@@ -1314,6 +1342,9 @@ pub struct TcpRunOutput<R> {
     /// Drained event trace of this host, when the run had a
     /// [`TraceConfig`].
     pub trace: Option<cusp_obs::Trace>,
+    /// Dead peers this host re-admitted mid-run via the rejoin handshake
+    /// ([`crate::TcpOptions::rejoin`]). Zero on a crash-free run.
+    pub rejoins: u64,
 }
 
 #[cfg(test)]

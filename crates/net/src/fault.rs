@@ -165,6 +165,86 @@ impl CrashPlan {
     }
 }
 
+const SALT_KILL_VICTIM: u64 = 0x2545_f491_4f6c_dd1d;
+const SALT_KILL_PHASE: u64 = 0x9e6c_63d0_876a_8b03;
+const SALT_KILL_MODE: u64 = 0xe703_7ed1_a0b4_28db;
+
+/// The five pipeline phases a [`KillPlan`] can strike at, in execution
+/// order. Mirrors the phase names `cusp-core` announces on worker stdout
+/// (`CUSP-WORKER-PHASE <name>`), which is how the launcher knows the
+/// victim has reached the chosen point.
+pub const KILL_PHASES: [&str; 5] = ["read", "master", "edge_assign", "alloc", "construct"];
+
+/// How a [`KillPlan`] takes its victim down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// SIGKILL — the process vanishes mid-write; peers see EOF without FIN.
+    Kill,
+    /// The worker writes a deliberately torn frame (a length prefix
+    /// promising more bytes than follow) and then aborts — peers must
+    /// treat the partial frame as connection death, not data.
+    Torn,
+    /// SIGSTOP first — the process goes silent but its sockets stay open,
+    /// so detection must come from heartbeat staleness, not EOF. SIGKILL
+    /// follows after the hold.
+    Wedge,
+}
+
+impl KillMode {
+    /// Stable flag name, for the `--kill-mode` diagnostics line.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KillMode::Kill => "kill",
+            KillMode::Torn => "torn",
+            KillMode::Wedge => "wedge",
+        }
+    }
+}
+
+/// One process-kill decision: who dies, when, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillDecision {
+    /// The worker process to take down.
+    pub victim: usize,
+    /// The phase announcement that triggers the kill (one of
+    /// [`KILL_PHASES`]).
+    pub phase: &'static str,
+    /// The method.
+    pub mode: KillMode,
+}
+
+/// Seeded *process*-level kill schedule for `cusp-part launch`.
+///
+/// The cross-process analogue of [`CrashPlan`]: where a `CrashPlan`
+/// unwinds a host *thread* inside the simulator, a `KillPlan` tells the
+/// launch supervisor to take down a whole worker *process* once it
+/// announces the chosen phase. Every choice — victim, phase, mode — is a
+/// pure hash of the seed, so `--kill-seed N` replays the identical kill
+/// schedule in CI and the recovered fingerprint can be compared against
+/// the crash-free oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// Worker count in the launch (bounds the victim choice).
+    pub hosts: usize,
+}
+
+impl KillPlan {
+    /// The kill decision for this seed. Pure in `(seed, hosts)`.
+    pub fn decide(&self) -> KillDecision {
+        let hosts = self.hosts.max(1) as u64;
+        let victim = (mix(self.seed ^ SALT_KILL_VICTIM) % hosts) as usize;
+        let phase = KILL_PHASES[(mix(self.seed ^ SALT_KILL_PHASE) % KILL_PHASES.len() as u64) as usize];
+        let mode = match mix(self.seed ^ SALT_KILL_MODE) % 3 {
+            0 => KillMode::Kill,
+            1 => KillMode::Torn,
+            _ => KillMode::Wedge,
+        };
+        KillDecision { victim, phase, mode }
+    }
+}
+
 /// FNV-1a over a phase name — stable site keying that doesn't depend on
 /// the stats collector's registration order.
 pub(crate) fn fnv1a(s: &str) -> u64 {
@@ -246,6 +326,23 @@ impl FaultReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kill_plan_is_pure_in_the_seed_and_covers_its_ranges() {
+        for seed in 0..64u64 {
+            let plan = KillPlan { seed, hosts: 4 };
+            let a = plan.decide();
+            assert_eq!(a, plan.decide(), "same seed must replay the same kill");
+            assert!(a.victim < 4);
+            assert!(KILL_PHASES.contains(&a.phase));
+        }
+        // Across seeds, all three modes and more than one victim appear.
+        let decisions: Vec<_> = (0..64u64).map(|s| KillPlan { seed: s, hosts: 4 }.decide()).collect();
+        for mode in [KillMode::Kill, KillMode::Torn, KillMode::Wedge] {
+            assert!(decisions.iter().any(|d| d.mode == mode), "{mode:?} never drawn");
+        }
+        assert!(decisions.iter().map(|d| d.victim).collect::<std::collections::HashSet<_>>().len() > 1);
+    }
 
     #[test]
     fn decisions_are_deterministic() {

@@ -48,14 +48,14 @@ pub use buffer::SendBuffers;
 pub use cluster::{
     Cluster, ClusterOptions, ClusterOutput, Comm, HostId, Tag, TcpRunOutput, TraceConfig, MAX_TAGS,
 };
-pub use fault::{CrashPlan, FaultPlan, FaultReport};
+pub use fault::{CrashPlan, FaultPlan, FaultReport, KillDecision, KillMode, KillPlan};
 pub use recovery::{ClusterError, NetCheckpoint, RecoveryOptions, RecoveryReport};
 pub use model::NetworkModel;
 pub use serialize::{
     decode_envelope, encode_envelope, EnvelopeError, WireEnvelope, WireError, WireReader,
     WireWriter, ENVELOPE_VERSION,
 };
-pub use stats::{CommStats, PhaseSnapshot};
+pub use stats::{CommStats, PhaseSnapshot, PhaseTraffic};
 pub use transport::{RejectReason, TcpOptions, TcpTransport, TransportError, TCP_PROTOCOL_VERSION};
 
 pub use collective::{

@@ -22,7 +22,13 @@
 use std::time::Duration;
 
 use crate::serialize::{WireReader, WireWriter};
+use crate::stats::PhaseTraffic;
 use crate::MAX_TAGS;
+
+/// Sanity bounds for the checkpointed stats section: a corrupt length
+/// prefix must not drive a huge allocation.
+const MAX_STATS_PHASES: usize = 4096;
+const MAX_PHASE_NAME: usize = 256;
 
 /// Unwind payload of a planned [`crate::CrashPlan`] crash. Carried via
 /// `resume_unwind` (not `panic!`) so the panic hook stays silent — a
@@ -124,6 +130,29 @@ pub struct NetCheckpoint {
     pub recv_floors: Vec<u64>,
     /// Barriers this host has completed.
     pub barrier_calls: u64,
+    /// This host's per-phase accounting rows (sent to / received from each
+    /// peer). An in-process restart shares the live collector and ignores
+    /// these; a respawned *process* starts with empty counters and restores
+    /// them so Table V accounting survives the crash.
+    pub stats: Vec<PhaseTraffic>,
+}
+
+fn put_str(w: &mut WireWriter, s: &str) {
+    let bytes = s.as_bytes();
+    w.put_u32(bytes.len() as u32);
+    w.put_raw(bytes);
+}
+
+fn get_str(r: &mut WireReader) -> Option<String> {
+    let len = r.get_u32().ok()? as usize;
+    if len > MAX_PHASE_NAME {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.get_u8().ok()?);
+    }
+    String::from_utf8(bytes).ok()
 }
 
 impl NetCheckpoint {
@@ -132,6 +161,14 @@ impl NetCheckpoint {
         w.put_u64_slice(&self.send_seqs);
         w.put_u64_slice(&self.recv_floors);
         w.put_u64(self.barrier_calls);
+        w.put_u32(self.stats.len() as u32);
+        for row in &self.stats {
+            put_str(w, &row.name);
+            w.put_u64_slice(&row.sent_bytes);
+            w.put_u64_slice(&row.sent_msgs);
+            w.put_u64_slice(&row.recv_bytes);
+            w.put_u64_slice(&row.recv_msgs);
+        }
     }
 
     /// Deserializes from `r`; `None` on any truncation or length mismatch
@@ -144,7 +181,29 @@ impl NetCheckpoint {
             return None;
         }
         let barrier_calls = r.get_u64().ok()?;
-        Some(NetCheckpoint { send_seqs, recv_floors, barrier_calls })
+        let phases = r.get_u32().ok()? as usize;
+        if phases > MAX_STATS_PHASES {
+            return None;
+        }
+        let mut stats = Vec::with_capacity(phases);
+        for _ in 0..phases {
+            let name = get_str(r)?;
+            let row = PhaseTraffic {
+                name,
+                sent_bytes: r.get_u64_vec().ok()?,
+                sent_msgs: r.get_u64_vec().ok()?,
+                recv_bytes: r.get_u64_vec().ok()?,
+                recv_msgs: r.get_u64_vec().ok()?,
+            };
+            if [&row.sent_bytes, &row.sent_msgs, &row.recv_bytes, &row.recv_msgs]
+                .iter()
+                .any(|v| v.len() != hosts)
+            {
+                return None;
+            }
+            stats.push(row);
+        }
+        Some(NetCheckpoint { send_seqs, recv_floors, barrier_calls, stats })
     }
 }
 
@@ -159,6 +218,13 @@ mod tests {
             send_seqs: vec![0; hosts * MAX_TAGS],
             recv_floors: vec![0; hosts * MAX_TAGS],
             barrier_calls: 5,
+            stats: vec![PhaseTraffic {
+                name: "edge_assign".into(),
+                sent_bytes: vec![0, 10, 20],
+                sent_msgs: vec![0, 1, 2],
+                recv_bytes: vec![5, 0, 0],
+                recv_msgs: vec![1, 0, 0],
+            }],
         };
         ck.send_seqs[7] = 42;
         ck.recv_floors[2 * MAX_TAGS + 1] = 9;
@@ -176,6 +242,13 @@ mod tests {
             send_seqs: vec![1; hosts * MAX_TAGS],
             recv_floors: vec![2; hosts * MAX_TAGS],
             barrier_calls: 1,
+            stats: vec![PhaseTraffic {
+                name: "read".into(),
+                sent_bytes: vec![0, 3],
+                sent_msgs: vec![0, 1],
+                recv_bytes: vec![0, 0],
+                recv_msgs: vec![0, 0],
+            }],
         };
         let mut w = WireWriter::new();
         ck.encode(&mut w);

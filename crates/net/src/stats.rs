@@ -104,6 +104,63 @@ impl StatsCollector {
         self.replayed_msgs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Captures `host`'s accounting rows for every registered phase: the
+    /// send row (`host → *`) and the receive column (`* → host`). This is
+    /// the slice of the matrices a [`crate::NetCheckpoint`] persists so a
+    /// respawned *process* (which starts with empty counters, unlike an
+    /// in-process restart that shares the collector) can restore its own
+    /// contribution to Table V accounting.
+    pub fn host_traffic(&self, host: usize) -> Vec<PhaseTraffic> {
+        let names = self.names.read();
+        let phases = self.phases.read();
+        names
+            .iter()
+            .zip(phases.iter())
+            .map(|(name, p)| {
+                let row = |m: &[AtomicU64]| {
+                    (0..self.hosts)
+                        .map(|dst| m[host * self.hosts + dst].load(Ordering::Relaxed))
+                        .collect()
+                };
+                let col = |m: &[AtomicU64]| {
+                    (0..self.hosts)
+                        .map(|src| m[src * self.hosts + host].load(Ordering::Relaxed))
+                        .collect()
+                };
+                PhaseTraffic {
+                    name: name.clone(),
+                    sent_bytes: row(&p.bytes),
+                    sent_msgs: row(&p.msgs),
+                    recv_bytes: col(&p.recv_bytes),
+                    recv_msgs: col(&p.recv_msgs),
+                }
+            })
+            .collect()
+    }
+
+    /// Restores rows captured by [`StatsCollector::host_traffic`] into this
+    /// collector via per-cell `fetch_max`. Max, not add, makes the restore
+    /// idempotent and safe to combine with re-execution: a phase the host
+    /// re-runs after resuming recounts the same deterministic traffic, and
+    /// `max(checkpointed, recounted)` is exactly one copy of it.
+    pub fn restore_host_traffic(&self, host: usize, rows: &[PhaseTraffic]) {
+        for row in rows {
+            let idx = self.phase_index(&row.name);
+            let phases = self.phases.read();
+            let p = &phases[idx];
+            for dst in 0..self.hosts.min(row.sent_bytes.len()) {
+                let cell = host * self.hosts + dst;
+                p.bytes[cell].fetch_max(row.sent_bytes[dst], Ordering::Relaxed);
+                p.msgs[cell].fetch_max(row.sent_msgs[dst], Ordering::Relaxed);
+            }
+            for src in 0..self.hosts.min(row.recv_bytes.len()) {
+                let cell = src * self.hosts + host;
+                p.recv_bytes[cell].fetch_max(row.recv_bytes[src], Ordering::Relaxed);
+                p.recv_msgs[cell].fetch_max(row.recv_msgs[src], Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Total bytes recorded so far under `name` (0 if never registered).
     pub fn live_total_bytes(&self, name: &str) -> u64 {
         let names = self.names.read();
@@ -136,6 +193,24 @@ impl StatsCollector {
             replayed_msgs: self.replayed_msgs.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One host's accounting rows for a single phase, as captured by
+/// [`StatsCollector::host_traffic`]: what this host sent to each peer and
+/// what it received from each peer, attributed to the sender's phase. All
+/// four vectors have length `hosts`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PhaseTraffic {
+    /// The phase name the rows belong to.
+    pub name: String,
+    /// Bytes this host sent to each destination in this phase.
+    pub sent_bytes: Vec<u64>,
+    /// Messages this host sent to each destination.
+    pub sent_msgs: Vec<u64>,
+    /// Bytes this host received from each source.
+    pub recv_bytes: Vec<u64>,
+    /// Messages this host received from each source.
+    pub recv_msgs: Vec<u64>,
 }
 
 /// Immutable snapshot of all traffic in one phase.
@@ -361,6 +436,37 @@ mod tests {
         c.record(p, 0, 1, 9);
         assert_eq!(c.live_total_bytes("x"), 9);
         assert_eq!(c.live_total_bytes("unknown"), 0);
+    }
+
+    #[test]
+    fn host_traffic_restores_idempotently() {
+        let c = StatsCollector::new(3);
+        let p = c.phase_index("work");
+        c.record(p, 1, 0, 10);
+        c.record(p, 1, 2, 7);
+        c.record_recv(p, 0, 1, 3);
+        let rows = c.host_traffic(1);
+
+        // A respawned process starts with a fresh collector, re-executes
+        // the non-durable prefix (recounting the same deterministic
+        // traffic from zero), then restores the checkpoint: max turns the
+        // overlap into exactly one copy.
+        let fresh = StatsCollector::new(3);
+        let p2 = fresh.phase_index("work");
+        fresh.record(p2, 1, 0, 10);
+        fresh.restore_host_traffic(1, &rows);
+        // Restoring again is a no-op (idempotent).
+        fresh.restore_host_traffic(1, &rows);
+
+        let snap = fresh.snapshot();
+        let ph = snap.phase("work").unwrap();
+        assert_eq!(ph.bytes_between(1, 0), 10);
+        assert_eq!(ph.bytes_between(1, 2), 7);
+        assert_eq!(ph.messages_between(1, 2), 1);
+        assert_eq!(ph.recv_bytes_between(0, 1), 3);
+        assert_eq!(ph.recv_messages_between(0, 1), 1);
+        // Other hosts' cells are untouched.
+        assert_eq!(ph.bytes_between(0, 1), 0);
     }
 
     #[test]

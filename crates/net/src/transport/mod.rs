@@ -60,6 +60,13 @@ pub(crate) trait Transport: Send + Sync {
     /// and false on an unwind (drop connections so peers detect the loss
     /// instead of hanging).
     fn finish(&self, _fabric: &Fabric, _clean: bool) {}
+
+    /// How many dead peers reconnected mid-run (TCP rejoin handshakes
+    /// this transport accepted). Zero for transports without a process
+    /// boundary to recover across.
+    fn rejoin_count(&self) -> u64 {
+        0
+    }
 }
 
 /// The in-process channel simulator: all hosts live in one process and
@@ -152,6 +159,10 @@ pub enum RejectReason {
     BadHosts = 4,
     /// The claimed host id is out of range, ours, or already connected.
     BadHostId = 5,
+    /// A reconnecting peer presented an incarnation number no newer than
+    /// the one already known for it — a stale or duplicate worker, not a
+    /// legitimate respawn.
+    StaleIncarnation = 6,
 }
 
 impl RejectReason {
@@ -162,6 +173,7 @@ impl RejectReason {
             3 => Some(RejectReason::BadNonce),
             4 => Some(RejectReason::BadHosts),
             5 => Some(RejectReason::BadHostId),
+            6 => Some(RejectReason::StaleIncarnation),
             _ => None,
         }
     }
@@ -175,6 +187,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::BadNonce => "run nonce mismatch (stale or foreign worker)",
             RejectReason::BadHosts => "cluster size mismatch",
             RejectReason::BadHostId => "invalid or duplicate host id",
+            RejectReason::StaleIncarnation => "stale incarnation (superseded worker)",
         };
         f.write_str(s)
     }

@@ -7,7 +7,7 @@
 //!
 //! | kind | name      | body                                             |
 //! |------|-----------|--------------------------------------------------|
-//! | 1    | HELLO     | `magic u32, version u8, host_id u32, hosts u32, run_nonce u64` |
+//! | 1    | HELLO     | `magic u32, version u8, host_id u32, hosts u32, run_nonce u64, incarnation u32` |
 //! | 2    | ACCEPT    | empty                                            |
 //! | 3    | REJECT    | `reason u8` (see [`RejectReason`])               |
 //! | 4    | ENVELOPE  | a versioned envelope ([`encode_envelope`])       |
@@ -29,20 +29,59 @@
 //!
 //! ## Failure semantics
 //!
-//! A peer that closes its connection (or tears a frame) without FIN is
-//! declared lost immediately; the fabric unwinds every blocked operation
-//! and the run ends in a typed [`ClusterError::HostLost`] — never a hang.
-//! A host that panics aborts its writers *without* FIN, so peers detect
-//! the death by EOF. Fault injection ([`crate::FaultPlan`]) is applied at
-//! the receiving end of the wire — `decide` is a pure function of
+//! Without rejoin ([`TcpOptions::rejoin`] off, the default), a peer that
+//! closes its connection (or tears a frame) without FIN is declared lost
+//! immediately; the fabric unwinds every blocked operation and the run
+//! ends in a typed [`ClusterError::HostLost`] — never a hang. A host that
+//! panics aborts its writers *without* FIN, so peers detect the death by
+//! EOF. Fault injection ([`crate::FaultPlan`]) is applied at the
+//! receiving end of the wire — `decide` is a pure function of
 //! `(seed, src, dst, tag, seq)`, so the decisions are identical to the
 //! simulator's regardless of which side of the socket evaluates them.
+//!
+//! ## Process rejoin
+//!
+//! With [`TcpOptions::rejoin`] on (how `cusp-part launch` supervises its
+//! workers), a dead peer opens a bounded **down window** instead of
+//! aborting the run:
+//!
+//! * Connection failures and heartbeat silence mark the peer *down*: its
+//!   writer queue is unhooked (outbound frames are dropped but retained in
+//!   the per-destination send log) and its reader socket is torn so the
+//!   state is unambiguous. Blocked receives and barriers keep waiting.
+//! * The mesh listener stays open after `establish`; a **rejoin acceptor**
+//!   thread answers HELLOs for the same `run_nonce` whose `incarnation` is
+//!   strictly greater than the peer's last known one (anything else gets
+//!   `REJECT StaleIncarnation`). On accept it bumps the peer's connection
+//!   generation (so the stale reader's death is ignored), re-dials the
+//!   peer's listener, **replays the entire send log** for that
+//!   destination, re-announces its own barrier arrival count, re-sends FIN
+//!   if it had already finished, and installs fresh writer/reader threads.
+//! * The receive-side resequencer floors survive untouched, so replayed
+//!   traffic dedups exactly as in the simulator; replayed bytes are
+//!   accounted in [`crate::CommStats::replayed_bytes`], outside the
+//!   conserved per-phase matrices.
+//! * A peer still down after [`TcpOptions::rejoin_window`] is declared
+//!   lost — the typed `HostLost`, never a hang.
+//!
+//! ## Environment knobs
+//!
+//! [`TcpOptions::from_env`] honors two variables (both milliseconds, both
+//! with generous CI-safe defaults so a loaded machine never produces a
+//! spurious `HostLost`):
+//!
+//! * `CUSP_TCP_HEARTBEAT_MS` — idle-writer heartbeat interval (default
+//!   500). The silence timeout [`TcpOptions::peer_timeout`] scales with it
+//!   (20×, floor 500 ms), preserving the default 500 ms → 10 s ratio.
+//! * `CUSP_TCP_DRAIN_MS` — the FIN drain window
+//!   [`TcpOptions::fin_timeout`] (default 10 000): how long a cleanly
+//!   finished host keeps its readers alive for slower peers.
 //!
 //! [`ClusterError::HostLost`]: crate::ClusterError
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,8 +97,9 @@ use crate::serialize::{decode_envelope, encode_envelope, WireReader, WireWriter}
 /// "CUSP" in ASCII — the handshake magic.
 const MAGIC: u32 = 0x4355_5350;
 
-/// Version of the TCP framing + handshake protocol.
-pub const TCP_PROTOCOL_VERSION: u8 = 1;
+/// Version of the TCP framing + handshake protocol. Version 2 added the
+/// `incarnation` field to HELLO (process rejoin after a crash).
+pub const TCP_PROTOCOL_VERSION: u8 = 2;
 
 const FRAME_HELLO: u8 = 1;
 const FRAME_ACCEPT: u8 = 2;
@@ -83,8 +123,13 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// Monitor thread wake interval.
 const MONITOR_POLL: Duration = Duration::from_millis(50);
 
+/// Rejoin acceptor poll interval while no connection is pending.
+const REJOIN_POLL: Duration = Duration::from_millis(10);
+
 /// Knobs of the TCP transport. Defaults are deliberately generous: a
-/// loaded CI machine must never produce spurious `HostLost`s.
+/// loaded CI machine must never produce spurious `HostLost`s. See the
+/// module docs for the `CUSP_TCP_HEARTBEAT_MS` / `CUSP_TCP_DRAIN_MS`
+/// environment overrides applied by [`TcpOptions::from_env`].
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
     /// How long to keep redialing an unreachable peer before giving up.
@@ -97,11 +142,20 @@ pub struct TcpOptions {
     pub handshake_timeout: Duration,
     /// Idle writers emit a heartbeat frame this often.
     pub heartbeat_interval: Duration,
-    /// A peer silent this long (without FIN) is declared lost.
+    /// A peer silent this long (without FIN) is declared lost — or, with
+    /// [`TcpOptions::rejoin`], marked down pending a reconnect.
     pub peer_timeout: Duration,
     /// How long a cleanly finished host waits for peer FINs before
-    /// tearing its readers down anyway.
+    /// tearing its readers down anyway (the teardown drain window).
     pub fin_timeout: Duration,
+    /// Accept reconnecting peers with a newer incarnation instead of
+    /// aborting on the first connection loss. Costs a per-destination
+    /// send log kept for the whole run; enabled by the process supervisor
+    /// (`cusp-part launch`), off for unsupervised meshes.
+    pub rejoin: bool,
+    /// With [`TcpOptions::rejoin`]: how long a peer may stay down before
+    /// it is declared lost after all.
+    pub rejoin_window: Duration,
 }
 
 impl Default for TcpOptions {
@@ -114,8 +168,33 @@ impl Default for TcpOptions {
             heartbeat_interval: Duration::from_millis(500),
             peer_timeout: Duration::from_secs(10),
             fin_timeout: Duration::from_secs(10),
+            rejoin: false,
+            rejoin_window: Duration::from_secs(60),
         }
     }
+}
+
+impl TcpOptions {
+    /// Defaults with the documented environment overrides applied:
+    /// `CUSP_TCP_HEARTBEAT_MS` (heartbeat interval, silence timeout
+    /// scaling with it) and `CUSP_TCP_DRAIN_MS` (FIN drain window).
+    /// Unparseable values are ignored in favor of the defaults.
+    pub fn from_env() -> Self {
+        let mut opts = TcpOptions::default();
+        if let Some(ms) = env_ms("CUSP_TCP_HEARTBEAT_MS") {
+            let ms = ms.max(10);
+            opts.heartbeat_interval = Duration::from_millis(ms);
+            opts.peer_timeout = Duration::from_millis((ms * 20).max(500));
+        }
+        if let Some(ms) = env_ms("CUSP_TCP_DRAIN_MS") {
+            opts.fin_timeout = Duration::from_millis(ms.max(10));
+        }
+        opts
+    }
+}
+
+fn env_ms(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.trim().parse().ok()
 }
 
 /// What ship/barrier enqueue toward a peer's writer thread.
@@ -132,13 +211,46 @@ enum Out {
 
 /// State shared between the transport handle and its threads.
 struct TcpShared {
+    me: HostId,
+    hosts: usize,
+    run_nonce: u64,
+    /// This process's incarnation (0 for the first spawn; the supervisor
+    /// increments it per respawn).
+    incarnation: u32,
+    opts: TcpOptions,
+    /// Every host's listen address (`peers[me]` is our own).
+    peers: Vec<String>,
     start: Instant,
     /// Milliseconds since `start` of the last frame from each peer.
     last_heard: Vec<AtomicU64>,
-    /// Set once a peer's FIN arrives — silence is then expected.
+    /// Set once a peer's FIN arrives — silence is then expected. Cleared
+    /// again when that peer rejoins with a newer incarnation.
     fin_received: Vec<AtomicBool>,
     /// Set by `finish` so readers and the monitor stand down.
     shutting_down: AtomicBool,
+    /// Set when a clean FIN has been enqueued, so a later rejoin re-sends
+    /// it on the fresh connection.
+    fin_sent: AtomicBool,
+    /// Outbound frame queues, one per peer (`None` at `me`, and `None`
+    /// while a peer is down awaiting rejoin).
+    outbound: Vec<Mutex<Option<Sender<Out>>>>,
+    /// Per-destination replay log of `(encoded frame, payload bytes)` —
+    /// populated only when `opts.rejoin` is set.
+    send_log: Vec<Mutex<Vec<(Bytes, u64)>>>,
+    /// Clones of the current inbound socket per peer, so a rejoin (or a
+    /// down-marking) can tear the stale reader out of its blocking read.
+    reader_socks: Vec<Mutex<Option<TcpStream>>>,
+    /// Last incarnation each peer was accepted with.
+    peer_incarnation: Vec<AtomicU32>,
+    /// Connection generation per peer; bumping it invalidates failure
+    /// reports from the superseded reader.
+    conn_gen: Vec<AtomicU64>,
+    /// `0` while the peer is up; otherwise `now_ms + 1` at the moment the
+    /// down window opened.
+    down_since: Vec<AtomicU64>,
+    /// Rejoin handshakes accepted.
+    rejoins: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl TcpShared {
@@ -148,6 +260,42 @@ impl TcpShared {
 
     fn heard(&self, peer: HostId) {
         self.last_heard[peer].store(self.now_ms(), Ordering::Release);
+    }
+
+    fn stopped(&self, fabric: &Fabric) -> bool {
+        self.shutting_down.load(Ordering::Acquire) || fabric.should_abort()
+    }
+}
+
+/// Marks a connection failure from `peer`, observed on connection
+/// generation `gen`. Without rejoin this is a terminal `HostLost`; with
+/// rejoin it opens the peer's down window (first marker wins) and tears
+/// both simplex halves so the state is unambiguous: down means *no*
+/// connection, recovery only via a fresh rejoin handshake.
+fn peer_failed(fabric: &Fabric, shared: &TcpShared, peer: HostId, gen: u64) {
+    if shared.stopped(fabric) {
+        return;
+    }
+    if gen < shared.conn_gen[peer].load(Ordering::Acquire) {
+        return; // a superseded connection's death, not the peer's
+    }
+    if !shared.opts.rejoin {
+        fabric.mark_remote_lost(peer);
+        return;
+    }
+    if shared.fin_received[peer].load(Ordering::Acquire) {
+        return; // clean close after FIN
+    }
+    let stamp = shared.now_ms() + 1;
+    if shared.down_since[peer]
+        .compare_exchange(0, stamp, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        *shared.outbound[peer].lock() = None;
+        if let Some(s) = shared.reader_socks[peer].lock().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        cusp_obs::instant("peer_down", peer as u64);
     }
 }
 
@@ -164,25 +312,53 @@ struct Pending {
 /// [`TcpTransport::establish`] once the full mesh has handshaken; handed
 /// to [`crate::Cluster::try_run_tcp`] to run the partition over it.
 pub struct TcpTransport {
-    me: HostId,
-    hosts: usize,
-    opts: TcpOptions,
-    /// Outbound frame queues, one per peer (`None` at `me`).
-    outbound: Vec<Option<Sender<Out>>>,
-    pending: Mutex<Option<Pending>>,
     shared: Arc<TcpShared>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    pending: Mutex<Option<Pending>>,
+    /// Kept open when rejoin is enabled, so reconnecting peers have a door
+    /// to knock on for the whole run.
+    listener: Mutex<Option<TcpListener>>,
 }
 
 impl TcpTransport {
     /// This host's id.
     pub fn host(&self) -> HostId {
-        self.me
+        self.shared.me
     }
 
     /// Total number of hosts in the cluster.
     pub fn num_hosts(&self) -> usize {
-        self.hosts
+        self.shared.hosts
+    }
+
+    /// This process's incarnation number (0 for a first spawn). The
+    /// cluster uses it as the restart epoch, so a respawned worker resumes
+    /// from its checkpoints instead of clearing them.
+    pub fn incarnation(&self) -> u32 {
+        self.shared.incarnation
+    }
+
+    /// A raw clone of one outbound mesh socket, for fault-injection
+    /// tooling (torn-connection kill mode): writing a truncated frame on
+    /// it and aborting simulates a worker dying mid-write. `None` for a
+    /// single-host mesh or once `start` has consumed the pending sockets.
+    pub fn saboteur(&self) -> Option<TcpStream> {
+        let pending = self.pending.lock();
+        pending
+            .as_ref()?
+            .writers
+            .first()
+            .and_then(|(_, s, _)| s.try_clone().ok())
+    }
+
+    /// [`TcpTransport::establish_with`] at incarnation 0 — a first spawn.
+    pub fn establish(
+        me: HostId,
+        listener: TcpListener,
+        peers: &[String],
+        run_nonce: u64,
+        opts: TcpOptions,
+    ) -> Result<Self, TransportError> {
+        Self::establish_with(me, listener, peers, run_nonce, 0, opts)
     }
 
     /// Builds the full connection mesh for host `me` of `peers.len()`
@@ -192,13 +368,17 @@ impl TcpTransport {
     /// handshake against `{magic, version, host_id, hosts, run_nonce}`.
     ///
     /// `peers[i]` is host `i`'s listen address; `peers[me]` is this host's
-    /// own (used only for arity). Returns a typed [`TransportError`] on
-    /// any bind/dial/handshake failure — never hangs past its timeouts.
-    pub fn establish(
+    /// own (used only for arity, unless rejoin keeps the listener open).
+    /// `incarnation` is this process's spawn count for the run; survivors
+    /// of a crash accept a redial only with a strictly larger value than
+    /// the one they last saw. Returns a typed [`TransportError`] on any
+    /// bind/dial/handshake failure — never hangs past its timeouts.
+    pub fn establish_with(
         me: HostId,
         listener: TcpListener,
         peers: &[String],
         run_nonce: u64,
+        incarnation: u32,
         opts: TcpOptions,
     ) -> Result<Self, TransportError> {
         let hosts = peers.len();
@@ -210,13 +390,6 @@ impl TcpTransport {
                 "host id {me} out of range for {hosts} host(s)"
             )));
         }
-
-        let shared = Arc::new(TcpShared {
-            start: Instant::now(),
-            last_heard: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            fin_received: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
-            shutting_down: AtomicBool::new(false),
-        });
 
         // Accept concurrently with our own dials: every worker is doing
         // both at once, so neither side can afford to serialize them.
@@ -232,7 +405,7 @@ impl TcpTransport {
             if peer == me {
                 continue;
             }
-            match dial(me, peer, addr, hosts, run_nonce, &opts) {
+            match dial(me, peer, addr, hosts, run_nonce, incarnation, &opts) {
                 Ok(stream) => {
                     let (tx, rx) = unbounded();
                     outbound[peer] = Some(tx);
@@ -250,21 +423,44 @@ impl TcpTransport {
         if let Some(e) = dial_err {
             return Err(e);
         }
-        let inbound = accepted?;
+        let (listener, accepted) = accepted?;
 
+        let shared = Arc::new(TcpShared {
+            me,
+            hosts,
+            run_nonce,
+            incarnation,
+            opts,
+            peers: peers.to_vec(),
+            start: Instant::now(),
+            last_heard: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            fin_received: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            shutting_down: AtomicBool::new(false),
+            fin_sent: AtomicBool::new(false),
+            outbound: outbound.into_iter().map(Mutex::new).collect(),
+            send_log: (0..hosts).map(|_| Mutex::new(Vec::new())).collect(),
+            reader_socks: (0..hosts).map(|_| Mutex::new(None)).collect(),
+            peer_incarnation: (0..hosts).map(|_| AtomicU32::new(0)).collect(),
+            conn_gen: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            down_since: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            rejoins: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        let mut inbound = Vec::with_capacity(accepted.len());
+        for (peer, inc, stream) in accepted {
+            shared.peer_incarnation[peer].store(inc, Ordering::Release);
+            inbound.push((peer, stream));
+        }
         // Peers proved alive during the handshake just now.
         for peer in 0..hosts {
             shared.heard(peer);
         }
 
         Ok(TcpTransport {
-            me,
-            hosts,
-            opts,
-            outbound,
-            pending: Mutex::new(Some(Pending { inbound, writers })),
             shared,
-            threads: Mutex::new(Vec::new()),
+            pending: Mutex::new(Some(Pending { inbound, writers })),
+            listener: Mutex::new(opts.rejoin.then_some(listener)),
         })
     }
 }
@@ -274,9 +470,14 @@ impl Transport for TcpTransport {
         let Some(pending) = self.pending.lock().take() else {
             return;
         };
-        let mut threads = self.threads.lock();
+        // Snapshot the caller's trace attachment (if tracing is on) so the
+        // I/O threads record their `peer_down` / `peer_rejoin` instants
+        // into the same trace as the host thread.
+        let obs = cusp_obs::current();
+        let shared = &self.shared;
+        let mut threads = shared.threads.lock();
         for (peer, stream, rx) in pending.writers {
-            let interval = self.opts.heartbeat_interval;
+            let interval = shared.opts.heartbeat_interval;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("tcp-send-{peer}"))
@@ -285,34 +486,62 @@ impl Transport for TcpTransport {
             );
         }
         for (peer, stream) in pending.inbound {
+            *shared.reader_socks[peer].lock() = stream.try_clone().ok();
             let fabric = Arc::clone(fabric);
-            let shared = Arc::clone(&self.shared);
-            let me = self.me;
+            let shared = Arc::clone(shared);
+            let obs = obs.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("tcp-recv-{peer}"))
-                    .spawn(move || reader_loop(stream, peer, me, fabric, shared))
+                    .spawn(move || {
+                        let _obs = obs.as_ref().map(|a| a.attach("tcp-recv"));
+                        reader_loop(stream, peer, 0, fabric, shared)
+                    })
                     .expect("failed to spawn reader thread"),
             );
         }
-        if self.hosts > 1 {
+        if shared.hosts > 1 {
             let fabric = Arc::clone(fabric);
-            let shared = Arc::clone(&self.shared);
-            let (me, hosts, timeout) = (self.me, self.hosts, self.opts.peer_timeout);
+            let shared = Arc::clone(shared);
+            let obs = obs.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("tcp-monitor".into())
-                    .spawn(move || monitor_loop(fabric, shared, me, hosts, timeout))
+                    .spawn(move || {
+                        let _obs = obs.as_ref().map(|a| a.attach("tcp-monitor"));
+                        monitor_loop(fabric, shared)
+                    })
                     .expect("failed to spawn monitor thread"),
+            );
+        }
+        if let Some(listener) = self.listener.lock().take() {
+            let fabric = Arc::clone(fabric);
+            let shared = Arc::clone(shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tcp-rejoin".into())
+                    .spawn(move || {
+                        let _obs = obs.as_ref().map(|a| a.attach("tcp-rejoin"));
+                        rejoin_acceptor(listener, fabric, shared)
+                    })
+                    .expect("failed to spawn rejoin acceptor thread"),
             );
         }
     }
 
     fn ship(&self, _fabric: &Fabric, dst: HostId, tag: Tag, env: Envelope) {
         let frame = encode_envelope(tag.0, env.src as u64, env.phase, env.seq, &env.payload);
-        if let Some(tx) = &self.outbound[dst] {
+        let shared = &self.shared;
+        if shared.opts.rejoin {
+            shared.send_log[dst]
+                .lock()
+                .push((frame.clone(), env.payload.len() as u64));
+        }
+        if let Some(tx) = &*shared.outbound[dst].lock() {
             // A closed queue means the writer died with its peer; the run
             // is already being torn down and check_abort will surface it.
+            // A down peer's slot is None: the frame stays in the send log
+            // and is replayed wholesale at rejoin.
             let _ = tx.send(Out::Env(frame));
         }
     }
@@ -322,24 +551,31 @@ impl Transport for TcpTransport {
         // FIFO per peer, so a peer observes all our pre-barrier envelopes
         // before our arrival — exactly the simulator's guarantee that
         // barrier release implies all prior traffic is in the mailboxes.
-        for tx in self.outbound.iter().flatten() {
-            let _ = tx.send(Out::Barrier(n));
+        for slot in &self.shared.outbound {
+            if let Some(tx) = &*slot.lock() {
+                let _ = tx.send(Out::Barrier(n));
+            }
         }
         fabric.barrier.wait(host, n, || fabric.should_abort())
     }
 
     fn finish(&self, fabric: &Fabric, clean: bool) {
-        for tx in self.outbound.iter().flatten() {
-            let _ = tx.send(if clean { Out::Fin } else { Out::Abort });
+        if clean {
+            self.shared.fin_sent.store(true, Ordering::Release);
+        }
+        for slot in &self.shared.outbound {
+            if let Some(tx) = &*slot.lock() {
+                let _ = tx.send(if clean { Out::Fin } else { Out::Abort });
+            }
         }
         if clean {
             // Drain window: keep readers alive until every peer has FINed
             // (or died, or overstayed the timeout), so slower peers can
             // still pull our already-queued frames and barriers.
-            let deadline = Instant::now() + self.opts.fin_timeout;
+            let deadline = Instant::now() + self.shared.opts.fin_timeout;
             while Instant::now() < deadline && !fabric.should_abort() {
-                let all = (0..self.hosts)
-                    .filter(|&p| p != self.me)
+                let all = (0..self.shared.hosts)
+                    .filter(|&p| p != self.shared.me)
                     .all(|p| self.shared.fin_received[p].load(Ordering::Acquire));
                 if all {
                     break;
@@ -348,10 +584,21 @@ impl Transport for TcpTransport {
             }
         }
         self.shared.shutting_down.store(true, Ordering::Release);
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
-        for h in handles {
-            let _ = h.join();
+        loop {
+            // Rejoin handlers may add writer/reader threads concurrently
+            // with this join; drain until the list stays empty.
+            let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.threads.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
+    }
+
+    fn rejoin_count(&self) -> u64 {
+        self.shared.rejoins.load(Ordering::Relaxed)
     }
 }
 
@@ -426,13 +673,14 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], stop: &impl Fn() -> bool) -> Rea
 // Handshake
 // ---------------------------------------------------------------------------
 
-fn hello_body(me: HostId, hosts: usize, run_nonce: u64) -> Bytes {
-    let mut w = WireWriter::with_capacity(21);
+fn hello_body(me: HostId, hosts: usize, run_nonce: u64, incarnation: u32) -> Bytes {
+    let mut w = WireWriter::with_capacity(25);
     w.put_u32(MAGIC);
     w.put_u8(TCP_PROTOCOL_VERSION);
     w.put_u32(me as u32);
     w.put_u32(hosts as u32);
     w.put_u64(run_nonce);
+    w.put_u32(incarnation);
     w.finish()
 }
 
@@ -444,6 +692,7 @@ fn dial(
     addr: &str,
     hosts: usize,
     run_nonce: u64,
+    incarnation: u32,
     opts: &TcpOptions,
 ) -> Result<TcpStream, TransportError> {
     let deadline = Instant::now() + opts.dial_timeout;
@@ -454,8 +703,12 @@ fn dial(
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(opts.handshake_timeout));
                 let hs = |detail: String| TransportError::Handshake { peer, detail };
-                write_frame(&mut stream, FRAME_HELLO, &hello_body(me, hosts, run_nonce))
-                    .map_err(|e| hs(format!("cannot send HELLO: {e}")))?;
+                write_frame(
+                    &mut stream,
+                    FRAME_HELLO,
+                    &hello_body(me, hosts, run_nonce, incarnation),
+                )
+                .map_err(|e| hs(format!("cannot send HELLO: {e}")))?;
                 let (kind, body) = read_handshake_frame(&mut stream)
                     .map_err(|e| hs(format!("no handshake reply: {e}")))?;
                 return match kind {
@@ -484,15 +737,16 @@ fn dial(
     }
 }
 
-/// Validates one inbound HELLO. `Ok(peer)` accepts the connection;
-/// `Err(reason)` is sent back in a REJECT frame.
-fn validate_hello(
+/// Parses and checks the transport-level HELLO fields shared by the mesh
+/// acceptor and the rejoin acceptor: magic, version, cluster shape, run
+/// nonce. Returns the claimed `(host_id, incarnation)`; the caller applies
+/// its own slot/staleness policy on top.
+fn parse_hello(
     body: &[u8],
     me: HostId,
     hosts: usize,
     run_nonce: u64,
-    taken: &[bool],
-) -> Result<HostId, RejectReason> {
+) -> Result<(HostId, u32), RejectReason> {
     let mut r = WireReader::new(Bytes::from(body.to_vec()));
     let magic = r.get_u32().map_err(|_| RejectReason::BadMagic)?;
     if magic != MAGIC {
@@ -505,29 +759,48 @@ fn validate_hello(
     let host_id = r.get_u32().map_err(|_| RejectReason::BadHostId)? as usize;
     let their_hosts = r.get_u32().map_err(|_| RejectReason::BadHosts)? as usize;
     let nonce = r.get_u64().map_err(|_| RejectReason::BadNonce)?;
+    let incarnation = r.get_u32().map_err(|_| RejectReason::BadHostId)?;
     if their_hosts != hosts {
         return Err(RejectReason::BadHosts);
     }
     if nonce != run_nonce {
         return Err(RejectReason::BadNonce);
     }
-    if host_id >= hosts || host_id == me || taken[host_id] {
+    if host_id >= hosts || host_id == me {
         return Err(RejectReason::BadHostId);
     }
-    Ok(host_id)
+    Ok((host_id, incarnation))
 }
 
-/// Accept loop: collects `hosts - 1` validated peer connections.
+/// Validates one inbound HELLO during mesh establishment. `Ok` accepts the
+/// connection; `Err(reason)` is sent back in a REJECT frame.
+fn validate_hello(
+    body: &[u8],
+    me: HostId,
+    hosts: usize,
+    run_nonce: u64,
+    taken: &[bool],
+) -> Result<(HostId, u32), RejectReason> {
+    let (host_id, incarnation) = parse_hello(body, me, hosts, run_nonce)?;
+    if taken[host_id] {
+        return Err(RejectReason::BadHostId);
+    }
+    Ok((host_id, incarnation))
+}
+
+/// Accept loop: collects `hosts - 1` validated peer connections, returning
+/// them together with the listener (kept for the rejoin acceptor).
 /// Connections failing validation get a REJECT and are dropped without
 /// consuming a slot; random strangers (port scans, stale workers) are
 /// simply ignored.
+#[allow(clippy::type_complexity)]
 fn accept_peers(
     listener: TcpListener,
     me: HostId,
     hosts: usize,
     run_nonce: u64,
     opts: &TcpOptions,
-) -> Result<Vec<(HostId, TcpStream)>, TransportError> {
+) -> Result<(TcpListener, Vec<(HostId, u32, TcpStream)>), TransportError> {
     let mut taken = vec![false; hosts];
     let mut inbound = Vec::with_capacity(hosts.saturating_sub(1));
     listener
@@ -563,12 +836,12 @@ fn accept_peers(
             continue;
         }
         match validate_hello(&body, me, hosts, run_nonce, &taken) {
-            Ok(peer) => {
+            Ok((peer, inc)) => {
                 if write_frame(&mut stream, FRAME_ACCEPT, &[]).is_err() {
                     continue;
                 }
                 taken[peer] = true;
-                inbound.push((peer, stream));
+                inbound.push((peer, inc, stream));
             }
             Err(reason) => {
                 let _ = write_frame(&mut stream, FRAME_REJECT, &[reason as u8]);
@@ -576,7 +849,219 @@ fn accept_peers(
             }
         }
     }
-    Ok(inbound)
+    Ok((listener, inbound))
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin
+// ---------------------------------------------------------------------------
+
+/// Answers HELLOs on the retained mesh listener for the rest of the run:
+/// a peer redialing with the right nonce and a strictly newer incarnation
+/// is re-admitted to the mesh; anything else gets a typed REJECT (or is
+/// ignored, for non-protocol garbage). Runs until shutdown or abort.
+fn rejoin_acceptor(listener: TcpListener, fabric: Arc<Fabric>, shared: Arc<TcpShared>) {
+    // `establish` left the listener non-blocking; keep polling it.
+    loop {
+        if shared.stopped(&fabric) {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                std::thread::sleep(REJOIN_POLL);
+                continue;
+            }
+        };
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.opts.handshake_timeout));
+        let Ok((kind, body)) = read_handshake_frame(&mut stream) else {
+            continue;
+        };
+        if kind != FRAME_HELLO {
+            continue;
+        }
+        match validate_rejoin(&body, &shared) {
+            Ok((peer, inc)) => {
+                if write_frame(&mut stream, FRAME_ACCEPT, &[]).is_err() {
+                    continue;
+                }
+                handle_rejoin(&fabric, &shared, peer, inc, stream);
+            }
+            Err(reason) => {
+                let _ = write_frame(&mut stream, FRAME_REJECT, &[reason as u8]);
+            }
+        }
+    }
+}
+
+/// Rejoin admission policy: protocol fields must match the run, and the
+/// claimed incarnation must be strictly newer than the last one accepted
+/// for that peer (equal or older = a stale duplicate, not a respawn).
+fn validate_rejoin(body: &[u8], shared: &TcpShared) -> Result<(HostId, u32), RejectReason> {
+    let (peer, inc) =
+        parse_hello(body, shared.me, shared.hosts, shared.run_nonce)?;
+    admit_incarnation(inc, shared.peer_incarnation[peer].load(Ordering::Acquire))?;
+    Ok((peer, inc))
+}
+
+/// The rejoin staleness rule, isolated so the property battery can pin it:
+/// only a strictly newer incarnation supersedes the last admitted one.
+fn admit_incarnation(claimed: u32, last_admitted: u32) -> Result<(), RejectReason> {
+    if claimed <= last_admitted {
+        return Err(RejectReason::StaleIncarnation);
+    }
+    Ok(())
+}
+
+/// Test-support access to the pure handshake codec: the exact encode /
+/// parse / admission functions the dialer and both acceptors use, without
+/// opening sockets. Hidden — not part of the supported API.
+#[doc(hidden)]
+pub mod hello_codec {
+    use super::HostId;
+    use crate::transport::RejectReason;
+
+    pub fn admit_incarnation(claimed: u32, last_admitted: u32) -> Result<(), RejectReason> {
+        super::admit_incarnation(claimed, last_admitted)
+    }
+
+    /// Byte offsets of the HELLO fields, for targeted corruption.
+    pub const MAGIC_RANGE: std::ops::Range<usize> = 0..4;
+    pub const VERSION_RANGE: std::ops::Range<usize> = 4..5;
+    pub const HOST_ID_RANGE: std::ops::Range<usize> = 5..9;
+    pub const HOSTS_RANGE: std::ops::Range<usize> = 9..13;
+    pub const NONCE_RANGE: std::ops::Range<usize> = 13..21;
+    pub const INCARNATION_RANGE: std::ops::Range<usize> = 21..25;
+    pub const HELLO_LEN: usize = 25;
+
+    pub fn encode_hello(me: HostId, hosts: usize, run_nonce: u64, incarnation: u32) -> Vec<u8> {
+        super::hello_body(me, hosts, run_nonce, incarnation).to_vec()
+    }
+
+    pub fn parse_hello(
+        body: &[u8],
+        me: HostId,
+        hosts: usize,
+        run_nonce: u64,
+    ) -> Result<(HostId, u32), RejectReason> {
+        super::parse_hello(body, me, hosts, run_nonce)
+    }
+}
+
+/// Splices a reconnecting peer back into the mesh: supersede the stale
+/// connection pair, re-dial the peer's listener, replay the send log on
+/// the fresh outbound socket, re-announce our barrier arrival (and FIN, if
+/// we already finished), and stand up new writer/reader threads.
+fn handle_rejoin(
+    fabric: &Arc<Fabric>,
+    shared: &Arc<TcpShared>,
+    peer: HostId,
+    inc: u32,
+    stream: TcpStream,
+) {
+    shared.peer_incarnation[peer].store(inc, Ordering::Release);
+    // Invalidate the previous connection generation: the old reader's
+    // eventual death report becomes a no-op, and shutting its socket here
+    // kicks it out of any blocking read promptly.
+    let gen = shared.conn_gen[peer].fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some(s) = shared.reader_socks[peer].lock().take() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    shared.fin_received[peer].store(false, Ordering::Release);
+    shared.heard(peer);
+
+    // Re-dial while holding the outbound slot: any `ship` that logged its
+    // frame before we snapshot the log below is covered by the replay, and
+    // any later `ship` blocks on the slot until the fresh queue is
+    // installed — no frame can fall between the two.
+    let mut slot = shared.outbound[peer].lock();
+    *slot = None;
+    match redial_for_rejoin(shared, fabric, peer) {
+        Some(out_stream) => {
+            let (tx, rx) = unbounded();
+            {
+                let log = shared.send_log[peer].lock();
+                for (frame, payload_bytes) in log.iter() {
+                    let _ = tx.send(Out::Env(frame.clone()));
+                    fabric.stats.record_replayed(*payload_bytes);
+                }
+            }
+            let arrived = fabric.barrier.arrived(shared.me);
+            if arrived > 0 {
+                let _ = tx.send(Out::Barrier(arrived));
+            }
+            if shared.fin_sent.load(Ordering::Acquire) {
+                let _ = tx.send(Out::Fin);
+            }
+            let interval = shared.opts.heartbeat_interval;
+            let writer = std::thread::Builder::new()
+                .name(format!("tcp-send-{peer}-i{inc}"))
+                .spawn(move || writer_loop(out_stream, rx, interval))
+                .expect("failed to spawn rejoin writer thread");
+            shared.threads.lock().push(writer);
+            *slot = Some(tx);
+            shared.down_since[peer].store(0, Ordering::Release);
+        }
+        None => {
+            // Could not dial back (the peer died again mid-rejoin, or we
+            // are shutting down). Leave the peer down with a fresh stamp;
+            // the next rejoin or the down-window expiry decides its fate.
+            shared.down_since[peer].store(shared.now_ms() + 1, Ordering::Release);
+        }
+    }
+    drop(slot);
+
+    *shared.reader_socks[peer].lock() = stream.try_clone().ok();
+    let reader = {
+        let fabric = Arc::clone(fabric);
+        let shared_r = Arc::clone(shared);
+        // Runs on the (attached, if tracing) rejoin acceptor thread, so
+        // the fresh reader inherits the same trace.
+        let obs = cusp_obs::current();
+        std::thread::Builder::new()
+            .name(format!("tcp-recv-{peer}-i{inc}"))
+            .spawn(move || {
+                let _obs = obs.as_ref().map(|a| a.attach("tcp-recv"));
+                reader_loop(stream, peer, gen, fabric, shared_r)
+            })
+            .expect("failed to spawn rejoin reader thread")
+    };
+    shared.threads.lock().push(reader);
+    shared.rejoins.fetch_add(1, Ordering::Relaxed);
+    cusp_obs::instant("peer_rejoin", inc as u64);
+}
+
+/// Dials a rejoining peer's listener back (our fresh outbound simplex
+/// half), bounded and shutdown-aware. `None` on failure.
+fn redial_for_rejoin(
+    shared: &TcpShared,
+    fabric: &Fabric,
+    peer: HostId,
+) -> Option<TcpStream> {
+    let deadline = Instant::now() + shared.opts.dial_timeout;
+    let mut backoff = shared.opts.dial_backoff;
+    loop {
+        if shared.stopped(fabric) || Instant::now() >= deadline {
+            return None;
+        }
+        match dial(
+            shared.me,
+            peer,
+            &shared.peers[peer],
+            shared.hosts,
+            shared.run_nonce,
+            shared.incarnation,
+            &shared.opts,
+        ) {
+            Ok(stream) => return Some(stream),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -625,19 +1110,19 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Out>, heartbeat: Duration) {
 /// Decodes frames from one peer and feeds them to the fabric: envelopes
 /// go through the regular dispatch (fault layer included), barrier
 /// announcements into the shared arrival table. Any protocol violation —
-/// torn frame, corrupt envelope, absurd length, EOF without FIN — tears
-/// the connection down and declares the peer lost.
+/// torn frame, corrupt envelope, absurd length, EOF without FIN — reports
+/// the connection failed on generation `gen`: terminal without rejoin, the
+/// start of a down window with it.
 fn reader_loop(
     stream: TcpStream,
     peer: HostId,
-    me: HostId,
+    gen: u64,
     fabric: Arc<Fabric>,
     shared: Arc<TcpShared>,
 ) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut r = BufReader::with_capacity(64 << 10, stream);
-    let stop =
-        || shared.shutting_down.load(Ordering::Acquire) || fabric.should_abort();
+    let stop = || shared.stopped(&fabric);
     let finned = || shared.fin_received[peer].load(Ordering::Acquire);
     let mut len_buf = [0u8; 4];
     loop {
@@ -646,14 +1131,14 @@ fn reader_loop(
             ReadOutcome::Stopped => return,
             ReadOutcome::Eof | ReadOutcome::Failed => {
                 if !finned() && !stop() {
-                    fabric.mark_remote_lost(peer);
+                    peer_failed(&fabric, &shared, peer, gen);
                 }
                 return;
             }
         }
         let len = u32::from_le_bytes(len_buf);
         if len == 0 || len > MAX_FRAME {
-            fabric.mark_remote_lost(peer);
+            peer_failed(&fabric, &shared, peer, gen);
             return;
         }
         let mut frame = vec![0u8; len as usize];
@@ -663,10 +1148,14 @@ fn reader_loop(
             ReadOutcome::Eof | ReadOutcome::Failed => {
                 // A frame torn mid-body is never clean, FIN or not.
                 if !stop() {
-                    fabric.mark_remote_lost(peer);
+                    peer_failed(&fabric, &shared, peer, gen);
                 }
                 return;
             }
+        }
+        if gen < shared.conn_gen[peer].load(Ordering::Acquire) {
+            // Superseded mid-frame by a rejoin; stop feeding stale data.
+            return;
         }
         shared.heard(peer);
         let kind = frame[0];
@@ -676,7 +1165,7 @@ fn reader_loop(
                 match decode_envelope(body) {
                     Ok(we) if (we.tag as usize) < MAX_TAGS && we.src as usize == peer => {
                         fabric.dispatch(
-                            me,
+                            shared.me,
                             Tag(we.tag),
                             Envelope {
                                 src: peer,
@@ -687,14 +1176,14 @@ fn reader_loop(
                         );
                     }
                     _ => {
-                        fabric.mark_remote_lost(peer);
+                        peer_failed(&fabric, &shared, peer, gen);
                         return;
                     }
                 }
             }
             FRAME_BARRIER => {
                 if frame.len() != 9 {
-                    fabric.mark_remote_lost(peer);
+                    peer_failed(&fabric, &shared, peer, gen);
                     return;
                 }
                 let mut arr = [0u8; 8];
@@ -706,39 +1195,46 @@ fn reader_loop(
                 shared.fin_received[peer].store(true, Ordering::Release);
             }
             _ => {
-                fabric.mark_remote_lost(peer);
+                peer_failed(&fabric, &shared, peer, gen);
                 return;
             }
         }
     }
 }
 
-/// Declares a peer lost when it goes silent past the timeout without
-/// having FINed. Socket-level failures are caught faster by the readers;
-/// this net catches peers that hang without dying.
-fn monitor_loop(
-    fabric: Arc<Fabric>,
-    shared: Arc<TcpShared>,
-    me: HostId,
-    hosts: usize,
-    timeout: Duration,
-) {
-    let timeout_ms = timeout.as_millis() as u64;
+/// Watches peer liveness. A peer silent past `peer_timeout` without FIN is
+/// declared lost (no rejoin) or marked down (rejoin); a peer down past
+/// `rejoin_window` is lost either way. Socket-level failures are caught
+/// faster by the readers; this net catches peers that hang without dying.
+fn monitor_loop(fabric: Arc<Fabric>, shared: Arc<TcpShared>) {
+    let silence_ms = shared.opts.peer_timeout.as_millis() as u64;
+    let window_ms = shared.opts.rejoin_window.as_millis() as u64;
     loop {
         std::thread::sleep(MONITOR_POLL);
-        if shared.shutting_down.load(Ordering::Acquire) || fabric.should_abort() {
+        if shared.stopped(&fabric) {
             return;
         }
         let now = shared.now_ms();
         let mut all_fin = true;
-        for peer in (0..hosts).filter(|&p| p != me) {
+        for peer in (0..shared.hosts).filter(|&p| p != shared.me) {
             if shared.fin_received[peer].load(Ordering::Acquire) {
                 continue;
             }
             all_fin = false;
-            if now.saturating_sub(shared.last_heard[peer].load(Ordering::Acquire)) > timeout_ms {
-                fabric.mark_remote_lost(peer);
-                return;
+            let down = shared.down_since[peer].load(Ordering::Acquire);
+            if down != 0 {
+                if now.saturating_sub(down - 1) > window_ms {
+                    fabric.mark_remote_lost(peer);
+                    return;
+                }
+                continue;
+            }
+            if now.saturating_sub(shared.last_heard[peer].load(Ordering::Acquire)) > silence_ms {
+                let gen = shared.conn_gen[peer].load(Ordering::Acquire);
+                peer_failed(&fabric, &shared, peer, gen);
+                if !shared.opts.rejoin {
+                    return;
+                }
             }
         }
         if all_fin {
@@ -796,7 +1292,7 @@ mod tests {
             }
         };
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let mut hello = hello_body(1, 2, 77).to_vec();
+        let mut hello = hello_body(1, 2, 77, 0).to_vec();
         mutate(&mut hello);
         write_frame(&mut s, FRAME_HELLO, &hello).unwrap();
         let (kind, body) = read_handshake_frame(&mut s).expect("handshake reply");
@@ -881,7 +1377,7 @@ mod tests {
             // Dial host 0 with our own valid HELLO.
             let mut to0 = TcpStream::connect(&a0).expect("dial host 0");
             to0.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-            write_frame(&mut to0, FRAME_HELLO, &hello_body(1, 2, 77)).unwrap();
+            write_frame(&mut to0, FRAME_HELLO, &hello_body(1, 2, 77, 0)).unwrap();
             let (kind, _) = read_handshake_frame(&mut to0).unwrap();
             assert_eq!(kind, FRAME_ACCEPT);
             script(&mut to0);
@@ -957,6 +1453,153 @@ mod tests {
             comm.recv_any(Tag(0))
         });
         assert!(matches!(got, Err(ClusterError::HostLost { host: 1, restarts: 0 })));
+        let _ = peer.join();
+    }
+
+    // -- rejoin ------------------------------------------------------------
+
+    fn rejoin_opts() -> TcpOptions {
+        TcpOptions {
+            rejoin: true,
+            rejoin_window: Duration::from_secs(20),
+            ..fast_opts()
+        }
+    }
+
+    /// Blocking read of one full data frame on a raw test socket,
+    /// skipping heartbeats. Panics on EOF/timeout.
+    fn read_data_frame(s: &mut TcpStream) -> (u8, Vec<u8>) {
+        loop {
+            let mut len_buf = [0u8; 4];
+            s.read_exact(&mut len_buf).expect("frame length");
+            let len = u32::from_le_bytes(len_buf);
+            assert!(len > 0 && len <= MAX_FRAME, "bogus frame length {len}");
+            let mut frame = vec![0u8; len as usize];
+            s.read_exact(&mut frame).expect("frame body");
+            if frame[0] == FRAME_HEARTBEAT {
+                continue;
+            }
+            return (frame[0], frame[1..].to_vec());
+        }
+    }
+
+    /// The tentpole path, at the transport level: a raw host 1 meshes up,
+    /// receives one envelope, dies without FIN, then "respawns" — redials
+    /// with a stale incarnation (rejected), then with incarnation 1
+    /// (accepted). Host 0 must re-dial it, replay the logged envelope,
+    /// accept its post-rejoin message, and complete the run cleanly.
+    #[test]
+    fn dead_peer_rejoins_with_newer_incarnation_and_gets_the_log_replayed() {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        let peers = vec![a0.clone(), a1.clone()];
+        let nonce = 77;
+
+        let script = std::thread::spawn(move || {
+            // ---- incarnation 0: mesh up, read one envelope, die.
+            let (mut from0, _) = l1.accept().expect("host 0 dials us");
+            from0.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let (kind, _) = read_handshake_frame(&mut from0).unwrap();
+            assert_eq!(kind, FRAME_HELLO);
+            write_frame(&mut from0, FRAME_ACCEPT, &[]).unwrap();
+            let mut to0 = TcpStream::connect(&a0).expect("dial host 0");
+            to0.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            write_frame(&mut to0, FRAME_HELLO, &hello_body(1, 2, nonce, 0)).unwrap();
+            let (kind, _) = read_handshake_frame(&mut to0).unwrap();
+            assert_eq!(kind, FRAME_ACCEPT);
+            let (kind, body) = read_data_frame(&mut from0);
+            assert_eq!(kind, FRAME_ENVELOPE);
+            let we = decode_envelope(Bytes::from(body)).expect("envelope decodes");
+            assert_eq!(&we.payload[..], b"payload-A");
+            // SIGKILL equivalent: both simplex halves die, no FIN.
+            let _ = from0.shutdown(Shutdown::Both);
+            let _ = to0.shutdown(Shutdown::Both);
+            drop(from0);
+            drop(to0);
+
+            // ---- a stale duplicate (same incarnation) must be refused.
+            let mut stale = TcpStream::connect(&a0).expect("redial host 0");
+            stale.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            write_frame(&mut stale, FRAME_HELLO, &hello_body(1, 2, nonce, 0)).unwrap();
+            let (kind, body) = read_handshake_frame(&mut stale).unwrap();
+            assert_eq!(kind, FRAME_REJECT);
+            assert_eq!(
+                RejectReason::from_u8(body[0]),
+                Some(RejectReason::StaleIncarnation)
+            );
+            drop(stale);
+
+            // ---- incarnation 1: the legitimate respawn.
+            let mut to0 = TcpStream::connect(&a0).expect("redial host 0");
+            to0.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            write_frame(&mut to0, FRAME_HELLO, &hello_body(1, 2, nonce, 1)).unwrap();
+            let (kind, _) = read_handshake_frame(&mut to0).unwrap();
+            assert_eq!(kind, FRAME_ACCEPT);
+            // Host 0 re-dials our listener with its own HELLO...
+            let (mut from0, _) = l1.accept().expect("host 0 re-dials us");
+            from0.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let (kind, body) = read_handshake_frame(&mut from0).unwrap();
+            assert_eq!(kind, FRAME_HELLO);
+            let (host, inc) = parse_hello(&body, 1, 2, nonce).expect("valid re-dial HELLO");
+            assert_eq!((host, inc), (0, 0));
+            write_frame(&mut from0, FRAME_ACCEPT, &[]).unwrap();
+            // ...and replays its send log: the envelope again, same seq.
+            let (kind, body) = read_data_frame(&mut from0);
+            assert_eq!(kind, FRAME_ENVELOPE);
+            let we = decode_envelope(Bytes::from(body)).expect("replayed envelope decodes");
+            assert_eq!((we.seq, &we.payload[..]), (0, &b"payload-A"[..]));
+            // Answer so host 0's blocked receive completes, then FIN.
+            let env = encode_envelope(1, 1, 0, 0, b"hello-again");
+            write_frame(&mut to0, FRAME_ENVELOPE, &env).unwrap();
+            write_frame(&mut to0, FRAME_FIN, &[]).unwrap();
+            to0.flush().unwrap();
+            // Hold the sockets open until host 0 FINs back.
+            let (kind, _) = read_data_frame(&mut from0);
+            assert_eq!(kind, FRAME_FIN);
+        });
+
+        let transport =
+            TcpTransport::establish(0, l0, &peers, nonce, rejoin_opts()).expect("mesh up");
+        let out = Cluster::try_run_tcp(transport, ClusterOptions::default(), |comm| {
+            comm.send_bytes(1, Tag(0), Bytes::from_static(b"payload-A"));
+            let (src, payload) = comm.recv_any(Tag(1));
+            assert_eq!((src, &payload[..]), (1, &b"hello-again"[..]));
+        })
+        .expect("run completes across the rejoin");
+        assert_eq!(out.rejoins, 1, "one rejoin handshake accepted");
+        assert!(
+            out.stats.replayed_bytes() > 0,
+            "replayed traffic is accounted outside the phase matrices"
+        );
+        script.join().expect("script peer");
+    }
+
+    #[test]
+    fn down_peer_that_never_rejoins_is_lost_after_the_window() {
+        let (l0, a0) = bind();
+        let (l1, a1) = bind();
+        let peers = vec![a0.clone(), a1];
+        let peer = raw_peer(l1, a0, |s| {
+            let _ = s.shutdown(Shutdown::Both);
+        });
+        let opts = TcpOptions {
+            rejoin_window: Duration::from_millis(300),
+            ..rejoin_opts()
+        };
+        let transport = TcpTransport::establish(0, l0, &peers, 77, opts).expect("mesh up");
+        let t = Instant::now();
+        let got = Cluster::try_run_tcp(transport, ClusterOptions::default(), |comm| {
+            comm.recv_any(Tag(0))
+        });
+        let err = got.map(|out| out.result).expect_err("run must fail");
+        assert!(
+            matches!(err, ClusterError::HostLost { host: 1, restarts: 0 }),
+            "typed loss after the rejoin window, got {err:?}"
+        );
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "the down window must be bounded, not a hang"
+        );
         let _ = peer.join();
     }
 }

@@ -1,0 +1,187 @@
+//! Property battery for the extended HELLO / rejoin handshake codec.
+//!
+//! The HELLO frame is the only thing a transport will parse from an
+//! unauthenticated stranger, so its decoder must be total: any byte
+//! string — truncated, bit-flipped, or outright garbage — must come back
+//! as a typed [`RejectReason`], never a panic, and the field checks must
+//! fire in a fixed order so a corrupt frame is diagnosed by its first
+//! broken field. The rejoin admission rule (strictly newer incarnation)
+//! rides on top and is pinned here too.
+
+use proptest::prelude::*;
+
+use cusp_net::transport::tcp::hello_codec::{
+    admit_incarnation, encode_hello, parse_hello, HELLO_LEN, HOSTS_RANGE, HOST_ID_RANGE,
+    INCARNATION_RANGE, MAGIC_RANGE, NONCE_RANGE, VERSION_RANGE,
+};
+use cusp_net::RejectReason;
+
+/// A cluster shape and a sender/receiver pair within it.
+fn cluster() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..65).prop_flat_map(|hosts| {
+        // receiver = sender + (1..hosts) mod hosts: distinct by construction.
+        (Just(hosts), 0..hosts, 1..hosts)
+            .prop_map(|(hosts, s, off)| (hosts, s, (s + off) % hosts))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 192,
+        ..ProptestConfig::default()
+    })]
+
+    /// A well-formed HELLO is exactly [`HELLO_LEN`] bytes and parses back
+    /// to the claimed (sender, incarnation) at any receiver of the same
+    /// run.
+    #[test]
+    fn valid_hello_roundtrips(
+        (hosts, sender, receiver) in cluster(),
+        nonce in any::<u64>(),
+        inc in any::<u32>(),
+    ) {
+        let body = encode_hello(sender, hosts, nonce, inc);
+        prop_assert_eq!(body.len(), HELLO_LEN);
+        prop_assert_eq!(
+            parse_hello(&body, receiver, hosts, nonce),
+            Ok((sender, inc))
+        );
+    }
+
+    /// Every strict prefix of a valid HELLO is rejected with a typed
+    /// reason — the decoder never reads past the end, never panics, and
+    /// blames the first field the truncation cut into.
+    #[test]
+    fn truncation_is_typed_rejection(
+        (hosts, sender, receiver) in cluster(),
+        nonce in any::<u64>(),
+        inc in any::<u32>(),
+        cut in 0..HELLO_LEN,
+    ) {
+        let body = encode_hello(sender, hosts, nonce, inc);
+        let got = parse_hello(&body[..cut], receiver, hosts, nonce);
+        let expected = if cut < MAGIC_RANGE.end {
+            RejectReason::BadMagic
+        } else if cut < VERSION_RANGE.end {
+            RejectReason::BadVersion
+        } else if cut < HOSTS_RANGE.end {
+            // host_id and hosts truncations both classify as shape errors;
+            // the decoder reads host_id first.
+            if cut < HOST_ID_RANGE.end { RejectReason::BadHostId } else { RejectReason::BadHosts }
+        } else if cut < NONCE_RANGE.end {
+            RejectReason::BadNonce
+        } else {
+            // incarnation cut off
+            RejectReason::BadHostId
+        };
+        prop_assert_eq!(got, Err(expected));
+    }
+
+    /// Arbitrary garbage never panics and never parses as a peer of this
+    /// run unless it actually is one: any `Ok` must name an in-range,
+    /// non-self host — the acceptor trusts nothing else about it.
+    #[test]
+    fn garbage_never_panics_and_never_impersonates(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        (hosts, _, receiver) in cluster(),
+        nonce in any::<u64>(),
+    ) {
+        if let Ok((claimed, _inc)) = parse_hello(&bytes, receiver, hosts, nonce) {
+            prop_assert!(claimed < hosts && claimed != receiver);
+        }
+    }
+
+    /// A single flipped bit is either survivable (it landed in host_id or
+    /// incarnation and still names a legal peer) or a typed rejection
+    /// blaming exactly the field it landed in. It is never a panic, and
+    /// never an `Ok` that misreports nonce-, shape-, or version-agreement.
+    #[test]
+    fn single_bit_flip_is_classified_by_field(
+        (hosts, sender, receiver) in cluster(),
+        nonce in any::<u64>(),
+        inc in any::<u32>(),
+        bit in 0..(HELLO_LEN * 8),
+    ) {
+        let mut body = encode_hello(sender, hosts, nonce, inc);
+        body[bit / 8] ^= 1 << (bit % 8);
+        let got = parse_hello(&body, receiver, hosts, nonce);
+        let byte = bit / 8;
+        if MAGIC_RANGE.contains(&byte) {
+            prop_assert_eq!(got, Err(RejectReason::BadMagic));
+        } else if VERSION_RANGE.contains(&byte) {
+            prop_assert_eq!(got, Err(RejectReason::BadVersion));
+        } else if HOSTS_RANGE.contains(&byte) {
+            prop_assert_eq!(got, Err(RejectReason::BadHosts));
+        } else if NONCE_RANGE.contains(&byte) {
+            prop_assert_eq!(got, Err(RejectReason::BadNonce));
+        } else if HOST_ID_RANGE.contains(&byte) {
+            // The flipped id may still be a legal foreign peer; if so the
+            // parse succeeds with that id (slot policy catches liars
+            // later). Out-of-range or self ids must be typed rejections.
+            match got {
+                Ok((claimed, got_inc)) => {
+                    prop_assert!(claimed < hosts && claimed != receiver);
+                    prop_assert_ne!(claimed, sender);
+                    prop_assert_eq!(got_inc, inc);
+                }
+                Err(reason) => prop_assert_eq!(reason, RejectReason::BadHostId),
+            }
+        } else {
+            // Incarnation bits carry no validity constraint at parse time.
+            let flipped_inc = inc ^ (1u32 << (bit - INCARNATION_RANGE.start * 8));
+            prop_assert_eq!(got, Ok((sender, flipped_inc)));
+        }
+    }
+
+    /// A HELLO from a different run (any nonce but ours) is always
+    /// [`RejectReason::BadNonce`] — stale workers from a previous launch
+    /// can never splice into a live mesh.
+    #[test]
+    fn wrong_nonce_is_always_rejected(
+        (hosts, sender, receiver) in cluster(),
+        nonce in any::<u64>(),
+        other in any::<u64>(),
+        inc in any::<u32>(),
+    ) {
+        prop_assume!(other != nonce);
+        let body = encode_hello(sender, hosts, other, inc);
+        prop_assert_eq!(
+            parse_hello(&body, receiver, hosts, nonce),
+            Err(RejectReason::BadNonce)
+        );
+    }
+
+    /// A HELLO disagreeing about the cluster size is always
+    /// [`RejectReason::BadHosts`], even when every other field matches.
+    #[test]
+    fn wrong_cluster_size_is_always_rejected(
+        (hosts, sender, receiver) in cluster(),
+        other_hosts in 0usize..1024,
+        nonce in any::<u64>(),
+        inc in any::<u32>(),
+    ) {
+        prop_assume!(other_hosts != hosts);
+        let body = encode_hello(sender, other_hosts, nonce, inc);
+        prop_assert_eq!(
+            parse_hello(&body, receiver, hosts, nonce),
+            Err(RejectReason::BadHosts)
+        );
+    }
+
+    /// The rejoin admission rule: a claimed incarnation supersedes the
+    /// last admitted one iff it is strictly newer. Equal (a duplicate of
+    /// the live worker) and older (a zombie from a previous generation)
+    /// both classify as [`RejectReason::StaleIncarnation`].
+    #[test]
+    fn rejoin_admission_is_strictly_monotone(
+        claimed in any::<u32>(),
+        last in any::<u32>(),
+    ) {
+        let got = admit_incarnation(claimed, last);
+        if claimed > last {
+            prop_assert_eq!(got, Ok(()));
+        } else {
+            prop_assert_eq!(got, Err(RejectReason::StaleIncarnation));
+        }
+    }
+}

@@ -477,8 +477,13 @@ pub struct TraceCheck {
     pub processes: usize,
     /// `host_crash` instants — planned host deaths that fired.
     pub crash_events: usize,
-    /// `host_restart` instants — supervisor respawns.
+    /// `host_restart` instants — supervisor respawns (in-process host
+    /// threads, or a respawned worker process running at incarnation > 0).
     pub restart_events: usize,
+    /// `peer_down` instants — a TCP peer declared lost by a survivor.
+    pub peer_down_events: usize,
+    /// `peer_rejoin` instants — a respawned peer re-admitted to the mesh.
+    pub rejoin_events: usize,
 }
 
 /// Checks that `text` is well-formed Chrome trace-event JSON: every event
@@ -552,6 +557,8 @@ pub fn validate_trace_json(text: &str) -> Result<TraceCheck, String> {
             "i" => match ev.get("name").and_then(Json::as_str) {
                 Some("host_crash") => check.crash_events += 1,
                 Some("host_restart") => check.restart_events += 1,
+                Some("peer_down") => check.peer_down_events += 1,
+                Some("peer_rejoin") => check.rejoin_events += 1,
                 _ => {}
             },
             "C" | "M" => {}
@@ -635,6 +642,8 @@ mod tests {
         let s = rec.attach(0, "supervisor");
         crate::instant("host_detect", 1);
         crate::instant("host_restart", 1);
+        crate::instant("peer_down", 2);
+        crate::instant("peer_rejoin", 1);
         drop(s);
         let g2 = rec.attach(0, "main");
         crate::span_begin("master");
@@ -644,6 +653,8 @@ mod tests {
         let check = validate_trace_json(&json).expect("valid trace despite crash");
         assert_eq!(check.crash_events, 1);
         assert_eq!(check.restart_events, 1);
+        assert_eq!(check.peer_down_events, 1);
+        assert_eq!(check.rejoin_events, 1);
         // 2 dangling begins + 2 synthetic ends + 1 balanced pair.
         assert_eq!(check.span_events, 6);
         assert!(json.contains("\"truncated\":true"));

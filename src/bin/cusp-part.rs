@@ -92,7 +92,7 @@ use cusp_xtrapulp::{xtrapulp_partition, XpConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part launch --hosts K --graph G.bgr --policy NAME [--out-dir DIR]\n                   [--sync-rounds N] [--buffer BYTES] [--chunk-edges E] [--csc]\n  cusp-part worker --host-id H --hosts K --graph G.bgr --policy NAME --nonce N --out-dir DIR [--det]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part apply --graph G.bgr (--batch B.txt | --events N [--seed S]) [--out G2.bgr] [--wal W.wal]\n  cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr] [--policy NAME --hosts K]\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client apply --tenant T --name N --batch B.txt [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
+        "usage:\n  cusp-part gen --kind kron|webcrawl|uniform --nodes N [--degree D] [--seed S] --out G.bgr\n  cusp-part convert --edgelist IN.txt --out G.bgr\n  cusp-part convert --metis IN.graph --out G.bgr\n  cusp-part props G.bgr\n  cusp-part partition --graph G.bgr --policy NAME --hosts K [--out-dir DIR]\n                      [--sync-rounds N] [--buffer BYTES] [--threads T] [--csc]\n                      [--chunk-edges E] [--trace OUT.json]\n                      [--crash-seed S] [--heartbeat-ms MS] [--checkpoint-dir DIR]\n  cusp-part launch --hosts K --graph G.bgr --policy NAME [--out-dir DIR]\n                   [--sync-rounds N] [--buffer BYTES] [--chunk-edges E] [--csc]\n                   [--kill-seed S [--kill-repeat]] [--max-restarts N]\n                   [--restart-backoff-ms MS] [--checkpoint-dir DIR]\n  cusp-part worker --host-id H --hosts K --graph G.bgr --policy NAME --nonce N --out-dir DIR [--det]\n                   [--listen ADDR] [--incarnation I] [--rejoin] [--announce-phases]\n  cusp-part inspect PART.part [PART.part ...]\n  cusp-part validate --graph G.bgr --parts DIR\n  cusp-part trace-check OUT.json\n  cusp-part apply --graph G.bgr (--batch B.txt | --events N [--seed S]) [--out G2.bgr] [--wal W.wal]\n  cusp-part wal-replay --graph G.bgr --wal W.wal [--out G2.bgr] [--policy NAME --hosts K]\n  cusp-part client upload --graph G.bgr --tenant T --name N [--addr HOST:PORT]\n  cusp-part client partition --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client quality --tenant T --name N --policy P --hosts K [--chunk-edges E] [--addr A]\n  cusp-part client apply --tenant T --name N --batch B.txt [--addr A]\n  cusp-part client stats --tenant T --name N [--addr A]\n  cusp-part client list --tenant T [--addr A]\n  cusp-part client server-stats [--addr A]"
     );
     exit(2)
 }
@@ -104,7 +104,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "csc" || name == "det" {
+            if matches!(name, "csc" | "det" | "rejoin" | "announce-phases" | "kill-repeat") {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -359,6 +359,7 @@ fn cusp_cfg_from_flags(flags: &HashMap<String, String>) -> CuspConfig {
             .get("chunk-edges")
             .map(|s| parse_num(s, "chunk edges")),
         checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
+        announce_phases: flags.contains_key("announce-phases"),
         ..CuspConfig::default()
     };
     if flags.contains_key("det") {
@@ -523,14 +524,22 @@ fn cmd_worker(flags: &HashMap<String, String>) {
         usage()
     };
     let nonce: u64 = parse_num(required(flags, "nonce"), "run nonce");
+    let incarnation: u32 = flags
+        .get("incarnation")
+        .map(|s| parse_num(s, "incarnation"))
+        .unwrap_or(0);
     let out_dir = PathBuf::from(required(flags, "out-dir"));
     let cfg = cusp_cfg_from_flags(flags);
 
     // Bind an ephemeral port first and announce it: the orchestrator
     // gathers every worker's address before any dial happens, so there is
-    // no port race and no config file.
-    let listener =
-        std::net::TcpListener::bind("127.0.0.1:0").expect("cannot bind worker listener");
+    // no port race and no config file. A respawned worker (`--listen`)
+    // instead pins its original address, so the peer list the survivors
+    // hold — and their rejoin redials — stay valid across the restart.
+    let listener = match flags.get("listen") {
+        Some(addr) => bind_pinned(addr, host),
+        None => std::net::TcpListener::bind("127.0.0.1:0").expect("cannot bind worker listener"),
+    };
     let addr = listener.local_addr().expect("listener has no local addr");
     println!("CUSP-WORKER-LISTEN {addr}");
     std::io::stdout().flush().expect("cannot flush stdout");
@@ -553,12 +562,15 @@ fn cmd_worker(flags: &HashMap<String, String>) {
         exit(2);
     }
 
-    let transport = match cusp_net::TcpTransport::establish(
+    let mut topts = cusp_net::TcpOptions::from_env();
+    topts.rejoin = flags.contains_key("rejoin");
+    let transport = match cusp_net::TcpTransport::establish_with(
         host,
         listener,
         &peers,
         nonce,
-        cusp_net::TcpOptions::default(),
+        incarnation,
+        topts,
     ) {
         Ok(t) => t,
         Err(e) => {
@@ -566,6 +578,32 @@ fn cmd_worker(flags: &HashMap<String, String>) {
             exit(1);
         }
     };
+
+    // Torn-connection saboteur (kill mode `torn`): when the supervisor
+    // writes TEAR on our stdin, emit a frame whose length prefix promises
+    // far more bytes than follow and die mid-write — peers must classify
+    // the partial frame as connection death, never as data.
+    let mut saboteur = transport.saboteur();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut lock = stdin.lock();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match lock.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            if line.trim() == "TEAR" {
+                if let Some(s) = saboteur.as_mut() {
+                    let _ = s.write_all(&100u32.to_le_bytes());
+                    let _ = s.write_all(&[4, 0xde, 0xad]);
+                    let _ = s.flush();
+                }
+                std::process::abort();
+            }
+        }
+    });
 
     let source = GraphSource::File(graph_path);
     let out = match cusp::partition_with_policy_tcp(transport, source, kind, &cfg) {
@@ -596,7 +634,27 @@ fn cmd_worker(flags: &HashMap<String, String>) {
         println!("CUSP-WORKER-SENT {peer} {sb} {sm}");
         println!("CUSP-WORKER-RECV {peer} {rb} {rm}");
     }
+    println!("CUSP-WORKER-REJOINS {}", out.rejoins);
     println!("CUSP-WORKER-DONE {host}");
+}
+
+/// Binds a specific listen address, retrying briefly: a respawned worker
+/// reclaims its old port, which may linger for a moment after the previous
+/// incarnation's death.
+fn bind_pinned(addr: &str, host: usize) -> std::net::TcpListener {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match std::net::TcpListener::bind(addr) {
+            Ok(l) => return l,
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("worker {host}: cannot rebind {addr}: {e}");
+                    exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
 }
 
 /// Orchestrates a real multi-process partition run: forks `--hosts`
@@ -606,9 +664,63 @@ fn cmd_worker(flags: &HashMap<String, String>) {
 /// simulated run of the identical configuration. The comparison pins the
 /// determinism contract (`deterministic_sync`, one worker thread), under
 /// which the two transports must be bit-identical.
+///
+/// With `--kill-seed`, the launcher doubles as a chaos supervisor: a
+/// seeded [`cusp_net::KillPlan`] picks one worker, a pipeline phase, and a
+/// kill mode (SIGKILL / torn connection / SIGSTOP wedge); the launcher
+/// takes the victim down when it announces that phase, then respawns it
+/// (bounded by `--max-restarts`, exponential backoff) with the same listen
+/// address and a bumped incarnation so it rejoins the surviving mesh. The
+/// run must still end in fingerprint MATCH against the crash-free
+/// simulator. `--kill-repeat` re-kills every incarnation at the same
+/// point, which exhausts the restart budget and must produce a one-line
+/// diagnostic and a non-zero exit — never a hang.
 fn cmd_launch(flags: &HashMap<String, String>) {
-    use std::io::{BufRead, BufReader, Write};
-    use std::process::Stdio;
+    exit(launch_run(flags));
+}
+
+/// One worker process under supervision.
+struct Worker {
+    child: std::process::Child,
+    /// Kept open: the torn kill mode speaks TEAR over it.
+    stdin: Option<std::process::ChildStdin>,
+    addr: Option<String>,
+    incarnation: u32,
+    restarts: u32,
+    kills: u32,
+    done: bool,
+    /// Stdout of the current incarnation fully drained. Judging a dead
+    /// child before this is set races the reader thread: `try_wait` can
+    /// observe a clean exit before the buffered DONE line has been
+    /// delivered through the event channel.
+    eof: bool,
+    /// Deadline at which a SIGSTOPped (wedged) victim gets its SIGKILL.
+    wedge_deadline: Option<std::time::Instant>,
+    stderr_path: PathBuf,
+}
+
+/// Kills and reaps every worker on drop, so no exit path — including the
+/// early-return failure paths — leaks zombies.
+struct Fleet {
+    workers: Vec<Worker>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+/// A line (or EOF, `None`) from worker `host`'s stdout at `incarnation`.
+/// The incarnation tag lets the supervisor drop stragglers from a dead
+/// generation's reader thread that land after the respawn.
+type WorkerEvent = (usize, u32, Option<String>);
+
+fn launch_run(flags: &HashMap<String, String>) -> i32 {
+    use std::io::Write;
     let hosts: usize = parse_num(required(flags, "hosts"), "host count");
     let graph_path = PathBuf::from(required(flags, "graph"));
     let policy_name = required(flags, "policy").to_ascii_uppercase();
@@ -618,13 +730,44 @@ fn cmd_launch(flags: &HashMap<String, String>) {
     };
     if hosts == 0 {
         eprintln!("launch needs at least one host");
-        exit(2);
+        return 2;
     }
     let out_dir = flags
         .get("out-dir")
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join(format!("cusp-launch-{}", std::process::id())));
     std::fs::create_dir_all(&out_dir).expect("cannot create out dir");
+
+    let kill_seed: Option<u64> = flags.get("kill-seed").map(|s| parse_num(s, "kill seed"));
+    let kill_repeat = flags.contains_key("kill-repeat");
+    let max_restarts: u32 = flags
+        .get("max-restarts")
+        .map(|s| parse_num(s, "max restarts"))
+        .unwrap_or(3);
+    let backoff_base = std::time::Duration::from_millis(
+        flags
+            .get("restart-backoff-ms")
+            .map(|s| parse_num(s, "restart backoff ms"))
+            .unwrap_or(100),
+    );
+    let plan = kill_seed.map(|seed| {
+        let d = cusp_net::KillPlan { seed, hosts }.decide();
+        println!(
+            "kill plan: seed {seed} -> host {victim}, {mode} @ {phase} (max {max_restarts} restart(s))",
+            victim = d.victim,
+            mode = d.mode.as_str(),
+            phase = d.phase,
+        );
+        d
+    });
+    // How long a wedged victim stays SIGSTOPped before the SIGKILL: past
+    // the peers' heartbeat timeout when that is CI-short, bounded at 2.5 s
+    // so default 10 s timeouts don't stall the run (EOF detection covers
+    // that configuration instead).
+    let wedge_hold = {
+        let t = cusp_net::TcpOptions::from_env().peer_timeout;
+        t.min(std::time::Duration::from_secs(2)) + std::time::Duration::from_millis(500)
+    };
 
     // A fresh nonce per launch: stale workers from a previous run (or a
     // concurrent launch on the same machine) fail the handshake instead
@@ -636,8 +779,9 @@ fn cmd_launch(flags: &HashMap<String, String>) {
         ^ ((std::process::id() as u64) << 32);
 
     let exe = std::env::current_exe().expect("cannot locate own executable");
-    let mut children = Vec::with_capacity(hosts);
-    for h in 0..hosts {
+    let (tx, rx) = std::sync::mpsc::channel::<WorkerEvent>();
+
+    let spawn_worker = |h: usize, incarnation: u32, listen: Option<&str>, stderr_path: &Path| {
         let mut cmd = std::process::Command::new(&exe);
         cmd.arg("worker")
             .arg("--host-id")
@@ -653,7 +797,7 @@ fn cmd_launch(flags: &HashMap<String, String>) {
             .arg("--out-dir")
             .arg(&out_dir)
             .arg("--det");
-        for key in ["sync-rounds", "buffer", "chunk-edges"] {
+        for key in ["sync-rounds", "buffer", "chunk-edges", "checkpoint-dir"] {
             if let Some(v) = flags.get(key) {
                 cmd.arg(format!("--{key}")).arg(v);
             }
@@ -661,68 +805,272 @@ fn cmd_launch(flags: &HashMap<String, String>) {
         if flags.contains_key("csc") {
             cmd.arg("--csc");
         }
-        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
-        children.push(cmd.spawn().expect("cannot spawn worker process"));
-    }
-
-    // Gather every worker's listen address, then broadcast the full list.
-    let mut addrs = Vec::with_capacity(hosts);
-    let mut stdouts = Vec::with_capacity(hosts);
-    for (h, child) in children.iter_mut().enumerate() {
-        let mut rdr = BufReader::new(child.stdout.take().expect("worker stdout piped"));
-        let mut line = String::new();
-        rdr.read_line(&mut line).expect("cannot read worker listen line");
-        let Some(addr) = line.trim().strip_prefix("CUSP-WORKER-LISTEN ") else {
-            eprintln!("worker {h}: bad listen line '{}'", line.trim());
-            exit(1);
-        };
-        addrs.push(addr.to_string());
-        stdouts.push(rdr);
-    }
-    let peers_line = format!("PEERS {}\n", addrs.join(","));
-    for child in children.iter_mut() {
+        if kill_seed.is_some() {
+            // Recovery needs the survivors' rejoin acceptors and the
+            // victim's phase markers; both are inert otherwise.
+            cmd.arg("--rejoin").arg("--announce-phases");
+        }
+        if incarnation > 0 {
+            cmd.arg("--incarnation").arg(incarnation.to_string());
+        }
+        if let Some(addr) = listen {
+            cmd.arg("--listen").arg(addr);
+        }
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(stderr_path)
+            .expect("cannot open worker stderr log");
+        cmd.stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::from(log));
+        let mut child = cmd.spawn().expect("cannot spawn worker process");
+        let stdout = child.stdout.take().expect("worker stdout piped");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            let rdr = std::io::BufReader::new(stdout);
+            for line in rdr.lines() {
+                let Ok(line) = line else { break };
+                if tx.send((h, incarnation, Some(line))).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send((h, incarnation, None));
+        });
         child
-            .stdin
-            .take()
-            .expect("worker stdin piped")
-            .write_all(peers_line.as_bytes())
-            .expect("cannot send peer list to worker");
-        // Dropping the handle closes the pipe; the worker needs nothing
-        // further from us.
+    };
+
+    let mut fleet = Fleet { workers: Vec::with_capacity(hosts) };
+    for h in 0..hosts {
+        let stderr_path = out_dir.join(format!("worker-{h}.stderr.log"));
+        let _ = std::fs::remove_file(&stderr_path);
+        let mut child = spawn_worker(h, 0, None, &stderr_path);
+        let stdin = child.stdin.take();
+        fleet.workers.push(Worker {
+            child,
+            stdin,
+            addr: None,
+            incarnation: 0,
+            restarts: 0,
+            kills: 0,
+            done: false,
+            eof: false,
+            wedge_deadline: None,
+            stderr_path,
+        });
     }
 
-    // Collect reports and exits. sent[h][peer] / recv[h][peer] in bytes
-    // and messages; conservation joins them across processes below.
+    let fail = |fleet: &Fleet, h: usize, why: &str| -> i32 {
+        eprintln!("cusp-part launch: {why}");
+        stderr_tail(h, &fleet.workers[h].stderr_path);
+        1
+    };
+
+    // Supervise: drive the PEERS handshake, watch for phase markers to
+    // fire the kill plan, detect deaths (child exit, stdout EOF), respawn
+    // with backoff, and collect the per-peer accounting rows.
+    let mut peers_line: Option<String> = None;
     let mut sent = vec![vec![(0u64, 0u64); hosts]; hosts];
     let mut recv = vec![vec![(0u64, 0u64); hosts]; hosts];
-    let mut failed = false;
-    for (h, (child, rdr)) in children.into_iter().zip(stdouts).enumerate() {
-        let mut done = false;
-        for line in rdr.lines() {
-            let line = line.expect("worker stdout");
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            match toks.as_slice() {
-                ["CUSP-WORKER-SENT", peer, bytes, msgs] => {
-                    sent[h][parse_num::<usize>(peer, "peer")] =
-                        (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
+    let mut rejoins_total = 0u64;
+    let mut respawns = 0u32;
+    let mut kills_fired = 0u32;
+    let mut pending_respawn: Vec<(usize, std::time::Instant)> = Vec::new();
+    let mut last_progress = std::time::Instant::now();
+    let watchdog = std::time::Duration::from_secs(180);
+
+    loop {
+        match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok((h, inc, ev)) => {
+                if inc != fleet.workers[h].incarnation {
+                    // A dead generation's reader thread draining out.
+                } else if let Some(line) = ev {
+                    last_progress = std::time::Instant::now();
+                    let toks: Vec<&str> = line.split_whitespace().collect();
+                    match toks.as_slice() {
+                        ["CUSP-WORKER-LISTEN", addr] => {
+                            if let Some(prev) = &fleet.workers[h].addr {
+                                if prev != addr {
+                                    return fail(
+                                        &fleet,
+                                        h,
+                                        &format!("respawned worker {h} rebound {addr}, expected {prev}"),
+                                    );
+                                }
+                                // A respawn: it already knows where everyone
+                                // lives — re-send the list immediately.
+                                send_peers(&mut fleet.workers[h], peers_line.as_deref().unwrap());
+                            } else {
+                                fleet.workers[h].addr = Some(addr.to_string());
+                                if fleet.workers.iter().all(|w| w.addr.is_some()) {
+                                    let all: Vec<&str> = fleet
+                                        .workers
+                                        .iter()
+                                        .map(|w| w.addr.as_deref().unwrap())
+                                        .collect();
+                                    let line = format!("PEERS {}\n", all.join(","));
+                                    for w in &mut fleet.workers {
+                                        send_peers(w, &line);
+                                    }
+                                    peers_line = Some(line);
+                                }
+                            }
+                        }
+                        ["CUSP-WORKER-PHASE", phase] => {
+                            if let Some(d) = &plan {
+                                let due = d.victim == h
+                                    && d.phase == *phase
+                                    && (fleet.workers[h].kills == 0 || kill_repeat);
+                                if due {
+                                    fleet.workers[h].kills += 1;
+                                    kills_fired += 1;
+                                    println!(
+                                        "killing host {h} ({} @ {phase}, incarnation {})",
+                                        d.mode.as_str(),
+                                        fleet.workers[h].incarnation
+                                    );
+                                    match d.mode {
+                                        cusp_net::KillMode::Kill => {
+                                            let _ = fleet.workers[h].child.kill();
+                                        }
+                                        cusp_net::KillMode::Torn => {
+                                            let torn = fleet.workers[h]
+                                                .stdin
+                                                .as_mut()
+                                                .and_then(|s| s.write_all(b"TEAR\n").ok())
+                                                .is_some();
+                                            if !torn {
+                                                let _ = fleet.workers[h].child.kill();
+                                            }
+                                        }
+                                        cusp_net::KillMode::Wedge => {
+                                            let pid = fleet.workers[h].child.id().to_string();
+                                            let stopped = std::process::Command::new("kill")
+                                                .args(["-STOP", &pid])
+                                                .status()
+                                                .map(|s| s.success())
+                                                .unwrap_or(false);
+                                            if stopped {
+                                                fleet.workers[h].wedge_deadline =
+                                                    Some(std::time::Instant::now() + wedge_hold);
+                                            } else {
+                                                let _ = fleet.workers[h].child.kill();
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        ["CUSP-WORKER-SENT", peer, bytes, msgs] => {
+                            sent[h][parse_num::<usize>(peer, "peer")] =
+                                (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
+                        }
+                        ["CUSP-WORKER-RECV", peer, bytes, msgs] => {
+                            recv[h][parse_num::<usize>(peer, "peer")] =
+                                (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
+                        }
+                        ["CUSP-WORKER-REJOINS", n] => {
+                            rejoins_total += parse_num::<u64>(n, "rejoin count");
+                        }
+                        ["CUSP-WORKER-DONE", _] => fleet.workers[h].done = true,
+                        _ => {}
+                    }
+                } else {
+                    // EOF of the current incarnation: every line it printed
+                    // has now been processed. Death itself is still decided
+                    // by try_wait below.
+                    fleet.workers[h].eof = true;
                 }
-                ["CUSP-WORKER-RECV", peer, bytes, msgs] => {
-                    recv[h][parse_num::<usize>(peer, "peer")] =
-                        (parse_num(bytes, "bytes"), parse_num(msgs, "messages"));
-                }
-                ["CUSP-WORKER-DONE", _] => done = true,
-                _ => {}
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {}
+        }
+
+        // A wedged victim's hold expired: deliver the SIGKILL (it lands on
+        // stopped processes too).
+        for h in 0..hosts {
+            if fleet.workers[h]
+                .wedge_deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                fleet.workers[h].wedge_deadline = None;
+                let _ = fleet.workers[h].child.kill();
             }
         }
-        let status = { child }.wait().expect("cannot wait for worker");
-        if !status.success() || !done {
-            eprintln!("worker {h} failed (exit {status:?}, done={done})");
-            failed = true;
+
+        // Reap deaths and decide: normal exit, respawn, or give up.
+        for h in 0..hosts {
+            let Some(status) = fleet.workers[h].child.try_wait().expect("cannot poll worker") else {
+                continue;
+            };
+            if fleet.workers[h].done || pending_respawn.iter().any(|&(p, _)| p == h) {
+                continue;
+            }
+            if !fleet.workers[h].eof {
+                // The exit landed before the stdout drain: its DONE line (or
+                // final accounting rows) may still be in the channel. Hold
+                // judgment until the reader thread reports EOF — the dead
+                // child's pipe is closed, so that arrives promptly.
+                continue;
+            }
+            last_progress = std::time::Instant::now();
+            if kill_seed.is_some()
+                && fleet.workers[h].addr.is_some()
+                && fleet.workers[h].restarts < max_restarts
+            {
+                fleet.workers[h].restarts += 1;
+                let backoff = backoff_base * 2u32.pow((fleet.workers[h].restarts - 1).min(8));
+                println!(
+                    "host {h} died ({status}); respawning incarnation {} in {backoff:?}",
+                    fleet.workers[h].incarnation + 1
+                );
+                pending_respawn.push((h, std::time::Instant::now() + backoff));
+            } else if kill_seed.is_some() && fleet.workers[h].restarts >= max_restarts {
+                return fail(
+                    &fleet,
+                    h,
+                    &format!("host {h} lost: exhausted {max_restarts} restart attempt(s)"),
+                );
+            } else {
+                return fail(&fleet, h, &format!("worker {h} failed ({status})"));
+            }
+        }
+
+        // Fire due respawns: same address, bumped incarnation.
+        let now = std::time::Instant::now();
+        let mut i = 0;
+        while i < pending_respawn.len() {
+            if pending_respawn[i].1 > now {
+                i += 1;
+                continue;
+            }
+            let (h, _) = pending_respawn.swap_remove(i);
+            let w = &mut fleet.workers[h];
+            let _ = w.child.wait();
+            w.incarnation += 1;
+            w.wedge_deadline = None;
+            w.eof = false;
+            respawns += 1;
+            let addr = w.addr.clone().unwrap();
+            let mut child = spawn_worker(h, w.incarnation, Some(&addr), &w.stderr_path);
+            w.stdin = child.stdin.take();
+            w.child = child;
+        }
+
+        if fleet.workers.iter().all(|w| w.done)
+            && fleet
+                .workers
+                .iter_mut()
+                .all(|w| w.child.try_wait().map(|s| s.is_some()).unwrap_or(true))
+        {
+            break;
+        }
+        if last_progress.elapsed() > watchdog {
+            return fail(&fleet, 0, "no worker progress within the watchdog window");
         }
     }
-    if failed {
-        exit(1);
-    }
+
     let mut conserved = true;
     for s in 0..hosts {
         for d in (0..hosts).filter(|&d| d != s) {
@@ -743,6 +1091,14 @@ fn cmd_launch(flags: &HashMap<String, String>) {
         wire_bytes as f64 / 1e6,
         wire_msgs
     );
+    if let Some(d) = &plan {
+        println!(
+            "recovery: {kills_fired} kill(s) ({} @ {}, host {}), {respawns} respawn(s), {rejoins_total} peer rejoin(s)",
+            d.mode.as_str(),
+            d.phase,
+            d.victim
+        );
+    }
 
     // Merge the partitions the workers wrote and fingerprint them.
     let mut parts = Vec::with_capacity(hosts);
@@ -752,8 +1108,10 @@ fn cmd_launch(flags: &HashMap<String, String>) {
     }
     let tcp_fp = cusp::partition_fingerprint(&parts);
 
-    // The oracle: the in-process simulator over the identical config.
-    let cfg = cusp::deterministic_for_comparison(cusp_cfg_from_flags(flags));
+    // The oracle: the in-process simulator over the identical config,
+    // crash-free (so a recovered run must land on the crash-free answer).
+    let mut cfg = cusp::deterministic_for_comparison(cusp_cfg_from_flags(flags));
+    cfg.checkpoint_dir = None;
     let source = GraphSource::File(graph_path.clone());
     let cfg2 = cfg.clone();
     let sim = run_cluster_or_exit(hosts, cusp_net::ClusterOptions::default(), move |comm| {
@@ -771,7 +1129,32 @@ fn cmd_launch(flags: &HashMap<String, String>) {
         if tcp_fp == sim_fp { "MATCH" } else { "MISMATCH" }
     );
     if tcp_fp != sim_fp || !conserved {
-        exit(1);
+        return 1;
+    }
+    0
+}
+
+/// Hands a worker the full peer list over its stdin, keeping the handle
+/// open afterwards (the torn kill mode needs it).
+fn send_peers(w: &mut Worker, line: &str) {
+    use std::io::Write;
+    let stdin = w.stdin.as_mut().expect("worker stdin piped");
+    stdin.write_all(line.as_bytes()).expect("cannot send peer list to worker");
+    stdin.flush().expect("cannot flush worker stdin");
+}
+
+/// Prints the last lines of a dead worker's captured stderr, so the panic
+/// message is not lost inside the log file.
+fn stderr_tail(h: usize, path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let lines: Vec<&str> = text.lines().collect();
+    let tail = &lines[lines.len().saturating_sub(15)..];
+    if tail.is_empty() {
+        return;
+    }
+    eprintln!("--- worker {h} stderr tail ({}):", path.display());
+    for l in tail {
+        eprintln!("  {l}");
     }
 }
 
